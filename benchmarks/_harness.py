@@ -1,0 +1,154 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper:
+it synthesizes data with the relevant design points / methods, computes
+the paper's metric, prints a paper-shaped table (also written under
+``benchmarks/results/``), and registers the end-to-end run with
+pytest-benchmark (exactly one timed round — these are experiments, not
+micro-benchmarks).
+
+Synthesis results are memoized per (dataset, config, seed) for the whole
+pytest session, so benchmarks sharing a design point do not retrain.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_RECORDS``  records per dataset (default 1200)
+* ``REPRO_BENCH_EPOCHS``   GAN epochs (default 5)
+* ``REPRO_BENCH_ITERS``    iterations per epoch (default 25)
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.design_space import DesignConfig
+from repro.core.experiment import ExperimentContext
+from repro.core.pipeline import SynthesisRun
+from repro.datasets.schema import Table
+from repro.report import format_series, format_table, print_report
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's evaluator classifiers (table columns).
+CLASSIFIER_COLUMNS = ("DT10", "DT30", "RF10", "RF20", "AB", "LR")
+
+_CONTEXTS: Dict[tuple, ExperimentContext] = {}
+_GAN_RUNS: Dict[tuple, SynthesisRun] = {}
+_TABLES: Dict[tuple, Table] = {}
+
+
+def context(dataset: str, seed: int = 0, **dataset_kwargs
+            ) -> ExperimentContext:
+    """Memoized experiment context (dataset + split + budget)."""
+    key = (dataset, seed, tuple(sorted(dataset_kwargs.items())))
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = ExperimentContext(dataset, seed=seed,
+                                           dataset_kwargs=dataset_kwargs)
+    return _CONTEXTS[key]
+
+
+def gan_run(dataset: str, config: Optional[DesignConfig] = None,
+            seed: int = 0, **dataset_kwargs) -> SynthesisRun:
+    """Memoized GAN synthesis run (training + snapshot selection)."""
+    config = config if config is not None else DesignConfig()
+    key = ("gan", dataset, config.describe(), config.lr_g, config.hidden_dim,
+           config.batch_size, config.z_dim, config.dp_noise_multiplier,
+           seed, tuple(sorted(dataset_kwargs.items())))
+    if key not in _GAN_RUNS:
+        ctx = context(dataset, seed=seed, **dataset_kwargs)
+        _GAN_RUNS[key] = ctx.gan(config)
+    return _GAN_RUNS[key]
+
+
+def gan_synthetic(dataset: str, config: Optional[DesignConfig] = None,
+                  seed: int = 0, **dataset_kwargs) -> Table:
+    return gan_run(dataset, config, seed=seed, **dataset_kwargs).synthetic
+
+
+def vae_synthetic(dataset: str, seed: int = 0, **dataset_kwargs) -> Table:
+    key = ("vae", dataset, seed, tuple(sorted(dataset_kwargs.items())))
+    if key not in _TABLES:
+        ctx = context(dataset, seed=seed, **dataset_kwargs)
+        _TABLES[key] = ctx.vae()
+    return _TABLES[key]
+
+
+def pb_synthetic(dataset: str, epsilon: Optional[float], seed: int = 0,
+                 **dataset_kwargs) -> Table:
+    key = ("pb", dataset, epsilon, seed, tuple(sorted(dataset_kwargs.items())))
+    if key not in _TABLES:
+        ctx = context(dataset, seed=seed, **dataset_kwargs)
+        _TABLES[key] = ctx.privbayes(epsilon)
+    return _TABLES[key]
+
+
+# ----------------------------------------------------------------------
+# Design-point grids used by several benchmarks
+# ----------------------------------------------------------------------
+def transform_configs(generator: str, mixed: bool
+                      ) -> List[Tuple[str, DesignConfig]]:
+    """Table 3's transformation grid for one generator.
+
+    Mixed-type datasets get the full sn/od, sn/ht, gn/od, gn/ht grid;
+    numerical-only datasets only vary the normalization (sn, gn), as in
+    the paper's Table 3(d).
+    """
+    grid = []
+    if mixed:
+        for norm, norm_tag in (("simple", "sn"), ("gmm", "gn")):
+            for enc, enc_tag in (("ordinal", "od"), ("onehot", "ht")):
+                grid.append((f"{norm_tag}/{enc_tag}", DesignConfig(
+                    generator=generator, categorical_encoding=enc,
+                    numerical_normalization=norm)))
+    else:
+        for norm, norm_tag in (("simple", "sn"), ("gmm", "gn")):
+            grid.append((norm_tag, DesignConfig(
+                generator=generator, categorical_encoding="onehot",
+                numerical_normalization=norm)))
+    return grid
+
+
+def cnn_config() -> DesignConfig:
+    return DesignConfig(generator="cnn", categorical_encoding="ordinal",
+                        numerical_normalization="simple")
+
+
+def is_mixed(dataset: str) -> bool:
+    ctx = context(dataset)
+    return bool(ctx.train.schema.categorical_names(include_label=False))
+
+
+def is_binary_label(dataset: str) -> bool:
+    ctx = context(dataset)
+    label = ctx.train.schema.label
+    return label is not None and label.domain_size == 2
+
+
+# ----------------------------------------------------------------------
+# Output handling
+# ----------------------------------------------------------------------
+def emit(name: str, text: str) -> str:
+    """Print a framed report and persist it under benchmarks/results/."""
+    print_report(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def run_once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark as a single timed round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def diff_table(dataset: str, rows: Sequence[Tuple[str, Dict[str, float]]],
+               title: str) -> str:
+    """Format per-classifier F1-difference rows like the paper's tables."""
+    headers = ["config"] + list(CLASSIFIER_COLUMNS)
+    table_rows = []
+    for label, diffs in rows:
+        table_rows.append([label] + [diffs.get(c, float("nan"))
+                                     for c in CLASSIFIER_COLUMNS])
+    return format_table(headers, table_rows, title=title)

@@ -1,0 +1,79 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper table — these isolate two mechanisms the paper credits but
+never ablates in isolation:
+
+1. the KL-divergence warm-up in VTrain's generator loss (Eq. 2):
+   trained with and without the term;
+2. the WGAN critic-iteration count ``d_steps`` (Algorithm 2's T_d);
+3. statistical fidelity (marginal TV / correlation drift) by generator,
+   a quantitative companion to Figures 13/14.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignConfig
+from repro.core.statistics import fidelity_summary
+
+from _harness import context, diff_table, emit, gan_synthetic, run_once
+from repro.report import format_table
+
+
+def test_ablation_kl_warmup(benchmark):
+    def run():
+        ctx = context("adult")
+        rows = []
+        for label, weight in (("with KL warm-up", 1.0),
+                              ("without KL warm-up", 0.0)):
+            fake = gan_synthetic("adult", DesignConfig(kl_weight=weight))
+            rows.append((label, ctx.diff_row(fake)))
+        return emit("ablation_kl", diff_table(
+            "adult", rows,
+            title="Ablation: VTrain KL warm-up term (adult) — "
+                  "F1 difference"))
+
+    run_once(benchmark, run)
+
+
+def test_ablation_wgan_critic_steps(benchmark):
+    def run():
+        ctx = context("adult")
+        rows = []
+        for d_steps in (1, 3, 5):
+            config = DesignConfig(training="wtrain", d_steps=d_steps)
+            fake = gan_synthetic("adult", config)
+            rows.append((f"d_steps={d_steps}", ctx.diff_row(fake)))
+        return emit("ablation_dsteps", diff_table(
+            "adult", rows,
+            title="Ablation: WGAN critic iterations (adult) — "
+                  "F1 difference"))
+
+    run_once(benchmark, run)
+
+
+def test_ablation_statistical_fidelity(benchmark):
+    def run():
+        ctx = context("adult")
+        configs = (
+            ("MLP gn/ht", DesignConfig(generator="mlp")),
+            ("LSTM gn/ht", DesignConfig(generator="lstm")),
+            ("MLP sn/od", DesignConfig(
+                generator="mlp", categorical_encoding="ordinal",
+                numerical_normalization="simple")),
+        )
+        headers = ["config", "mean marg TV", "max marg TV", "corr diff",
+                   "assoc diff"]
+        rows = []
+        for label, config in configs:
+            fake = gan_synthetic("adult", config)
+            summary = fidelity_summary(ctx.train, fake)
+            rows.append([label, summary["mean_marginal_tv"],
+                         summary["max_marginal_tv"],
+                         summary["correlation_diff"],
+                         summary["association_diff"]])
+        return emit("ablation_fidelity", format_table(
+            headers, rows,
+            title="Ablation: statistical fidelity by design point "
+                  "(adult, lower is better)"))
+
+    run_once(benchmark, run)

@@ -1,0 +1,92 @@
+"""Figures 13/14: value distributions of synthetic attributes.
+
+Figure 13 (numerical, SDataNum): quantile summaries of the real vs
+synthetic ``x`` attribute per model/normalization — the text rendition
+of the paper's violin plots.  Figure 14 (categorical, SDataCat):
+real vs synthetic category frequencies under one-hot vs ordinal
+encoding.
+
+Paper shape to verify: LSTM + GMM normalization tracks the multi-modal
+numerical distribution best; one-hot beats ordinal on categorical
+frequencies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import DesignConfig
+
+from _harness import context, emit, gan_synthetic, run_once
+from repro.report import format_table
+
+QUANTILES = (0.05, 0.25, 0.5, 0.75, 0.95)
+
+
+def _quantile_row(label, values):
+    return [label] + [float(np.quantile(values, q)) for q in QUANTILES]
+
+
+def test_fig13_numerical_distributions(benchmark):
+    def run():
+        kwargs = {"rho": 0.5}
+        ctx = context("sdata_num", **kwargs)
+        rows = [_quantile_row("REAL", ctx.train.column("x"))]
+        models = (
+            ("MLP (sn)", DesignConfig(generator="mlp",
+                                      numerical_normalization="simple")),
+            ("MLP (gn)", DesignConfig(generator="mlp",
+                                      numerical_normalization="gmm")),
+            ("LSTM (sn)", DesignConfig(generator="lstm",
+                                       numerical_normalization="simple")),
+            ("LSTM (gn)", DesignConfig(generator="lstm",
+                                       numerical_normalization="gmm")),
+        )
+        for label, config in models:
+            fake = gan_synthetic("sdata_num", config, **kwargs)
+            rows.append(_quantile_row(label, fake.column("x")))
+        headers = ["source"] + [f"q{int(q * 100)}" for q in QUANTILES]
+        return emit("fig13", format_table(
+            headers, rows,
+            title="Figure 13: synthetic numerical attribute x (SDataNum) "
+                  "— quantiles vs real"))
+
+    run_once(benchmark, run)
+
+
+def test_fig14_categorical_distributions(benchmark):
+    def run():
+        kwargs = {"p": 0.5}
+        ctx = context("sdata_cat", **kwargs)
+        domain = ctx.train.schema["a0"].domain_size
+        real_freq = np.bincount(ctx.train.column("a0"),
+                                minlength=domain) / len(ctx.train)
+        rows = [["REAL"] + real_freq.tolist()]
+        models = (
+            ("MLP one-hot", DesignConfig(generator="mlp",
+                                         categorical_encoding="onehot")),
+            ("MLP ordinal", DesignConfig(generator="mlp",
+                                         categorical_encoding="ordinal")),
+            ("LSTM one-hot", DesignConfig(generator="lstm",
+                                          categorical_encoding="onehot")),
+            ("LSTM ordinal", DesignConfig(generator="lstm",
+                                          categorical_encoding="ordinal")),
+        )
+        tvds = {}
+        for label, config in models:
+            fake = gan_synthetic("sdata_cat", config, **kwargs)
+            freq = np.bincount(fake.column("a0"),
+                               minlength=domain) / len(fake)
+            rows.append([label] + freq.tolist())
+            tvds[label] = 0.5 * float(np.abs(freq - real_freq).sum())
+        headers = ["source"] + [f"v{v}" for v in range(domain)]
+        dist_table = format_table(
+            headers, rows,
+            title="Figure 14: synthetic categorical attribute a0 "
+                  "(SDataCat) — category frequencies")
+        tvd_table = format_table(
+            ["model", "TVD vs real"],
+            [[k, v] for k, v in tvds.items()],
+            title="Total variation distance to the real distribution")
+        return emit("fig14", dist_table + "\n\n" + tvd_table)
+
+    run_once(benchmark, run)

@@ -1,0 +1,39 @@
+"""Figure 15: synthesis methods on the simulated datasets.
+
+Paper shape to verify: GAN remains the best method on both simulated
+numerical and categorical data; PB approaches it as epsilon grows.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignConfig
+
+from _harness import (
+    context, diff_table, emit, gan_synthetic, pb_synthetic, run_once,
+    vae_synthetic,
+)
+
+EPSILONS = (0.2, 0.4, 0.8, 1.6)
+
+CASES = (
+    ("sdata_num", {"rho": 0.5}),
+    ("sdata_cat", {"p": 0.5}),
+)
+
+
+@pytest.mark.parametrize("dataset,kwargs", CASES)
+def test_fig15(benchmark, dataset, kwargs):
+    def run():
+        ctx = context(dataset, **kwargs)
+        rows = [("VAE", ctx.diff_row(vae_synthetic(dataset, **kwargs)))]
+        for eps in EPSILONS:
+            rows.append((f"PB-{eps}", ctx.diff_row(
+                pb_synthetic(dataset, eps, **kwargs))))
+        rows.append(("GAN", ctx.diff_row(gan_synthetic(
+            dataset, DesignConfig(training="ctrain"), **kwargs))))
+        return emit(f"fig15_{dataset}", diff_table(
+            dataset, rows,
+            title=f"Figure 15: methods on simulated data ({dataset}) — "
+                  f"F1 difference"))
+
+    run_once(benchmark, run)

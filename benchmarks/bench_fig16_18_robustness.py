@@ -1,0 +1,77 @@
+"""Figures 16-18: training robustness on more datasets + simplified D.
+
+Figure 16: hyper-parameter robustness curves on SAT and Census (the
+appendix's complement to Figure 4).  Figures 17/18: the same LSTM
+settings trained with a normal vs a *simplified* discriminator — the
+paper's §5.2 remedy — on Adult and SAT.
+
+Paper shape to verify: the simplified discriminator rescues most of the
+collapsing LSTM settings (fewer curves fall to ~0 F1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import DesignConfig
+from repro.core.model_selection import hyperparameter_candidates
+from repro.core.pipeline import run_gan_synthesis
+
+from _harness import context, emit, run_once
+from repro.report import format_series
+
+N_SETTINGS = 4
+
+
+def _curves(dataset: str, generator: str, simplified: bool):
+    ctx = context(dataset)
+    base = DesignConfig(generator=generator,
+                        simplified_discriminator=simplified)
+    series = {}
+    for i, config in enumerate(hyperparameter_candidates(
+            base, n=N_SETTINGS, seed=7)):
+        run = run_gan_synthesis(config, ctx.train, ctx.valid,
+                                epochs=ctx.epochs,
+                                iterations_per_epoch=ctx.iterations_per_epoch,
+                                seed=i)
+        series[f"param-{i + 1}"] = [round(v, 3) for v in run.epoch_f1]
+    return series
+
+
+@pytest.mark.parametrize("dataset", ["sat", "census"])
+@pytest.mark.parametrize("generator", ["lstm", "mlp"])
+def test_fig16_hyperparams(benchmark, dataset, generator):
+    def run():
+        series = _curves(dataset, generator, simplified=False)
+        name = f"fig16_{generator}_{dataset}"
+        return emit(name, format_series(
+            series, x_label="epoch",
+            title=f"Figure 16: {generator.upper()}-based G ({dataset}) — "
+                  f"validation F1 per epoch"))
+
+    run_once(benchmark, run)
+
+
+@pytest.mark.parametrize("dataset", ["adult", "sat"])
+def test_fig17_18_simplified_d(benchmark, dataset):
+    def run():
+        normal = _curves(dataset, "lstm", simplified=False)
+        simple = _curves(dataset, "lstm", simplified=True)
+
+        def floor_rate(series):
+            """Fraction of settings whose final F1 collapsed to ~0."""
+            finals = [curve[-1] for curve in series.values()]
+            return float(np.mean([f < 0.05 for f in finals]))
+
+        text = (format_series(
+            normal, x_label="epoch",
+            title=f"Figures 17/18: normal D (LSTM G, {dataset})")
+            + "\n\n"
+            + format_series(
+                simple, x_label="epoch",
+                title=f"Figures 17/18: simplified D (LSTM G, {dataset})")
+            + "\n\n"
+            + f"collapsed settings — normal D: {floor_rate(normal):.2f}, "
+              f"simplified D: {floor_rate(simple):.2f}")
+        return emit(f"fig17_18_{dataset}", text)
+
+    run_once(benchmark, run)

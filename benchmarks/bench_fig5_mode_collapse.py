@@ -1,0 +1,34 @@
+"""Figure 5: strategies against mode collapse — WTrain vs Simplified vs
+VTrain F1 differences per classifier.
+
+Paper shape to verify: Simplified (vanilla training with a simplified
+discriminator) generally matches or beats VTrain, and WGAN training has
+no advantage over vanilla training for relational data.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignConfig
+
+from _harness import context, diff_table, emit, gan_synthetic, run_once
+
+STRATEGIES = (
+    ("WTrain", DesignConfig(training="wtrain", d_steps=2)),
+    ("Simplified", DesignConfig(training="vtrain",
+                                simplified_discriminator=True)),
+    ("VTrain", DesignConfig(training="vtrain")),
+)
+
+
+@pytest.mark.parametrize("dataset", ["adult", "covtype", "sat", "census"])
+def test_fig5(benchmark, dataset):
+    def run():
+        ctx = context(dataset)
+        rows = [(label, ctx.diff_row(gan_synthetic(dataset, config)))
+                for label, config in STRATEGIES]
+        return emit(f"fig5_{dataset}", diff_table(
+            dataset, rows,
+            title=f"Figure 5: mode-collapse strategies ({dataset}) — "
+                  f"F1 difference"))
+
+    run_once(benchmark, run)

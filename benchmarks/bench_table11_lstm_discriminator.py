@@ -1,0 +1,41 @@
+"""Table 11: LSTM-based discriminator vs MLP-based discriminator (Adult).
+
+Paper shape to verify: swapping the MLP discriminator for a
+sequence-to-one LSTM *increases* the F1 difference across
+transformations — which is why the paper fixes D = MLP everywhere else.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignConfig
+
+from _harness import context, diff_table, emit, gan_synthetic, run_once
+
+
+def _grid(discriminator):
+    configs = []
+    for generator in ("mlp", "lstm"):
+        for norm, norm_tag in (("simple", "sn"), ("gmm", "gn")):
+            for enc, enc_tag in (("ordinal", "od"), ("onehot", "ht")):
+                label = f"{generator.upper()} {norm_tag}/{enc_tag}"
+                configs.append((label, DesignConfig(
+                    generator=generator, discriminator=discriminator,
+                    categorical_encoding=enc,
+                    numerical_normalization=norm)))
+    return configs
+
+
+def test_table11(benchmark):
+    def run():
+        ctx = context("adult")
+        texts = []
+        for disc in ("lstm", "mlp"):
+            rows = [(label, ctx.diff_row(gan_synthetic("adult", config)))
+                    for label, config in _grid(disc)]
+            texts.append(diff_table(
+                "adult", rows,
+                title=f"Table 11: D = {disc.upper()} (adult) — "
+                      f"F1 difference"))
+        return emit("table11", "\n\n".join(texts))
+
+    run_once(benchmark, run)

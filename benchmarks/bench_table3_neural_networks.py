@@ -1,0 +1,51 @@
+"""Table 3: generator networks x transformation schemes -> F1 difference.
+
+Reproduces Tables 3(a)-(d): for each dataset, every generator family
+(CNN where applicable, MLP, LSTM) crossed with the data-transformation
+grid (sn/od, sn/ht, gn/od, gn/ht), reporting the per-classifier F1
+difference between real-trained and synthetic-trained models.
+
+Paper shape to verify: LSTM with gn/ht attains the smallest diffs on
+low-dimensional data; CNN is the clear loser; the LSTM advantage shrinks
+on high-dimensional data (Census, SAT).
+"""
+
+import pytest
+
+from _harness import (
+    cnn_config, context, diff_table, emit, gan_synthetic, is_mixed,
+    run_once, transform_configs,
+)
+
+CASES = [
+    ("table3a", "adult", True),     # low-dimensional, mixed, has CNN column
+    ("table3b", "covtype", False),  # low-dimensional, multi-class
+    ("table3c", "census", True),    # high-dimensional, mixed
+    ("table3d", "sat", False),      # high-dimensional, numerical
+]
+
+
+def _table_for(dataset: str, include_cnn: bool) -> str:
+    ctx = context(dataset)
+    mixed = is_mixed(dataset)
+    rows = []
+    if include_cnn:
+        fake = gan_synthetic(dataset, cnn_config())
+        rows.append(("CNN", ctx.diff_row(fake)))
+    for generator in ("mlp", "lstm"):
+        for tag, config in transform_configs(generator, mixed):
+            fake = gan_synthetic(dataset, config)
+            rows.append((f"{generator.upper()} {tag}", ctx.diff_row(fake)))
+    return rows
+
+
+@pytest.mark.parametrize("name,dataset,include_cnn", CASES)
+def test_table3(benchmark, name, dataset, include_cnn):
+    def run():
+        rows = _table_for(dataset, include_cnn)
+        return emit(name, diff_table(
+            dataset, rows,
+            title=f"Table 3 ({name[-1]}): {dataset} — F1 difference "
+                  f"(lower is better)"))
+
+    run_once(benchmark, run)

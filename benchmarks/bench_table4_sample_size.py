@@ -1,0 +1,48 @@
+"""Table 4: effect of the synthetic/original size ratio (DT10).
+
+The fitted generator is sampled at 50%/100%/150%/200% of |T_train| and
+the DT10 F1 difference is reported per ratio.
+
+Paper shape to verify: more synthetic rows help slightly but the gains
+flatten — extra samples from the same generator add no new information.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignConfig
+from repro.core.evaluation import classification_utility
+
+from _harness import context, emit, gan_run, run_once
+from repro.report import format_table
+
+RATIOS = (0.5, 1.0, 1.5, 2.0)
+
+DATASETS = (
+    ("adult", {}),
+    ("covtype", {}),
+    ("sdata_num", {"rho": 0.5}),
+    ("sdata_cat", {"p": 0.5}),
+)
+
+
+def test_table4(benchmark):
+    def run():
+        rows = []
+        for dataset, kwargs in DATASETS:
+            ctx = context(dataset, **kwargs)
+            synth_run = gan_run(dataset, DesignConfig(), **kwargs)
+            row = [dataset]
+            for ratio in RATIOS:
+                fake = synth_run.synthesizer.sample(
+                    max(1, int(len(ctx.train) * ratio)))
+                diff = classification_utility(fake, ctx.train, ctx.test,
+                                              "DT10").diff
+                row.append(diff)
+            rows.append(row)
+        headers = ["dataset"] + [f"{int(r * 100)}%" for r in RATIOS]
+        return emit("table4", format_table(
+            headers, rows,
+            title="Table 4: size ratio |T'|/|T_train| vs F1 difference "
+                  "(DT10)"))
+
+    run_once(benchmark, run)

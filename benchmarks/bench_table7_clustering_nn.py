@@ -1,0 +1,57 @@
+"""Table 7: generator networks -> clustering utility DiffCST.
+
+K-Means (K = #labels) on real vs synthetic tables; the difference of the
+NMI scores measures how well the synthesizer preserves the clustering
+structure.
+
+Paper shape to verify: LSTM gn/ht generally attains the smallest
+DiffCST; CNN the largest.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignConfig
+from repro.core.evaluation import clustering_utility
+
+from _harness import cnn_config, context, emit, gan_synthetic, run_once
+from repro.report import format_table
+
+DATASETS = ("htru2", "adult", "covtype", "digits", "anuran", "census", "sat")
+
+CONFIGS = (
+    ("MLP sn/ht", DesignConfig(generator="mlp",
+                               numerical_normalization="simple")),
+    ("MLP gn/ht", DesignConfig(generator="mlp",
+                               numerical_normalization="gmm")),
+    ("LSTM sn/ht", DesignConfig(generator="lstm",
+                                numerical_normalization="simple")),
+    ("LSTM gn/ht", DesignConfig(generator="lstm",
+                                numerical_normalization="gmm")),
+)
+
+#: Datasets whose Table 7 row includes the CNN column in the paper.
+CNN_DATASETS = {"htru2", "adult", "census"}
+
+
+def test_table7(benchmark):
+    def run():
+        headers = ["dataset", "CNN"] + [label for label, _ in CONFIGS]
+        rows = []
+        for dataset in DATASETS:
+            ctx = context(dataset)
+            row = [dataset]
+            if dataset in CNN_DATASETS:
+                fake = gan_synthetic(dataset, cnn_config())
+                row.append(clustering_utility(fake, ctx.train))
+            else:
+                row.append("-")
+            for _, config in CONFIGS:
+                fake = gan_synthetic(dataset, config)
+                row.append(clustering_utility(fake, ctx.train))
+            rows.append(row)
+        return emit("table7", format_table(
+            headers, rows, precision=4,
+            title="Table 7: clustering utility DiffCST by generator "
+                  "network (lower is better)"))
+
+    run_once(benchmark, run)

@@ -1,0 +1,42 @@
+"""Table 9: synthesis methods -> clustering utility DiffCST.
+
+Paper shape to verify: GAN preserves clustering structure 1-2 orders of
+magnitude better than VAE and PB.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignConfig
+from repro.core.evaluation import clustering_utility
+
+from _harness import (
+    context, emit, gan_synthetic, pb_synthetic, run_once, vae_synthetic,
+)
+from repro.report import format_table
+
+DATASETS = ("htru2", "covtype", "adult", "digits", "anuran", "census", "sat")
+EPSILONS = (0.2, 0.4, 0.8, 1.6)
+
+
+def test_table9(benchmark):
+    def run():
+        headers = (["dataset", "VAE"]
+                   + [f"PB-{e}" for e in EPSILONS] + ["GAN"])
+        rows = []
+        for dataset in DATASETS:
+            ctx = context(dataset)
+            row = [dataset,
+                   clustering_utility(vae_synthetic(dataset), ctx.train)]
+            for eps in EPSILONS:
+                row.append(clustering_utility(pb_synthetic(dataset, eps),
+                                              ctx.train))
+            row.append(clustering_utility(
+                gan_synthetic(dataset, DesignConfig(training="ctrain")),
+                ctx.train))
+            rows.append(row)
+        return emit("table9", format_table(
+            headers, rows, precision=4,
+            title="Table 9: clustering utility DiffCST by method "
+                  "(lower is better)"))
+
+    run_once(benchmark, run)

@@ -1,0 +1,68 @@
+"""Scenario: client-side approximate query processing on synthetic data.
+
+The paper's AQP use case (§2.1): a dashboard wants to answer aggregate
+queries without round-tripping to the server, by querying a small
+synthetic table instead.  On the Bing production-workload stand-in
+(unlabeled, 30 attributes) we compare the answers of:
+
+* a GAN-synthesized table,
+* a VAE-synthesized table,
+* a classical 1% uniform sample (scaled for count/sum),
+
+against the ground truth, over a generated workload of count/avg/sum
+queries with selections and group-bys.
+
+Usage::
+
+    python examples/aqp_acceleration.py
+"""
+
+import numpy as np
+
+from repro import datasets
+from repro.aqp import generate_workload, workload_errors
+from repro.core import DesignConfig
+from repro.core.pipeline import run_gan_synthesis
+from repro.vae import VAESynthesizer
+
+
+def main():
+    table = datasets.load("bing", n_records=3000, seed=0)
+    train, valid, _ = datasets.split(table, seed=0)
+    queries = generate_workload(train, n_queries=150, seed=0)
+    print(f"bing stand-in: {len(train)} rows, workload of "
+          f"{len(queries)} aggregate queries")
+    print(f"example query: {queries[0].describe()}\n")
+
+    # Bing is unlabeled, so the pipeline selects the generator snapshot
+    # by marginal fidelity on the validation split.
+    gan_run = run_gan_synthesis(DesignConfig(), train, valid, epochs=8,
+                                iterations_per_epoch=30, seed=0)
+    gan_table = gan_run.synthetic
+
+    vae = VAESynthesizer(epochs=8, iterations_per_epoch=40, seed=0)
+    vae_table = vae.fit(train).sample(len(train))
+
+    rng = np.random.default_rng(0)
+    n_sample = max(1, len(train) // 100)
+    sample = train.sample_rows(n_sample, rng)
+    scale = len(train) / n_sample
+
+    answers = {
+        "GAN synthetic": workload_errors(queries, gan_table, train),
+        "VAE synthetic": workload_errors(queries, vae_table, train),
+        "1% sample": workload_errors(queries, sample, train, scale=scale),
+    }
+    print("mean relative error per answering strategy:")
+    for name, errors in answers.items():
+        errors = np.asarray(errors)
+        print(f"  {name:14s} mean={errors.mean():.3f}  "
+              f"median={np.median(errors):.3f}  p90={np.quantile(errors, 0.9):.3f}")
+
+    print("\nExpected shape (paper Table 10): both deep synthesizers beat "
+          "the classical sample; on the Bing workload the VAE is "
+          "competitive with the GAN (paper: 0.632 vs 0.422).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Scenario: developing a cohort-clustering algorithm on synthetic data.
+
+The paper's clustering use case (§2.1): a hospital shares a synthetic
+table with an external team to *develop* a patient-grouping algorithm;
+the algorithm is then deployed on the real data.  The synthetic table is
+useful if K-Means finds the same structure on both tables.
+
+On the Anuran stand-in (10 species, heavy skew) we compare how well each
+synthesizer preserves the clustering structure (DiffCST = |NMI_real -
+NMI_synthetic|) and the pairwise-correlation structure.
+
+Usage::
+
+    python examples/clustering_cohorts.py
+"""
+
+from repro import datasets
+from repro.core import (
+    DesignConfig, clustering_utility, correlation_difference,
+    run_gan_synthesis,
+)
+from repro.privbayes import PrivBayesSynthesizer
+from repro.vae import VAESynthesizer
+
+
+def main():
+    table = datasets.load("anuran", n_records=1800, seed=0)
+    train, valid, _ = datasets.split(table, seed=0)
+    n_groups = table.schema.label.domain_size
+    print(f"anuran stand-in: {len(train)} records, {n_groups} species\n")
+
+    synthetics = {}
+
+    gan = run_gan_synthesis(DesignConfig(generator="mlp"), train, valid,
+                            epochs=6, iterations_per_epoch=25, seed=0)
+    synthetics["GAN"] = gan.synthetic
+
+    vae = VAESynthesizer(epochs=8, iterations_per_epoch=40, seed=0)
+    synthetics["VAE"] = vae.fit(train).sample(len(train))
+
+    pb = PrivBayesSynthesizer(epsilon=1.6, seed=0).fit(train)
+    synthetics["PB-1.6"] = pb.sample(len(train))
+
+    print("clustering structure preservation "
+          "(DiffCST lower = better; corr-diff lower = better):")
+    for name, fake in synthetics.items():
+        diff_cst = clustering_utility(fake, train, seed=0)
+        corr = correlation_difference(train, fake)
+        print(f"  {name:8s} DiffCST={diff_cst:.4f}  corr-diff={corr:.3f}")
+
+    print("\nExpected shape (paper Table 9 / Finding 8): with enough "
+          "training budget the GAN preserves the grouping structure "
+          "best; at this demo scale the VAE (cheaper to train) often "
+          "leads — raise epochs/iterations to see the paper's ordering.")
+
+
+if __name__ == "__main__":
+    main()

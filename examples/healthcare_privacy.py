@@ -1,0 +1,65 @@
+"""Scenario: sharing skewed patient-like records for ML development.
+
+The paper's motivating example: a hospital wants to hand a dataset to an
+external team to develop a classifier, without exposing real records.
+We use the Census stand-in (2 classes, 95:5 skew — the hardest label
+imbalance in the paper) and compare:
+
+* conditional GAN with label-aware sampling (CTrain) — the paper's
+  recommendation for skewed data (Finding 4),
+* an unconditional GAN,
+* PrivBayes at two privacy budgets.
+
+For each synthesizer we report minority-class F1 difference and the two
+re-identification metrics.
+
+Usage::
+
+    python examples/healthcare_privacy.py
+"""
+
+from repro import datasets
+from repro.core import (
+    DesignConfig, classification_utility, privacy_report, run_gan_synthesis,
+)
+from repro.privbayes import PrivBayesSynthesizer
+
+
+def evaluate(name, fake, train, test):
+    utility = classification_utility(fake, train, test, "DT10")
+    privacy = privacy_report(fake, train, hit_samples=400, dcr_samples=300)
+    print(f"  {name:18s} F1-diff={utility.diff:.3f}  "
+          f"hit-rate={100 * privacy.hitting_rate:.2f}%  "
+          f"DCR={privacy.dcr:.3f}")
+
+
+def main():
+    table = datasets.load("census", n_records=2000, seed=1)
+    train, valid, test = datasets.split(table, seed=1)
+    minority = train.label_codes.mean()
+    print(f"census stand-in: {len(train)} training records, "
+          f"minority rate {minority:.1%}\n")
+
+    print("synthesizers (lower F1-diff = better utility; "
+          "lower hit-rate / higher DCR = better privacy):")
+
+    cgan = run_gan_synthesis(DesignConfig(training="ctrain"), train, valid,
+                             epochs=8, iterations_per_epoch=40, seed=0)
+    evaluate("CGAN-C (CTrain)", cgan.synthetic, train, test)
+
+    vanilla = run_gan_synthesis(DesignConfig(), train, valid, epochs=8,
+                                iterations_per_epoch=40, seed=0)
+    evaluate("GAN (VTrain)", vanilla.synthetic, train, test)
+
+    for eps in (0.4, 1.6):
+        pb = PrivBayesSynthesizer(epsilon=eps, seed=0).fit(train)
+        evaluate(f"PrivBayes eps={eps}", pb.sample(len(train)), train, test)
+
+    print("\nExpected shape (paper Findings 4-6): the conditional GAN "
+          "(CGAN-C) beats the unconditional GAN on this skew data, and "
+          "every GAN keeps the hitting rate near zero. Longer training "
+          "budgets widen the GAN's utility lead over PrivBayes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: synthesize a relational table with a GAN and evaluate it.
+
+Runs the paper's full loop on the Adult stand-in dataset:
+
+1. load a table and split it 4:1:1 (train/valid/test);
+2. train a GAN synthesizer (MLP generator, one-hot + GMM transformation,
+   vanilla training) with per-epoch snapshots;
+3. pick the best snapshot on the validation set and generate a fake table;
+4. report classification utility (F1 difference) and privacy metrics.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import datasets
+from repro.core import (
+    DesignConfig, classification_utility, privacy_report, run_gan_synthesis,
+)
+
+
+def main():
+    table = datasets.load("adult", n_records=2000, seed=0)
+    train, valid, test = datasets.split(table, seed=0)
+    print(f"dataset: {table} -> train={len(train)} valid={len(valid)} "
+          f"test={len(test)}")
+
+    config = DesignConfig(generator="mlp", categorical_encoding="onehot",
+                          numerical_normalization="gmm")
+    print(f"design point: {config.describe()}")
+
+    run = run_gan_synthesis(config, train, valid, epochs=6,
+                            iterations_per_epoch=30, seed=0)
+    print(f"validation F1 per epoch: "
+          f"{[round(v, 3) for v in run.epoch_f1]} "
+          f"(selected epoch {run.best_epoch})")
+
+    fake = run.synthetic
+    print("\nfirst three synthetic records:")
+    for record in fake.to_records()[:3]:
+        print("  ", record)
+
+    print("\nutility (classifier trained on synthetic vs real):")
+    for clf in ("DT10", "RF10", "LR"):
+        result = classification_utility(fake, train, test, clf)
+        print(f"  {clf}: F1(real)={result.f1_real:.3f} "
+              f"F1(synthetic)={result.f1_synthetic:.3f} "
+              f"diff={result.diff:.3f}")
+
+    report = privacy_report(fake, train, hit_samples=500, dcr_samples=300)
+    print(f"\nprivacy: hitting rate={100 * report.hitting_rate:.2f}%  "
+          f"DCR={report.dcr:.3f}")
+    print("(a hitting rate near 0 and a DCR well above 0 mean no "
+          "one-to-one record leakage)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (which build a wheel) fail; this classic ``setup.py`` lets
+``pip install -e .`` take the legacy ``develop`` path.  Package metadata
+mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Relational Data Synthesis using GANs: "
+        "A Design Space Exploration' (Fan et al., VLDB 2020)"),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.22", "scipy>=1.8", "networkx>=2.8"],
+)

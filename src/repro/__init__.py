@@ -1,0 +1,57 @@
+"""repro — reproduction of Fan et al., "Relational Data Synthesis using
+Generative Adversarial Networks: A Design Space Exploration" (VLDB 2020).
+
+The package implements the paper's unified GAN-based synthesis framework
+(data transformation -> GAN training -> synthetic generation), its full
+design space (Figure 3), the baselines (VAE, PrivBayes), the evaluation
+framework (classification / clustering / AQP utility + privacy metrics),
+and all the substrates those require (an autograd NN engine, classical ML
+models, an AQP engine, dataset generators).
+
+Quickstart::
+
+    from repro import GANSynthesizer, DesignConfig, datasets
+
+    table = datasets.load("adult", n_records=4000, seed=0)
+    config = DesignConfig(generator="mlp", categorical_encoding="onehot",
+                          numerical_normalization="gmm")
+    synth = GANSynthesizer(config, epochs=5, seed=0)
+    synth.fit(table)
+    fake = synth.sample(len(table))
+"""
+
+from .errors import (
+    ReproError, SchemaError, TransformError, TrainingError, ConfigError,
+    QueryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignConfig", "GANSynthesizer", "VAESynthesizer",
+    "PrivBayesSynthesizer", "datasets",
+    "ReproError", "SchemaError", "TransformError", "TrainingError",
+    "ConfigError", "QueryError",
+]
+
+_LAZY = {
+    "DesignConfig": ("repro.core.design_space", "DesignConfig"),
+    "GANSynthesizer": ("repro.gan.synthesizer", "GANSynthesizer"),
+    "VAESynthesizer": ("repro.vae.synthesizer", "VAESynthesizer"),
+    "PrivBayesSynthesizer": ("repro.privbayes.synthesizer",
+                             "PrivBayesSynthesizer"),
+    "datasets": ("repro.datasets", None),
+}
+
+
+def __getattr__(name):
+    """Lazily import the public API (PEP 562)."""
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        module = importlib.import_module(module_name)
+        value = module if attr is None else getattr(module, attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,15 @@
+"""Approximate-query-processing substrate: queries, engine, workloads."""
+
+from .query import (
+    Query, CategoricalPredicate, RangePredicate, COUNT, SUM, AVG, AGGREGATES,
+)
+from .engine import execute
+from .workload import generate_workload
+from .error import diff_aqp, relative_error, workload_errors
+
+__all__ = [
+    "Query", "CategoricalPredicate", "RangePredicate",
+    "COUNT", "SUM", "AVG", "AGGREGATES",
+    "execute", "generate_workload", "diff_aqp", "relative_error",
+    "workload_errors",
+]

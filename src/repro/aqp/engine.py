@@ -1,0 +1,63 @@
+"""Vectorized execution of aggregate queries over a column-store Table."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..datasets.schema import Table
+from ..errors import QueryError
+from .query import (
+    AVG, COUNT, SUM, CategoricalPredicate, Query, RangePredicate,
+)
+
+QueryResult = Union[float, Dict[int, float]]
+
+
+def _selection_mask(table: Table, query: Query) -> np.ndarray:
+    mask = np.ones(len(table), dtype=bool)
+    for pred in query.predicates:
+        col = table.column(pred.column)
+        if isinstance(pred, CategoricalPredicate):
+            mask &= col == pred.code
+        elif isinstance(pred, RangePredicate):
+            mask &= (col >= pred.low) & (col <= pred.high)
+        else:
+            raise QueryError(f"unknown predicate type {type(pred).__name__}")
+    return mask
+
+
+def _aggregate(values: Optional[np.ndarray], aggregate: str,
+               count: int) -> float:
+    if aggregate == COUNT:
+        return float(count)
+    if count == 0:
+        return 0.0
+    if aggregate == SUM:
+        return float(values.sum())
+    if aggregate == AVG:
+        return float(values.mean())
+    raise QueryError(f"unknown aggregate {aggregate!r}")
+
+
+def execute(query: Query, table: Table) -> QueryResult:
+    """Run ``query`` on ``table``.
+
+    Returns a float, or a ``{group_code: value}`` dict for group-by
+    queries (groups with no matching rows are omitted).
+    """
+    mask = _selection_mask(table, query)
+    target = (table.column(query.target)[mask]
+              if query.target is not None else None)
+    if query.group_by is None:
+        return _aggregate(target, query.aggregate, int(mask.sum()))
+
+    groups = table.column(query.group_by)[mask]
+    result: Dict[int, float] = {}
+    for code in np.unique(groups):
+        group_mask = groups == code
+        group_target = target[group_mask] if target is not None else None
+        result[int(code)] = _aggregate(group_target, query.aggregate,
+                                       int(group_mask.sum()))
+    return result

@@ -1,0 +1,76 @@
+"""Aggregate query model for the AQP utility evaluation (paper §2.1).
+
+A :class:`Query` is ``AGG(target) WHERE predicates [GROUP BY column]``
+with ``AGG`` in {count, sum, avg}, conjunctive predicates (categorical
+equality, numerical range), and an optional categorical group-by —
+the query family of Li et al. [36] used by the paper's workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from ..errors import QueryError
+
+COUNT = "count"
+SUM = "sum"
+AVG = "avg"
+AGGREGATES = (COUNT, SUM, AVG)
+
+
+@dataclass(frozen=True)
+class CategoricalPredicate:
+    """``column == code``."""
+
+    column: str
+    code: int
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``low <= column <= high``."""
+
+    column: str
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise QueryError(
+                f"empty range [{self.low}, {self.high}] on {self.column!r}")
+
+
+Predicate = Union[CategoricalPredicate, RangePredicate]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One aggregate query."""
+
+    aggregate: str
+    target: Optional[str] = None          # None only for count
+    predicates: Tuple[Predicate, ...] = ()
+    group_by: Optional[str] = None        # categorical column
+
+    def __post_init__(self):
+        if self.aggregate not in AGGREGATES:
+            raise QueryError(f"unknown aggregate {self.aggregate!r}")
+        if self.aggregate == COUNT and self.target is not None:
+            raise QueryError("count queries take no target column")
+        if self.aggregate != COUNT and self.target is None:
+            raise QueryError(f"{self.aggregate} queries need a target")
+
+    def describe(self) -> str:
+        parts = [f"{self.aggregate}({self.target or '*'})"]
+        if self.predicates:
+            preds = []
+            for p in self.predicates:
+                if isinstance(p, CategoricalPredicate):
+                    preds.append(f"{p.column}={p.code}")
+                else:
+                    preds.append(f"{p.low:.3g}<={p.column}<={p.high:.3g}")
+            parts.append("where " + " and ".join(preds))
+        if self.group_by:
+            parts.append(f"group by {self.group_by}")
+        return " ".join(parts)

@@ -1,0 +1,76 @@
+"""Random aggregate-query workload generation (following Li et al. [36]).
+
+The paper's AQP evaluation runs 1,000 generated queries with count / avg
+/ sum aggregates, selection conditions, and groupings (§6.2).  This
+generator draws: a random aggregate; a random numerical target (for
+sum/avg); 1-3 conjunctive predicates (categorical equality with an
+observed code, numerical ranges between two random quantiles); and a
+categorical group-by with configurable probability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..datasets.schema import Table
+from ..errors import QueryError
+from .query import (
+    AGGREGATES, AVG, COUNT, SUM, CategoricalPredicate, Query, RangePredicate,
+)
+
+
+def generate_workload(table: Table, n_queries: int = 1000,
+                      max_predicates: int = 3, group_by_prob: float = 0.3,
+                      rng: Optional[np.random.Generator] = None,
+                      seed: int = 0) -> List[Query]:
+    """Generate a random workload against ``table``'s schema and data."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    numerical = table.schema.numerical_names()
+    categorical = table.schema.categorical_names()
+    if not numerical and not categorical:
+        raise QueryError("table has no queryable attributes")
+
+    queries: List[Query] = []
+    while len(queries) < n_queries:
+        if numerical:
+            aggregate = AGGREGATES[rng.integers(0, len(AGGREGATES))]
+        else:
+            aggregate = COUNT
+        target = None
+        if aggregate != COUNT:
+            target = numerical[rng.integers(0, len(numerical))]
+
+        all_columns = numerical + categorical
+        n_preds = min(int(rng.integers(1, max_predicates + 1)),
+                      len(all_columns))
+        # Distinct predicate columns: repeating an equality column would
+        # make the conjunction contradictory.
+        pred_columns = rng.choice(len(all_columns), size=n_preds,
+                                  replace=False)
+        predicates = []
+        for col_idx in pred_columns:
+            column = all_columns[col_idx]
+            if column in categorical:
+                codes = table.column(column)
+                code = int(codes[rng.integers(0, len(codes))])
+                predicates.append(CategoricalPredicate(column, code))
+            else:
+                values = table.column(column)
+                q1, q2 = np.sort(rng.uniform(0.0, 1.0, size=2))
+                # Widen tiny ranges so queries are rarely empty.
+                if q2 - q1 < 0.1:
+                    q2 = min(1.0, q1 + 0.1)
+                low, high = np.quantile(values, [q1, q2])
+                predicates.append(RangePredicate(column, float(low),
+                                                 float(high)))
+
+        group_by = None
+        if categorical and rng.random() < group_by_prob:
+            group_by = categorical[rng.integers(0, len(categorical))]
+
+        queries.append(Query(aggregate=aggregate, target=target,
+                             predicates=tuple(predicates),
+                             group_by=group_by))
+    return queries

@@ -1,0 +1,175 @@
+"""The design space of GAN-based relational data synthesis (paper Fig. 3).
+
+A :class:`DesignConfig` pins one point in the space:
+
+* data transformation — categorical encoding (ordinal / one-hot),
+  numerical normalization (simple / GMM), sample form (vector / matrix);
+* neural networks — generator and discriminator families (MLP / LSTM /
+  CNN), optionally a *simplified* discriminator (§5.2);
+* training algorithm — VTrain / WTrain / CTrain / DPTrain (Table 1);
+* conditional GAN — label condition on/off, random vs label-aware
+  sampling (§5.3).
+
+:meth:`DesignConfig.validate` rejects combinations the paper identifies
+as incompatible (e.g. matrix-form CNN input cannot carry one-hot or GMM
+blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Tuple
+
+from ..errors import ConfigError
+
+GENERATORS = ("mlp", "lstm", "cnn")
+DISCRIMINATORS = ("mlp", "lstm", "cnn")
+CATEGORICAL_ENCODINGS = ("ordinal", "onehot")
+NUMERICAL_NORMALIZATIONS = ("simple", "gmm")
+TRAININGS = ("vtrain", "wtrain", "ctrain", "dptrain")
+SAMPLINGS = ("random", "label-aware")
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """One point in the paper's design space.
+
+    The default configuration is the paper's recommended setting:
+    LSTM-quality data transformation (one-hot + GMM) with the robust MLP
+    generator and vanilla training.
+    """
+
+    generator: str = "mlp"
+    discriminator: Optional[str] = None  # None -> mlp (cnn for cnn G)
+    categorical_encoding: str = "onehot"
+    numerical_normalization: str = "gmm"
+    training: str = "vtrain"
+    conditional: bool = False
+    sampling: Optional[str] = None       # None -> derived from training
+    simplified_discriminator: bool = False
+
+    # Model hyper-parameters (subject to hyper-parameter search, §6.4).
+    z_dim: int = 32
+    hidden_dim: int = 128
+    n_layers: int = 2
+    lstm_hidden: int = 64
+    lstm_output_dim: int = 32
+    gmm_components: int = 5
+    # Training hyper-parameters.
+    batch_size: int = 64
+    lr_g: float = 1e-3
+    lr_d: float = 1e-3
+    d_steps: int = 1          # WGAN-style inner discriminator iterations
+    weight_clip: float = 0.01  # WGAN clipping parameter c_p
+    kl_weight: float = 1.0     # VTrain warm-up weight
+    # DPGAN knobs.
+    dp_noise_multiplier: float = 1.0
+    dp_grad_bound: float = 1.0
+
+    # ------------------------------------------------------------------
+    def __post_init__(self):
+        self.validate()
+
+    @property
+    def effective_discriminator(self) -> str:
+        if self.discriminator is not None:
+            return self.discriminator
+        return "cnn" if self.generator == "cnn" else "mlp"
+
+    @property
+    def effective_sampling(self) -> str:
+        if self.sampling is not None:
+            return self.sampling
+        return "label-aware" if self.training == "ctrain" else "random"
+
+    @property
+    def matrix_form(self) -> bool:
+        """CNN pipelines use matrix-form samples; all others vector form."""
+        return self.generator == "cnn"
+
+    def validate(self) -> None:
+        if self.generator not in GENERATORS:
+            raise ConfigError(f"unknown generator {self.generator!r}")
+        if (self.discriminator is not None
+                and self.discriminator not in DISCRIMINATORS):
+            raise ConfigError(f"unknown discriminator {self.discriminator!r}")
+        if self.categorical_encoding not in CATEGORICAL_ENCODINGS:
+            raise ConfigError(
+                f"unknown categorical encoding {self.categorical_encoding!r}")
+        if self.numerical_normalization not in NUMERICAL_NORMALIZATIONS:
+            raise ConfigError(
+                f"unknown normalization {self.numerical_normalization!r}")
+        if self.training not in TRAININGS:
+            raise ConfigError(f"unknown training algorithm {self.training!r}")
+        if self.sampling is not None and self.sampling not in SAMPLINGS:
+            raise ConfigError(f"unknown sampling {self.sampling!r}")
+        if self.generator == "cnn":
+            # Matrix form requires one value per attribute (paper §4):
+            # one-hot and GMM blocks would be split across matrix cells.
+            if self.categorical_encoding == "onehot":
+                raise ConfigError(
+                    "matrix-form (CNN) samples cannot use one-hot encoding")
+            if self.numerical_normalization == "gmm":
+                raise ConfigError(
+                    "matrix-form (CNN) samples cannot use GMM normalization")
+            if self.effective_discriminator != "cnn":
+                raise ConfigError("CNN generator requires CNN discriminator")
+            if self.conditional or self.training == "ctrain":
+                raise ConfigError(
+                    "the CNN pipeline does not support conditional GAN")
+        if self.effective_discriminator == "cnn" and self.generator != "cnn":
+            raise ConfigError("CNN discriminator requires CNN generator")
+        if self.training == "ctrain" and self.sampling == "random":
+            # CTrain *is* label-aware sampling; this combination is CGAN-V
+            # and must be requested as training="vtrain", conditional=True.
+            raise ConfigError(
+                "ctrain implies label-aware sampling; use vtrain + "
+                "conditional=True for CGAN with random sampling")
+        if self.z_dim <= 0 or self.hidden_dim <= 0 or self.batch_size <= 0:
+            raise ConfigError("dimensions and batch size must be positive")
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.conditional or self.training == "ctrain"
+
+    def with_(self, **kwargs) -> "DesignConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Short key like ``lstm/gn+ht/vtrain`` used in reports.
+
+        Includes every axis that changes model behaviour, so it can key
+        result caches.
+        """
+        enc = {"ordinal": "od", "onehot": "ht"}[self.categorical_encoding]
+        norm = {"simple": "sn", "gmm": "gn"}[self.numerical_normalization]
+        cond = "+cond" if self.is_conditional else ""
+        simp = "+simpD" if self.simplified_discriminator else ""
+        disc = (f"+D:{self.effective_discriminator}"
+                if self.effective_discriminator != self.generator
+                and self.effective_discriminator != "mlp" else "")
+        return (f"{self.generator}/{norm}+{enc}/{self.training}"
+                f"{cond}{simp}{disc}")
+
+
+def transformation_grid() -> Tuple[Tuple[str, str], ...]:
+    """The four vector-form transformation combinations of Table 3."""
+    return (("simple", "ordinal"), ("simple", "onehot"),
+            ("gmm", "ordinal"), ("gmm", "onehot"))
+
+
+def iter_design_space(include_cnn: bool = True) -> Iterator[DesignConfig]:
+    """Enumerate the paper's primary design axes (Figure 3).
+
+    Yields every valid (generator, transformation) combination with
+    vanilla training, which is the grid explored in Table 3.
+    """
+    for generator in ("mlp", "lstm"):
+        for norm, enc in transformation_grid():
+            yield DesignConfig(generator=generator,
+                               categorical_encoding=enc,
+                               numerical_normalization=norm)
+    if include_cnn:
+        yield DesignConfig(generator="cnn", categorical_encoding="ordinal",
+                           numerical_normalization="simple")

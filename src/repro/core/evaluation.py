@@ -1,0 +1,124 @@
+"""Evaluation framework (paper §6.2).
+
+Utility protocols:
+
+* classification — train classifier ``f`` on the real training table and
+  ``f'`` on the synthetic table, evaluate both on the same test set, and
+  report ``Diff = |F1(f) - F1(f')|`` (positive-label F1 for binary,
+  rare-label F1 for multi-class);
+* clustering — K-Means on real and synthetic tables (label excluded from
+  features, used as gold standard), ``DiffCST = |NMI - NMI'|``;
+* AQP — ``DiffAQP`` via :mod:`repro.aqp`;
+* privacy — hitting rate and DCR via :mod:`repro.privacy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..aqp import diff_aqp, generate_workload
+from ..datasets.schema import Table
+from ..ml import (
+    CLASSIFIERS, FeatureEncoder, KMeans, make_classifier,
+    normalized_mutual_info, paper_f1,
+)
+from ..privacy import distance_to_closest_record, hitting_rate
+
+
+@dataclass(frozen=True)
+class ClassificationUtility:
+    """F1 of real-trained vs synthetic-trained classifier on the test set."""
+
+    classifier: str
+    f1_real: float
+    f1_synthetic: float
+
+    @property
+    def diff(self) -> float:
+        return abs(self.f1_real - self.f1_synthetic)
+
+
+def classifier_f1(train: Table, test: Table, classifier: str = "DT10",
+                  seed: int = 0) -> float:
+    """Train on ``train``, report the paper's F1 on ``test``.
+
+    A degenerate training table (single class) scores 0 — the classifier
+    can never predict the metric's target label.
+    """
+    n_labels = test.schema.label.domain_size
+    encoder = FeatureEncoder().fit(train)
+    X_train, y_train = encoder.transform(train)
+    X_test, y_test = encoder.transform(test)
+    if len(np.unique(y_train)) < 2:
+        return 0.0
+    model = make_classifier(classifier, rng=np.random.default_rng(seed))
+    model.fit(X_train, y_train)
+    return paper_f1(y_test, model.predict(X_test), n_labels)
+
+
+def classification_utility(synthetic: Table, real_train: Table, test: Table,
+                           classifier: str = "DT10",
+                           seed: int = 0) -> ClassificationUtility:
+    """The paper's Diff(T, T') for one classifier."""
+    return ClassificationUtility(
+        classifier=classifier,
+        f1_real=classifier_f1(real_train, test, classifier, seed),
+        f1_synthetic=classifier_f1(synthetic, test, classifier, seed))
+
+
+def classification_utilities(synthetic: Table, real_train: Table,
+                             test: Table,
+                             classifiers: Sequence[str] = CLASSIFIERS,
+                             seed: int = 0
+                             ) -> Dict[str, ClassificationUtility]:
+    """Diff(T, T') for every evaluator classifier (one table column)."""
+    return {name: classification_utility(synthetic, real_train, test,
+                                         name, seed)
+            for name in classifiers}
+
+
+def _clustering_nmi(table: Table, n_clusters: int, seed: int) -> float:
+    encoder = FeatureEncoder().fit(table)
+    X, y = encoder.transform(table)
+    km = KMeans(n_clusters=n_clusters,
+                rng=np.random.default_rng(seed)).fit(X)
+    return normalized_mutual_info(y, km.labels_)
+
+
+def clustering_utility(synthetic: Table, real_train: Table,
+                       seed: int = 0) -> float:
+    """DiffCST: |NMI on real - NMI on synthetic| with K = #labels."""
+    n_clusters = real_train.schema.label.domain_size
+    nmi_real = _clustering_nmi(real_train, n_clusters, seed)
+    nmi_synth = _clustering_nmi(synthetic, n_clusters, seed)
+    return abs(nmi_real - nmi_synth)
+
+
+def aqp_utility(synthetic: Table, real_train: Table, n_queries: int = 200,
+                sample_fraction: float = 0.01, n_sample_draws: int = 5,
+                seed: int = 0) -> float:
+    """DiffAQP over a generated workload (paper default: 1000 queries)."""
+    queries = generate_workload(real_train, n_queries=n_queries, seed=seed)
+    return diff_aqp(queries, synthetic, real_train,
+                    sample_fraction=sample_fraction,
+                    n_sample_draws=n_sample_draws, seed=seed)
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    hitting_rate: float
+    dcr: float
+
+
+def privacy_report(synthetic: Table, real_train: Table,
+                   hit_samples: int = 2000, dcr_samples: int = 1000,
+                   seed: int = 0) -> PrivacyReport:
+    """Hitting rate + DCR with the paper's similarity thresholds."""
+    return PrivacyReport(
+        hitting_rate=hitting_rate(real_train, synthetic,
+                                  n_samples=hit_samples, seed=seed),
+        dcr=distance_to_closest_record(real_train, synthetic,
+                                       n_samples=dcr_samples, seed=seed))

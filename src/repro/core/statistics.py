@@ -1,0 +1,122 @@
+"""Statistical fidelity diagnostics for synthetic tables.
+
+Beyond the paper's task-based utility metrics, these measure how well a
+synthetic table preserves the *statistical* structure of the original —
+the angle the paper's future-work §8(2) (attribute correlations)
+highlights:
+
+* per-attribute marginal distance (total variation for categorical,
+  binned TV for numerical);
+* pairwise-correlation difference on numerical attributes;
+* categorical association difference (Cramér's V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.schema import Table
+from ..errors import SchemaError
+
+
+def _check_schemas(real: Table, synthetic: Table) -> None:
+    if real.schema.names != synthetic.schema.names:
+        raise SchemaError("tables must share a schema")
+
+
+def marginal_distances(real: Table, synthetic: Table,
+                       n_bins: int = 20) -> Dict[str, float]:
+    """Total-variation distance per attribute (numerics binned on the
+    real table's range)."""
+    _check_schemas(real, synthetic)
+    out: Dict[str, float] = {}
+    for attr in real.schema:
+        real_col = real.column(attr.name)
+        synth_col = synthetic.column(attr.name)
+        if attr.is_categorical:
+            k = attr.domain_size
+            p = np.bincount(real_col, minlength=k) / max(len(real_col), 1)
+            q = np.bincount(synth_col, minlength=k) / max(len(synth_col), 1)
+        else:
+            low, high = float(real_col.min()), float(real_col.max())
+            if high <= low:
+                high = low + 1.0
+            edges = np.linspace(low, high, n_bins + 1)
+            p, _ = np.histogram(real_col, bins=edges)
+            q, _ = np.histogram(np.clip(synth_col, low, high), bins=edges)
+            p = p / max(p.sum(), 1)
+            q = q / max(q.sum(), 1)
+        out[attr.name] = 0.5 * float(np.abs(p - q).sum())
+    return out
+
+
+def correlation_difference(real: Table, synthetic: Table) -> float:
+    """Mean |corr_real - corr_synth| over numerical attribute pairs.
+
+    Returns 0.0 when the schema has fewer than two numerical attributes.
+    """
+    _check_schemas(real, synthetic)
+    names = real.schema.numerical_names()
+    if len(names) < 2:
+        return 0.0
+
+    def corr(table: Table) -> np.ndarray:
+        mat = np.vstack([table.column(n) for n in names])
+        with np.errstate(invalid="ignore"):
+            c = np.corrcoef(mat)
+        return np.nan_to_num(c)
+
+    diff = np.abs(corr(real) - corr(synthetic))
+    upper = diff[np.triu_indices(len(names), k=1)]
+    return float(upper.mean())
+
+
+def cramers_v(x: np.ndarray, y: np.ndarray, x_domain: int,
+              y_domain: int) -> float:
+    """Cramér's V association between two categorical columns."""
+    n = len(x)
+    if n == 0 or x_domain < 2 or y_domain < 2:
+        return 0.0
+    contingency = np.zeros((x_domain, y_domain))
+    np.add.at(contingency, (x, y), 1.0)
+    row = contingency.sum(axis=1, keepdims=True)
+    col = contingency.sum(axis=0, keepdims=True)
+    expected = row @ col / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.nansum(np.where(expected > 0,
+                                  (contingency - expected) ** 2 / expected,
+                                  0.0))
+    denom = n * (min(x_domain, y_domain) - 1)
+    return float(np.sqrt(chi2 / denom)) if denom > 0 else 0.0
+
+
+def association_difference(real: Table, synthetic: Table) -> float:
+    """Mean |V_real - V_synth| over categorical attribute pairs."""
+    _check_schemas(real, synthetic)
+    names = real.schema.categorical_names()
+    if len(names) < 2:
+        return 0.0
+    diffs = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            a, b = names[i], names[j]
+            da = real.schema[a].domain_size
+            db = real.schema[b].domain_size
+            v_real = cramers_v(real.column(a), real.column(b), da, db)
+            v_synth = cramers_v(synthetic.column(a), synthetic.column(b),
+                                da, db)
+            diffs.append(abs(v_real - v_synth))
+    return float(np.mean(diffs))
+
+
+def fidelity_summary(real: Table, synthetic: Table) -> Dict[str, float]:
+    """One-call statistical fidelity report."""
+    marginals = marginal_distances(real, synthetic)
+    return {
+        "mean_marginal_tv": float(np.mean(list(marginals.values()))),
+        "max_marginal_tv": float(np.max(list(marginals.values()))),
+        "correlation_diff": correlation_difference(real, synthetic),
+        "association_diff": association_difference(real, synthetic),
+    }

@@ -1,0 +1,58 @@
+"""Dataset substrate: simulated data (§6.1) + real-dataset stand-ins.
+
+Entry points::
+
+    datasets.load("adult", n_records=4000, seed=0)   # Table 2 stand-ins
+    datasets.sdata_num(rho=0.9, skew=True)            # simulated numerical
+    datasets.sdata_cat(p=0.5)                         # simulated categorical
+    datasets.split(table, seed=0)                     # 4:1:1 split
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .schema import (
+    Attribute, Schema, Table, CATEGORICAL, NUMERICAL, split_train_valid_test,
+)
+from .simulated import sdata_cat, sdata_num
+from .real import SPECS, LOW_DIMENSIONAL, HIGH_DIMENSIONAL, generate
+
+__all__ = [
+    "Attribute", "Schema", "Table", "CATEGORICAL", "NUMERICAL",
+    "split_train_valid_test", "sdata_cat", "sdata_num",
+    "SPECS", "LOW_DIMENSIONAL", "HIGH_DIMENSIONAL",
+    "load", "split", "available",
+]
+
+
+def available() -> Tuple[str, ...]:
+    """Names accepted by :func:`load`."""
+    return tuple(SPECS) + ("sdata_num", "sdata_cat")
+
+
+def load(name: str, n_records: Optional[int] = None, seed: int = 0,
+         **kwargs) -> Table:
+    """Load a dataset by name.
+
+    ``sdata_num`` / ``sdata_cat`` accept their simulation parameters
+    (``rho`` / ``p``, ``skew``) via keyword arguments.
+    """
+    key = name.lower()
+    if key == "sdata_num":
+        return sdata_num(n_records=n_records or 5000, seed=seed, **kwargs)
+    if key == "sdata_cat":
+        return sdata_cat(n_records=n_records or 5000, seed=seed, **kwargs)
+    if key not in SPECS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {available()}")
+    return generate(SPECS[key], n_records=n_records, seed=seed)
+
+
+def split(table: Table, seed: int = 0,
+          ratios=(4, 1, 1)) -> Tuple[Table, Table, Table]:
+    """Paper §6.2 train/valid/test split (default 4:1:1)."""
+    return split_train_valid_test(table, np.random.default_rng(seed),
+                                  ratios=ratios)

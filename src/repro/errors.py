@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or record does not match its declared schema."""
+
+
+class TransformError(ReproError):
+    """Data transformation failed (unknown category, bad shape, ...)."""
+
+
+class TrainingError(ReproError):
+    """Model training failed or was configured inconsistently."""
+
+
+class ConfigError(ReproError):
+    """A design-space configuration is invalid or internally inconsistent."""
+
+
+class QueryError(ReproError):
+    """An AQP query is malformed or references unknown columns."""

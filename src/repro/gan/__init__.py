@@ -1,0 +1,26 @@
+"""GAN models and training algorithms (paper §5, Appendix A)."""
+
+from .heads import BlockHead, MultiHead
+from .mlp import MLPDiscriminator, MLPGenerator
+from .lstm import LSTMDiscriminator, LSTMGenerator
+from .cnn import CNNDiscriminator, CNNGenerator, DEFAULT_SIDE
+from .sampler import LabelAwareSampler, RandomSampler
+from .training import (
+    BaseTrainer, VanillaTrainer, ConditionalVanillaTrainer, CTrainTrainer,
+    WGANTrainer, DPTrainer, TrainResult, EpochRecord, make_trainer,
+)
+from .mode_collapse import duplicate_rate, is_collapsed, mean_pairwise_distance
+from .synthesizer import GANSynthesizer
+
+__all__ = [
+    "BlockHead", "MultiHead",
+    "MLPDiscriminator", "MLPGenerator",
+    "LSTMDiscriminator", "LSTMGenerator",
+    "CNNDiscriminator", "CNNGenerator", "DEFAULT_SIDE",
+    "LabelAwareSampler", "RandomSampler",
+    "BaseTrainer", "VanillaTrainer", "ConditionalVanillaTrainer",
+    "CTrainTrainer", "WGANTrainer", "DPTrainer", "TrainResult",
+    "EpochRecord", "make_trainer",
+    "duplicate_rate", "is_collapsed", "mean_pairwise_distance",
+    "GANSynthesizer",
+]

@@ -1,0 +1,71 @@
+"""Attribute-aware generator output heads (paper Appendix A.1.2, C1-C4).
+
+The generator's last hidden representation is mapped per attribute block
+using the activation the block's transformation scheme requires:
+
+* C1 simple normalization  -> ``tanh(FC(h))``
+* C2 GMM normalization     -> ``tanh(FC(h)) ⊕ softmax(FC(h))``
+* C3 one-hot encoding      -> ``softmax(FC(h))``
+* C4 ordinal encoding      -> ``sigmoid(FC(h))``
+
+The heads are shared by the MLP generator (all from one hidden vector)
+and the LSTM generator (one or two timesteps per attribute).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concat
+from ..transform.base import (
+    BlockSpec, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH, HEAD_TANH_SOFTMAX,
+)
+from ..errors import ConfigError
+
+
+class BlockHead(Module):
+    """Output head for one attribute block."""
+
+    def __init__(self, in_features: int, block: BlockSpec,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.block = block
+        self.head = block.head
+        if self.head == HEAD_TANH_SOFTMAX:
+            # value part (width 1) + mode-indicator part (width - 1)
+            self.value_fc = Linear(in_features, 1, rng=rng)
+            self.mode_fc = Linear(in_features, block.width - 1, rng=rng)
+        else:
+            self.fc = Linear(in_features, block.width, rng=rng)
+
+    def forward(self, h: Tensor) -> Tensor:
+        if self.head == HEAD_TANH:
+            return self.fc(h).tanh()
+        if self.head == HEAD_SIGMOID:
+            return self.fc(h).sigmoid()
+        if self.head == HEAD_SOFTMAX:
+            return self.fc(h).softmax(axis=-1)
+        if self.head == HEAD_TANH_SOFTMAX:
+            value = self.value_fc(h).tanh()
+            mode = self.mode_fc(h).softmax(axis=-1)
+            return concat([value, mode], axis=1)
+        raise ConfigError(f"unknown head kind {self.head!r}")
+
+
+class MultiHead(Module):
+    """All attribute heads applied to one shared hidden vector (MLP G)."""
+
+    def __init__(self, in_features: int, blocks: List[BlockSpec],
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.blocks = blocks
+        self.heads: List[BlockHead] = []
+        for i, block in enumerate(blocks):
+            head = BlockHead(in_features, block, rng=rng)
+            self.heads.append(head)
+            self.register_module(f"head{i}", head)
+
+    def forward(self, h: Tensor) -> Tensor:
+        return concat([head(h) for head in self.heads], axis=1)

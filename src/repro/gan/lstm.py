@@ -1,0 +1,143 @@
+"""LSTM generator and discriminator (paper Appendix A.1.3, Figure 12).
+
+The generator treats a record as a sequence of attributes: timestep ``j``
+consumes ``(z, f^{j-1})`` with hidden state ``h^{j-1}`` and emits a fixed
+size output ``f^j = tanh(FC(h^j))`` from which attribute ``t_j`` is
+produced with the head its transformation requires.  Attributes under
+GMM normalization take *two* timesteps — one for ``v_gmm`` (tanh), one
+for the mode indicator (softmax) — exactly as in the paper.
+
+The discriminator is a sequence-to-one LSTM over per-block embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Linear, LSTMCell, Module, Tensor, concat
+from ..transform.base import (
+    BlockSpec, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH, HEAD_TANH_SOFTMAX,
+)
+from ..errors import ConfigError
+
+
+class LSTMGenerator(Module):
+    """Sequence generation of attribute blocks.
+
+    Parameters
+    ----------
+    lstm_output_dim:
+        Size of the per-timestep output ``f^j`` fed back into the cell.
+    """
+
+    def __init__(self, z_dim: int, blocks: List[BlockSpec],
+                 hidden_dim: int = 64, lstm_output_dim: int = 32,
+                 cond_dim: int = 0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.z_dim = z_dim
+        self.cond_dim = cond_dim
+        self.blocks = blocks
+        self.output_dim_f = lstm_output_dim
+        input_size = z_dim + cond_dim + lstm_output_dim
+        self.cell = LSTMCell(input_size, hidden_dim, rng=rng)
+        self.f_fc = Linear(hidden_dim, lstm_output_dim, rng=rng)
+
+        # One small FC per timestep output.  GMM blocks take two steps.
+        self._step_plan: List[Tuple[int, str]] = []  # (block index, part)
+        self._step_fcs: List[Linear] = []
+        for bi, block in enumerate(blocks):
+            if block.head == HEAD_TANH_SOFTMAX:
+                self._add_step(bi, "value", lstm_output_dim, 1, rng)
+                self._add_step(bi, "mode", lstm_output_dim,
+                               block.width - 1, rng)
+            else:
+                self._add_step(bi, "whole", lstm_output_dim, block.width, rng)
+
+    def _add_step(self, block_index: int, part: str, in_dim: int,
+                  out_dim: int, rng) -> None:
+        fc = Linear(in_dim, out_dim, rng=rng)
+        step_index = len(self._step_plan)
+        self.register_module(f"step{step_index}", fc)
+        self._step_plan.append((block_index, part))
+        self._step_fcs.append(fc)
+
+    @property
+    def n_timesteps(self) -> int:
+        return len(self._step_plan)
+
+    @property
+    def output_dim(self) -> int:
+        return sum(block.width for block in self.blocks)
+
+    def forward(self, z: Tensor, cond: Optional[Tensor] = None) -> Tensor:
+        batch = z.shape[0]
+        base = z if cond is None else concat([z, cond], axis=1)
+        h, c = self.cell.initial_state(batch)
+        f_prev = Tensor(np.zeros((batch, self.output_dim_f)))
+
+        block_parts: List[List[Tensor]] = [[] for _ in self.blocks]
+        for (block_index, part), fc in zip(self._step_plan, self._step_fcs):
+            step_in = concat([base, f_prev], axis=1)
+            h, c = self.cell(step_in, (h, c))
+            f_prev = self.f_fc(h).tanh()
+            block = self.blocks[block_index]
+            raw = fc(f_prev)
+            if part == "value":
+                out = raw.tanh()
+            elif part == "mode":
+                out = raw.softmax(axis=-1)
+            elif block.head == HEAD_TANH:
+                out = raw.tanh()
+            elif block.head == HEAD_SIGMOID:
+                out = raw.sigmoid()
+            elif block.head == HEAD_SOFTMAX:
+                out = raw.softmax(axis=-1)
+            else:
+                raise ConfigError(f"unknown head {block.head!r}")
+            block_parts[block_index].append(out)
+
+        outputs = []
+        for parts in block_parts:
+            outputs.append(parts[0] if len(parts) == 1
+                           else concat(parts, axis=1))
+        return concat(outputs, axis=1)
+
+
+class LSTMDiscriminator(Module):
+    """Sequence-to-one LSTM discriminator (paper Appendix B.4).
+
+    Each attribute block is embedded to a fixed width and the block
+    sequence is consumed by an LSTM; the final hidden state maps to one
+    realness logit.
+    """
+
+    def __init__(self, blocks: List[BlockSpec], hidden_dim: int = 64,
+                 embed_dim: int = 16, cond_dim: int = 0,
+                 simplified: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if simplified:
+            hidden_dim = max(16, hidden_dim // 4)
+        self.blocks = blocks
+        self.cond_dim = cond_dim
+        self.embeds: List[Linear] = []
+        for i, block in enumerate(blocks):
+            fc = Linear(block.width + cond_dim, embed_dim, rng=rng)
+            self.register_module(f"embed{i}", fc)
+            self.embeds.append(fc)
+        self.cell = LSTMCell(embed_dim, hidden_dim, rng=rng)
+        self.out = Linear(hidden_dim, 1, rng=rng)
+
+    def forward(self, t: Tensor, cond: Optional[Tensor] = None) -> Tensor:
+        batch = t.shape[0]
+        h, c = self.cell.initial_state(batch)
+        for block, embed in zip(self.blocks, self.embeds):
+            part = t[:, block.start:block.stop]
+            if cond is not None:
+                part = concat([part, cond], axis=1)
+            step = embed(part).tanh()
+            h, c = self.cell(step, (h, c))
+        return self.out(h)

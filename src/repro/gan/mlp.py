@@ -1,0 +1,85 @@
+"""MLP generator and discriminator (paper Appendix A.1.2, Figure 11).
+
+Generator: ``h^{l+1} = ReLU(BN(FC(h^l)))`` over the noise (plus the
+condition vector for conditional GAN), finished by the attribute-aware
+heads.  Discriminator: fully connected LeakyReLU stack ending in a single
+logit (the sigmoid lives in the loss; WGAN uses the raw logit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm1d, Linear, Module, Tensor, concat,
+)
+from ..transform.base import BlockSpec
+from .heads import MultiHead
+
+
+class MLPGenerator(Module):
+    """Noise (+ condition) -> sample vector via fully connected layers."""
+
+    def __init__(self, z_dim: int, blocks: List[BlockSpec],
+                 hidden_dim: int = 128, n_layers: int = 2,
+                 cond_dim: int = 0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.z_dim = z_dim
+        self.cond_dim = cond_dim
+        self.blocks = blocks
+        in_dim = z_dim + cond_dim
+        self.hidden_layers: List[Module] = []
+        for i in range(n_layers):
+            fc = Linear(in_dim, hidden_dim, rng=rng)
+            bn = BatchNorm1d(hidden_dim)
+            self.register_module(f"fc{i}", fc)
+            self.register_module(f"bn{i}", bn)
+            self.hidden_layers.append((fc, bn))
+            in_dim = hidden_dim
+        self.heads = MultiHead(in_dim, blocks, rng=rng)
+
+    @property
+    def output_dim(self) -> int:
+        return sum(block.width for block in self.blocks)
+
+    def forward(self, z: Tensor, cond: Optional[Tensor] = None) -> Tensor:
+        h = z if cond is None else concat([z, cond], axis=1)
+        for fc, bn in self.hidden_layers:
+            h = bn(fc(h)).relu()
+        return self.heads(h)
+
+
+class MLPDiscriminator(Module):
+    """Sample (+ condition) -> realness logit.
+
+    ``simplified=True`` realizes the paper's mode-collapse remedy (§5.2):
+    a single narrow hidden layer so D never trains "too well" and G's
+    gradient does not vanish.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int = 128,
+                 n_layers: int = 2, cond_dim: int = 0,
+                 simplified: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cond_dim = cond_dim
+        if simplified:
+            hidden_dim = max(16, hidden_dim // 4)
+            n_layers = 1
+        in_dim = input_dim + cond_dim
+        self.hidden_layers: List[Linear] = []
+        for i in range(n_layers):
+            fc = Linear(in_dim, hidden_dim, rng=rng)
+            self.register_module(f"fc{i}", fc)
+            self.hidden_layers.append(fc)
+            in_dim = hidden_dim
+        self.out = Linear(in_dim, 1, rng=rng)
+
+    def forward(self, t: Tensor, cond: Optional[Tensor] = None) -> Tensor:
+        h = t if cond is None else concat([t, cond], axis=1)
+        for fc in self.hidden_layers:
+            h = fc(h).leaky_relu(0.2)
+        return self.out(h)

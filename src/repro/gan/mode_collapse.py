@@ -1,0 +1,50 @@
+"""Mode-collapse diagnostics (paper §5.2).
+
+When the generator collapses it emits nearly duplicated samples
+regardless of the input noise; the synthetic table then has many rows
+sharing most attribute values and utility craters.  These helpers
+quantify that: duplicate rate after rounding, and mean pairwise distance
+of a sample subset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def duplicate_rate(samples: np.ndarray, decimals: int = 2) -> float:
+    """Fraction of rows that duplicate an earlier row (after rounding)."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        samples = samples.reshape(len(samples), -1)
+    if len(samples) == 0:
+        return 0.0
+    rounded = np.round(samples, decimals=decimals)
+    unique = np.unique(rounded, axis=0)
+    return 1.0 - len(unique) / len(samples)
+
+
+def mean_pairwise_distance(samples: np.ndarray, max_rows: int = 200,
+                           rng: Optional[np.random.Generator] = None
+                           ) -> float:
+    """Mean Euclidean distance among a row subsample (diversity proxy)."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        samples = samples.reshape(len(samples), -1)
+    if len(samples) < 2:
+        return 0.0
+    if len(samples) > max_rows:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        samples = samples[rng.choice(len(samples), max_rows, replace=False)]
+    diffs = samples[:, None, :] - samples[None, :, :]
+    dists = np.sqrt((diffs ** 2).sum(axis=2))
+    n = len(samples)
+    return float(dists.sum() / (n * (n - 1)))
+
+
+def is_collapsed(samples: np.ndarray, duplicate_threshold: float = 0.8,
+                 decimals: int = 2) -> bool:
+    """Heuristic collapse detector: most rows are (near-)duplicates."""
+    return duplicate_rate(samples, decimals=decimals) >= duplicate_threshold

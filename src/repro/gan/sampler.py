@@ -1,0 +1,70 @@
+"""Minibatch samplers (the "Sampler" box of paper Figure 2).
+
+``RandomSampler`` draws uniform minibatches — the default GAN protocol.
+``LabelAwareSampler`` draws minibatches conditioned on a given label so
+minority labels get fair training opportunities (§5.3, CTrain).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class RandomSampler:
+    """Uniform minibatch sampling over rows of ``data``."""
+
+    def __init__(self, data: np.ndarray, labels: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.data = data
+        self.labels = labels
+        self.rng = rng if rng is not None else np.random.default_rng()
+        if labels is not None and len(labels) != len(data):
+            raise ValueError("labels must align with data")
+
+    def batch(self, m: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        idx = self.rng.integers(0, len(self.data), size=m)
+        batch = self.data[idx]
+        label_batch = self.labels[idx] if self.labels is not None else None
+        return batch, label_batch
+
+
+class LabelAwareSampler:
+    """Per-label minibatch sampling (paper Algorithm 3).
+
+    Every label of the real data keeps its own index pool; a batch for
+    label ``y`` is drawn only from records carrying ``y``.
+    """
+
+    def __init__(self, data: np.ndarray, labels: np.ndarray,
+                 rng: Optional[np.random.Generator] = None):
+        if labels is None:
+            raise ValueError("label-aware sampling requires labels")
+        if len(labels) != len(data):
+            raise ValueError("labels must align with data")
+        self.data = data
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._pools = {}
+        for label in np.unique(self.labels):
+            self._pools[int(label)] = np.nonzero(self.labels == label)[0]
+
+    @property
+    def label_domain(self):
+        return sorted(self._pools)
+
+    def batch_for_label(self, label: int, m: int) -> np.ndarray:
+        pool = self._pools.get(int(label))
+        if pool is None or len(pool) == 0:
+            raise KeyError(f"no records with label {label}")
+        idx = self.rng.choice(pool, size=m, replace=True)
+        return self.data[idx]
+
+    def label_frequencies(self) -> np.ndarray:
+        """Empirical label distribution of the real data."""
+        n_labels = max(self._pools) + 1
+        freq = np.zeros(n_labels)
+        for label, pool in self._pools.items():
+            freq[label] = len(pool)
+        return freq / freq.sum()

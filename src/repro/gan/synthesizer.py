@@ -1,0 +1,194 @@
+"""End-to-end GAN synthesizer: the unified framework of paper Figure 2.
+
+:class:`GANSynthesizer` drives the three phases:
+
+I.   data transformation (vector or matrix form per the design config);
+II.  adversarial training (one of VTrain / WTrain / CTrain / DPTrain),
+     producing one generator snapshot per epoch for model selection;
+III. synthetic data generation — noise (plus sampled label conditions)
+     through the trained generator, then the inverse transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.design_space import DesignConfig
+from ..datasets.schema import Table
+from ..errors import TrainingError
+from ..nn import Module, Tensor
+from ..transform import MatrixTransformer, RecordTransformer
+from .cnn import CNNDiscriminator, CNNGenerator, DEFAULT_SIDE
+from .lstm import LSTMDiscriminator, LSTMGenerator
+from .mlp import MLPDiscriminator, MLPGenerator
+from .training import EpochRecord, TrainResult, make_trainer
+
+
+class GANSynthesizer:
+    """GAN-based relational data synthesizer.
+
+    Parameters
+    ----------
+    config:
+        Point in the design space (defaults to the paper's recommended
+        MLP + one-hot + GMM + vanilla training).
+    epochs, iterations_per_epoch:
+        The paper divides training into 10 epochs and snapshots the
+        generator after each for validation-based selection.
+    """
+
+    def __init__(self, config: Optional[DesignConfig] = None,
+                 epochs: int = 10, iterations_per_epoch: int = 40,
+                 seed: int = 0):
+        self.config = config if config is not None else DesignConfig()
+        self.epochs = epochs
+        self.iterations_per_epoch = iterations_per_epoch
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.generator: Optional[Module] = None
+        self.discriminator: Optional[Module] = None
+        self.transformer = None
+        self.train_result: Optional[TrainResult] = None
+        self._label_freq: Optional[np.ndarray] = None
+        self._n_labels = 0
+        self._active_snapshot: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Phase I + II
+    # ------------------------------------------------------------------
+    def fit(self, table: Table,
+            epoch_callback: Optional[Callable[[EpochRecord], None]] = None
+            ) -> "GANSynthesizer":
+        """Transform ``table`` and adversarially train the generator."""
+        config = self.config
+        label_attr = table.schema.label
+        if config.is_conditional and label_attr is None:
+            raise TrainingError("conditional synthesis requires a label")
+
+        exclude = (label_attr.name,) if (config.is_conditional
+                                         and label_attr is not None) else ()
+        if config.matrix_form:
+            self.transformer = MatrixTransformer(exclude=exclude,
+                                                 side=DEFAULT_SIDE)
+        else:
+            self.transformer = RecordTransformer(
+                categorical_encoding=config.categorical_encoding,
+                numerical_normalization=config.numerical_normalization,
+                gmm_components=config.gmm_components,
+                exclude=exclude, rng=self.rng)
+        self.transformer.fit(table)
+        data = self.transformer.transform(table)
+
+        labels = table.label_codes if label_attr is not None else None
+        self._n_labels = label_attr.domain_size if label_attr else 0
+        if labels is not None:
+            counts = np.bincount(labels, minlength=self._n_labels)
+            self._label_freq = counts / counts.sum()
+
+        self.generator, self.discriminator = self._build_models()
+        trainer = make_trainer(config, self.generator, self.discriminator,
+                               self.rng)
+        self.train_result = trainer.train(
+            data, labels, self._n_labels, self.epochs,
+            self.iterations_per_epoch, epoch_callback=epoch_callback)
+        self._active_snapshot = len(self.train_result.epochs) - 1
+        return self
+
+    def _build_models(self):
+        config = self.config
+        cond_dim = self._n_labels if config.is_conditional else 0
+        rng = self.rng
+        if config.generator == "cnn":
+            generator = CNNGenerator(config.z_dim, side=self.transformer.side,
+                                     rng=rng)
+            discriminator = CNNDiscriminator(
+                side=self.transformer.side,
+                simplified=config.simplified_discriminator, rng=rng)
+            return generator, discriminator
+
+        blocks = self.transformer.blocks
+        if config.generator == "mlp":
+            generator = MLPGenerator(
+                config.z_dim, blocks, hidden_dim=config.hidden_dim,
+                n_layers=config.n_layers, cond_dim=cond_dim, rng=rng)
+        elif config.generator == "lstm":
+            generator = LSTMGenerator(
+                config.z_dim, blocks, hidden_dim=config.lstm_hidden,
+                lstm_output_dim=config.lstm_output_dim, cond_dim=cond_dim,
+                rng=rng)
+        else:
+            raise TrainingError(f"unknown generator {config.generator!r}")
+
+        disc_kind = config.effective_discriminator
+        input_dim = self.transformer.output_dim
+        if disc_kind == "mlp":
+            discriminator = MLPDiscriminator(
+                input_dim, hidden_dim=config.hidden_dim,
+                n_layers=config.n_layers, cond_dim=cond_dim,
+                simplified=config.simplified_discriminator, rng=rng)
+        elif disc_kind == "lstm":
+            discriminator = LSTMDiscriminator(
+                blocks, hidden_dim=config.lstm_hidden, cond_dim=cond_dim,
+                simplified=config.simplified_discriminator, rng=rng)
+        else:
+            raise TrainingError(f"unknown discriminator {disc_kind!r}")
+        return generator, discriminator
+
+    # ------------------------------------------------------------------
+    # Snapshots (model selection, paper §6.2)
+    # ------------------------------------------------------------------
+    @property
+    def snapshots(self) -> List[Dict[str, np.ndarray]]:
+        if self.train_result is None:
+            raise TrainingError("synthesizer is not fitted")
+        return self.train_result.snapshots
+
+    def use_snapshot(self, index: int) -> None:
+        """Activate the generator snapshot taken after epoch ``index``."""
+        snapshots = self.snapshots
+        if not -len(snapshots) <= index < len(snapshots):
+            raise IndexError(f"no snapshot {index}")
+        self.generator.load_state_dict(snapshots[index])
+        self._active_snapshot = index % len(snapshots)
+
+    @property
+    def active_snapshot(self) -> Optional[int]:
+        return self._active_snapshot
+
+    # ------------------------------------------------------------------
+    # Phase III
+    # ------------------------------------------------------------------
+    def sample_raw(self, n: int, batch: int = 256) -> np.ndarray:
+        """Generate ``n`` raw samples (pre-inverse-transformation)."""
+        if self.generator is None:
+            raise TrainingError("synthesizer is not fitted")
+        self.generator.eval()
+        chunks = []
+        self._sampled_labels = []
+        remaining = n
+        while remaining > 0:
+            m = min(batch, remaining)
+            z = Tensor(self.rng.standard_normal((m, self.config.z_dim)))
+            cond = None
+            if self.config.is_conditional:
+                labels = self.rng.choice(self._n_labels, size=m,
+                                         p=self._label_freq)
+                onehot = np.zeros((m, self._n_labels))
+                onehot[np.arange(m), labels] = 1.0
+                cond = Tensor(onehot)
+                self._sampled_labels.append(labels)
+            chunks.append(self.generator(z, cond).data)
+            remaining -= m
+        self.generator.train()
+        return np.concatenate(chunks, axis=0)
+
+    def sample(self, n: int, batch: int = 256) -> Table:
+        """Generate a synthetic table of ``n`` records."""
+        raw = self.sample_raw(n, batch=batch)
+        extra = None
+        if self.config.is_conditional:
+            label_name = self.transformer.exclude[0]
+            extra = {label_name: np.concatenate(self._sampled_labels)}
+        return self.transformer.inverse(raw, extra_columns=extra)

@@ -1,0 +1,310 @@
+"""GAN training algorithms (paper §5.2-§5.4, Table 1, Algorithms 1-4).
+
+===========  =========  ==========  ============  ====
+algorithm    loss       optimizer   sampling      DP
+===========  =========  ==========  ============  ====
+``vtrain``   Eq. (2)    Adam        random        no
+``wtrain``   Eq. (3)    RMSProp     random        no
+``ctrain``   Eq. (4)    Adam        label-aware   no
+``dptrain``  Eq. (3)    RMSProp     random        yes
+===========  =========  ==========  ============  ====
+
+VTrain implements the non-saturating ("improved") generator loss plus
+the per-attribute KL-divergence warm-up of Eq. (2).  WTrain is standard
+WGAN: no sigmoid, weight clipping, ``d_steps`` inner critic iterations.
+CTrain is VTrain with label conditions and label-aware sampling.
+DPTrain is WTrain with bounded, noised discriminator gradients (DPGAN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..nn import (
+    Adam, Module, RMSProp, Tensor, add_gradient_noise, bce_with_logits,
+    categorical_kl, clip_gradients, clip_parameters,
+)
+from ..transform.base import BlockSpec, HEAD_TANH_SOFTMAX, HEAD_SOFTMAX
+from .sampler import LabelAwareSampler, RandomSampler
+
+
+@dataclass
+class EpochRecord:
+    """Diagnostics collected at the end of one epoch."""
+
+    epoch: int
+    g_loss: float
+    d_loss: float
+    snapshot: Dict[str, np.ndarray]
+
+
+@dataclass
+class TrainResult:
+    """Everything the evaluation framework needs after training."""
+
+    epochs: List[EpochRecord] = field(default_factory=list)
+    g_losses: List[float] = field(default_factory=list)
+    d_losses: List[float] = field(default_factory=list)
+
+    @property
+    def snapshots(self) -> List[Dict[str, np.ndarray]]:
+        return [e.snapshot for e in self.epochs]
+
+
+def _onehot(labels: np.ndarray, n_labels: int) -> np.ndarray:
+    out = np.zeros((len(labels), n_labels))
+    out[np.arange(len(labels)), labels] = 1.0
+    return out
+
+
+class BaseTrainer:
+    """Shared epoch loop; subclasses implement :meth:`iteration`."""
+
+    def __init__(self, generator: Module, discriminator: Module,
+                 config, rng: np.random.Generator):
+        self.generator = generator
+        self.discriminator = discriminator
+        self.config = config
+        self.rng = rng
+        self._last_g_loss = 0.0
+        self._last_d_loss = 0.0
+
+    # -- noise ----------------------------------------------------------
+    def sample_noise(self, m: int) -> Tensor:
+        return Tensor(self.rng.standard_normal((m, self.config.z_dim)))
+
+    # -- main loop ------------------------------------------------------
+    def train(self, data: np.ndarray, labels: Optional[np.ndarray],
+              n_labels: int, epochs: int, iterations_per_epoch: int,
+              epoch_callback: Optional[Callable[[EpochRecord], None]] = None
+              ) -> TrainResult:
+        if len(data) == 0:
+            raise TrainingError("cannot train on an empty table")
+        self.prepare(data, labels, n_labels)
+        result = TrainResult()
+        for epoch in range(epochs):
+            for _ in range(iterations_per_epoch):
+                self.iteration()
+                result.g_losses.append(self._last_g_loss)
+                result.d_losses.append(self._last_d_loss)
+            record = EpochRecord(
+                epoch=epoch,
+                g_loss=self._last_g_loss,
+                d_loss=self._last_d_loss,
+                snapshot=self.generator.state_dict(),
+            )
+            result.epochs.append(record)
+            if epoch_callback is not None:
+                epoch_callback(record)
+        return result
+
+    def prepare(self, data, labels, n_labels) -> None:
+        raise NotImplementedError
+
+    def iteration(self) -> None:
+        raise NotImplementedError
+
+    # -- KL warm-up (paper Eq. 2) ----------------------------------------
+    def kl_term(self, real_batch: np.ndarray, fake: Tensor):
+        """Sum of per-attribute KL divergences on discrete blocks.
+
+        Differentiable through the generator's softmax heads; tanh
+        (numerical) blocks are skipped, matching the released Daisy code.
+        """
+        blocks: List[BlockSpec] = getattr(self.generator, "blocks", [])
+        total = None
+        for block in blocks:
+            if block.head == HEAD_SOFTMAX:
+                sl = block.slice
+            elif block.head == HEAD_TANH_SOFTMAX:
+                sl = slice(block.start + 1, block.stop)
+            else:
+                continue
+            p_real = real_batch[:, sl].mean(axis=0)
+            p_fake = fake[:, sl].mean(axis=0)
+            term = categorical_kl(p_real, p_fake)
+            total = term if total is None else total + term
+        return total
+
+
+class VanillaTrainer(BaseTrainer):
+    """Algorithm 1 (VTrain): alternating Adam steps on BCE losses.
+
+    The generator objective uses the non-saturating loss plus the KL
+    warm-up.  ``conditional=True`` turns this into CGAN-V: conditions are
+    attached but minibatches stay uniformly sampled.
+    """
+
+    conditional = False
+
+    def prepare(self, data, labels, n_labels) -> None:
+        self.sampler = RandomSampler(data, labels, rng=self.rng)
+        self.n_labels = n_labels
+        self.opt_d = Adam(self.discriminator.parameters(), lr=self.config.lr_d)
+        self.opt_g = Adam(self.generator.parameters(), lr=self.config.lr_g)
+
+    def _conds(self, label_batch):
+        if not self.conditional:
+            return None, None
+        if label_batch is None:
+            raise TrainingError("conditional training requires labels")
+        cond = Tensor(_onehot(label_batch, self.n_labels))
+        return cond, label_batch
+
+    def iteration(self) -> None:
+        m = self.config.batch_size
+        real, label_batch = self.sampler.batch(m)
+        cond, _ = self._conds(label_batch)
+        self._step_discriminator(real, cond)
+        self._step_generator(real, cond)
+
+    def _step_discriminator(self, real: np.ndarray, cond) -> None:
+        m = len(real)
+        z = self.sample_noise(m)
+        fake = self.generator(z, cond).detach()
+        self.opt_d.zero_grad()
+        d_real = self.discriminator(Tensor(real), cond)
+        d_fake = self.discriminator(fake, cond)
+        loss = (bce_with_logits(d_real, np.ones((m, 1)))
+                + bce_with_logits(d_fake, np.zeros((m, 1))))
+        loss.backward()
+        self.opt_d.step()
+        self._last_d_loss = float(loss.data)
+
+    def _step_generator(self, real: np.ndarray, cond) -> None:
+        m = len(real)
+        z = self.sample_noise(m)
+        self.opt_g.zero_grad()
+        self.opt_d.zero_grad()
+        fake = self.generator(z, cond)
+        loss = bce_with_logits(self.discriminator(fake, cond),
+                               np.ones((m, 1)))
+        if self.config.kl_weight > 0:
+            kl = self.kl_term(real, fake)
+            if kl is not None:
+                loss = loss + kl * self.config.kl_weight
+        loss.backward()
+        self.opt_g.step()
+        self._last_g_loss = float(loss.data)
+
+
+class ConditionalVanillaTrainer(VanillaTrainer):
+    """CGAN-V: vanilla training with conditions, random sampling."""
+
+    conditional = True
+
+
+class CTrainTrainer(VanillaTrainer):
+    """Algorithm 3 (CTrain): conditional GAN + label-aware sampling.
+
+    Each iteration walks every label of the real data and runs one D/G
+    step on a minibatch of that label, so minority labels receive the
+    same number of updates as majority ones.
+    """
+
+    conditional = True
+
+    def prepare(self, data, labels, n_labels) -> None:
+        if labels is None:
+            raise TrainingError("ctrain requires labels")
+        self.sampler = LabelAwareSampler(data, labels, rng=self.rng)
+        self.n_labels = n_labels
+        self.opt_d = Adam(self.discriminator.parameters(), lr=self.config.lr_d)
+        self.opt_g = Adam(self.generator.parameters(), lr=self.config.lr_g)
+
+    def iteration(self) -> None:
+        m = self.config.batch_size
+        for label in self.sampler.label_domain:
+            real = self.sampler.batch_for_label(label, m)
+            cond = Tensor(_onehot(np.full(m, label, dtype=np.int64),
+                                  self.n_labels))
+            self._step_discriminator(real, cond)
+            self._step_generator(real, cond)
+
+
+class WGANTrainer(BaseTrainer):
+    """Algorithm 2 (WTrain): Wasserstein GAN with weight clipping."""
+
+    def prepare(self, data, labels, n_labels) -> None:
+        self.sampler = RandomSampler(data, labels, rng=self.rng)
+        self.opt_d = RMSProp(self.discriminator.parameters(),
+                             lr=self.config.lr_d)
+        self.opt_g = RMSProp(self.generator.parameters(), lr=self.config.lr_g)
+
+    def _critic_step(self, real: np.ndarray) -> float:
+        m = len(real)
+        z = self.sample_noise(m)
+        fake = self.generator(z).detach()
+        self.opt_d.zero_grad()
+        d_real = self.discriminator(Tensor(real)).mean()
+        d_fake = self.discriminator(fake).mean()
+        loss = d_fake - d_real  # minimize => maximize (d_real - d_fake)
+        loss.backward()
+        self._post_process_critic_grads(m)
+        self.opt_d.step()
+        clip_parameters(self.discriminator.parameters(),
+                        self.config.weight_clip)
+        return float(loss.data)
+
+    def _post_process_critic_grads(self, batch_size: int) -> None:
+        """Hook for DPTrain's gradient sanitization."""
+
+    def iteration(self) -> None:
+        d_steps = max(1, self.config.d_steps)
+        for _ in range(d_steps):
+            real, _ = self.sampler.batch(self.config.batch_size)
+            self._last_d_loss = self._critic_step(real)
+        m = self.config.batch_size
+        z = self.sample_noise(m)
+        self.opt_g.zero_grad()
+        self.opt_d.zero_grad()
+        loss = -self.discriminator(self.generator(z)).mean()
+        loss.backward()
+        self.opt_g.step()
+        self._last_g_loss = float(loss.data)
+
+
+class DPTrainer(WGANTrainer):
+    """Algorithm 4 (DPTrain): DPGAN — WGAN + noised critic gradients.
+
+    The critic's batch gradient is clipped to ``dp_grad_bound`` and
+    Gaussian noise ``N(0, (sigma * bound)^2 / m^2)`` is added, the
+    batch-level analogue of DPGAN's per-example construction.  Only the
+    discriminator touches real data; the generator inherits privacy by
+    post-processing.
+    """
+
+    def _post_process_critic_grads(self, batch_size: int) -> None:
+        bound = self.config.dp_grad_bound
+        sigma = self.config.dp_noise_multiplier
+        clip_gradients(self.discriminator.parameters(), bound)
+        add_gradient_noise(self.discriminator.parameters(),
+                           sigma * bound / batch_size, self.rng)
+
+
+TRAINERS = {
+    "vtrain": VanillaTrainer,
+    "wtrain": WGANTrainer,
+    "ctrain": CTrainTrainer,
+    "dptrain": DPTrainer,
+}
+
+
+def make_trainer(config, generator: Module, discriminator: Module,
+                 rng: np.random.Generator) -> BaseTrainer:
+    """Instantiate the trainer matching ``config.training``.
+
+    ``vtrain`` with ``conditional=True`` resolves to CGAN-V.
+    """
+    name = config.training
+    if name == "vtrain" and config.is_conditional:
+        return ConditionalVanillaTrainer(generator, discriminator, config, rng)
+    try:
+        cls = TRAINERS[name]
+    except KeyError:
+        raise TrainingError(f"unknown training algorithm {name!r}") from None
+    return cls(generator, discriminator, config, rng)

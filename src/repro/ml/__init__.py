@@ -1,0 +1,48 @@
+"""Classical ML substrate: the paper's evaluator models and metrics.
+
+The utility evaluation (§6.2) trains DT10/DT30/RF10/RF20/AB/LR on real
+and synthetic tables; K-Means + NMI measure clustering utility.
+"""
+
+from .tree import DecisionTreeClassifier
+from .forest import RandomForestClassifier
+from .boosting import AdaBoostClassifier
+from .linear import LogisticRegression
+from .kmeans import KMeans
+from .preprocess import FeatureEncoder
+from .metrics import (
+    f1_score, macro_f1, paper_f1, precision_score, recall_score, roc_auc,
+    normalized_mutual_info, accuracy, rare_label,
+)
+
+#: The paper's six evaluator classifiers, by short name.
+CLASSIFIERS = ("DT10", "DT30", "RF10", "RF20", "AB", "LR")
+
+
+def make_classifier(name: str, rng=None):
+    """Instantiate one of the paper's evaluator classifiers by name."""
+    import numpy as np
+
+    rng = rng if rng is not None else np.random.default_rng()
+    if name == "DT10":
+        return DecisionTreeClassifier(max_depth=10, rng=rng)
+    if name == "DT30":
+        return DecisionTreeClassifier(max_depth=30, rng=rng)
+    if name == "RF10":
+        return RandomForestClassifier(n_estimators=20, max_depth=10, rng=rng)
+    if name == "RF20":
+        return RandomForestClassifier(n_estimators=20, max_depth=20, rng=rng)
+    if name == "AB":
+        return AdaBoostClassifier(n_estimators=30, rng=rng)
+    if name == "LR":
+        return LogisticRegression()
+    raise KeyError(f"unknown classifier {name!r}; choose from {CLASSIFIERS}")
+
+
+__all__ = [
+    "DecisionTreeClassifier", "RandomForestClassifier", "AdaBoostClassifier",
+    "LogisticRegression", "KMeans", "FeatureEncoder",
+    "f1_score", "macro_f1", "paper_f1", "precision_score", "recall_score",
+    "roc_auc", "normalized_mutual_info", "accuracy", "rare_label",
+    "CLASSIFIERS", "make_classifier",
+]

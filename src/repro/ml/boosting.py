@@ -1,0 +1,78 @@
+"""AdaBoost (SAMME) over decision stumps — the paper's AB evaluator."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+
+class AdaBoostClassifier:
+    """Multi-class AdaBoost (SAMME) with shallow-tree weak learners."""
+
+    def __init__(self, n_estimators: int = 30, max_depth: int = 1,
+                 learning_rate: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.estimators: List[DecisionTreeClassifier] = []
+        self.alphas: List[float] = []
+        self.n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = len(y)
+        self.n_classes = int(y.max()) + 1
+        k = max(self.n_classes, 2)
+        weights = np.full(n, 1.0 / n)
+        self.estimators = []
+        self.alphas = []
+        for _ in range(self.n_estimators):
+            stump = DecisionTreeClassifier(max_depth=self.max_depth,
+                                           rng=self.rng)
+            stump.fit(X, y, sample_weight=weights)
+            pred = stump.predict(X)
+            miss = pred != y
+            err = float(np.sum(weights * miss) / weights.sum())
+            if err <= 0:
+                # Perfect weak learner: use it with a large finite vote.
+                self.estimators.append(stump)
+                self.alphas.append(10.0)
+                break
+            if err >= 1.0 - 1.0 / k:
+                # Worse than chance; SAMME stops unless nothing learned yet.
+                if not self.estimators:
+                    self.estimators.append(stump)
+                    self.alphas.append(1e-3)
+                break
+            alpha = self.learning_rate * (
+                np.log((1.0 - err) / err) + np.log(k - 1.0))
+            self.estimators.append(stump)
+            self.alphas.append(float(alpha))
+            weights = weights * np.exp(alpha * miss)
+            weights /= weights.sum()
+        return self
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        """Per-class weighted vote matrix."""
+        if not self.estimators:
+            raise RuntimeError("model is not fitted")
+        scores = np.zeros((len(X), self.n_classes))
+        for alpha, est in zip(self.alphas, self.estimators):
+            pred = est.predict(X)
+            scores[np.arange(len(X)), pred] += alpha
+        return scores
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_scores(X)
+        total = scores.sum(axis=1, keepdims=True)
+        total[total == 0] = 1.0
+        return scores / total
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.decision_scores(X).argmax(axis=1)

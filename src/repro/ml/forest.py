@@ -1,0 +1,55 @@
+"""Random forest classifier (bagging + feature subsampling).
+
+The paper's RF10/RF20 evaluators: forests of depth-bounded CART trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees with sqrt feature subsampling."""
+
+    def __init__(self, n_estimators: int = 20, max_depth: int = 10,
+                 min_samples_leaf: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.trees: List[DecisionTreeClassifier] = []
+        self.n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.n_classes = int(y.max()) + 1
+        self.trees = []
+        n = len(y)
+        for _ in range(self.n_estimators):
+            idx = self.rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features="sqrt", rng=self.rng)
+            tree.fit(X[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+        out = np.zeros((len(X), self.n_classes))
+        for tree in self.trees:
+            proba = tree.predict_proba(X)
+            # Trees trained on a bootstrap may have seen fewer classes.
+            out[:, :proba.shape[1]] += proba
+        return out / len(self.trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,65 @@
+"""Multinomial logistic regression — the paper's LR evaluator.
+
+Trained full-batch with gradient descent on the softmax cross entropy
+plus L2 regularization, which is exactly the "generalized linear
+regression model optimized by gradient descent" the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LogisticRegression:
+    def __init__(self, lr: float = 0.5, max_iter: int = 300,
+                 l2: float = 1e-4, tol: float = 1e-7):
+        self.lr = lr
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.tol = tol
+        self.weights: Optional[np.ndarray] = None  # (d+1, k) incl. bias
+        self.n_classes = 0
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return np.concatenate([X, np.ones((len(X), 1))], axis=1)
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        z = z - z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        Xd = self._design(X)
+        y = np.asarray(y, dtype=np.int64)
+        n, d = Xd.shape
+        self.n_classes = int(y.max()) + 1
+        k = max(self.n_classes, 2)
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y] = 1.0
+        w = np.zeros((d, k))
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            probs = self._softmax(Xd @ w)
+            grad = Xd.T @ (probs - onehot) / n + self.l2 * w
+            w -= self.lr * grad
+            loss = (-np.log(np.maximum(
+                probs[np.arange(n), y], 1e-12)).mean()
+                + 0.5 * self.l2 * float(np.sum(w * w)))
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.weights = w
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        probs = self._softmax(self._design(X) @ self.weights)
+        return probs[:, :self.n_classes]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,133 @@
+"""Evaluation metrics: F1, AUC, NMI (paper §6.2).
+
+The paper measures the F1 of the *positive* label for binary tasks and
+the F1 of the *rarest* label for multi-class tasks; both are provided as
+:func:`paper_f1`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _binary_counts(y_true: np.ndarray, y_pred: np.ndarray, label: int):
+    tp = int(np.sum((y_pred == label) & (y_true == label)))
+    fp = int(np.sum((y_pred == label) & (y_true != label)))
+    fn = int(np.sum((y_pred != label) & (y_true == label)))
+    return tp, fp, fn
+
+
+def precision_score(y_true, y_pred, label: int = 1) -> float:
+    tp, fp, _ = _binary_counts(np.asarray(y_true), np.asarray(y_pred), label)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred, label: int = 1) -> float:
+    tp, _, fn = _binary_counts(np.asarray(y_true), np.asarray(y_pred), label)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred, label: int = 1) -> float:
+    """F1 of one class (harmonic mean of its precision and recall)."""
+    p = precision_score(y_true, y_pred, label)
+    r = recall_score(y_true, y_pred, label)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def macro_f1(y_true, y_pred, n_classes: Optional[int] = None) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    return float(np.mean([f1_score(y_true, y_pred, c)
+                          for c in range(n_classes)]))
+
+
+def rare_label(y: np.ndarray) -> int:
+    """The least frequent label present in ``y``."""
+    y = np.asarray(y, dtype=np.int64)
+    counts = np.bincount(y)
+    present = np.nonzero(counts)[0]
+    return int(present[np.argmin(counts[present])])
+
+
+def paper_f1(y_true, y_pred, n_classes: int) -> float:
+    """The paper's classifier metric.
+
+    Binary: F1 of the positive (minority-interest) label 1.
+    Multi-class: F1 of the rarest label in the test set.
+    """
+    y_true = np.asarray(y_true)
+    if n_classes <= 2:
+        return f1_score(y_true, y_pred, label=1)
+    return f1_score(y_true, y_pred, label=rare_label(y_true))
+
+
+def roc_auc(y_true, scores) -> float:
+    """Binary AUC via the rank-sum (Mann-Whitney) statistic."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    pos = scores[y_true == 1]
+    neg = scores[y_true != 1]
+    if len(pos) == 0 or len(neg) == 0:
+        return 0.5
+    order = np.argsort(np.concatenate([neg, pos]), kind="stable")
+    ranks = np.empty(len(order), dtype=np.float64)
+    ranks[order] = np.arange(1, len(order) + 1)
+    # Average ranks over ties.
+    all_scores = np.concatenate([neg, pos])
+    sorted_scores = np.sort(all_scores)
+    # Map each score to average rank of its tie group.
+    uniq, start = np.unique(sorted_scores, return_index=True)
+    counts = np.diff(np.append(start, len(sorted_scores)))
+    avg_rank = {u: s + (c + 1) / 2.0 for u, s, c in zip(uniq, start, counts)}
+    ranks = np.array([avg_rank[s] for s in all_scores])
+    rank_pos = ranks[len(neg):].sum()
+    auc = (rank_pos - len(pos) * (len(pos) + 1) / 2.0) / (len(pos) * len(neg))
+    return float(auc)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    probs = counts / counts.sum()
+    probs = probs[probs > 0]
+    return float(-(probs * np.log(probs)).sum())
+
+
+def normalized_mutual_info(labels_a, labels_b) -> float:
+    """NMI with arithmetic-mean normalization (the standard form).
+
+    Used as the clustering quality Eval(C|T) in the paper's clustering
+    utility metric DiffCST.
+    """
+    a = np.asarray(labels_a, dtype=np.int64)
+    b = np.asarray(labels_b, dtype=np.int64)
+    if len(a) != len(b):
+        raise ValueError("label arrays must align")
+    if len(a) == 0:
+        return 0.0
+    n = len(a)
+    a_vals, a_idx = np.unique(a, return_inverse=True)
+    b_vals, b_idx = np.unique(b, return_inverse=True)
+    contingency = np.zeros((len(a_vals), len(b_vals)))
+    np.add.at(contingency, (a_idx, b_idx), 1.0)
+    joint = contingency / n
+    pa = joint.sum(axis=1)
+    pb = joint.sum(axis=0)
+    outer = pa[:, None] * pb[None, :]
+    nonzero = joint > 0
+    mi = float((joint[nonzero]
+                * np.log(joint[nonzero] / outer[nonzero])).sum())
+    ha = _entropy(contingency.sum(axis=1))
+    hb = _entropy(contingency.sum(axis=0))
+    denom = 0.5 * (ha + hb)
+    if denom <= 0:
+        return 0.0 if (ha > 0 or hb > 0) else 1.0
+    return mi / denom
+
+
+def accuracy(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return float(np.mean(y_true == y_pred)) if len(y_true) else 0.0

@@ -1,0 +1,73 @@
+"""Feature encoding for the evaluator classifiers.
+
+The utility protocol trains a classifier on the synthetic table and a
+twin classifier on the real table, evaluating both on the same test set,
+so the encoding must be a pure function of the *schema* (one-hot widths
+fixed by declared domains) with scale statistics from the fitting table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..datasets.schema import Table
+from ..errors import SchemaError
+
+
+class FeatureEncoder:
+    """Schema-driven feature matrix builder.
+
+    Numerical attributes are z-scored with statistics of the fitted
+    table; categorical attributes are one-hot with width fixed by the
+    schema's declared domain, so matrices from different tables sharing a
+    schema are column-aligned.
+    """
+
+    def __init__(self, standardize: bool = True, onehot: bool = True):
+        self.standardize = standardize
+        self.onehot = onehot
+        self._means = {}
+        self._stds = {}
+        self._schema = None
+
+    def fit(self, table: Table) -> "FeatureEncoder":
+        self._schema = table.schema
+        self._means = {}
+        self._stds = {}
+        for attr in table.schema.feature_attributes:
+            if attr.is_numerical and self.standardize:
+                col = table.column(attr.name)
+                self._means[attr.name] = float(col.mean())
+                self._stds[attr.name] = float(max(col.std(), 1e-9))
+        return self
+
+    def transform(self, table: Table) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, y)``; ``y`` is the integer label column."""
+        if self._schema is None:
+            raise RuntimeError("encoder is not fitted")
+        if table.schema.names != self._schema.names:
+            raise SchemaError("table schema differs from fitted schema")
+        parts = []
+        for attr in self._schema.feature_attributes:
+            col = table.column(attr.name)
+            if attr.is_numerical:
+                if self.standardize:
+                    col = (col - self._means[attr.name]) / self._stds[attr.name]
+                parts.append(col[:, None])
+            elif self.onehot:
+                block = np.zeros((len(col), attr.domain_size))
+                block[np.arange(len(col)), col] = 1.0
+                parts.append(block)
+            else:
+                parts.append(col[:, None].astype(np.float64))
+        X = np.concatenate(parts, axis=1) if parts else np.zeros((len(table), 0))
+        if self._schema.label_name is not None:
+            y = table.label_codes
+        else:
+            y = np.zeros(len(table), dtype=np.int64)
+        return X, y
+
+    def fit_transform(self, table: Table) -> Tuple[np.ndarray, np.ndarray]:
+        return self.fit(table).transform(table)

@@ -1,0 +1,213 @@
+"""CART decision tree classifier (gini impurity, weighted samples).
+
+The paper evaluates synthetic-data utility with decision trees of max
+depth 10 and 30 (DT10/DT30); this implementation also serves as the weak
+learner for AdaBoost and the base estimator for the random forest.
+Split search is vectorized: per candidate feature, class counts are
+prefix-summed over the sorted column and every valid threshold is scored
+at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "proba")
+
+    def __init__(self):
+        self.feature = -1
+        self.threshold = 0.0
+        self.left = -1
+        self.right = -1
+        self.proba: Optional[np.ndarray] = None
+
+
+class DecisionTreeClassifier:
+    """CART with gini impurity.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (paper uses 10 and 30).
+    max_features:
+        Number of features examined per split; None -> all, "sqrt" ->
+        ``ceil(sqrt(d))`` (used by the random forest).
+    """
+
+    def __init__(self, max_depth: int = 10, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_features=None,
+                 rng: Optional[np.random.Generator] = None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.n_classes = 0
+        self._nodes: List[_Node] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: Optional[np.ndarray] = None
+            ) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        if sample_weight is None:
+            sample_weight = np.ones(len(y))
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        self.n_classes = int(y.max()) + 1
+        self._nodes = []
+        self._n_features = X.shape[1]
+
+        # Iterative construction with an explicit stack of
+        # (node_index, row_indices, depth).
+        root = self._new_node()
+        stack = [(root, np.arange(len(y)), 0)]
+        while stack:
+            node_id, idx, depth = stack.pop()
+            node = self._nodes[node_id]
+            node.proba = self._leaf_proba(y[idx], sample_weight[idx])
+            if depth >= self.max_depth or len(idx) < self.min_samples_split:
+                continue
+            if node.proba.max() >= 1.0:  # pure node
+                continue
+            split = self._best_split(X, y, sample_weight, idx)
+            if split is None:
+                continue
+            feature, threshold, left_idx, right_idx = split
+            node.feature = feature
+            node.threshold = threshold
+            node.left = self._new_node()
+            node.right = self._new_node()
+            stack.append((node.left, left_idx, depth + 1))
+            stack.append((node.right, right_idx, depth + 1))
+        return self
+
+    def _new_node(self) -> int:
+        self._nodes.append(_Node())
+        return len(self._nodes) - 1
+
+    def _leaf_proba(self, y: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, weights=weight, minlength=self.n_classes)
+        total = counts.sum()
+        if total <= 0:
+            return np.full(self.n_classes, 1.0 / self.n_classes)
+        return counts / total
+
+    def _candidate_features(self) -> np.ndarray:
+        d = self._n_features
+        if self.max_features is None:
+            return np.arange(d)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.ceil(np.sqrt(d))))
+        else:
+            k = min(int(self.max_features), d)
+        return self.rng.choice(d, size=k, replace=False)
+
+    def _best_split(self, X, y, weight, idx):
+        """Return (feature, threshold, left_idx, right_idx) or None."""
+        best_gain = 1e-12
+        best = None
+        y_node = y[idx]
+        w_node = weight[idx]
+        total_w = w_node.sum()
+        onehot = np.zeros((len(idx), self.n_classes))
+        onehot[np.arange(len(idx)), y_node] = 1.0
+        weighted_onehot = onehot * w_node[:, None]
+        counts_total = weighted_onehot.sum(axis=0)
+        gini_parent = 1.0 - np.sum((counts_total / total_w) ** 2)
+
+        for feature in self._candidate_features():
+            values = X[idx, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_vals = values[order]
+            # Valid split positions: between consecutive distinct values.
+            diff = np.diff(sorted_vals)
+            positions = np.nonzero(diff > 0)[0]
+            if positions.size == 0:
+                continue
+            prefix = weighted_onehot[order].cumsum(axis=0)
+            left_counts = prefix[positions]
+            right_counts = counts_total - left_counts
+            left_w = left_counts.sum(axis=1)
+            right_w = right_counts.sum(axis=1)
+            ok = (left_w > 0) & (right_w > 0)
+            if self.min_samples_leaf > 1:
+                n_left = positions + 1
+                n_right = len(idx) - n_left
+                ok &= (n_left >= self.min_samples_leaf)
+                ok &= (n_right >= self.min_samples_leaf)
+            if not ok.any():
+                continue
+            gini_left = 1.0 - np.sum(
+                (left_counts / np.maximum(left_w, 1e-300)[:, None]) ** 2,
+                axis=1)
+            gini_right = 1.0 - np.sum(
+                (right_counts / np.maximum(right_w, 1e-300)[:, None]) ** 2,
+                axis=1)
+            impurity = (left_w * gini_left + right_w * gini_right) / total_w
+            impurity = np.where(ok, impurity, np.inf)
+            best_pos = int(np.argmin(impurity))
+            gain = gini_parent - impurity[best_pos]
+            if gain > best_gain:
+                pos = positions[best_pos]
+                threshold = 0.5 * (sorted_vals[pos] + sorted_vals[pos + 1])
+                best_gain = gain
+                best = (int(feature), float(threshold))
+        if best is None:
+            return None
+        feature, threshold = best
+        mask = X[idx, feature] <= threshold
+        return feature, threshold, idx[mask], idx[~mask]
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if not self._nodes:
+            raise RuntimeError("tree is not fitted")
+        out = np.empty((len(X), self.n_classes))
+        # Route all rows through the tree level by level using masks.
+        stack = [(0, np.arange(len(X)))]
+        while stack:
+            node_id, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            node = self._nodes[node_id]
+            if node.left == -1:
+                out[rows] = node.proba
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if not self._nodes:
+            return 0
+        depths = {0: 0}
+        best = 0
+        for i, node in enumerate(self._nodes):
+            d = depths.get(i, 0)
+            best = max(best, d)
+            if node.left != -1:
+                depths[node.left] = d + 1
+                depths[node.right] = d + 1
+        return best

@@ -1,0 +1,33 @@
+"""Minimal autograd + neural-network substrate (replaces PyTorch offline).
+
+Public surface::
+
+    from repro.nn import Tensor, Linear, BatchNorm1d, LSTMCell, Adam, ...
+"""
+
+from .tensor import Tensor, as_tensor, concat, stack, where
+from .module import Module, Parameter, Sequential
+from .layers import (
+    Linear, BatchNorm1d, ReLU, LeakyReLU, Tanh, Sigmoid, Dropout,
+)
+from .conv import Conv2d, ConvTranspose2d, BatchNorm2d
+from .rnn import LSTMCell, SequenceToOneLSTM
+from .optim import (
+    SGD, Adam, RMSProp, Optimizer, clip_parameters, clip_gradients,
+    add_gradient_noise, global_gradient_norm,
+)
+from .losses import (
+    bce_with_logits, binary_cross_entropy, mse, categorical_kl, gaussian_kl,
+)
+
+__all__ = [
+    "Tensor", "as_tensor", "concat", "stack", "where",
+    "Module", "Parameter", "Sequential",
+    "Linear", "BatchNorm1d", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
+    "Dropout", "Conv2d", "ConvTranspose2d", "BatchNorm2d",
+    "LSTMCell", "SequenceToOneLSTM",
+    "SGD", "Adam", "RMSProp", "Optimizer", "clip_parameters",
+    "clip_gradients", "add_gradient_noise", "global_gradient_norm",
+    "bce_with_logits", "binary_cross_entropy", "mse", "categorical_kl",
+    "gaussian_kl",
+]

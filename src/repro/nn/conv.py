@@ -1,0 +1,186 @@
+"""Convolution and transposed convolution for matrix-form samples.
+
+The paper's CNN design (Appendix A.1.1, Figure 10) follows DCGAN: the
+generator is a stack of fractionally strided (de-)convolutions and the
+discriminator a stack of strided convolutions.  Both are implemented here
+with im2col/col2im so forward and backward are plain matrix products.
+
+Layout convention is ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+            pad: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` into columns of receptive fields.
+
+    Returns ``(cols, oh, ow)`` where ``cols`` has shape
+    ``(N, C*kh*kw, oh*ow)``.
+    """
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, stride, pad)
+    ow = _conv_output_size(w, kw, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            cols[:, :, i, j, :, :] = xp[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow), oh, ow
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
+            kw: int, stride: int, pad: int, oh: int, ow: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: fold columns back, summing overlaps."""
+    n, c, h, w = x_shape
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            xp[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    if pad:
+        return xp[:, :, pad:-pad, pad:-pad]
+    return xp
+
+
+class Conv2d(Module):
+    """Strided 2D convolution."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.normal(rng, shape, std=0.05))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        weight = self.weight
+        bias = self.bias
+        n, c, h, w = x.data.shape
+        cols, oh, ow = _im2col(x.data, k, k, s, p)
+        wmat = weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("ok,nkl->nol", wmat, cols)
+        if bias is not None:
+            out = out + bias.data[None, :, None]
+        out = out.reshape(n, self.out_channels, oh, ow)
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad: np.ndarray):
+            gmat = grad.reshape(n, self.out_channels, oh * ow)
+            grad_w = np.einsum("nol,nkl->ok", gmat, cols).reshape(
+                weight.data.shape)
+            grad_cols = np.einsum("ok,nol->nkl", wmat, gmat)
+            grad_x = _col2im(grad_cols, (n, c, h, w), k, k, s, p, oh, ow)
+            if bias is None:
+                return (grad_x, grad_w)
+            grad_b = gmat.sum(axis=(0, 2))
+            return (grad_x, grad_w, grad_b)
+
+        return Tensor._make(out, parents, backward)
+
+
+class ConvTranspose2d(Module):
+    """Fractionally strided ("de-") convolution, the DCGAN generator op."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (in_channels, out_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.normal(rng, shape, std=0.05))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def output_size(self, size: int) -> int:
+        return (size - 1) * self.stride - 2 * self.padding + self.kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        weight = self.weight
+        bias = self.bias
+        n, c, h, w = x.data.shape
+        out_h = self.output_size(h)
+        out_w = self.output_size(w)
+        xm = x.data.reshape(n, c, h * w)
+        wmat = weight.data.reshape(c, -1)  # (C, OC*k*k)
+        cols = np.einsum("ck,ncl->nkl", wmat, xm)
+        out = _col2im(cols, (n, self.out_channels, out_h, out_w), k, k, s, p,
+                      h, w)
+        if bias is not None:
+            out = out + bias.data[None, :, None, None]
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad: np.ndarray):
+            grad_cols, _, _ = _im2col(grad, k, k, s, p)
+            grad_x = np.einsum("ck,nkl->ncl", wmat, grad_cols).reshape(
+                n, c, h, w)
+            grad_w = np.einsum("ncl,nkl->ck", xm, grad_cols).reshape(
+                weight.data.shape)
+            if bias is None:
+                return (grad_x, grad_w)
+            grad_b = grad.sum(axis=(0, 2, 3))
+            return (grad_x, grad_w, grad_b)
+
+        return Tensor._make(out, parents, backward)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization per channel of ``(N, C, H, W)`` activations."""
+
+    def __init__(self, num_channels: int, momentum: float = 0.1,
+                 eps: float = 1e-5):
+        super().__init__()
+        self.num_channels = num_channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((1, num_channels, 1, 1)))
+        self.beta = Parameter(init.zeros((1, num_channels, 1, 1)))
+        self.running_mean = np.zeros((1, num_channels, 1, 1))
+        self.running_var = np.ones((1, num_channels, 1, 1))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = (0, 2, 3)
+        if self.training and x.shape[0] > 1:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean.data)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var.data)
+            normed = centered * ((var + self.eps) ** -0.5)
+        else:
+            normed = (x - self.running_mean) * (
+                1.0 / np.sqrt(self.running_var + self.eps))
+        return normed * self.gamma + self.beta

@@ -1,0 +1,40 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is reproducible (DESIGN.md §5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(rng: np.random.Generator, fan_in: int,
+                   shape=None) -> np.ndarray:
+    """He normal initialization, suitable for ReLU layers."""
+    std = np.sqrt(2.0 / fan_in)
+    if shape is None:
+        shape = (fan_in,)
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """DCGAN-style small normal initialization."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

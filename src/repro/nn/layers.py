@@ -1,0 +1,111 @@
+"""Core dense layers: Linear, BatchNorm1d, activations, Dropout.
+
+These are the building blocks of the MLP generator/discriminator of the
+paper (Appendix A.1.2): ``h^{l+1} = phi(BN(FC(h^l)))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the feature axis of ``(batch, features)``.
+
+    Keeps running statistics for eval-mode normalization, matching the
+    standard formulation of Ioffe & Szegedy used by the paper's models.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones(num_features))
+        self.beta = Parameter(init.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training and x.shape[0] > 1:
+            mean = x.mean(axis=0)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean.data)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var.data)
+            inv_std = (var + self.eps) ** -0.5
+            normed = centered * inv_std
+        else:
+            normed = (x - self.running_mean) * (
+                1.0 / np.sqrt(self.running_var + self.eps))
+        return normed * self.gamma + self.beta
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.2):
+        super().__init__()
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * mask

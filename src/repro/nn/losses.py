@@ -1,0 +1,71 @@
+"""Loss functions used by the GAN/VAE training algorithms.
+
+``bce_with_logits`` is a fused primitive (numerically stable, with the
+well-known gradient ``sigmoid(x) - t``), because vanilla GAN training
+(paper Algorithm 1) evaluates ``log D`` and ``log(1 - D)`` on nearly
+saturated discriminator outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, _ensure_tensor
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Mean binary cross entropy on raw logits.
+
+    ``loss = mean(max(x, 0) - x*t + log(1 + exp(-|x|)))``.
+    """
+    targets = np.asarray(targets, dtype=logits.data.dtype)
+    x = logits.data
+    loss_terms = np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+    data = loss_terms.mean()
+
+    def backward(grad: np.ndarray):
+        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        return (grad * (sig - targets) / x.size,)
+
+    return Tensor._make(np.asarray(data), (logits,), backward)
+
+
+def mse(pred: Tensor, target) -> Tensor:
+    """Mean squared error against a constant target."""
+    target = _ensure_tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy(probs: Tensor, targets, eps: float = 1e-7) -> Tensor:
+    """Mean BCE on probabilities (clipped for stability)."""
+    targets = np.asarray(targets, dtype=probs.data.dtype)
+    clipped = probs.clip(eps, 1.0 - eps)
+    term = clipped.log() * targets + (1.0 - clipped).log() * (1.0 - targets)
+    return -term.mean()
+
+
+def categorical_kl(p_real: np.ndarray, p_fake: Tensor,
+                   eps: float = 1e-7) -> Tensor:
+    """KL(p_real || p_fake) where ``p_real`` is a constant distribution.
+
+    Used by the VTrain warm-up term (paper Eq. 2): ``p_real`` is the
+    empirical category distribution of the real minibatch, ``p_fake`` the
+    batch-mean of the generator's softmax head — differentiable in the
+    generator parameters.
+    """
+    p_real = np.asarray(p_real, dtype=p_fake.data.dtype)
+    p_real = p_real / max(p_real.sum(), eps)
+    log_fake = p_fake.clip(eps, 1.0).log()
+    cross = -(log_fake * p_real).sum()
+    entropy = float(-(p_real * np.log(np.maximum(p_real, eps))).sum())
+    return cross - entropy
+
+
+def gaussian_kl(mu: Tensor, logvar: Tensor) -> Tensor:
+    """KL(N(mu, exp(logvar)) || N(0, I)) summed over dims, mean over batch.
+
+    The VAE regularizer: ``-0.5 * sum(1 + logvar - mu^2 - exp(logvar))``.
+    """
+    term = 1.0 + logvar - mu * mu - logvar.exp()
+    return (term.sum(axis=1) * -0.5).mean()

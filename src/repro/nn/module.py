@@ -1,0 +1,115 @@
+"""Module/Parameter abstractions (a minimal ``torch.nn.Module`` analogue)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor: ``requires_grad`` is always True."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` collects them recursively in a stable
+    order (insertion order of attributes).
+    """
+
+    def __init__(self):
+        self._params: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_params", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a child module stored in a container (list/dict)."""
+        self._modules[name] = module
+
+    def parameters(self) -> List[Parameter]:
+        out: List[Parameter] = []
+        seen: set[int] = set()
+        for param in self._params.values():
+            if id(param) not in seen:
+                seen.add(id(param))
+                out.append(param)
+        for module in self._modules.values():
+            for param in module.parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    out.append(param)
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._params.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot of all parameter values (copies)."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if state[name].shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{state[name].shape} vs {param.data.shape}")
+            param.data = state[name].copy()
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+        for i, module in enumerate(modules):
+            self.register_module(str(i), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

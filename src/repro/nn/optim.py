@@ -1,0 +1,142 @@
+"""Optimizers: SGD, Adam, RMSProp — plus WGAN weight clipping.
+
+The paper's training algorithms (Table 1) pair VTrain/CTrain with Adam and
+WTrain/DPTrain with RMSProp; both are implemented here exactly as in their
+original formulations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, vel in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                vel *= self.momentum
+                vel += param.grad
+                param.data -= self.lr * vel
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp as used by WGAN training (Arjovsky et al., 2017)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 5e-5,
+                 alpha: float = 0.99, eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, sq in zip(self.params, self._sq):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            sq *= self.alpha
+            sq += (1 - self.alpha) * grad * grad
+            param.data -= self.lr * grad / (np.sqrt(sq) + self.eps)
+
+
+def clip_parameters(params: Iterable[Parameter], clip: float) -> None:
+    """WGAN weight clipping: project every parameter into [-clip, clip]."""
+    if clip <= 0:
+        raise ValueError("clip must be positive")
+    for param in params:
+        np.clip(param.data, -clip, clip, out=param.data)
+
+
+def global_gradient_norm(params: Iterable[Parameter]) -> float:
+    """L2 norm of the concatenated gradient vector (for diagnostics)."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float(np.sum(param.grad ** 2))
+    return float(np.sqrt(total))
+
+
+def clip_gradients(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Used by DPGAN's bounded-sensitivity
+    gradient step.
+    """
+    params = list(params)
+    norm = global_gradient_norm(params)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm
+
+
+def add_gradient_noise(params: Iterable[Parameter], std: float,
+                       rng: np.random.Generator) -> None:
+    """Add iid Gaussian noise N(0, std^2) to every gradient (DPGAN)."""
+    for param in params:
+        if param.grad is not None:
+            param.grad = param.grad + rng.normal(0.0, std, size=param.grad.shape)

@@ -1,0 +1,88 @@
+"""LSTM building blocks for the sequence-generation synthesizer.
+
+The paper's LSTM generator (Appendix A.1.3, Figure 12) produces a record
+attribute by attribute: the j-th timestep consumes the noise ``z``, the
+previous output ``f^j`` and hidden state ``h^j``.  The discriminator uses
+a sequence-to-one LSTM.  Both are built on :class:`LSTMCell`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concat
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with fused gate weights.
+
+    Gate layout along the last axis: input, forget, cell, output.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_x = Parameter(
+            init.xavier_uniform(rng, input_size, 4 * hidden_size))
+        self.weight_h = Parameter(
+            init.xavier_uniform(rng, hidden_size, 4 * hidden_size))
+        # Forget-gate bias starts at 1.0, the standard stabilization trick.
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]
+                ) -> Tuple[Tensor, Tensor]:
+        """One step. ``state`` is ``(h, c)``; returns the new ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = x @ self.weight_x + h_prev @ self.weight_h + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs:3 * hs].tanh()
+        o_gate = gates[:, 3 * hs:4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int,
+                      rng: Optional[np.random.Generator] = None
+                      ) -> Tuple[Tensor, Tensor]:
+        """Zero (or random, per the paper) initial ``(h, c)``."""
+        if rng is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h = Tensor(rng.normal(0, 0.1, (batch, self.hidden_size)))
+            c = Tensor(rng.normal(0, 0.1, (batch, self.hidden_size)))
+        return h, c
+
+
+class SequenceToOneLSTM(Module):
+    """Runs an LSTM over a sequence and returns the final hidden state.
+
+    This realizes the paper's LSTM-based discriminator (a "typical
+    sequence-to-one LSTM" [53]): the caller appends a classification head
+    on the returned hidden state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, steps: List[Tensor]) -> Tensor:
+        if not steps:
+            raise ValueError("empty input sequence")
+        batch = steps[0].shape[0]
+        state = self.cell.initial_state(batch)
+        for step in steps:
+            state = self.cell(step, state)
+        return state[0]

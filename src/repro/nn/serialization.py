@@ -1,0 +1,45 @@
+"""Parameter persistence: save/load module state dicts as ``.npz``.
+
+Keeps trained generators reusable across processes without pickling
+code objects — the state dict is plain arrays keyed by parameter path,
+so it is robust to refactors that do not rename parameters.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_state(path: PathLike, state: Dict[str, np.ndarray]) -> None:
+    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez(path, **state)
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    path = pathlib.Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        return {key: data[key].copy() for key in data.files}
+
+
+def save_module(path: PathLike, module: Module) -> None:
+    """Persist a module's parameters."""
+    save_state(path, module.state_dict())
+
+
+def load_module(path: PathLike, module: Module) -> Module:
+    """Restore parameters into a structurally identical module."""
+    module.load_state_dict(load_state(path))
+    return module

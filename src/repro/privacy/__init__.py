@@ -1,0 +1,9 @@
+"""Privacy evaluation: hitting rate, DCR, and a DP accountant."""
+
+from .metrics import distance_to_closest_record, hitting_rate
+from .accountant import epsilon_for, rdp_subsampled_gaussian, sigma_for_epsilon
+
+__all__ = [
+    "hitting_rate", "distance_to_closest_record",
+    "epsilon_for", "rdp_subsampled_gaussian", "sigma_for_epsilon",
+]

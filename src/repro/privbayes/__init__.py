@@ -1,0 +1,13 @@
+"""PrivBayes baseline: DP Bayesian-network synthesis (Zhang et al.)."""
+
+from .discretize import EquiWidthDiscretizer
+from .network import (
+    BayesianNetwork, NodeSpec, joint_encode, learn_structure,
+    mutual_information,
+)
+from .synthesizer import PrivBayesSynthesizer
+
+__all__ = [
+    "EquiWidthDiscretizer", "BayesianNetwork", "NodeSpec", "joint_encode",
+    "learn_structure", "mutual_information", "PrivBayesSynthesizer",
+]

@@ -1,0 +1,5 @@
+"""Paper-shaped output formatting for benchmark harnesses."""
+
+from .tables import format_cell, format_series, format_table, print_report
+
+__all__ = ["format_cell", "format_series", "format_table", "print_report"]

@@ -1,0 +1,54 @@
+"""Fixed-width table / series formatting for paper-shaped output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_cell(value, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """Render an aligned monospace table."""
+    text_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[Number]],
+                  x_label: str = "epoch", title: Optional[str] = None,
+                  precision: int = 3) -> str:
+    """Render named series (a text rendition of a paper figure)."""
+    names = list(series)
+    length = max(len(s) for s in series.values())
+    headers = [x_label] + names
+    rows = []
+    for i in range(length):
+        row = [i + 1]
+        for name in names:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def print_report(text: str) -> None:
+    """Print with framing so benchmark output is easy to locate."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{text}\n{bar}")

@@ -1,0 +1,22 @@
+"""Phase I data transformation (paper §4): records <-> numeric samples."""
+
+from .base import (
+    AttributeTransformer, BlockSpec,
+    HEAD_TANH, HEAD_TANH_SOFTMAX, HEAD_SOFTMAX, HEAD_SIGMOID,
+)
+from .categorical import OneHotEncoder, OrdinalEncoder, TanhOrdinalEncoder
+from .numerical import GMMNormalizer, SimpleNormalizer
+from .gmm import GaussianMixture1D
+from .record import (
+    RecordTransformer, MatrixTransformer,
+    ORDINAL, ONEHOT, SIMPLE, GMM,
+)
+
+__all__ = [
+    "AttributeTransformer", "BlockSpec",
+    "HEAD_TANH", "HEAD_TANH_SOFTMAX", "HEAD_SOFTMAX", "HEAD_SIGMOID",
+    "OneHotEncoder", "OrdinalEncoder", "TanhOrdinalEncoder",
+    "GMMNormalizer", "SimpleNormalizer", "GaussianMixture1D",
+    "RecordTransformer", "MatrixTransformer",
+    "ORDINAL", "ONEHOT", "SIMPLE", "GMM",
+]

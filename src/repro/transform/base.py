@@ -1,0 +1,68 @@
+"""Attribute transformer interface (paper §4, Phase I).
+
+Each transformer converts one attribute column into a block of the sample
+vector ``t`` and back.  ``head`` declares which output activation the
+generator must use for this block (paper Appendix A.1.2, cases C1–C4),
+which is how the models are made "attribute-aware".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+# Generator head kinds (paper cases C1-C4).
+HEAD_TANH = "tanh"                  # C1: simple normalization
+HEAD_TANH_SOFTMAX = "tanh+softmax"  # C2: GMM-based (mode-specific)
+HEAD_SOFTMAX = "softmax"            # C3: one-hot encoding
+HEAD_SIGMOID = "sigmoid"            # C4: ordinal encoding
+
+
+class AttributeTransformer:
+    """Reversible encoding of one attribute into ``width`` numeric columns."""
+
+    #: head activation kind, one of the HEAD_* constants
+    head: str = HEAD_TANH
+    #: number of output columns
+    width: int = 1
+    #: True when the block's values are category-like (used by KL warm-up)
+    discrete_block: bool = False
+
+    def fit(self, values: np.ndarray) -> "AttributeTransformer":
+        raise NotImplementedError
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Encode a column into shape ``(n, width)``."""
+        raise NotImplementedError
+
+    def inverse(self, block: np.ndarray) -> np.ndarray:
+        """Decode a ``(n, width)`` block back into a column."""
+        raise NotImplementedError
+
+    def _require_block(self, block: np.ndarray) -> np.ndarray:
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.width:
+            raise ValueError(
+                f"expected block of width {self.width}, got {block.shape}")
+        return block
+
+
+@dataclass
+class BlockSpec:
+    """Layout of one attribute's block inside the sample vector."""
+
+    name: str
+    start: int
+    width: int
+    head: str
+    discrete_block: bool
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.width
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.start, self.stop)

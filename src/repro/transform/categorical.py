@@ -1,0 +1,98 @@
+"""Categorical attribute encodings: ordinal and one-hot (paper §4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TransformError
+from .base import AttributeTransformer, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH
+
+
+class OrdinalEncoder(AttributeTransformer):
+    """Map category code ``k`` of a K-category attribute to ``k / (K-1)``.
+
+    The paper assigns each category an ordinal integer in ``[0, K-1]``;
+    for the neural input we scale that into ``[0, 1]`` to match the
+    sigmoid output head (case C4).  Decoding rounds to the nearest code.
+    """
+
+    head = HEAD_SIGMOID
+    width = 1
+    discrete_block = False
+
+    def __init__(self):
+        self.domain_size: int | None = None
+
+    def fit(self, values: np.ndarray) -> "OrdinalEncoder":
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            raise TransformError("cannot fit encoder on empty column")
+        self.domain_size = int(values.max()) + 1
+        return self
+
+    def _scale(self) -> float:
+        if self.domain_size is None:
+            raise TransformError("encoder is not fitted")
+        return float(max(self.domain_size - 1, 1))
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return (values / self._scale())[:, None]
+
+    def inverse(self, block: np.ndarray) -> np.ndarray:
+        block = self._require_block(block)
+        codes = np.rint(block[:, 0] * self._scale()).astype(np.int64)
+        return np.clip(codes, 0, self.domain_size - 1)
+
+
+class TanhOrdinalEncoder(OrdinalEncoder):
+    """Ordinal encoding scaled into [-1, 1] for tanh-output models.
+
+    Used by the matrix-form (CNN) pipeline, whose single final activation
+    is tanh and therefore needs every cell in [-1, 1].
+    """
+
+    head = HEAD_TANH
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return (-1.0 + 2.0 * values / self._scale())[:, None]
+
+    def inverse(self, block: np.ndarray) -> np.ndarray:
+        block = self._require_block(block)
+        unit = (np.clip(block[:, 0], -1.0, 1.0) + 1.0) / 2.0
+        codes = np.rint(unit * self._scale()).astype(np.int64)
+        return np.clip(codes, 0, self.domain_size - 1)
+
+
+class OneHotEncoder(AttributeTransformer):
+    """K-wide one-hot encoding; decoding takes the argmax (case C3)."""
+
+    head = HEAD_SOFTMAX
+    discrete_block = True
+
+    def __init__(self):
+        self.domain_size: int | None = None
+        self.width = 0
+
+    def fit(self, values: np.ndarray) -> "OneHotEncoder":
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            raise TransformError("cannot fit encoder on empty column")
+        self.domain_size = int(values.max()) + 1
+        self.width = self.domain_size
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.domain_size is None:
+            raise TransformError("encoder is not fitted")
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise TransformError("category code outside fitted domain")
+        out = np.zeros((len(values), self.domain_size))
+        out[np.arange(len(values)), values] = 1.0
+        return out
+
+    def inverse(self, block: np.ndarray) -> np.ndarray:
+        block = self._require_block(block)
+        return block.argmax(axis=1).astype(np.int64)

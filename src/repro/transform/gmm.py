@@ -1,0 +1,106 @@
+"""1-D Gaussian mixture model fitted by expectation–maximization.
+
+Backs the paper's GMM-based ("mode-specific") normalization (§4): a
+numerical attribute is clustered into ``s`` modes and each value is
+normalized within the mode it most likely belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+_VAR_FLOOR = 1e-6
+
+
+@dataclass
+class GaussianMixture1D:
+    """EM-fitted univariate GMM.
+
+    Attributes
+    ----------
+    means, stds, weights:
+        Per-component parameters, shape ``(n_components,)``.
+    """
+
+    n_components: int = 5
+    max_iter: int = 100
+    tol: float = 1e-5
+
+    means: Optional[np.ndarray] = None
+    stds: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray,
+            rng: Optional[np.random.Generator] = None) -> "GaussianMixture1D":
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            raise ValueError("cannot fit GMM on empty data")
+        rng = rng if rng is not None else np.random.default_rng()
+        k = min(self.n_components, max(1, np.unique(values).size))
+        self.n_components = k
+
+        # Initialize means at spread quantiles, which is deterministic and
+        # robust for 1-D data; stds at the global scale.
+        quantiles = np.linspace(0, 100, k + 2)[1:-1]
+        means = np.percentile(values, quantiles).astype(np.float64)
+        means += rng.normal(0, 1e-6, size=k)  # break exact ties
+        global_std = max(float(values.std()), np.sqrt(_VAR_FLOOR))
+        stds = np.full(k, global_std)
+        weights = np.full(k, 1.0 / k)
+
+        prev_ll = -np.inf
+        x = values[:, None]
+        for _ in range(self.max_iter):
+            # E-step: responsibilities (log-space for stability).
+            log_prob = (-0.5 * ((x - means) / stds) ** 2
+                        - np.log(stds) - 0.5 * np.log(2 * np.pi)
+                        + np.log(np.maximum(weights, 1e-300)))
+            log_norm = _logsumexp(log_prob, axis=1)
+            resp = np.exp(log_prob - log_norm[:, None])
+            ll = float(log_norm.mean())
+
+            # M-step.
+            nk = resp.sum(axis=0) + 1e-12
+            means = (resp * x).sum(axis=0) / nk
+            var = (resp * (x - means) ** 2).sum(axis=0) / nk
+            stds = np.sqrt(np.maximum(var, _VAR_FLOOR))
+            weights = nk / nk.sum()
+
+            if abs(ll - prev_ll) < self.tol:
+                break
+            prev_ll = ll
+
+        self.means, self.stds, self.weights = means, stds, weights
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.means is None:
+            raise RuntimeError("GMM is not fitted")
+
+    def posteriors(self, values: np.ndarray) -> np.ndarray:
+        """P(component | value), shape ``(n, n_components)``."""
+        self._check_fitted()
+        x = np.asarray(values, dtype=np.float64).ravel()[:, None]
+        log_prob = (-0.5 * ((x - self.means) / self.stds) ** 2
+                    - np.log(self.stds)
+                    + np.log(np.maximum(self.weights, 1e-300)))
+        log_prob -= _logsumexp(log_prob, axis=1)[:, None]
+        return np.exp(log_prob)
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Most likely component index per value (paper's argmax pi)."""
+        return self.posteriors(values).argmax(axis=1)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_fitted()
+        comps = rng.choice(self.n_components, size=n, p=self.weights)
+        return rng.normal(self.means[comps], self.stds[comps])
+
+
+def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
+    amax = a.max(axis=axis, keepdims=True)
+    out = np.log(np.exp(a - amax).sum(axis=axis)) + amax.squeeze(axis)
+    return out

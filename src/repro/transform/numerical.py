@@ -1,0 +1,109 @@
+"""Numerical attribute normalizations: simple min-max and GMM-based.
+
+Simple normalization maps into ``[-1, 1]`` (tanh head, case C1).  GMM
+("mode-specific") normalization represents a value as the pair
+``(v_gmm, onehot(mode))`` (tanh + softmax head, case C2), exactly as in
+paper §4 / Xu & Veeramachaneni's TGAN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TransformError
+from .base import AttributeTransformer, HEAD_TANH, HEAD_TANH_SOFTMAX
+from .gmm import GaussianMixture1D
+
+
+class SimpleNormalizer(AttributeTransformer):
+    """Min-max normalization into [-1, 1]: ``-1 + 2 (v - min)/(max - min)``."""
+
+    head = HEAD_TANH
+    width = 1
+    discrete_block = False
+
+    def __init__(self, integral: bool = False):
+        self.integral = integral
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def fit(self, values: np.ndarray) -> "SimpleNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise TransformError("cannot fit normalizer on empty column")
+        self.min = float(values.min())
+        self.max = float(values.max())
+        return self
+
+    def _range(self) -> float:
+        if self.min is None:
+            raise TransformError("normalizer is not fitted")
+        return max(self.max - self.min, 1e-12)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        normed = -1.0 + 2.0 * (values - self.min) / self._range()
+        return normed[:, None]
+
+    def inverse(self, block: np.ndarray) -> np.ndarray:
+        block = self._require_block(block)
+        clipped = np.clip(block[:, 0], -1.0, 1.0)
+        values = self.min + (clipped + 1.0) / 2.0 * self._range()
+        if self.integral:
+            values = np.rint(values)
+        return values
+
+
+class GMMNormalizer(AttributeTransformer):
+    """Mode-specific normalization via a 1-D Gaussian mixture.
+
+    ``v -> (v_gmm, onehot(k))`` where ``k = argmax_i P(i | v)`` and
+    ``v_gmm = (v - mu_k) / (2 sigma_k)`` clipped to ``[-1, 1]``.
+    """
+
+    head = HEAD_TANH_SOFTMAX
+    discrete_block = True
+
+    def __init__(self, n_components: int = 5, integral: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        self.integral = integral
+        self.n_components = n_components
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.gmm: Optional[GaussianMixture1D] = None
+        self.width = 1 + n_components
+
+    def fit(self, values: np.ndarray) -> "GMMNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise TransformError("cannot fit normalizer on empty column")
+        self.gmm = GaussianMixture1D(n_components=self.n_components).fit(
+            values, rng=self.rng)
+        # The GMM may collapse to fewer components on low-cardinality data.
+        self.n_components = self.gmm.n_components
+        self.width = 1 + self.n_components
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.gmm is None:
+            raise TransformError("normalizer is not fitted")
+        values = np.asarray(values, dtype=np.float64)
+        modes = self.gmm.assign(values)
+        mu = self.gmm.means[modes]
+        sigma = self.gmm.stds[modes]
+        v_gmm = np.clip((values - mu) / (2.0 * sigma), -1.0, 1.0)
+        onehot = np.zeros((len(values), self.n_components))
+        onehot[np.arange(len(values)), modes] = 1.0
+        return np.concatenate([v_gmm[:, None], onehot], axis=1)
+
+    def inverse(self, block: np.ndarray) -> np.ndarray:
+        if self.gmm is None:
+            raise TransformError("normalizer is not fitted")
+        block = self._require_block(block)
+        v_gmm = np.clip(block[:, 0], -1.0, 1.0)
+        modes = block[:, 1:].argmax(axis=1)
+        values = v_gmm * 2.0 * self.gmm.stds[modes] + self.gmm.means[modes]
+        if self.integral:
+            values = np.rint(values)
+        return values

@@ -1,0 +1,235 @@
+"""Record-level transformation: combine attribute blocks into samples.
+
+Implements the paper's two sample forms (§4):
+
+* vector form — concatenation of per-attribute blocks, for MLP/LSTM;
+* matrix form — one value per attribute, zero-padded into a square
+  matrix, for the CNN pipeline (only ordinal encoding + simple
+  normalization are compatible, as the paper notes).
+
+Both directions are implemented, so synthetic samples convert back into
+records (Phase III).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.schema import Schema, Table
+from ..errors import TransformError
+from .base import AttributeTransformer, BlockSpec
+from .categorical import OneHotEncoder, OrdinalEncoder, TanhOrdinalEncoder
+from .numerical import GMMNormalizer, SimpleNormalizer
+
+ORDINAL = "ordinal"
+ONEHOT = "onehot"
+SIMPLE = "simple"
+GMM = "gmm"
+
+
+def _make_categorical(encoding: str) -> AttributeTransformer:
+    if encoding == ORDINAL:
+        return OrdinalEncoder()
+    if encoding == ONEHOT:
+        return OneHotEncoder()
+    raise TransformError(f"unknown categorical encoding {encoding!r}")
+
+
+def _make_numerical(normalization: str, integral: bool, gmm_components: int,
+                    rng: np.random.Generator) -> AttributeTransformer:
+    if normalization == SIMPLE:
+        return SimpleNormalizer(integral=integral)
+    if normalization == GMM:
+        return GMMNormalizer(n_components=gmm_components, integral=integral,
+                             rng=rng)
+    raise TransformError(f"unknown numerical normalization {normalization!r}")
+
+
+class RecordTransformer:
+    """Vector-form sample transformer (MLP / LSTM pipelines).
+
+    Parameters
+    ----------
+    categorical_encoding:
+        ``"ordinal"`` or ``"onehot"``.
+    numerical_normalization:
+        ``"simple"`` or ``"gmm"``.
+    exclude:
+        Attribute names excluded from the sample (the conditional-GAN
+        pipeline excludes the label, which travels as the condition
+        vector instead).
+    """
+
+    def __init__(self, categorical_encoding: str = ONEHOT,
+                 numerical_normalization: str = GMM,
+                 gmm_components: int = 5,
+                 exclude: Sequence[str] = (),
+                 rng: Optional[np.random.Generator] = None):
+        self.categorical_encoding = categorical_encoding
+        self.numerical_normalization = numerical_normalization
+        self.gmm_components = gmm_components
+        self.exclude = tuple(exclude)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.schema: Optional[Schema] = None
+        self.transformers: Dict[str, AttributeTransformer] = {}
+        self.blocks: List[BlockSpec] = []
+        self.output_dim = 0
+
+    @property
+    def attribute_names(self) -> List[str]:
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        return [a.name for a in self.schema.attributes
+                if a.name not in self.exclude]
+
+    def fit(self, table: Table) -> "RecordTransformer":
+        self.schema = table.schema
+        self.transformers = {}
+        self.blocks = []
+        offset = 0
+        for attr in table.schema:
+            if attr.name in self.exclude:
+                continue
+            if attr.is_categorical:
+                transformer = _make_categorical(self.categorical_encoding)
+            else:
+                transformer = _make_numerical(
+                    self.numerical_normalization, attr.integral,
+                    self.gmm_components, self.rng)
+            transformer.fit(table.column(attr.name))
+            self.transformers[attr.name] = transformer
+            self.blocks.append(BlockSpec(
+                name=attr.name, start=offset, width=transformer.width,
+                head=transformer.head,
+                discrete_block=transformer.discrete_block))
+            offset += transformer.width
+        self.output_dim = offset
+        if self.output_dim == 0:
+            raise TransformError("no attributes to transform")
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        parts = [self.transformers[name].transform(table.column(name))
+                 for name in self.attribute_names]
+        return np.concatenate(parts, axis=1)
+
+    def inverse(self, samples: np.ndarray,
+                extra_columns: Optional[Dict[str, np.ndarray]] = None
+                ) -> Table:
+        """Convert samples back into a table.
+
+        ``extra_columns`` supplies excluded attributes (e.g. the label in
+        conditional synthesis).
+        """
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[1] != self.output_dim:
+            raise TransformError(
+                f"expected samples of width {self.output_dim}, "
+                f"got {samples.shape}")
+        columns: Dict[str, np.ndarray] = {}
+        for block in self.blocks:
+            transformer = self.transformers[block.name]
+            columns[block.name] = transformer.inverse(
+                samples[:, block.slice])
+        extra_columns = extra_columns or {}
+        for name in self.exclude:
+            if name not in extra_columns:
+                raise TransformError(
+                    f"excluded attribute {name!r} needs an explicit column")
+            columns[name] = extra_columns[name]
+        return Table(self.schema, columns)
+
+
+class MatrixTransformer:
+    """Matrix-form sample transformer (CNN pipeline).
+
+    Each attribute becomes exactly one value in [-1, 1] (tanh-scaled
+    ordinal for categorical, simple normalization for numerical); records
+    are zero-padded into the smallest square matrix, e.g. 8 attributes ->
+    3x3 with one pad cell, matching the paper's §4 example.
+    """
+
+    def __init__(self, exclude: Sequence[str] = (),
+                 side: Optional[int] = None):
+        self.exclude = tuple(exclude)
+        self.requested_side = side
+        self.schema: Optional[Schema] = None
+        self.transformers: Dict[str, AttributeTransformer] = {}
+        self.side = 0
+        self.n_attributes = 0
+
+    @property
+    def attribute_names(self) -> List[str]:
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        return [a.name for a in self.schema.attributes
+                if a.name not in self.exclude]
+
+    def fit(self, table: Table) -> "MatrixTransformer":
+        self.schema = table.schema
+        self.transformers = {}
+        count = 0
+        for attr in table.schema:
+            if attr.name in self.exclude:
+                continue
+            if attr.is_categorical:
+                transformer = TanhOrdinalEncoder()
+            else:
+                transformer = SimpleNormalizer(integral=attr.integral)
+            transformer.fit(table.column(attr.name))
+            self.transformers[attr.name] = transformer
+            count += 1
+        if count == 0:
+            raise TransformError("no attributes to transform")
+        self.n_attributes = count
+        minimal = int(math.ceil(math.sqrt(count)))
+        if self.requested_side is not None:
+            if self.requested_side < minimal:
+                raise TransformError(
+                    f"side {self.requested_side} too small for "
+                    f"{count} attributes (need >= {minimal})")
+            self.side = self.requested_side
+        else:
+            self.side = minimal
+        return self
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Encode into shape ``(n, 1, side, side)``."""
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        parts = [self.transformers[name].transform(table.column(name))
+                 for name in self.attribute_names]
+        flat = np.concatenate(parts, axis=1)
+        n = flat.shape[0]
+        padded = np.zeros((n, self.side * self.side))
+        padded[:, :self.n_attributes] = flat
+        return padded.reshape(n, 1, self.side, self.side)
+
+    def inverse(self, samples: np.ndarray,
+                extra_columns: Optional[Dict[str, np.ndarray]] = None
+                ) -> Table:
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 4 or samples.shape[2] != self.side:
+            raise TransformError(
+                f"expected samples (n, 1, {self.side}, {self.side}), "
+                f"got {samples.shape}")
+        flat = samples.reshape(samples.shape[0], -1)[:, :self.n_attributes]
+        columns: Dict[str, np.ndarray] = {}
+        for i, name in enumerate(self.attribute_names):
+            columns[name] = self.transformers[name].inverse(flat[:, i:i + 1])
+        extra_columns = extra_columns or {}
+        for name in self.exclude:
+            if name not in extra_columns:
+                raise TransformError(
+                    f"excluded attribute {name!r} needs an explicit column")
+            columns[name] = extra_columns[name]
+        return Table(self.schema, columns)

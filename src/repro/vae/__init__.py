@@ -1,0 +1,6 @@
+"""Variational autoencoder baseline (paper §6.3)."""
+
+from .model import VAEModel, elbo_loss, reconstruction_loss
+from .synthesizer import VAESynthesizer
+
+__all__ = ["VAEModel", "elbo_loss", "reconstruction_loss", "VAESynthesizer"]

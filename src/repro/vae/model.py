@@ -1,0 +1,105 @@
+"""Variational autoencoder for relational samples (paper §6.3 baseline).
+
+Encoder and decoder are MLPs; the decoder reuses the GAN's
+attribute-aware heads.  The loss follows the paper: reconstruction uses
+binary cross entropy on categorical blocks and mean squared error on
+numerical blocks, plus the Gaussian KL regularizer, optimized with the
+reparameterization trick.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, gaussian_kl
+from ..gan.heads import MultiHead
+from ..transform.base import (
+    BlockSpec, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH, HEAD_TANH_SOFTMAX,
+)
+
+
+class VAEModel(Module):
+    """Encoder (mu, logvar) + decoder with per-attribute heads."""
+
+    def __init__(self, blocks: List[BlockSpec], latent_dim: int = 32,
+                 hidden_dim: int = 128,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.blocks = blocks
+        self.latent_dim = latent_dim
+        input_dim = sum(b.width for b in blocks)
+        self.enc1 = Linear(input_dim, hidden_dim, rng=rng)
+        self.enc2 = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.mu_fc = Linear(hidden_dim, latent_dim, rng=rng)
+        self.logvar_fc = Linear(hidden_dim, latent_dim, rng=rng)
+        self.dec1 = Linear(latent_dim, hidden_dim, rng=rng)
+        self.dec2 = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.heads = MultiHead(hidden_dim, blocks, rng=rng)
+
+    def encode(self, x: Tensor):
+        h = self.enc1(x).relu()
+        h = self.enc2(h).relu()
+        return self.mu_fc(h), self.logvar_fc(h)
+
+    def decode(self, z: Tensor) -> Tensor:
+        h = self.dec1(z).relu()
+        h = self.dec2(h).relu()
+        return self.heads(h)
+
+    def reparameterize(self, mu: Tensor, logvar: Tensor,
+                       rng: np.random.Generator) -> Tensor:
+        eps = Tensor(rng.standard_normal(mu.shape))
+        return mu + (logvar * 0.5).exp() * eps
+
+    def forward(self, x: Tensor, rng: np.random.Generator):
+        mu, logvar = self.encode(x)
+        z = self.reparameterize(mu, logvar, rng)
+        return self.decode(z), mu, logvar
+
+
+def reconstruction_loss(pred: Tensor, target: np.ndarray,
+                        blocks: List[BlockSpec], eps: float = 1e-7) -> Tensor:
+    """Per-block reconstruction loss (BCE for categorical, MSE numeric)."""
+    target = np.asarray(target, dtype=np.float64)
+    n = target.shape[0]
+    total = None
+
+    def add(term: Tensor):
+        nonlocal total
+        total = term if total is None else total + term
+
+    for block in blocks:
+        pred_block = pred[:, block.slice]
+        tgt_block = target[:, block.slice]
+        if block.head == HEAD_SOFTMAX:
+            log_p = pred_block.clip(eps, 1.0).log()
+            add(-(log_p * tgt_block).sum() * (1.0 / n))
+        elif block.head == HEAD_SIGMOID:
+            clipped = pred_block.clip(eps, 1.0 - eps)
+            bce = (clipped.log() * tgt_block
+                   + (1.0 - clipped).log() * (1.0 - tgt_block))
+            add(-bce.sum() * (1.0 / n))
+        elif block.head == HEAD_TANH:
+            diff = pred_block - tgt_block
+            add((diff * diff).sum() * (1.0 / n))
+        elif block.head == HEAD_TANH_SOFTMAX:
+            value_pred = pred[:, block.start:block.start + 1]
+            value_tgt = tgt_block[:, :1]
+            diff = value_pred - value_tgt
+            add((diff * diff).sum() * (1.0 / n))
+            mode_pred = pred[:, block.start + 1:block.stop]
+            mode_tgt = tgt_block[:, 1:]
+            log_p = mode_pred.clip(eps, 1.0).log()
+            add(-(log_p * mode_tgt).sum() * (1.0 / n))
+    if total is None:
+        raise ValueError("no blocks to reconstruct")
+    return total
+
+
+def elbo_loss(pred: Tensor, target: np.ndarray, mu: Tensor, logvar: Tensor,
+              blocks: List[BlockSpec], kl_weight: float = 1.0) -> Tensor:
+    """Reconstruction + KL (the negative evidence lower bound)."""
+    return (reconstruction_loss(pred, target, blocks)
+            + gaussian_kl(mu, logvar) * kl_weight)

@@ -1,0 +1,165 @@
+"""AQP substrate: query model, engine, workload, error metric."""
+
+import numpy as np
+import pytest
+
+from repro.aqp import (
+    AVG, COUNT, SUM, CategoricalPredicate, Query, RangePredicate, diff_aqp,
+    execute, generate_workload, relative_error, workload_errors,
+)
+from repro.errors import QueryError
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n=500, seed=9)
+
+
+class TestQueryModel:
+    def test_count_rejects_target(self):
+        with pytest.raises(QueryError):
+            Query(aggregate=COUNT, target="age")
+
+    def test_sum_requires_target(self):
+        with pytest.raises(QueryError):
+            Query(aggregate=SUM)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            Query(aggregate="median", target="age")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("age", 10.0, 5.0)
+
+    def test_describe_is_readable(self):
+        q = Query(aggregate=AVG, target="age",
+                  predicates=(CategoricalPredicate("job", 1),),
+                  group_by="city")
+        text = q.describe()
+        assert "avg(age)" in text
+        assert "job=1" in text
+        assert "group by city" in text
+
+
+class TestEngine:
+    def test_count_all(self, table):
+        assert execute(Query(aggregate=COUNT), table) == len(table)
+
+    def test_count_with_predicate(self, table):
+        q = Query(aggregate=COUNT,
+                  predicates=(CategoricalPredicate("job", 0),))
+        assert execute(q, table) == float((table.column("job") == 0).sum())
+
+    def test_sum_and_avg(self, table):
+        mask = table.column("age") >= 40.0
+        q_sum = Query(aggregate=SUM, target="income",
+                      predicates=(RangePredicate("age", 40.0, 1e9),))
+        q_avg = Query(aggregate=AVG, target="income",
+                      predicates=(RangePredicate("age", 40.0, 1e9),))
+        assert execute(q_sum, table) == pytest.approx(
+            table.column("income")[mask].sum())
+        assert execute(q_avg, table) == pytest.approx(
+            table.column("income")[mask].mean())
+
+    def test_conjunction(self, table):
+        q = Query(aggregate=COUNT,
+                  predicates=(CategoricalPredicate("job", 0),
+                              RangePredicate("age", 30.0, 50.0)))
+        expected = ((table.column("job") == 0)
+                    & (table.column("age") >= 30.0)
+                    & (table.column("age") <= 50.0)).sum()
+        assert execute(q, table) == float(expected)
+
+    def test_group_by(self, table):
+        q = Query(aggregate=COUNT, group_by="job")
+        result = execute(q, table)
+        assert sum(result.values()) == len(table)
+        for code, count in result.items():
+            assert count == float((table.column("job") == code).sum())
+
+    def test_empty_selection(self, table):
+        q = Query(aggregate=AVG, target="age",
+                  predicates=(RangePredicate("age", 1e8, 1e9),))
+        assert execute(q, table) == 0.0
+
+    def test_unknown_column(self, table):
+        q = Query(aggregate=COUNT,
+                  predicates=(CategoricalPredicate("nope", 0),))
+        with pytest.raises(Exception):
+            execute(q, table)
+
+
+class TestWorkload:
+    def test_size_and_validity(self, table):
+        queries = generate_workload(table, n_queries=50, seed=3)
+        assert len(queries) == 50
+        for q in queries:
+            execute(q, table)  # must not raise
+
+    def test_predicate_columns_distinct(self, table):
+        for q in generate_workload(table, n_queries=80, seed=1):
+            cols = [p.column for p in q.predicates]
+            assert len(cols) == len(set(cols))
+
+    def test_most_queries_nonempty(self, table):
+        queries = generate_workload(table, n_queries=100, seed=5)
+        nonempty = 0
+        for q in queries:
+            result = execute(Query(aggregate=COUNT,
+                                   predicates=q.predicates), table)
+            nonempty += result > 0
+        assert nonempty > 60
+
+    def test_deterministic_by_seed(self, table):
+        a = generate_workload(table, n_queries=10, seed=7)
+        b = generate_workload(table, n_queries=10, seed=7)
+        assert [q.describe() for q in a] == [q.describe() for q in b]
+
+
+class TestErrorMetric:
+    def test_relative_error_scalar(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(5.0, 0.0) == 1.0
+
+    def test_relative_error_groups(self):
+        truth = {0: 10.0, 1: 20.0}
+        estimate = {0: 9.0}
+        # group 0: 0.1 ; group 1 missing: 1.0
+        assert relative_error(estimate, truth) == pytest.approx(0.55)
+
+    def test_identical_tables_zero_error(self, table):
+        queries = generate_workload(table, n_queries=20, seed=0)
+        errors = workload_errors(queries, table, table)
+        np.testing.assert_allclose(errors, 0.0)
+
+    def test_diff_aqp_identical_synthetic_beats_sample(self, table):
+        """T' == T answers exactly, so DiffAQP equals the sample error."""
+        queries = generate_workload(table, n_queries=20, seed=0)
+        diff = diff_aqp(queries, table, table, sample_fraction=0.05,
+                        n_sample_draws=2, seed=0)
+        assert diff >= 0.0
+
+    def test_garbage_synthetic_has_larger_workload_error(self, table):
+        queries = generate_workload(table, n_queries=30, seed=0)
+        # Shuffled-columns synthetic destroys correlations.
+        rng = np.random.default_rng(0)
+        shuffled_cols = {name: rng.permutation(col)
+                         for name, col in table.columns.items()}
+        from repro.datasets.schema import Table
+        garbage = Table(table.schema, shuffled_cols)
+        err_garbage = np.mean(workload_errors(queries, garbage, table))
+        err_perfect = np.mean(workload_errors(queries, table, table))
+        assert err_perfect == pytest.approx(0.0)
+        assert err_garbage > 0.05
+
+    def test_diff_aqp_with_generous_sample(self, table):
+        """With a 20% sample the sample error is small, so a perfect
+        synthetic table yields a small DiffAQP."""
+        queries = generate_workload(table, n_queries=30, seed=0)
+        diff = diff_aqp(queries, table, table, sample_fraction=0.2,
+                        n_sample_draws=3, seed=0)
+        assert diff < 0.5

@@ -1,0 +1,157 @@
+"""PrivBayes: discretizer, network learning, synthesizer, DP behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.privbayes import (
+    BayesianNetwork, EquiWidthDiscretizer, NodeSpec, PrivBayesSynthesizer,
+    joint_encode, learn_structure, mutual_information,
+)
+
+from tests.conftest import make_mixed_table
+
+
+class TestDiscretizer:
+    def test_bins_cover_range(self, rng):
+        values = rng.uniform(0, 100, 500)
+        disc = EquiWidthDiscretizer(n_bins=10).fit(values)
+        bins = disc.transform(values)
+        assert bins.min() == 0
+        assert bins.max() == 9
+
+    def test_inverse_lands_in_bin(self, rng):
+        values = rng.uniform(0, 100, 200)
+        disc = EquiWidthDiscretizer(n_bins=10).fit(values)
+        bins = disc.transform(values)
+        decoded = disc.inverse(bins, rng=rng)
+        np.testing.assert_array_equal(disc.transform(decoded), bins)
+
+    def test_integral_rounding(self, rng):
+        disc = EquiWidthDiscretizer(n_bins=4, integral=True).fit(
+            np.arange(100.0))
+        decoded = disc.inverse(np.array([0, 3]), rng=rng)
+        np.testing.assert_allclose(decoded, np.rint(decoded))
+
+    def test_constant_column(self, rng):
+        disc = EquiWidthDiscretizer(n_bins=5).fit(np.full(10, 3.0))
+        assert disc.transform(np.array([3.0]))[0] == 0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            EquiWidthDiscretizer(n_bins=0)
+
+
+class TestMutualInformation:
+    def test_identical_columns_high_mi(self, rng):
+        x = rng.integers(0, 4, 2000)
+        mi = mutual_information(x, x, 4, 4)
+        # MI(X,X) = H(X) ~ log 4 for uniform.
+        assert mi == pytest.approx(np.log(4), abs=0.05)
+
+    def test_independent_columns_near_zero(self, rng):
+        x = rng.integers(0, 4, 5000)
+        y = rng.integers(0, 3, 5000)
+        assert mutual_information(x, y, 4, 3) < 0.01
+
+    def test_joint_encode_bijective(self, rng):
+        a = rng.integers(0, 3, 100)
+        b = rng.integers(0, 4, 100)
+        code, size = joint_encode([a, b], [3, 4])
+        assert size == 12
+        # Distinct (a, b) pairs map to distinct codes.
+        pairs = set(zip(a.tolist(), b.tolist()))
+        assert len(set(code.tolist())) == len(pairs)
+
+    def test_joint_encode_empty_with_rows(self):
+        code, size = joint_encode([], [], n_rows=7)
+        assert size == 1
+        assert code.shape == (7,)
+        assert (code == 0).all()
+
+
+class TestStructureLearning:
+    def test_chain_recovered_without_noise(self, rng):
+        # a0 -> a1 -> a2 strongly correlated chain.
+        n = 4000
+        a0 = rng.integers(0, 3, n)
+        flip = rng.random(n) < 0.05
+        a1 = np.where(flip, rng.integers(0, 3, n), a0)
+        a2 = np.where(rng.random(n) < 0.05, rng.integers(0, 3, n), a1)
+        noise = rng.integers(0, 3, n)
+        data = {"a0": a0, "a1": a1, "a2": a2, "noise": noise}
+        nodes = [NodeSpec(k, 3) for k in data]
+        net = learn_structure(data, nodes, degree=1, epsilon=None, rng=rng)
+        # The noise column must not be chosen as anyone's parent.
+        for child, parents in net.parents.items():
+            assert "noise" not in parents or child == "noise"
+
+    def test_parent_count_bounded_by_degree(self, rng):
+        data = {f"c{i}": rng.integers(0, 2, 500) for i in range(5)}
+        nodes = [NodeSpec(k, 2) for k in data]
+        net = learn_structure(data, nodes, degree=2, epsilon=None, rng=rng)
+        assert max(len(p) for p in net.parents.values()) <= 2
+
+    def test_structure_is_dag_with_noise(self, rng):
+        data = {f"c{i}": rng.integers(0, 3, 300) for i in range(4)}
+        nodes = [NodeSpec(k, 3) for k in data]
+        net = learn_structure(data, nodes, degree=2, epsilon=0.5, rng=rng)
+        order = net.order
+        assert len(order) == 4
+
+    def test_invalid_dag_rejected(self):
+        nodes = [NodeSpec("a", 2), NodeSpec("b", 2)]
+        with pytest.raises(ValueError):
+            BayesianNetwork(nodes, {"a": ["b"], "b": ["a"]})
+
+
+class TestPrivBayesSynthesizer:
+    def test_fit_sample_schema(self):
+        table = make_mixed_table(n=400, seed=0)
+        synth = PrivBayesSynthesizer(epsilon=None, seed=0).fit(table)
+        fake = synth.sample(200)
+        assert fake.schema.names == table.schema.names
+        assert len(fake) == 200
+
+    def test_noise_free_preserves_marginals(self):
+        table = make_mixed_table(n=2000, seed=0)
+        synth = PrivBayesSynthesizer(epsilon=None, seed=0).fit(table)
+        fake = synth.sample(2000)
+        real_rate = table.label_codes.mean()
+        fake_rate = fake.label_codes.mean()
+        assert abs(real_rate - fake_rate) < 0.08
+
+    def test_more_privacy_means_more_distortion(self):
+        """Marginal error should grow as epsilon shrinks (on average)."""
+        table = make_mixed_table(n=800, seed=0)
+
+        def marginal_error(eps, trials=3):
+            errs = []
+            for t in range(trials):
+                synth = PrivBayesSynthesizer(epsilon=eps, seed=t).fit(table)
+                fake = synth.sample(800)
+                real = np.bincount(table.column("job"), minlength=3) / 800
+                synth_dist = np.bincount(fake.column("job"),
+                                         minlength=3) / 800
+                errs.append(np.abs(real - synth_dist).sum())
+            return np.mean(errs)
+
+        assert marginal_error(0.05) > marginal_error(None, trials=1) - 0.02
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            PrivBayesSynthesizer().sample(5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivBayesSynthesizer(epsilon=-1.0)
+
+    def test_numeric_values_within_range(self):
+        table = make_mixed_table(n=500, seed=0)
+        synth = PrivBayesSynthesizer(epsilon=None, seed=0).fit(table)
+        fake = synth.sample(500)
+        real = table.column("age")
+        col = fake.column("age")
+        margin = (real.max() - real.min()) / 16 + 1e-9
+        assert col.min() >= real.min() - margin
+        assert col.max() <= real.max() + margin

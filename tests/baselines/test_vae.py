@@ -1,0 +1,96 @@
+"""VAE baseline: model pieces and synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import Tensor
+from repro.transform import RecordTransformer
+from repro.vae import VAEModel, VAESynthesizer, elbo_loss, reconstruction_loss
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n=300, seed=4)
+
+
+@pytest.fixture(scope="module")
+def fitted(table):
+    rt = RecordTransformer("onehot", "simple",
+                           rng=np.random.default_rng(0)).fit(table)
+    return rt, rt.transform(table)
+
+
+class TestVAEModel:
+    def test_encode_decode_shapes(self, fitted, rng):
+        rt, data = fitted
+        model = VAEModel(rt.blocks, latent_dim=8, rng=rng)
+        x = Tensor(data[:16])
+        mu, logvar = model.encode(x)
+        assert mu.shape == (16, 8)
+        assert logvar.shape == (16, 8)
+        out = model.decode(mu)
+        assert out.shape == (16, rt.output_dim)
+
+    def test_reconstruction_loss_zero_for_perfect(self, fitted):
+        rt, data = fitted
+        # A perfect reconstruction has zero CE (one-hot targets pick the
+        # log of probability one) and zero numeric MSE.
+        target = data[:8]
+        loss = reconstruction_loss(Tensor(target.copy()), target, rt.blocks)
+        assert float(loss.data) < 0.01
+
+    def test_elbo_decreases_under_training(self, fitted, rng):
+        from repro.nn import Adam
+
+        rt, data = fitted
+        model = VAEModel(rt.blocks, latent_dim=8, rng=rng)
+        opt = Adam(model.parameters(), lr=2e-3)
+        train_rng = np.random.default_rng(0)
+        losses = []
+        for _ in range(60):
+            batch = data[train_rng.integers(0, len(data), 32)]
+            opt.zero_grad()
+            pred, mu, logvar = model(Tensor(batch), train_rng)
+            loss = elbo_loss(pred, batch, mu, logvar, rt.blocks,
+                             kl_weight=0.2)
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_reparameterization_uses_noise(self, fitted, rng):
+        rt, data = fitted
+        model = VAEModel(rt.blocks, latent_dim=8, rng=rng)
+        mu = Tensor(np.zeros((4, 8)))
+        logvar = Tensor(np.zeros((4, 8)))
+        z1 = model.reparameterize(mu, logvar, np.random.default_rng(1))
+        z2 = model.reparameterize(mu, logvar, np.random.default_rng(2))
+        assert not np.allclose(z1.data, z2.data)
+
+
+class TestVAESynthesizer:
+    def test_fit_sample_schema(self, table):
+        synth = VAESynthesizer(epochs=2, iterations_per_epoch=5, seed=0)
+        synth.fit(table)
+        fake = synth.sample(40)
+        assert fake.schema.names == table.schema.names
+        assert len(fake) == 40
+
+    def test_losses_recorded(self, table):
+        synth = VAESynthesizer(epochs=2, iterations_per_epoch=5, seed=0)
+        synth.fit(table)
+        assert len(synth.losses) == 10
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            VAESynthesizer().sample(5)
+
+    def test_label_not_degenerate_with_training(self, table):
+        synth = VAESynthesizer(epochs=6, iterations_per_epoch=40,
+                               kl_weight=0.1, seed=0)
+        synth.fit(table)
+        fake = synth.sample(300)
+        assert len(np.unique(fake.label_codes)) == 2

@@ -1,0 +1,91 @@
+"""Design space configuration and validation."""
+
+import pytest
+
+from repro.core import DesignConfig, iter_design_space, transformation_grid
+from repro.errors import ConfigError
+
+
+class TestDesignConfig:
+    def test_defaults_valid(self):
+        config = DesignConfig()
+        assert config.generator == "mlp"
+        assert config.effective_discriminator == "mlp"
+        assert config.effective_sampling == "random"
+        assert not config.is_conditional
+
+    def test_cnn_defaults_to_cnn_discriminator(self):
+        config = DesignConfig(generator="cnn",
+                              categorical_encoding="ordinal",
+                              numerical_normalization="simple")
+        assert config.effective_discriminator == "cnn"
+        assert config.matrix_form
+
+    def test_cnn_rejects_onehot(self):
+        with pytest.raises(ConfigError):
+            DesignConfig(generator="cnn", categorical_encoding="onehot",
+                         numerical_normalization="simple")
+
+    def test_cnn_rejects_gmm(self):
+        with pytest.raises(ConfigError):
+            DesignConfig(generator="cnn", categorical_encoding="ordinal",
+                         numerical_normalization="gmm")
+
+    def test_cnn_rejects_conditional(self):
+        with pytest.raises(ConfigError):
+            DesignConfig(generator="cnn", categorical_encoding="ordinal",
+                         numerical_normalization="simple", conditional=True)
+
+    def test_cnn_discriminator_needs_cnn_generator(self):
+        with pytest.raises(ConfigError):
+            DesignConfig(generator="mlp", discriminator="cnn")
+
+    def test_ctrain_implies_conditional_and_label_aware(self):
+        config = DesignConfig(training="ctrain")
+        assert config.is_conditional
+        assert config.effective_sampling == "label-aware"
+
+    def test_ctrain_with_random_sampling_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignConfig(training="ctrain", sampling="random")
+
+    def test_unknown_values_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignConfig(generator="transformer")
+        with pytest.raises(ConfigError):
+            DesignConfig(training="sgd")
+        with pytest.raises(ConfigError):
+            DesignConfig(categorical_encoding="hash")
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ConfigError):
+            DesignConfig(z_dim=0)
+
+    def test_with_functional_update(self):
+        config = DesignConfig()
+        updated = config.with_(generator="lstm")
+        assert updated.generator == "lstm"
+        assert config.generator == "mlp"
+
+    def test_describe_key(self):
+        config = DesignConfig(generator="lstm", training="ctrain")
+        key = config.describe()
+        assert "lstm" in key
+        assert "+cond" in key
+
+
+class TestEnumeration:
+    def test_transformation_grid(self):
+        grid = transformation_grid()
+        assert len(grid) == 4
+        assert ("gmm", "onehot") in grid
+
+    def test_iter_design_space_all_valid(self):
+        configs = list(iter_design_space())
+        assert len(configs) == 9  # 2 generators x 4 transforms + cnn
+        for config in configs:
+            config.validate()
+
+    def test_iter_design_space_without_cnn(self):
+        configs = list(iter_design_space(include_cnn=False))
+        assert all(c.generator != "cnn" for c in configs)

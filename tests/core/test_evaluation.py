@@ -1,0 +1,92 @@
+"""Evaluation framework: classification/clustering/AQP utility, privacy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    aqp_utility, classification_utilities, classification_utility,
+    classifier_f1, clustering_utility, privacy_report,
+)
+from repro.datasets.schema import Table
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def tables():
+    train = make_mixed_table(n=400, seed=0)
+    test = make_mixed_table(n=200, seed=1)
+    return train, test
+
+
+def shuffled_copy(table, seed=0):
+    """Column-shuffled table: marginals kept, correlations destroyed."""
+    rng = np.random.default_rng(seed)
+    return Table(table.schema, {name: rng.permutation(col)
+                                for name, col in table.columns.items()})
+
+
+class TestClassificationUtility:
+    def test_perfect_synthetic_near_zero_diff(self, tables):
+        train, test = tables
+        result = classification_utility(train, train, test, "DT10")
+        assert result.diff == pytest.approx(0.0, abs=1e-9)
+
+    def test_garbage_synthetic_large_diff(self, tables):
+        train, test = tables
+        garbage = shuffled_copy(train)
+        good = classification_utility(train, train, test, "DT10").diff
+        bad = classification_utility(garbage, train, test, "DT10").diff
+        assert bad > good
+
+    def test_single_class_synthetic_scores_zero(self, tables):
+        train, test = tables
+        cols = {k: v.copy() for k, v in train.columns.items()}
+        cols["label"] = np.zeros(len(train), dtype=np.int64)
+        degenerate = Table(train.schema, cols)
+        assert classifier_f1(degenerate, test) == 0.0
+
+    def test_utilities_cover_requested_classifiers(self, tables):
+        train, test = tables
+        results = classification_utilities(train, train, test,
+                                           classifiers=("DT10", "LR"))
+        assert set(results) == {"DT10", "LR"}
+        for value in results.values():
+            assert 0.0 <= value.f1_real <= 1.0
+
+
+class TestClusteringUtility:
+    def test_identical_tables_zero_diff(self, tables):
+        train, _ = tables
+        assert clustering_utility(train, train) == pytest.approx(0.0,
+                                                                 abs=1e-9)
+
+    def test_bounded(self, tables):
+        train, _ = tables
+        diff = clustering_utility(shuffled_copy(train), train)
+        assert 0.0 <= diff <= 1.0
+
+
+class TestAQPUtility:
+    def test_identical_tables_small_diff(self, tables):
+        train, _ = tables
+        diff = aqp_utility(train, train, n_queries=30, n_sample_draws=2)
+        # T' == T answers exactly; Diff equals the 1% sample's own error,
+        # which is bounded in practice.
+        assert diff >= 0.0
+
+    def test_garbage_is_worse(self, tables):
+        train, _ = tables
+        good = aqp_utility(train, train, n_queries=30, n_sample_draws=2)
+        bad = aqp_utility(shuffled_copy(train), train, n_queries=30,
+                          n_sample_draws=2)
+        assert bad > good
+
+
+class TestPrivacyReport:
+    def test_self_comparison_is_maximally_risky(self, tables):
+        train, _ = tables
+        report = privacy_report(train, train, hit_samples=100,
+                                dcr_samples=100)
+        assert report.hitting_rate == 1.0
+        assert report.dcr == 0.0

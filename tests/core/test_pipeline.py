@@ -1,0 +1,101 @@
+"""Pipeline: snapshot selection, size ratio, hyper-parameter search."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DesignConfig, hyperparameter_candidates, random_search,
+    run_gan_synthesis, snapshot_f1_curve,
+)
+from repro.core.experiment import ExperimentContext
+from repro.gan import GANSynthesizer
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def split():
+    table = make_mixed_table(n=360, seed=5)
+    from repro import datasets
+
+    return datasets.split(table, seed=0)
+
+
+class TestPipeline:
+    def test_run_selects_best_epoch(self, split):
+        train, valid, test = split
+        run = run_gan_synthesis(DesignConfig(), train, valid, epochs=3,
+                                iterations_per_epoch=5, seed=0)
+        assert len(run.epoch_f1) == 3
+        assert run.best_epoch == int(np.argmax(run.epoch_f1))
+        assert len(run.synthetic) == len(train)
+
+    def test_size_ratio(self, split):
+        train, valid, _ = split
+        run = run_gan_synthesis(DesignConfig(), train, valid, epochs=2,
+                                iterations_per_epoch=3, size_ratio=0.5,
+                                seed=0)
+        assert len(run.synthetic) == round(len(train) * 0.5)
+
+    def test_snapshot_curve_length(self, split):
+        train, valid, _ = split
+        synth = GANSynthesizer(DesignConfig(), epochs=3,
+                               iterations_per_epoch=4, seed=0).fit(train)
+        curve = snapshot_f1_curve(synth, valid, sample_size=200)
+        assert len(curve) == 3
+        assert all(0.0 <= v <= 1.0 for v in curve)
+
+    def test_unlabeled_table_uses_fidelity_selection(self):
+        """Bing-style unlabeled tables must not always pick epoch 0."""
+        from repro import datasets
+        from repro.core.pipeline import snapshot_fidelity_curve
+
+        table = datasets.load("bing", n_records=360, seed=0)
+        train, valid, _ = datasets.split(table, seed=0)
+        run = run_gan_synthesis(DesignConfig(), train, valid, epochs=3,
+                                iterations_per_epoch=4, seed=0)
+        assert len(run.epoch_f1) == 3
+        # Fidelity scores are negative mean marginal TVs.
+        assert all(v <= 0.0 for v in run.epoch_f1)
+        synth = GANSynthesizer(DesignConfig(), epochs=2,
+                               iterations_per_epoch=3, seed=0).fit(train)
+        curve = snapshot_fidelity_curve(synth, valid, sample_size=150)
+        assert len(curve) == 2
+
+
+class TestModelSelection:
+    def test_candidates_vary(self):
+        base = DesignConfig()
+        candidates = hyperparameter_candidates(base, n=6, seed=0)
+        assert len(candidates) == 6
+        assert len({(c.lr_g, c.hidden_dim, c.batch_size, c.z_dim)
+                    for c in candidates}) > 1
+
+    def test_random_search_returns_best(self, split):
+        train, valid, _ = split
+        result = random_search(DesignConfig(), train, valid, n_trials=2,
+                               epochs=2, iterations_per_epoch=3, seed=0)
+        assert len(result.curves) == 2
+        assert result.best_run.final_f1 == max(
+            max(curve) for curve in result.curves)
+
+
+class TestExperimentContext:
+    def test_context_splits(self):
+        ctx = ExperimentContext("adult", n_records=300, epochs=1,
+                                iterations_per_epoch=2, seed=0)
+        assert len(ctx.train) + len(ctx.valid) + len(ctx.test) == 300
+
+    def test_gan_and_diff_row(self):
+        ctx = ExperimentContext("adult", n_records=300, epochs=2,
+                                iterations_per_epoch=3, seed=0)
+        run = ctx.gan()
+        row = ctx.diff_row(run.synthetic, classifiers=("DT10",))
+        assert set(row) == {"DT10"}
+        assert 0.0 <= row["DT10"] <= 1.0
+
+    def test_privbayes_and_vae_helpers(self):
+        ctx = ExperimentContext("adult", n_records=300, epochs=1,
+                                iterations_per_epoch=2, seed=0)
+        fake_pb = ctx.privbayes(epsilon=1.6)
+        assert len(fake_pb) == len(ctx.train)

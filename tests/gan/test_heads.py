@@ -1,0 +1,70 @@
+"""Attribute-aware output heads (cases C1-C4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gan.heads import BlockHead, MultiHead
+from repro.nn import Tensor
+from repro.transform.base import (
+    BlockSpec, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH, HEAD_TANH_SOFTMAX,
+)
+
+
+def block(head, width, start=0, name="b"):
+    return BlockSpec(name=name, start=start, width=width, head=head,
+                     discrete_block=head in (HEAD_SOFTMAX,
+                                             HEAD_TANH_SOFTMAX))
+
+
+class TestBlockHead:
+    def test_tanh_head_bounded(self, rng):
+        head = BlockHead(8, block(HEAD_TANH, 1), rng=rng)
+        out = head(Tensor(rng.normal(size=(16, 8)) * 10)).data
+        assert (np.abs(out) <= 1.0).all()
+        assert out.shape == (16, 1)
+
+    def test_sigmoid_head_in_unit_interval(self, rng):
+        head = BlockHead(8, block(HEAD_SIGMOID, 1), rng=rng)
+        out = head(Tensor(rng.normal(size=(16, 8)) * 10)).data
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_softmax_head_distribution(self, rng):
+        head = BlockHead(8, block(HEAD_SOFTMAX, 5), rng=rng)
+        out = head(Tensor(rng.normal(size=(16, 8)))).data
+        assert out.shape == (16, 5)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_tanh_softmax_head_structure(self, rng):
+        head = BlockHead(8, block(HEAD_TANH_SOFTMAX, 4), rng=rng)
+        out = head(Tensor(rng.normal(size=(16, 8)))).data
+        assert out.shape == (16, 4)
+        assert (np.abs(out[:, 0]) <= 1.0).all()
+        np.testing.assert_allclose(out[:, 1:].sum(axis=1), 1.0)
+
+    def test_unknown_head_rejected(self, rng):
+        spec = BlockSpec(name="x", start=0, width=1, head="linear",
+                         discrete_block=False)
+        head = BlockHead.__new__(BlockHead)
+        # Constructing with a bad head should fail at forward at latest.
+        with pytest.raises(Exception):
+            BlockHead(8, spec, rng=rng)(Tensor(rng.normal(size=(2, 8))))
+
+
+class TestMultiHead:
+    def test_concatenates_blocks_in_order(self, rng):
+        blocks = [block(HEAD_TANH, 1, start=0, name="a"),
+                  block(HEAD_SOFTMAX, 3, start=1, name="b"),
+                  block(HEAD_SIGMOID, 1, start=4, name="c")]
+        multi = MultiHead(8, blocks, rng=rng)
+        out = multi(Tensor(rng.normal(size=(10, 8)))).data
+        assert out.shape == (10, 5)
+        np.testing.assert_allclose(out[:, 1:4].sum(axis=1), 1.0)
+
+    def test_gradients_reach_all_heads(self, rng):
+        blocks = [block(HEAD_TANH, 1, start=0, name="a"),
+                  block(HEAD_SOFTMAX, 3, start=1, name="b")]
+        multi = MultiHead(8, blocks, rng=rng)
+        multi(Tensor(rng.normal(size=(4, 8)))).sum().backward()
+        for param in multi.parameters():
+            assert param.grad is not None

@@ -1,0 +1,152 @@
+"""Generators and discriminators: shapes, heads, conditioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gan import (
+    CNNDiscriminator, CNNGenerator, LSTMDiscriminator, LSTMGenerator,
+    MLPDiscriminator, MLPGenerator,
+)
+from repro.nn import Tensor
+from repro.transform import RecordTransformer
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    table = make_mixed_table(n=200, seed=0)
+    rt = RecordTransformer("onehot", "gmm",
+                           rng=np.random.default_rng(0)).fit(table)
+    return rt.blocks, rt.output_dim
+
+
+class TestMLPGenerator:
+    def test_output_dim_matches_blocks(self, blocks, rng):
+        specs, dim = blocks
+        gen = MLPGenerator(z_dim=8, blocks=specs, rng=rng)
+        out = gen(Tensor(rng.standard_normal((16, 8))))
+        assert out.shape == (16, dim)
+
+    def test_softmax_blocks_are_distributions(self, blocks, rng):
+        specs, _ = blocks
+        gen = MLPGenerator(z_dim=8, blocks=specs, rng=rng)
+        out = gen(Tensor(rng.standard_normal((16, 8)))).data
+        for block in specs:
+            if block.head == "softmax":
+                np.testing.assert_allclose(
+                    out[:, block.slice].sum(axis=1), 1.0)
+
+    def test_tanh_softmax_block_structure(self, blocks, rng):
+        specs, _ = blocks
+        gen = MLPGenerator(z_dim=8, blocks=specs, rng=rng)
+        out = gen(Tensor(rng.standard_normal((8, 8)))).data
+        for block in specs:
+            if block.head == "tanh+softmax":
+                value = out[:, block.start]
+                modes = out[:, block.start + 1:block.stop]
+                assert (np.abs(value) <= 1).all()
+                np.testing.assert_allclose(modes.sum(axis=1), 1.0)
+
+    def test_conditional_input(self, blocks, rng):
+        specs, dim = blocks
+        gen = MLPGenerator(z_dim=8, blocks=specs, cond_dim=2, rng=rng)
+        cond = np.zeros((4, 2))
+        cond[:, 0] = 1.0
+        out = gen(Tensor(rng.standard_normal((4, 8))), Tensor(cond))
+        assert out.shape == (4, dim)
+
+    def test_condition_changes_output(self, blocks, rng):
+        specs, _ = blocks
+        gen = MLPGenerator(z_dim=8, blocks=specs, cond_dim=2, rng=rng)
+        gen.eval()
+        z = Tensor(rng.standard_normal((4, 8)))
+        c0 = np.tile([1.0, 0.0], (4, 1))
+        c1 = np.tile([0.0, 1.0], (4, 1))
+        assert not np.allclose(gen(z, Tensor(c0)).data,
+                               gen(z, Tensor(c1)).data)
+
+
+class TestLSTMGenerator:
+    def test_output_and_timesteps(self, blocks, rng):
+        specs, dim = blocks
+        gen = LSTMGenerator(z_dim=8, blocks=specs, rng=rng)
+        # GMM blocks take two timesteps, others one.
+        expected_steps = sum(2 if b.head == "tanh+softmax" else 1
+                             for b in specs)
+        assert gen.n_timesteps == expected_steps
+        out = gen(Tensor(rng.standard_normal((6, 8))))
+        assert out.shape == (6, dim)
+
+    def test_heads_respected(self, blocks, rng):
+        specs, _ = blocks
+        gen = LSTMGenerator(z_dim=8, blocks=specs, rng=rng)
+        out = gen(Tensor(rng.standard_normal((5, 8)))).data
+        for block in specs:
+            if block.head == "softmax":
+                np.testing.assert_allclose(out[:, block.slice].sum(axis=1),
+                                           1.0)
+
+    def test_conditional(self, blocks, rng):
+        specs, dim = blocks
+        gen = LSTMGenerator(z_dim=8, blocks=specs, cond_dim=3, rng=rng)
+        out = gen(Tensor(rng.standard_normal((4, 8))),
+                  Tensor(np.eye(3)[[0, 1, 2, 0]]))
+        assert out.shape == (4, dim)
+
+
+class TestDiscriminators:
+    def test_mlp_logit_shape(self, blocks, rng):
+        specs, dim = blocks
+        disc = MLPDiscriminator(dim, rng=rng)
+        out = disc(Tensor(rng.standard_normal((10, dim))))
+        assert out.shape == (10, 1)
+
+    def test_simplified_is_smaller(self, blocks, rng):
+        specs, dim = blocks
+        full = MLPDiscriminator(dim, hidden_dim=128, n_layers=2, rng=rng)
+        simple = MLPDiscriminator(dim, hidden_dim=128, n_layers=2,
+                                  simplified=True, rng=rng)
+        assert simple.num_parameters() < full.num_parameters() / 2
+
+    def test_lstm_discriminator(self, blocks, rng):
+        specs, dim = blocks
+        disc = LSTMDiscriminator(specs, rng=rng)
+        out = disc(Tensor(rng.standard_normal((7, dim))))
+        assert out.shape == (7, 1)
+
+    def test_lstm_discriminator_conditional(self, blocks, rng):
+        specs, dim = blocks
+        disc = LSTMDiscriminator(specs, cond_dim=2, rng=rng)
+        out = disc(Tensor(rng.standard_normal((4, dim))),
+                   Tensor(np.eye(2)[[0, 1, 0, 1]]))
+        assert out.shape == (4, 1)
+
+
+class TestCNNModels:
+    def test_generator_emits_matrix(self, rng):
+        gen = CNNGenerator(z_dim=16, side=8, rng=rng)
+        out = gen(Tensor(rng.standard_normal((5, 16))))
+        assert out.shape == (5, 1, 8, 8)
+        assert (np.abs(out.data) <= 1.0).all()
+
+    def test_discriminator_logit(self, rng):
+        disc = CNNDiscriminator(side=8, rng=rng)
+        out = disc(Tensor(rng.standard_normal((5, 1, 8, 8))))
+        assert out.shape == (5, 1)
+
+    def test_side_must_be_divisible_by_four(self, rng):
+        with pytest.raises(ConfigError):
+            CNNGenerator(z_dim=8, side=6, rng=rng)
+
+    def test_conditional_rejected(self, rng):
+        gen = CNNGenerator(z_dim=8, side=8, rng=rng)
+        with pytest.raises(ConfigError):
+            gen(Tensor(rng.standard_normal((2, 8))),
+                Tensor(np.ones((2, 2))))
+
+    def test_simplified_discriminator_smaller(self, rng):
+        full = CNNDiscriminator(side=8, rng=rng)
+        simple = CNNDiscriminator(side=8, simplified=True, rng=rng)
+        assert simple.num_parameters() < full.num_parameters()

@@ -1,0 +1,78 @@
+"""Minibatch samplers."""
+
+import numpy as np
+import pytest
+
+from repro.gan import LabelAwareSampler, RandomSampler
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(100, 4))
+    y = np.array([0] * 90 + [1] * 10)
+    return X, y
+
+
+class TestRandomSampler:
+    def test_batch_shape(self, data, rng):
+        X, y = data
+        sampler = RandomSampler(X, y, rng=rng)
+        batch, labels = sampler.batch(16)
+        assert batch.shape == (16, 4)
+        assert labels.shape == (16,)
+
+    def test_no_labels(self, data, rng):
+        X, _ = data
+        batch, labels = RandomSampler(X, rng=rng).batch(8)
+        assert labels is None
+
+    def test_misaligned_labels_raise(self, data, rng):
+        X, y = data
+        with pytest.raises(ValueError):
+            RandomSampler(X, y[:5], rng=rng)
+
+    def test_majority_dominates_random_batches(self, data, rng):
+        """Uniform sampling under-serves the minority label (paper §5.3)."""
+        X, y = data
+        sampler = RandomSampler(X, y, rng=rng)
+        rates = [labels.mean() for _, labels in
+                 (sampler.batch(32) for _ in range(50))]
+        assert np.mean(rates) < 0.25
+
+
+class TestLabelAwareSampler:
+    def test_batches_are_pure_label(self, data, rng):
+        X, y = data
+        sampler = LabelAwareSampler(X, y, rng=rng)
+        for label in sampler.label_domain:
+            batch = sampler.batch_for_label(label, 16)
+            assert batch.shape == (16, 4)
+            # Rows must come from that label's pool.
+            pool = X[y == label]
+            for row in batch[:4]:
+                assert (np.abs(pool - row).sum(axis=1) < 1e-12).any()
+
+    def test_minority_label_gets_full_batches(self, data, rng):
+        X, y = data
+        sampler = LabelAwareSampler(X, y, rng=rng)
+        batch = sampler.batch_for_label(1, 32)  # only 10 minority rows
+        assert batch.shape == (32, 4)
+
+    def test_label_domain_sorted(self, data, rng):
+        X, y = data
+        assert LabelAwareSampler(X, y, rng=rng).label_domain == [0, 1]
+
+    def test_unknown_label_raises(self, data, rng):
+        X, y = data
+        with pytest.raises(KeyError):
+            LabelAwareSampler(X, y, rng=rng).batch_for_label(7, 4)
+
+    def test_label_frequencies(self, data, rng):
+        X, y = data
+        freq = LabelAwareSampler(X, y, rng=rng).label_frequencies()
+        np.testing.assert_allclose(freq, [0.9, 0.1])
+
+    def test_requires_labels(self, data, rng):
+        X, _ = data
+        with pytest.raises(ValueError):
+            LabelAwareSampler(X, None, rng=rng)

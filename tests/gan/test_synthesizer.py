@@ -1,0 +1,133 @@
+"""GANSynthesizer facade: phases I-III, snapshots, conditional sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import DesignConfig
+from repro.errors import TrainingError
+from repro.gan import GANSynthesizer, duplicate_rate, is_collapsed
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n=300, seed=2)
+
+
+def quick(config, **kwargs):
+    return GANSynthesizer(config, epochs=2, iterations_per_epoch=4,
+                          seed=0, **kwargs)
+
+
+class TestFitSample:
+    def test_sample_preserves_schema(self, table):
+        synth = quick(DesignConfig()).fit(table)
+        fake = synth.sample(50)
+        assert fake.schema.names == table.schema.names
+        assert len(fake) == 50
+
+    def test_sample_values_in_domain(self, table):
+        synth = quick(DesignConfig()).fit(table)
+        fake = synth.sample(100)
+        for attr in table.schema:
+            col = fake.column(attr.name)
+            if attr.is_categorical:
+                assert col.min() >= 0
+                assert col.max() < attr.domain_size
+
+    def test_numeric_within_fitted_range_simple_norm(self, table):
+        synth = quick(DesignConfig(
+            numerical_normalization="simple")).fit(table)
+        fake = synth.sample(100)
+        for name in ("age", "income"):
+            real = table.column(name)
+            col = fake.column(name)
+            assert col.min() >= real.min() - 1e-6
+            assert col.max() <= real.max() + 1e-6
+
+    def test_unfitted_sample_raises(self):
+        with pytest.raises(TrainingError):
+            quick(DesignConfig()).sample(10)
+
+    def test_lstm_pipeline(self, table):
+        synth = quick(DesignConfig(generator="lstm")).fit(table)
+        assert len(synth.sample(20)) == 20
+
+    def test_cnn_pipeline(self, table):
+        config = DesignConfig(generator="cnn",
+                              categorical_encoding="ordinal",
+                              numerical_normalization="simple")
+        synth = quick(config).fit(table)
+        fake = synth.sample(20)
+        assert fake.schema.names == table.schema.names
+
+
+class TestSnapshots:
+    def test_one_snapshot_per_epoch(self, table):
+        synth = quick(DesignConfig()).fit(table)
+        assert len(synth.snapshots) == 2
+
+    def test_use_snapshot_changes_generator(self, table):
+        synth = quick(DesignConfig()).fit(table)
+        synth.use_snapshot(0)
+        state0 = synth.generator.state_dict()
+        synth.use_snapshot(1)
+        state1 = synth.generator.state_dict()
+        assert any(not np.allclose(state0[k], state1[k]) for k in state0)
+
+    def test_active_snapshot_tracked(self, table):
+        synth = quick(DesignConfig()).fit(table)
+        assert synth.active_snapshot == 1
+        synth.use_snapshot(0)
+        assert synth.active_snapshot == 0
+
+    def test_bad_snapshot_index(self, table):
+        synth = quick(DesignConfig()).fit(table)
+        with pytest.raises(IndexError):
+            synth.use_snapshot(5)
+
+
+class TestConditional:
+    def test_conditional_label_distribution_matches_real(self, table):
+        config = DesignConfig(training="ctrain")
+        synth = quick(config).fit(table)
+        fake = synth.sample(400)
+        real_rate = table.label_codes.mean()
+        fake_rate = fake.label_codes.mean()
+        assert abs(real_rate - fake_rate) < 0.15
+
+    def test_conditional_requires_label(self, table):
+        config = DesignConfig(training="ctrain")
+        with pytest.raises(TrainingError):
+            quick(config).fit(table.drop_label())
+
+    def test_cgan_v_variant(self, table):
+        config = DesignConfig(training="vtrain", conditional=True)
+        synth = quick(config).fit(table)
+        assert len(synth.sample(30)) == 30
+
+
+class TestReproducibility:
+    def test_same_seed_same_output(self, table):
+        a = quick(DesignConfig()).fit(table).sample(20)
+        b = quick(DesignConfig()).fit(table).sample(20)
+        for name in table.schema.names:
+            np.testing.assert_allclose(a.column(name).astype(float),
+                                       b.column(name).astype(float))
+
+
+class TestModeCollapseMetrics:
+    def test_duplicate_rate_on_duplicates(self):
+        samples = np.ones((100, 5))
+        assert duplicate_rate(samples) == pytest.approx(0.99)
+
+    def test_duplicate_rate_on_unique(self, rng):
+        samples = rng.normal(size=(100, 5))
+        assert duplicate_rate(samples) == 0.0
+
+    def test_is_collapsed_detects(self, rng):
+        collapsed = np.tile(rng.normal(size=(1, 4)), (200, 1))
+        healthy = rng.normal(size=(200, 4))
+        assert is_collapsed(collapsed)
+        assert not is_collapsed(healthy)

@@ -1,0 +1,107 @@
+"""Random forest, AdaBoost, logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier, LogisticRegression, RandomForestClassifier,
+)
+
+
+def blobs(rng, n=300, gap=3.0):
+    y = rng.integers(0, 2, n)
+    X = rng.normal(size=(n, 4)) + gap * y[:, None]
+    return X, y
+
+
+class TestRandomForest:
+    def test_fits_separable_data(self, rng):
+        X, y = blobs(rng)
+        forest = RandomForestClassifier(n_estimators=10, max_depth=5,
+                                        rng=rng).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.97
+
+    def test_proba_shape_and_normalization(self, rng):
+        X, y = blobs(rng)
+        forest = RandomForestClassifier(n_estimators=5, rng=rng).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_more_trees_than_one(self, rng):
+        X, y = blobs(rng, gap=1.0)
+        forest = RandomForestClassifier(n_estimators=15, rng=rng).fit(X, y)
+        assert len(forest.trees) == 15
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier(rng=rng).predict_proba(np.zeros((1, 2)))
+
+    def test_multiclass_bootstrap_missing_class(self, rng):
+        """Bootstraps may miss a rare class; proba must still align."""
+        X = rng.normal(size=(100, 2))
+        y = np.zeros(100, dtype=np.int64)
+        y[:3] = 2  # rare highest class
+        forest = RandomForestClassifier(n_estimators=8, rng=rng).fit(X, y)
+        assert forest.predict_proba(X).shape == (100, 3)
+
+
+class TestAdaBoost:
+    def test_boosting_beats_single_stump(self, rng):
+        # Nested means a stump underfits but boosting succeeds.
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+        boost = AdaBoostClassifier(n_estimators=40, max_depth=2,
+                                   rng=rng).fit(X, y)
+        assert (boost.predict(X) == y).mean() > 0.9
+
+    def test_alphas_positive_for_useful_learners(self, rng):
+        X, y = blobs(rng)
+        boost = AdaBoostClassifier(n_estimators=10, rng=rng).fit(X, y)
+        assert all(a > 0 for a in boost.alphas)
+
+    def test_early_stop_on_perfect_learner(self, rng):
+        X, y = blobs(rng, gap=50.0)
+        boost = AdaBoostClassifier(n_estimators=30, max_depth=3,
+                                   rng=rng).fit(X, y)
+        assert len(boost.estimators) < 30
+
+    def test_multiclass_samme(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(np.int64) + 2 * (X[:, 1] > 0)
+        boost = AdaBoostClassifier(n_estimators=40, max_depth=2,
+                                   rng=rng).fit(X, y)
+        assert (boost.predict(X) == y).mean() > 0.85
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            AdaBoostClassifier(rng=rng).predict(np.zeros((1, 2)))
+
+
+class TestLogisticRegression:
+    def test_linearly_separable(self, rng):
+        X, y = blobs(rng, gap=4.0)
+        model = LogisticRegression().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.98
+
+    def test_proba_calibrated_direction(self, rng):
+        X, y = blobs(rng, gap=4.0)
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba[y == 1, 1].mean() > proba[y == 0, 1].mean()
+
+    def test_multiclass(self, rng):
+        X = rng.normal(size=(400, 2))
+        y = (X[:, 0] > 0).astype(np.int64) + 2 * (X[:, 1] > 0)
+        model = LogisticRegression(max_iter=500).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_l2_shrinks_weights(self, rng):
+        X, y = blobs(rng, gap=2.0)
+        loose = LogisticRegression(l2=1e-6).fit(X, y)
+        tight = LogisticRegression(l2=1.0).fit(X, y)
+        assert np.abs(tight.weights).sum() < np.abs(loose.weights).sum()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))

@@ -1,0 +1,183 @@
+"""K-Means, evaluation metrics, and the feature encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.ml import (
+    CLASSIFIERS, FeatureEncoder, KMeans, accuracy, f1_score, macro_f1,
+    make_classifier, normalized_mutual_info, paper_f1, precision_score,
+    rare_label, recall_score, roc_auc,
+)
+
+from tests.conftest import make_mixed_table
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        centers = np.array([[0, 0], [10, 10], [-10, 10]])
+        X = np.vstack([rng.normal(c, 0.5, size=(50, 2)) for c in centers])
+        km = KMeans(n_clusters=3, rng=rng).fit(X)
+        labels = km.labels_
+        # Each blob maps to exactly one cluster.
+        for i in range(3):
+            blob = labels[i * 50:(i + 1) * 50]
+            assert len(np.unique(blob)) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_predict_matches_fit_labels(self, rng):
+        X = rng.normal(size=(100, 3))
+        km = KMeans(n_clusters=4, rng=rng).fit(X)
+        np.testing.assert_array_equal(km.predict(X), km.labels_)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        X = rng.normal(size=(200, 2))
+        inertia2 = KMeans(n_clusters=2, rng=rng).fit(X).inertia
+        inertia8 = KMeans(n_clusters=8, rng=rng).fit(X).inertia
+        assert inertia8 < inertia2
+
+    def test_fewer_samples_than_clusters_raises(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10, rng=rng).fit(np.zeros((3, 2)))
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+
+class TestF1Family:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 1, 0])
+        assert f1_score(y, y) == pytest.approx(1.0)
+        assert precision_score(y, y) == pytest.approx(1.0)
+        assert recall_score(y, y) == pytest.approx(1.0)
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        assert f1_score(np.array([1, 1]), np.array([0, 0])) == 0.0
+
+    def test_macro_f1_averages_classes(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 0, 0])
+        # class 0: P=0.5 R=1 F1=2/3 ; class 1: F1=0
+        assert macro_f1(y_true, y_pred) == pytest.approx(1 / 3)
+
+    def test_rare_label(self):
+        y = np.array([0, 0, 0, 1, 1, 2])
+        assert rare_label(y) == 2
+
+    def test_paper_f1_binary_uses_positive(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 0])
+        assert paper_f1(y_true, y_pred, n_classes=2) == pytest.approx(
+            f1_score(y_true, y_pred, label=1))
+
+    def test_paper_f1_multiclass_uses_rare(self):
+        y_true = np.array([0] * 8 + [1] * 4 + [2])
+        y_pred = y_true.copy()
+        assert paper_f1(y_true, y_pred, n_classes=3) == pytest.approx(1.0)
+
+
+class TestAUCAndNMI:
+    def test_auc_perfect_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_auc_reverse_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_auc_random_is_half(self, rng):
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_auc_single_class_degenerate(self):
+        assert roc_auc([1, 1], [0.1, 0.9]) == 0.5
+
+    def test_nmi_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    def test_nmi_independent_partitions(self, rng):
+        a = rng.integers(0, 2, 5000)
+        b = rng.integers(0, 2, 5000)
+        assert normalized_mutual_info(a, b) < 0.01
+
+    def test_nmi_symmetric(self, rng):
+        a = rng.integers(0, 3, 200)
+        b = rng.integers(0, 4, 200)
+        assert normalized_mutual_info(a, b) == pytest.approx(
+            normalized_mutual_info(b, a))
+
+    def test_nmi_invariant_to_relabeling(self, rng):
+        a = rng.integers(0, 3, 200)
+        b = rng.integers(0, 3, 200)
+        relabeled = (b + 1) % 3
+        assert normalized_mutual_info(a, b) == pytest.approx(
+            normalized_mutual_info(a, relabeled))
+
+    def test_nmi_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_info([0, 1], [0])
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+
+class TestFeatureEncoder:
+    def test_shapes(self, mixed_table):
+        X, y = FeatureEncoder().fit_transform(mixed_table)
+        # 2 numeric + onehot(3) + onehot(4)
+        assert X.shape == (len(mixed_table), 2 + 3 + 4)
+        assert y.shape == (len(mixed_table),)
+
+    def test_standardizes_numeric(self, mixed_table):
+        X, _ = FeatureEncoder().fit_transform(mixed_table)
+        np.testing.assert_allclose(X[:, 0].mean(), 0.0, atol=1e-9)
+        np.testing.assert_allclose(X[:, 0].std(), 1.0, atol=1e-6)
+
+    def test_transform_other_table_aligned(self):
+        a = make_mixed_table(n=100, seed=1)
+        b = make_mixed_table(n=50, seed=2)
+        encoder = FeatureEncoder().fit(a)
+        Xa, _ = encoder.transform(a)
+        Xb, _ = encoder.transform(b)
+        assert Xa.shape[1] == Xb.shape[1]
+
+    def test_schema_mismatch_raises(self, mixed_table, numeric_table):
+        encoder = FeatureEncoder().fit(mixed_table)
+        with pytest.raises(SchemaError):
+            encoder.transform(numeric_table)
+
+    def test_unfitted_raises(self, mixed_table):
+        with pytest.raises(RuntimeError):
+            FeatureEncoder().transform(mixed_table)
+
+
+class TestClassifierRegistry:
+    @pytest.mark.parametrize("name", CLASSIFIERS)
+    def test_all_paper_classifiers_instantiate_and_fit(self, name, rng):
+        X = rng.normal(size=(80, 3)) + rng.integers(0, 2, 80)[:, None] * 3
+        y = (X[:, 0] > 1.5).astype(np.int64)
+        model = make_classifier(name, rng=rng)
+        model.fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_classifier("SVM")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=2, max_size=40),
+       st.lists(st.integers(0, 1), min_size=2, max_size=40))
+def test_property_f1_bounded(y_true, y_pred):
+    n = min(len(y_true), len(y_pred))
+    score = f1_score(np.array(y_true[:n]), np.array(y_pred[:n]))
+    assert 0.0 <= score <= 1.0

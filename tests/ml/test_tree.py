@@ -1,0 +1,93 @@
+"""CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier
+
+
+def xor_data(rng, n=400, noise=0.0):
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+    if noise:
+        flip = rng.random(n) < noise
+        y[flip] = 1 - y[flip]
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_xor_perfectly(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=4, rng=rng).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.98
+
+    def test_depth_limit_respected(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=3, rng=rng).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_depth_one_is_a_stump(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=1, rng=rng).fit(X, y)
+        assert tree.depth() <= 1
+        # A stump cannot solve XOR.
+        assert (tree.predict(X) == y).mean() < 0.75
+
+    def test_proba_rows_sum_to_one(self, rng):
+        X, y = xor_data(rng, noise=0.2)
+        tree = DecisionTreeClassifier(max_depth=5, rng=rng).fit(X, y)
+        proba = tree.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_multiclass(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(np.int64) + 2 * (X[:, 1] > 0)
+        tree = DecisionTreeClassifier(max_depth=6, rng=rng).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+        assert tree.predict_proba(X).shape == (300, 4)
+
+    def test_sample_weight_shifts_decisions(self, rng):
+        # Two overlapping classes; upweighting class 1 should raise recall.
+        X = rng.normal(size=(500, 1))
+        y = (X[:, 0] + rng.normal(0, 1.0, 500) > 0).astype(np.int64)
+        unweighted = DecisionTreeClassifier(max_depth=2, rng=rng).fit(X, y)
+        weights = np.where(y == 1, 10.0, 1.0)
+        weighted = DecisionTreeClassifier(max_depth=2, rng=rng).fit(
+            X, y, sample_weight=weights)
+        recall_unweighted = (unweighted.predict(X)[y == 1] == 1).mean()
+        recall_weighted = (weighted.predict(X)[y == 1] == 1).mean()
+        assert recall_weighted >= recall_unweighted
+
+    def test_pure_node_stops_early(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = np.zeros(50, dtype=np.int64)
+        tree = DecisionTreeClassifier(max_depth=10, rng=rng).fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_constant_features_yield_single_leaf(self, rng):
+        X = np.ones((40, 3))
+        y = rng.integers(0, 2, 40)
+        tree = DecisionTreeClassifier(max_depth=5, rng=rng).fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_min_samples_leaf(self, rng):
+        X, y = xor_data(rng, n=100)
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=30,
+                                      rng=rng).fit(X, y)
+        # Every leaf holds >= 30 samples, so there are at most 3 splits.
+        assert tree.n_nodes <= 7
+
+    def test_empty_data_raises(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(rng=rng).fit(np.zeros((0, 2)),
+                                                np.zeros(0, dtype=np.int64))
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier(rng=rng).predict(np.zeros((1, 2)))
+
+    def test_max_features_sqrt(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=6, max_features="sqrt",
+                                      rng=rng).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.8

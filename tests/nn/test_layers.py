@@ -1,0 +1,100 @@
+"""Dense layers: Linear, BatchNorm1d, activations, Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d, Dropout, LeakyReLU, Linear, ReLU, Sequential, Sigmoid,
+    Tanh, Tensor,
+)
+
+from tests.conftest import numeric_gradient
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, rng=rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_weight_gradient(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        layer(Tensor(x)).sum().backward()
+        numeric = numeric_gradient(
+            lambda: float(layer(Tensor(x)).sum().data), layer.weight.data)
+        np.testing.assert_allclose(layer.weight.grad, numeric, atol=1e-7)
+
+
+class TestBatchNorm1d:
+    def test_normalizes_in_training(self, rng):
+        bn = BatchNorm1d(4)
+        x = rng.normal(3.0, 2.0, size=(64, 4))
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_track_batches(self, rng):
+        bn = BatchNorm1d(2, momentum=0.5)
+        x = rng.normal(5.0, 1.0, size=(128, 2))
+        for _ in range(20):
+            bn(Tensor(x))
+        np.testing.assert_allclose(bn.running_mean, x.mean(axis=0), atol=0.1)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        bn = BatchNorm1d(2)
+        x = rng.normal(size=(32, 2))
+        for _ in range(10):
+            bn(Tensor(x))
+        bn.eval()
+        single = bn(Tensor(x[:1]))
+        assert np.isfinite(single.data).all()
+
+    def test_gamma_beta_trainable(self, rng):
+        bn = BatchNorm1d(3)
+        out = bn(Tensor(rng.normal(size=(16, 3))))
+        out.sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+
+class TestActivationsAndDropout:
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert (ReLU()(x).data >= 0).all()
+        assert (np.abs(Tanh()(x).data) <= 1).all()
+        assert ((Sigmoid()(x).data > 0) & (Sigmoid()(x).data < 1)).all()
+        leaky = LeakyReLU(0.2)(x).data
+        np.testing.assert_allclose(leaky[x.data < 0], 0.2 * x.data[x.data < 0])
+
+    def test_dropout_train_vs_eval(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((100, 10)))
+        out_train = drop(x).data
+        assert (out_train == 0).any()
+        # Inverted dropout preserves the mean roughly.
+        assert out_train.mean() == pytest.approx(1.0, abs=0.2)
+        drop.eval()
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_sequential_composes(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(),
+                           Linear(8, 2, rng=rng))
+        out = model(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+        assert len(model.parameters()) == 4

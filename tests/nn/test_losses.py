@@ -1,0 +1,80 @@
+"""Loss functions: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor, bce_with_logits, binary_cross_entropy, categorical_kl,
+    gaussian_kl, mse,
+)
+
+from tests.conftest import numeric_gradient
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(8, 1))
+        targets = rng.integers(0, 2, size=(8, 1)).astype(float)
+        loss = bce_with_logits(Tensor(logits), targets)
+        probs = 1 / (1 + np.exp(-logits))
+        manual = -(targets * np.log(probs)
+                   + (1 - targets) * np.log(1 - probs)).mean()
+        assert float(loss.data) == pytest.approx(manual)
+
+    def test_gradient_is_sigmoid_minus_target(self, rng):
+        logits = rng.normal(size=(6, 1))
+        targets = np.ones((6, 1))
+        t = Tensor(logits, requires_grad=True)
+        bce_with_logits(t, targets).backward()
+        expected = (1 / (1 + np.exp(-logits)) - 1.0) / logits.size
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_stable_at_extreme_logits(self):
+        loss = bce_with_logits(Tensor(np.array([[1000.0], [-1000.0]])),
+                               np.array([[1.0], [0.0]]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestOtherLosses:
+    def test_mse_zero_when_equal(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert float(mse(Tensor(x), x).data) == pytest.approx(0.0)
+
+    def test_mse_value(self):
+        loss = mse(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(5.0)
+
+    def test_binary_cross_entropy_on_probs(self):
+        probs = Tensor(np.array([[0.9], [0.1]]))
+        loss = binary_cross_entropy(probs, np.array([[1.0], [0.0]]))
+        assert float(loss.data) == pytest.approx(-np.log(0.9), rel=1e-6)
+
+    def test_categorical_kl_zero_when_equal(self):
+        p = np.array([0.2, 0.3, 0.5])
+        kl = categorical_kl(p, Tensor(p.copy()))
+        assert float(kl.data) == pytest.approx(0.0, abs=1e-9)
+
+    def test_categorical_kl_positive_when_different(self):
+        p = np.array([0.9, 0.1])
+        q = Tensor(np.array([0.1, 0.9]))
+        assert float(categorical_kl(p, q).data) > 0.5
+
+    def test_categorical_kl_gradient(self, rng):
+        p = np.array([0.6, 0.4])
+        q = rng.uniform(0.1, 0.9, size=2)
+        q = q / q.sum()
+        t = Tensor(q, requires_grad=True)
+        categorical_kl(p, t).backward()
+        numeric = numeric_gradient(
+            lambda: float(categorical_kl(p, Tensor(q)).data), q)
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+    def test_gaussian_kl_zero_for_standard_normal(self):
+        mu = Tensor(np.zeros((4, 3)))
+        logvar = Tensor(np.zeros((4, 3)))
+        assert float(gaussian_kl(mu, logvar).data) == pytest.approx(0.0)
+
+    def test_gaussian_kl_positive_otherwise(self, rng):
+        mu = Tensor(rng.normal(size=(4, 3)) + 1.0)
+        logvar = Tensor(rng.normal(size=(4, 3)))
+        assert float(gaussian_kl(mu, logvar).data) > 0.0

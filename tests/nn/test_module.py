@@ -1,0 +1,80 @@
+"""Module system: parameter collection, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential, Tensor
+
+
+class TinyModel(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(3, 4, rng=rng)
+        self.fc2 = Linear(4, 2, rng=rng)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+def test_parameters_collected_recursively(rng):
+    model = TinyModel(rng)
+    # fc1 (W, b) + fc2 (W, b) + scale
+    assert len(model.parameters()) == 5
+
+
+def test_named_parameters_have_paths(rng):
+    names = {name for name, _ in TinyModel(rng).named_parameters()}
+    assert "fc1.weight" in names
+    assert "scale" in names
+
+
+def test_zero_grad_clears(rng):
+    model = TinyModel(rng)
+    model(Tensor(rng.normal(size=(2, 3)))).sum().backward()
+    assert model.fc1.weight.grad is not None
+    model.zero_grad()
+    assert model.fc1.weight.grad is None
+
+
+def test_train_eval_propagates(rng):
+    model = Sequential(Linear(2, 2, rng=rng), Linear(2, 2, rng=rng))
+    model.eval()
+    assert not model.layers[0].training
+    model.train()
+    assert model.layers[1].training
+
+
+def test_state_dict_round_trip(rng):
+    model = TinyModel(rng)
+    state = model.state_dict()
+    original = model.fc1.weight.data.copy()
+    model.fc1.weight.data += 100.0
+    model.load_state_dict(state)
+    np.testing.assert_allclose(model.fc1.weight.data, original)
+
+
+def test_state_dict_is_a_copy(rng):
+    model = TinyModel(rng)
+    state = model.state_dict()
+    model.fc1.weight.data += 1.0
+    assert not np.allclose(state["fc1.weight"], model.fc1.weight.data)
+
+
+def test_load_state_dict_missing_key(rng):
+    model = TinyModel(rng)
+    with pytest.raises(KeyError):
+        model.load_state_dict({})
+
+
+def test_load_state_dict_shape_mismatch(rng):
+    model = TinyModel(rng)
+    state = model.state_dict()
+    state["fc1.weight"] = np.zeros((1, 1))
+    with pytest.raises(ValueError):
+        model.load_state_dict(state)
+
+
+def test_num_parameters(rng):
+    model = Linear(3, 4, rng=rng)
+    assert model.num_parameters() == 3 * 4 + 4

@@ -1,0 +1,93 @@
+"""Optimizers: convergence on a quadratic, clipping, gradient noise."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam, Parameter, RMSProp, SGD, Tensor, add_gradient_noise,
+    clip_gradients, clip_parameters, global_gradient_norm,
+)
+
+
+def quadratic_loss(param):
+    target = np.array([1.0, -2.0, 3.0])
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+@pytest.mark.parametrize("optimizer_cls,kwargs", [
+    (SGD, {"lr": 0.1}),
+    (SGD, {"lr": 0.05, "momentum": 0.9}),
+    (Adam, {"lr": 0.2}),
+    (RMSProp, {"lr": 0.1}),
+])
+def test_converges_on_quadratic(optimizer_cls, kwargs):
+    param = Parameter(np.zeros(3))
+    opt = optimizer_cls([param], **kwargs)
+    for _ in range(200):
+        opt.zero_grad()
+        quadratic_loss(param).backward()
+        opt.step()
+    np.testing.assert_allclose(param.data, [1.0, -2.0, 3.0], atol=1e-2)
+
+
+def test_empty_params_rejected():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_step_skips_missing_grads():
+    param = Parameter(np.ones(2))
+    opt = Adam([param])
+    opt.step()  # no grad -> no movement, no crash
+    np.testing.assert_allclose(param.data, 1.0)
+
+
+def test_clip_parameters_projects_into_box(rng):
+    param = Parameter(rng.normal(0, 5, size=(4, 4)))
+    clip_parameters([param], 0.01)
+    assert np.abs(param.data).max() <= 0.01
+
+
+def test_clip_parameters_invalid():
+    with pytest.raises(ValueError):
+        clip_parameters([Parameter(np.ones(2))], 0.0)
+
+
+def test_global_gradient_norm():
+    p1 = Parameter(np.zeros(2))
+    p2 = Parameter(np.zeros(2))
+    p1.grad = np.array([3.0, 0.0])
+    p2.grad = np.array([0.0, 4.0])
+    assert global_gradient_norm([p1, p2]) == pytest.approx(5.0)
+
+
+def test_clip_gradients_scales_to_bound():
+    p = Parameter(np.zeros(2))
+    p.grad = np.array([3.0, 4.0])
+    pre = clip_gradients([p], 1.0)
+    assert pre == pytest.approx(5.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+
+def test_clip_gradients_no_op_below_bound():
+    p = Parameter(np.zeros(2))
+    p.grad = np.array([0.3, 0.4])
+    clip_gradients([p], 1.0)
+    np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+
+def test_add_gradient_noise_changes_grads(rng):
+    p = Parameter(np.zeros(100))
+    p.grad = np.zeros(100)
+    add_gradient_noise([p], std=1.0, rng=rng)
+    assert p.grad.std() == pytest.approx(1.0, rel=0.3)
+
+
+def test_adam_bias_correction_first_step():
+    """After one step, Adam moves by ~lr regardless of gradient scale."""
+    p = Parameter(np.zeros(1))
+    opt = Adam([p], lr=0.1)
+    p.grad = np.array([1e-4])
+    opt.step()
+    assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-2)

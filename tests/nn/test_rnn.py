@@ -1,0 +1,70 @@
+"""LSTM cell and sequence-to-one wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTMCell, SequenceToOneLSTM, Tensor
+
+from tests.conftest import numeric_gradient
+
+
+class TestLSTMCell:
+    def test_state_shapes(self, rng):
+        cell = LSTMCell(5, 8, rng=rng)
+        h, c = cell.initial_state(4)
+        h2, c2 = cell(Tensor(rng.normal(size=(4, 5))), (h, c))
+        assert h2.shape == (4, 8)
+        assert c2.shape == (4, 8)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        np.testing.assert_allclose(cell.bias.data[4:8], 1.0)
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        state = cell.initial_state(2)
+        for _ in range(20):
+            state = cell(Tensor(rng.normal(size=(2, 3)) * 5), state)
+        assert (np.abs(state[0].data) <= 1.0).all()
+
+    def test_gradient_through_time(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        x = rng.normal(size=(4, 2))
+
+        def run():
+            state = cell.initial_state(4)
+            for _ in range(3):
+                state = cell(Tensor(x), state)
+            return (state[0] ** 2).sum()
+
+        run().backward()
+        numeric = numeric_gradient(lambda: float(run().data),
+                                   cell.weight_h.data)
+        np.testing.assert_allclose(cell.weight_h.grad, numeric, atol=1e-6)
+
+    def test_random_initial_state(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        h, c = cell.initial_state(5, rng=rng)
+        assert not np.allclose(h.data, 0.0)
+
+
+class TestSequenceToOneLSTM:
+    def test_returns_final_hidden(self, rng):
+        model = SequenceToOneLSTM(4, 6, rng=rng)
+        steps = [Tensor(rng.normal(size=(3, 4))) for _ in range(5)]
+        out = model(steps)
+        assert out.shape == (3, 6)
+
+    def test_empty_sequence_raises(self, rng):
+        model = SequenceToOneLSTM(4, 6, rng=rng)
+        with pytest.raises(ValueError):
+            model([])
+
+    def test_order_sensitivity(self, rng):
+        """A sequence model must distinguish permuted inputs."""
+        model = SequenceToOneLSTM(2, 4, rng=rng)
+        a = Tensor(rng.normal(size=(1, 2)))
+        b = Tensor(rng.normal(size=(1, 2)))
+        out_ab = model([a, b]).data
+        out_ba = model([b, a]).data
+        assert not np.allclose(out_ab, out_ba)

@@ -1,0 +1,194 @@
+"""Autograd engine: forward values and gradients versus finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concat, stack, where
+from repro.nn.tensor import _unbroadcast
+
+from tests.conftest import numeric_gradient
+
+
+def grad_check(build, *arrays, tol=1e-7):
+    """``build(*tensors) -> scalar Tensor``; compare autograd vs numeric."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for arr, tensor in zip(arrays, tensors):
+        numeric = numeric_gradient(lambda: float(build(
+            *[Tensor(a) for a in arrays]).data), arr)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, numeric, atol=tol, rtol=1e-5)
+
+
+class TestForward:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((3, 4)))
+        b = Tensor(np.arange(4.0))
+        np.testing.assert_allclose((a + b).data,
+                                   np.ones((3, 4)) + np.arange(4.0))
+
+    def test_scalar_ops(self):
+        a = Tensor(np.array([2.0, 3.0]))
+        np.testing.assert_allclose((a * 2 + 1).data, [5.0, 7.0])
+        np.testing.assert_allclose((1 - a).data, [-1.0, -2.0])
+        np.testing.assert_allclose((a / 2).data, [1.0, 1.5])
+        np.testing.assert_allclose((6 / a).data, [3.0, 2.0])
+
+    def test_matmul(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(5, 7)))
+        s = x.softmax(axis=-1).data
+        np.testing.assert_allclose(s.sum(axis=1), np.ones(5))
+        assert (s > 0).all()
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        np.testing.assert_allclose(x.log_softmax().data,
+                                   np.log(x.softmax().data), atol=1e-12)
+
+    def test_sigmoid_extremes_are_stable(self):
+        x = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+        s = x.sigmoid().data
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_reshape_and_transpose(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)))
+        assert x.reshape(3, 4).shape == (3, 4)
+        assert x.T.shape == (6, 2)
+
+    def test_getitem_slice(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)))
+        np.testing.assert_allclose(x[:, 1:3].data, x.data[:, 1:3])
+
+    def test_clip(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]))
+        np.testing.assert_allclose(x.clip(-1, 1).data, [-1.0, 0.5, 1.0])
+
+    def test_mean_axis(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(x.mean(axis=0).data, x.data.mean(axis=0))
+        np.testing.assert_allclose(x.mean().data, x.data.mean())
+
+    def test_concat_and_stack(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(2, 2)))
+        assert concat([a, b], axis=1).shape == (2, 5)
+        assert stack([a, a], axis=0).shape == (2, 2, 3)
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        out = where(cond, Tensor(np.ones(3)), Tensor(np.zeros(3)))
+        np.testing.assert_allclose(out.data, [1.0, 0.0, 1.0])
+
+
+class TestGradients:
+    def test_add_mul(self, rng):
+        grad_check(lambda a, b: (a * b + a).sum(),
+                   rng.normal(size=(3, 4)), rng.normal(size=(3, 4)))
+
+    def test_broadcast_grad(self, rng):
+        grad_check(lambda a, b: (a + b).sum(),
+                   rng.normal(size=(3, 4)), rng.normal(size=(4,)))
+
+    def test_div(self, rng):
+        grad_check(lambda a, b: (a / b).sum(),
+                   rng.normal(size=(3,)), rng.uniform(1.0, 2.0, size=(3,)))
+
+    def test_pow(self, rng):
+        grad_check(lambda a: (a ** 3).sum(), rng.uniform(0.5, 2.0, size=(4,)))
+
+    def test_matmul_grad(self, rng):
+        grad_check(lambda a, b: (a @ b).sum(),
+                   rng.normal(size=(3, 4)), rng.normal(size=(4, 2)))
+
+    def test_tanh_sigmoid_relu_chain(self, rng):
+        grad_check(lambda a: (a.tanh().sigmoid().relu()).sum(),
+                   rng.normal(size=(3, 3)))
+
+    def test_leaky_relu(self, rng):
+        grad_check(lambda a: a.leaky_relu(0.1).sum(), rng.normal(size=(5,)))
+
+    def test_exp_log_sqrt(self, rng):
+        grad_check(lambda a: (a.exp().log().sqrt()).sum(),
+                   rng.uniform(0.5, 2.0, size=(4,)))
+
+    def test_softmax_grad(self, rng):
+        grad_check(lambda a: (a.softmax() * np.arange(5.0)).sum(),
+                   rng.normal(size=(3, 5)))
+
+    def test_log_softmax_grad(self, rng):
+        grad_check(lambda a: (a.log_softmax() * np.arange(4.0)).sum(),
+                   rng.normal(size=(2, 4)))
+
+    def test_getitem_grad(self, rng):
+        grad_check(lambda a: (a[:, 1:3] ** 2).sum(), rng.normal(size=(3, 5)))
+
+    def test_concat_grad(self, rng):
+        grad_check(lambda a, b: (concat([a, b], axis=1) ** 2).sum(),
+                   rng.normal(size=(2, 3)), rng.normal(size=(2, 2)))
+
+    def test_mean_keepdims_grad(self, rng):
+        grad_check(lambda a: ((a - a.mean(axis=0, keepdims=True)) ** 2).sum(),
+                   rng.normal(size=(4, 3)))
+
+    def test_grad_accumulates_on_reuse(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = (x * x + x * 2.0).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data + 2.0)
+
+    def test_backward_twice_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 3.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 6.0))
+
+    def test_detach_cuts_tape(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        (y * 5.0).sum().backward()
+        assert x.grad is None
+
+    def test_backward_shape_mismatch_raises(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            x.backward(np.ones(3))
+
+
+class TestUnbroadcast:
+    def test_no_op(self):
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)) is g
+
+    def test_leading_axes(self):
+        g = np.ones((5, 3, 4))
+        np.testing.assert_allclose(_unbroadcast(g, (3, 4)),
+                                   np.full((3, 4), 5.0))
+
+    def test_kept_singleton(self):
+        g = np.ones((3, 4))
+        np.testing.assert_allclose(_unbroadcast(g, (3, 1)),
+                                   np.full((3, 1), 4.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5))
+def test_property_sum_equals_numpy(n, m):
+    data = np.arange(float(n * m)).reshape(n, m)
+    assert float(Tensor(data).sum().data) == pytest.approx(data.sum())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-10, 10), min_size=1, max_size=8))
+def test_property_softmax_is_distribution(values):
+    s = Tensor(np.array([values])).softmax().data
+    assert s.min() >= 0
+    assert s.sum() == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Privacy metrics and the RDP accountant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.privacy import (
+    distance_to_closest_record, epsilon_for, hitting_rate,
+    rdp_subsampled_gaussian, sigma_for_epsilon,
+)
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n=400, seed=11)
+
+
+class TestHittingRate:
+    def test_self_comparison_hits_everything(self, table):
+        assert hitting_rate(table, table, n_samples=200, seed=0) == 1.0
+
+    def test_disjoint_synthetic_never_hits(self, table):
+        # Shift all numerics far away and flip categoricals.
+        from repro.datasets.schema import Table
+
+        cols = dict(table.columns)
+        cols["age"] = cols["age"] + 1e6
+        far = Table(table.schema, cols)
+        assert hitting_rate(table, far, n_samples=200, seed=0) == 0.0
+
+    def test_small_numeric_jitter_still_hits(self, table):
+        from repro.datasets.schema import Table
+
+        cols = dict(table.columns)
+        span = cols["age"].max() - cols["age"].min()
+        cols = {k: v.copy() for k, v in cols.items()}
+        cols["age"] = cols["age"] + span / 1000.0  # well inside range/30
+        jittered = Table(table.schema, cols)
+        assert hitting_rate(table, jittered, n_samples=200, seed=0) == 1.0
+
+    def test_schema_mismatch_raises(self, table, numeric_table):
+        with pytest.raises(SchemaError):
+            hitting_rate(table, numeric_table)
+
+
+class TestDCR:
+    def test_self_distance_zero(self, table):
+        assert distance_to_closest_record(table, table,
+                                          n_samples=100) == 0.0
+
+    def test_larger_for_displaced_synthetic(self, table):
+        from repro.datasets.schema import Table
+
+        near_cols = {k: v.copy() for k, v in table.columns.items()}
+        span = near_cols["age"].max() - near_cols["age"].min()
+        near_cols["age"] = near_cols["age"] + span * 0.01
+        near = Table(table.schema, near_cols)
+
+        far_cols = {k: v.copy() for k, v in table.columns.items()}
+        far_cols["age"] = far_cols["age"] + span * 0.5
+        far = Table(table.schema, far_cols)
+
+        d_near = distance_to_closest_record(table, near, n_samples=150)
+        d_far = distance_to_closest_record(table, far, n_samples=150)
+        assert d_far > d_near
+
+    def test_nonnegative(self, table, rng):
+        shuffled = table.take(rng.permutation(len(table)))
+        assert distance_to_closest_record(table, shuffled,
+                                          n_samples=100) >= 0.0
+
+
+class TestAccountant:
+    def test_rdp_zero_sampling(self):
+        assert rdp_subsampled_gaussian(0.0, 1.0, 4) == 0.0
+
+    def test_rdp_full_sampling_is_gaussian(self):
+        assert rdp_subsampled_gaussian(1.0, 2.0, 8) == pytest.approx(
+            8 / (2 * 4.0))
+
+    def test_rdp_increases_with_sampling_rate(self):
+        low = rdp_subsampled_gaussian(0.01, 1.0, 8)
+        high = rdp_subsampled_gaussian(0.2, 1.0, 8)
+        assert high > low
+
+    def test_epsilon_monotone_in_noise(self):
+        eps_low_noise = epsilon_for(0.8, q=0.02, steps=500)
+        eps_high_noise = epsilon_for(4.0, q=0.02, steps=500)
+        assert eps_high_noise < eps_low_noise
+
+    def test_epsilon_monotone_in_steps(self):
+        few = epsilon_for(2.0, q=0.02, steps=100)
+        many = epsilon_for(2.0, q=0.02, steps=2000)
+        assert many > few
+
+    def test_zero_steps_zero_epsilon(self):
+        assert epsilon_for(1.0, q=0.02, steps=0) == 0.0
+
+    def test_sigma_inversion_consistent(self):
+        sigma = sigma_for_epsilon(0.8, q=0.03, steps=400)
+        eps = epsilon_for(sigma, q=0.03, steps=400)
+        assert eps <= 0.8 + 1e-6
+        # And not wastefully noisy: slightly less noise must break the bound.
+        assert epsilon_for(sigma * 0.9, q=0.03, steps=400) > 0.8 - 0.05
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(-0.1, 1.0, 4)
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(0.1, 0.0, 4)
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(0.1, 1.0, 1)
+        with pytest.raises(ValueError):
+            sigma_for_epsilon(-1.0, q=0.1, steps=10)

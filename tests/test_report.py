@@ -1,0 +1,31 @@
+"""Report formatting."""
+
+from repro.report import format_cell, format_series, format_table
+
+
+def test_format_cell_precision():
+    assert format_cell(0.123456, precision=3) == "0.123"
+    assert format_cell("abc") == "abc"
+    assert format_cell(7) == "7"
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.0], ["long-name", 2.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    header, rule, row1, row2 = lines
+    assert header.index("value") == row1.index("1.000")
+
+
+def test_format_table_title():
+    text = format_table(["x"], [[1]], title="Table 1")
+    assert text.startswith("Table 1")
+
+
+def test_format_series_columns():
+    text = format_series({"a": [0.1, 0.2], "b": [0.3]}, x_label="epoch")
+    lines = text.splitlines()
+    assert "epoch" in lines[0]
+    assert "a" in lines[0]
+    # Short series pad with blanks rather than crash.
+    assert len(lines) == 4

@@ -1,0 +1,106 @@
+"""Categorical encoders: ordinal, tanh-ordinal, one-hot."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TransformError
+from repro.transform import OneHotEncoder, OrdinalEncoder, TanhOrdinalEncoder
+from repro.transform.base import HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH
+
+
+class TestOrdinalEncoder:
+    def test_scales_into_unit_interval(self):
+        enc = OrdinalEncoder().fit(np.array([0, 1, 2, 3]))
+        out = enc.transform(np.array([0, 3]))
+        np.testing.assert_allclose(out.ravel(), [0.0, 1.0])
+
+    def test_round_trip(self):
+        codes = np.array([0, 2, 1, 3, 3, 0])
+        enc = OrdinalEncoder().fit(codes)
+        np.testing.assert_array_equal(enc.inverse(enc.transform(codes)),
+                                      codes)
+
+    def test_inverse_clips_out_of_range(self):
+        enc = OrdinalEncoder().fit(np.array([0, 1, 2]))
+        decoded = enc.inverse(np.array([[-0.4], [1.7]]))
+        assert decoded.min() >= 0
+        assert decoded.max() <= 2
+
+    def test_head_and_width(self):
+        enc = OrdinalEncoder().fit(np.array([0, 1]))
+        assert enc.head == HEAD_SIGMOID
+        assert enc.width == 1
+
+    def test_single_category(self):
+        enc = OrdinalEncoder().fit(np.array([0, 0, 0]))
+        np.testing.assert_array_equal(
+            enc.inverse(enc.transform(np.array([0]))), [0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TransformError):
+            OrdinalEncoder().transform(np.array([0]))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(TransformError):
+            OrdinalEncoder().fit(np.array([], dtype=np.int64))
+
+
+class TestTanhOrdinalEncoder:
+    def test_range_is_symmetric(self):
+        enc = TanhOrdinalEncoder().fit(np.array([0, 1, 2, 3, 4]))
+        out = enc.transform(np.array([0, 2, 4])).ravel()
+        np.testing.assert_allclose(out, [-1.0, 0.0, 1.0])
+
+    def test_head_is_tanh(self):
+        enc = TanhOrdinalEncoder().fit(np.array([0, 1]))
+        assert enc.head == HEAD_TANH
+
+    def test_round_trip(self):
+        codes = np.array([4, 0, 2, 1, 3])
+        enc = TanhOrdinalEncoder().fit(codes)
+        np.testing.assert_array_equal(enc.inverse(enc.transform(codes)),
+                                      codes)
+
+
+class TestOneHotEncoder:
+    def test_transform_shape_and_values(self):
+        enc = OneHotEncoder().fit(np.array([0, 1, 2]))
+        out = enc.transform(np.array([1, 0]))
+        np.testing.assert_allclose(out, [[0, 1, 0], [1, 0, 0]])
+
+    def test_round_trip(self):
+        codes = np.array([2, 0, 1, 1, 2, 0])
+        enc = OneHotEncoder().fit(codes)
+        np.testing.assert_array_equal(enc.inverse(enc.transform(codes)),
+                                      codes)
+
+    def test_inverse_takes_argmax_of_soft_vectors(self):
+        enc = OneHotEncoder().fit(np.array([0, 1, 2]))
+        soft = np.array([[0.1, 0.7, 0.2], [0.5, 0.3, 0.2]])
+        np.testing.assert_array_equal(enc.inverse(soft), [1, 0])
+
+    def test_head_and_discreteness(self):
+        enc = OneHotEncoder().fit(np.array([0, 1]))
+        assert enc.head == HEAD_SOFTMAX
+        assert enc.discrete_block
+
+    def test_out_of_domain_code_raises(self):
+        enc = OneHotEncoder().fit(np.array([0, 1]))
+        with pytest.raises(TransformError):
+            enc.transform(np.array([5]))
+
+    def test_wrong_block_width_raises(self):
+        enc = OneHotEncoder().fit(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            enc.inverse(np.zeros((2, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=50))
+def test_property_encoders_round_trip(codes):
+    codes = np.array(codes, dtype=np.int64)
+    for encoder_cls in (OrdinalEncoder, TanhOrdinalEncoder, OneHotEncoder):
+        enc = encoder_cls().fit(codes)
+        np.testing.assert_array_equal(enc.inverse(enc.transform(codes)),
+                                      codes)

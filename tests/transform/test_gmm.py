@@ -1,0 +1,63 @@
+"""EM Gaussian mixture fitting."""
+
+import numpy as np
+import pytest
+
+from repro.transform import GaussianMixture1D
+
+
+class TestGaussianMixture1D:
+    def test_recovers_two_well_separated_modes(self, rng):
+        values = np.concatenate([rng.normal(-5, 0.5, 500),
+                                 rng.normal(5, 0.5, 500)])
+        gmm = GaussianMixture1D(n_components=2).fit(values, rng=rng)
+        means = np.sort(gmm.means)
+        np.testing.assert_allclose(means, [-5.0, 5.0], atol=0.3)
+        np.testing.assert_allclose(np.sort(gmm.stds), [0.5, 0.5], atol=0.2)
+
+    def test_weights_sum_to_one(self, rng):
+        gmm = GaussianMixture1D(n_components=4).fit(rng.normal(size=300),
+                                                    rng=rng)
+        assert gmm.weights.sum() == pytest.approx(1.0)
+
+    def test_posteriors_are_distributions(self, rng):
+        values = rng.normal(size=200)
+        gmm = GaussianMixture1D(n_components=3).fit(values, rng=rng)
+        post = gmm.posteriors(values)
+        assert post.shape == (200, gmm.n_components)
+        np.testing.assert_allclose(post.sum(axis=1), 1.0)
+
+    def test_assign_picks_nearest_mode(self, rng):
+        values = np.concatenate([rng.normal(-8, 0.5, 100),
+                                 rng.normal(8, 0.5, 100)])
+        gmm = GaussianMixture1D(n_components=2).fit(values, rng=rng)
+        assign_left = gmm.assign(np.array([-8.0]))[0]
+        assign_right = gmm.assign(np.array([8.0]))[0]
+        assert assign_left != assign_right
+
+    def test_component_cap_by_unique_values(self, rng):
+        gmm = GaussianMixture1D(n_components=10).fit(
+            np.array([1.0, 2.0, 3.0] * 30), rng=rng)
+        assert gmm.n_components <= 3
+
+    def test_sampling_matches_fit_distribution(self, rng):
+        values = np.concatenate([rng.normal(-5, 0.5, 500),
+                                 rng.normal(5, 0.5, 500)])
+        gmm = GaussianMixture1D(n_components=2).fit(values, rng=rng)
+        samples = gmm.sample(2000, rng)
+        # Both modes present in roughly equal proportion.
+        left = (samples < 0).mean()
+        assert 0.3 < left < 0.7
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ValueError):
+            GaussianMixture1D().fit(np.array([]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture1D().posteriors(np.array([1.0]))
+
+    def test_variance_floor_on_constant_data(self, rng):
+        gmm = GaussianMixture1D(n_components=1).fit(np.full(50, 3.0),
+                                                    rng=rng)
+        assert gmm.stds[0] > 0

@@ -1,0 +1,120 @@
+"""Record-level transformation: vector and matrix forms, reversibility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.transform import MatrixTransformer, RecordTransformer
+from repro.transform.base import HEAD_SOFTMAX, HEAD_TANH_SOFTMAX
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture
+def table():
+    return make_mixed_table(n=300, seed=3)
+
+
+class TestRecordTransformer:
+    @pytest.mark.parametrize("enc,norm", [
+        ("ordinal", "simple"), ("ordinal", "gmm"),
+        ("onehot", "simple"), ("onehot", "gmm"),
+    ])
+    def test_categorical_round_trip_exact(self, table, enc, norm):
+        rt = RecordTransformer(enc, norm,
+                               rng=np.random.default_rng(0)).fit(table)
+        back = rt.inverse(rt.transform(table))
+        for name in ("job", "city", "label"):
+            np.testing.assert_array_equal(back.column(name),
+                                          table.column(name))
+
+    def test_simple_norm_numeric_round_trip_exact(self, table):
+        rt = RecordTransformer("onehot", "simple").fit(table)
+        back = rt.inverse(rt.transform(table))
+        np.testing.assert_allclose(back.column("age"), table.column("age"),
+                                   atol=1e-9)
+
+    def test_gmm_numeric_round_trip_close(self, table):
+        rt = RecordTransformer("onehot", "gmm",
+                               rng=np.random.default_rng(0)).fit(table)
+        back = rt.inverse(rt.transform(table))
+        spread = table.column("age").std()
+        err = np.abs(back.column("age") - table.column("age")).mean()
+        assert err < spread  # mode-local reconstruction
+
+    def test_block_layout_covers_output(self, table):
+        rt = RecordTransformer("onehot", "gmm").fit(table)
+        stops = 0
+        for block in rt.blocks:
+            assert block.start == stops
+            stops = block.stop
+        assert stops == rt.output_dim
+
+    def test_block_heads(self, table):
+        rt = RecordTransformer("onehot", "gmm").fit(table)
+        by_name = {b.name: b for b in rt.blocks}
+        assert by_name["job"].head == HEAD_SOFTMAX
+        assert by_name["age"].head == HEAD_TANH_SOFTMAX
+
+    def test_exclude_label(self, table):
+        rt = RecordTransformer("onehot", "simple",
+                               exclude=("label",)).fit(table)
+        assert "label" not in [b.name for b in rt.blocks]
+        back = rt.inverse(rt.transform(table),
+                          extra_columns={"label": table.column("label")})
+        np.testing.assert_array_equal(back.column("label"),
+                                      table.column("label"))
+
+    def test_exclude_without_extra_raises(self, table):
+        rt = RecordTransformer(exclude=("label",)).fit(table)
+        with pytest.raises(TransformError):
+            rt.inverse(rt.transform(table))
+
+    def test_wrong_width_raises(self, table):
+        rt = RecordTransformer().fit(table)
+        with pytest.raises(TransformError):
+            rt.inverse(np.zeros((5, rt.output_dim + 1)))
+
+    def test_unfitted_raises(self, table):
+        with pytest.raises(TransformError):
+            RecordTransformer().transform(table)
+
+    def test_unknown_encoding_raises(self, table):
+        with pytest.raises(TransformError):
+            RecordTransformer(categorical_encoding="wat").fit(table)
+
+
+class TestMatrixTransformer:
+    def test_square_shape_with_padding(self, table):
+        mt = MatrixTransformer().fit(table)
+        out = mt.transform(table)
+        # 5 attributes -> 3x3 with 4 pad cells.
+        assert mt.side == 3
+        assert out.shape == (len(table), 1, 3, 3)
+        np.testing.assert_allclose(out[:, 0, 2, 1:], 0.0)
+
+    def test_round_trip_categorical_exact(self, table):
+        mt = MatrixTransformer().fit(table)
+        back = mt.inverse(mt.transform(table))
+        for name in ("job", "city", "label"):
+            np.testing.assert_array_equal(back.column(name),
+                                          table.column(name))
+
+    def test_values_in_tanh_range(self, table):
+        mt = MatrixTransformer().fit(table)
+        out = mt.transform(table)
+        assert out.min() >= -1.0
+        assert out.max() <= 1.0
+
+    def test_requested_side(self, table):
+        mt = MatrixTransformer(side=8).fit(table)
+        assert mt.transform(table).shape == (len(table), 1, 8, 8)
+
+    def test_side_too_small_raises(self, table):
+        with pytest.raises(TransformError):
+            MatrixTransformer(side=2).fit(table)
+
+    def test_wrong_shape_inverse_raises(self, table):
+        mt = MatrixTransformer().fit(table)
+        with pytest.raises(TransformError):
+            mt.inverse(np.zeros((5, 1, 4, 4)))
