@@ -19,7 +19,10 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +34,9 @@ from repro.datasets.schema import Table
 from repro.report import format_series, format_table, print_report
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: ``REPRO_BENCH_JSON=0`` disables the machine-readable BENCH_*.json files.
+JSON_ENABLED = os.environ.get("REPRO_BENCH_JSON", "1") not in ("0", "false")
 
 #: The paper's evaluator classifiers (table columns).
 CLASSIFIER_COLUMNS = ("DT10", "DT30", "RF10", "RF20", "AB", "LR")
@@ -130,17 +136,55 @@ def is_binary_label(dataset: str) -> bool:
 # ----------------------------------------------------------------------
 # Output handling
 # ----------------------------------------------------------------------
-def emit(name: str, text: str) -> str:
-    """Print a framed report and persist it under benchmarks/results/."""
+#: Reports emitted during the current ``run_once`` call, so the timed
+#: wall-clock can be attached to each one afterwards.
+_PENDING_REPORTS: List[Tuple[str, Optional[list]]] = []
+
+
+def emit(name: str, text: str, rows: Optional[list] = None) -> str:
+    """Print a framed report and persist it under benchmarks/results/.
+
+    ``rows`` is an optional JSON-friendly structure (e.g. a list of
+    metric dicts) included verbatim in the machine-readable
+    ``BENCH_<name>.json`` written alongside the text report, so future
+    PRs can track a perf/metric trajectory.
+    """
     print_report(text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _PENDING_REPORTS.append((name, rows))
+    if JSON_ENABLED:
+        _write_json(name, rows, elapsed_seconds=None)
     return text
 
 
+def _write_json(name: str, rows: Optional[list],
+                elapsed_seconds: Optional[float]) -> None:
+    payload = {
+        "name": name,
+        "elapsed_seconds": elapsed_seconds,
+        "rows": rows,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, default=float) + "\n")
+
+
 def run_once(benchmark, fn):
-    """Register ``fn`` with pytest-benchmark as a single timed round."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Register ``fn`` with pytest-benchmark as a single timed round.
+
+    Reports emitted during ``fn`` get their JSON sidecars re-written
+    with the measured wall-clock once timing is available.
+    """
+    _PENDING_REPORTS.clear()
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    if JSON_ENABLED:
+        for name, rows in _PENDING_REPORTS:
+            _write_json(name, rows, elapsed_seconds=elapsed)
+    _PENDING_REPORTS.clear()
+    return result
 
 
 def diff_table(dataset: str, rows: Sequence[Tuple[str, Dict[str, float]]],
@@ -152,3 +196,10 @@ def diff_table(dataset: str, rows: Sequence[Tuple[str, Dict[str, float]]],
         table_rows.append([label] + [diffs.get(c, float("nan"))
                                      for c in CLASSIFIER_COLUMNS])
     return format_table(headers, table_rows, title=title)
+
+
+def diff_rows_payload(rows: Sequence[Tuple[str, Dict[str, float]]]) -> list:
+    """JSON-friendly form of ``diff_table`` rows (for ``emit(rows=...)``)."""
+    return [{"config": label,
+             **{c: float(diffs[c]) for c in CLASSIFIER_COLUMNS if c in diffs}}
+            for label, diffs in rows]

@@ -12,9 +12,9 @@ collapsing LSTM settings (fewer curves fall to ~0 F1).
 import numpy as np
 import pytest
 
+from repro.api import synthesize
 from repro.core.design_space import DesignConfig
 from repro.core.model_selection import hyperparameter_candidates
-from repro.core.pipeline import run_gan_synthesis
 
 from _harness import context, emit, run_once
 from repro.report import format_series
@@ -29,11 +29,12 @@ def _curves(dataset: str, generator: str, simplified: bool):
     series = {}
     for i, config in enumerate(hyperparameter_candidates(
             base, n=N_SETTINGS, seed=7)):
-        run = run_gan_synthesis(config, ctx.train, ctx.valid,
-                                epochs=ctx.epochs,
-                                iterations_per_epoch=ctx.iterations_per_epoch,
-                                seed=i)
-        series[f"param-{i + 1}"] = [round(v, 3) for v in run.epoch_f1]
+        result = synthesize(ctx.train, method="gan", config=config,
+                            valid=ctx.valid, epochs=ctx.epochs,
+                            iterations_per_epoch=ctx.iterations_per_epoch,
+                            seed=i)
+        series[f"param-{i + 1}"] = [round(v, 3)
+                                    for v in result.selection_curve]
     return series
 
 

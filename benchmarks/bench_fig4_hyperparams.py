@@ -12,9 +12,9 @@ F1 drops to ~0 after early epochs).
 import numpy as np
 import pytest
 
+from repro.api import synthesize
 from repro.core.design_space import DesignConfig
 from repro.core.model_selection import hyperparameter_candidates
-from repro.core.pipeline import run_gan_synthesis
 
 from _harness import context, emit, run_once
 from repro.report import format_series
@@ -28,11 +28,12 @@ def _curves(dataset: str, generator: str):
     series = {}
     for i, config in enumerate(hyperparameter_candidates(
             base, n=N_SETTINGS, seed=7)):
-        run = run_gan_synthesis(config, ctx.train, ctx.valid,
-                                epochs=ctx.epochs,
-                                iterations_per_epoch=ctx.iterations_per_epoch,
-                                seed=i)
-        series[f"param-{i + 1}"] = [round(v, 3) for v in run.epoch_f1]
+        result = synthesize(ctx.train, method="gan", config=config,
+                            valid=ctx.valid, epochs=ctx.epochs,
+                            iterations_per_epoch=ctx.iterations_per_epoch,
+                            seed=i)
+        series[f"param-{i + 1}"] = [round(v, 3)
+                                    for v in result.selection_curve]
     return series
 
 
@@ -45,6 +46,8 @@ def test_fig4(benchmark, dataset, generator):
         return emit(name, format_series(
             series, x_label="epoch",
             title=f"Figure 4: {generator.upper()}-based G ({dataset}) — "
-                  f"validation F1 per epoch"))
+                  f"validation F1 per epoch"),
+            rows=[{"setting": k, "f1_per_epoch": v}
+                  for k, v in series.items()])
 
     run_once(benchmark, run)

@@ -10,8 +10,8 @@ import pytest
 from repro.core.design_space import DesignConfig
 
 from _harness import (
-    context, diff_table, emit, gan_synthetic, pb_synthetic, run_once,
-    vae_synthetic,
+    context, diff_rows_payload, diff_table, emit, gan_synthetic,
+    pb_synthetic, run_once, vae_synthetic,
 )
 
 EPSILONS = (0.2, 0.4, 0.8, 1.6)
@@ -30,6 +30,6 @@ def test_fig7(benchmark, dataset):
         return emit(f"fig7_{dataset}", diff_table(
             dataset, rows,
             title=f"Figure 7: synthesis methods ({dataset}) — "
-                  f"F1 difference"))
+                  f"F1 difference"), rows=diff_rows_payload(rows))
 
     run_once(benchmark, run)

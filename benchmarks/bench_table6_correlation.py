@@ -13,9 +13,9 @@ import time
 
 import pytest
 
+from repro.api import synthesize
 from repro.core.design_space import DesignConfig
 from repro.core.evaluation import classification_utility
-from repro.core.pipeline import run_gan_synthesis
 
 from _harness import cnn_config, context, emit, run_once
 from repro.report import format_table
@@ -40,21 +40,25 @@ def test_table6(benchmark):
                    + [f"{m} diff" for m, _ in MODELS]
                    + [f"{m} time(s)" for m, _ in MODELS])
         rows = []
+        payload = []
         for label, dataset, kwargs in CASES:
             ctx = context(dataset, **kwargs)
             diffs, times = [], []
-            for _, config in MODELS:
+            for model, config in MODELS:
                 start = time.perf_counter()
-                synth_run = run_gan_synthesis(
-                    config, ctx.train, ctx.valid, epochs=ctx.epochs,
+                result = synthesize(
+                    ctx.train, method="gan", config=config, valid=ctx.valid,
+                    epochs=ctx.epochs,
                     iterations_per_epoch=ctx.iterations_per_epoch, seed=0)
                 times.append(time.perf_counter() - start)
                 diffs.append(classification_utility(
-                    synth_run.synthetic, ctx.train, ctx.test, "DT30").diff)
+                    result.table, ctx.train, ctx.test, "DT30").diff)
+                payload.append({"dataset": label, "model": model,
+                                "diff": diffs[-1], "seconds": times[-1]})
             rows.append([label] + diffs + [round(t, 1) for t in times])
         return emit("table6", format_table(
             headers, rows,
             title="Table 6: attribute correlation — F1 diff (DT30) and "
-                  "synthesis time"))
+                  "synthesis time"), rows=payload)
 
     run_once(benchmark, run)

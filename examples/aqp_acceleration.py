@@ -19,11 +19,9 @@ Usage::
 
 import numpy as np
 
+import repro
 from repro import datasets
 from repro.aqp import generate_workload, workload_errors
-from repro.core import DesignConfig
-from repro.core.pipeline import run_gan_synthesis
-from repro.vae import VAESynthesizer
 
 
 def main():
@@ -34,14 +32,15 @@ def main():
           f"{len(queries)} aggregate queries")
     print(f"example query: {queries[0].describe()}\n")
 
-    # Bing is unlabeled, so the pipeline selects the generator snapshot
+    # Bing is unlabeled, so the facade selects the generator snapshot
     # by marginal fidelity on the validation split.
-    gan_run = run_gan_synthesis(DesignConfig(), train, valid, epochs=8,
-                                iterations_per_epoch=30, seed=0)
-    gan_table = gan_run.synthetic
+    gan = repro.synthesize(train, method="gan", valid=valid, epochs=8,
+                           iterations_per_epoch=30, seed=0)
+    gan_table = gan.table
 
-    vae = VAESynthesizer(epochs=8, iterations_per_epoch=40, seed=0)
-    vae_table = vae.fit(train).sample(len(train))
+    vae = repro.make_synthesizer("vae", epochs=8, iterations_per_epoch=40,
+                                 seed=0)
+    vae_table = vae.fit_sample(train)
 
     rng = np.random.default_rng(0)
     n_sample = max(1, len(train) // 100)

@@ -14,13 +14,11 @@ Usage::
     python examples/clustering_cohorts.py
 """
 
+import repro
 from repro import datasets
 from repro.core import (
     DesignConfig, clustering_utility, correlation_difference,
-    run_gan_synthesis,
 )
-from repro.privbayes import PrivBayesSynthesizer
-from repro.vae import VAESynthesizer
 
 
 def main():
@@ -31,15 +29,18 @@ def main():
 
     synthetics = {}
 
-    gan = run_gan_synthesis(DesignConfig(generator="mlp"), train, valid,
-                            epochs=6, iterations_per_epoch=25, seed=0)
-    synthetics["GAN"] = gan.synthetic
+    gan = repro.synthesize(train, method="gan",
+                           config=DesignConfig(generator="mlp"),
+                           valid=valid, epochs=6, iterations_per_epoch=25,
+                           seed=0)
+    synthetics["GAN"] = gan.table
 
-    vae = VAESynthesizer(epochs=8, iterations_per_epoch=40, seed=0)
-    synthetics["VAE"] = vae.fit(train).sample(len(train))
+    vae = repro.make_synthesizer("vae", epochs=8, iterations_per_epoch=40,
+                                 seed=0)
+    synthetics["VAE"] = vae.fit_sample(train)
 
-    pb = PrivBayesSynthesizer(epsilon=1.6, seed=0).fit(train)
-    synthetics["PB-1.6"] = pb.sample(len(train))
+    pb = repro.make_synthesizer("privbayes", epsilon=1.6, seed=0)
+    synthetics["PB-1.6"] = pb.fit_sample(train)
 
     print("clustering structure preservation "
           "(DiffCST lower = better; corr-diff lower = better):")

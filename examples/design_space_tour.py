@@ -10,10 +10,9 @@ Usage::
     python examples/design_space_tour.py
 """
 
+import repro
 from repro import datasets
-from repro.core import (
-    classification_utility, iter_design_space, run_gan_synthesis,
-)
+from repro.core import classification_utility, iter_design_space
 from repro.report import format_table
 
 
@@ -25,14 +24,15 @@ def main():
 
     rows = []
     for config in iter_design_space():
-        run = run_gan_synthesis(config, train, valid, epochs=4,
-                                iterations_per_epoch=20, seed=0)
-        diff_dt = classification_utility(run.synthetic, train, test,
+        result = repro.synthesize(train, method="gan", config=config,
+                                  valid=valid, epochs=4,
+                                  iterations_per_epoch=20, seed=0)
+        diff_dt = classification_utility(result.table, train, test,
                                          "DT10").diff
-        diff_lr = classification_utility(run.synthetic, train, test,
+        diff_lr = classification_utility(result.table, train, test,
                                          "LR").diff
         rows.append([config.describe(), diff_dt, diff_lr,
-                     run.best_epoch + 1])
+                     result.best_epoch + 1])
         print(f"  done: {config.describe()}")
 
     print()

@@ -18,11 +18,11 @@ Usage::
     python examples/healthcare_privacy.py
 """
 
+import repro
 from repro import datasets
 from repro.core import (
-    DesignConfig, classification_utility, privacy_report, run_gan_synthesis,
+    DesignConfig, classification_utility, privacy_report,
 )
-from repro.privbayes import PrivBayesSynthesizer
 
 
 def evaluate(name, fake, train, test):
@@ -43,17 +43,19 @@ def main():
     print("synthesizers (lower F1-diff = better utility; "
           "lower hit-rate / higher DCR = better privacy):")
 
-    cgan = run_gan_synthesis(DesignConfig(training="ctrain"), train, valid,
-                             epochs=8, iterations_per_epoch=40, seed=0)
-    evaluate("CGAN-C (CTrain)", cgan.synthetic, train, test)
+    cgan = repro.synthesize(train, method="gan",
+                            config=DesignConfig(training="ctrain"),
+                            valid=valid, epochs=8, iterations_per_epoch=40,
+                            seed=0)
+    evaluate("CGAN-C (CTrain)", cgan.table, train, test)
 
-    vanilla = run_gan_synthesis(DesignConfig(), train, valid, epochs=8,
-                                iterations_per_epoch=40, seed=0)
-    evaluate("GAN (VTrain)", vanilla.synthetic, train, test)
+    vanilla = repro.synthesize(train, method="gan", valid=valid, epochs=8,
+                               iterations_per_epoch=40, seed=0)
+    evaluate("GAN (VTrain)", vanilla.table, train, test)
 
     for eps in (0.4, 1.6):
-        pb = PrivBayesSynthesizer(epsilon=eps, seed=0).fit(train)
-        evaluate(f"PrivBayes eps={eps}", pb.sample(len(train)), train, test)
+        pb = repro.make_synthesizer("privbayes", epsilon=eps, seed=0)
+        evaluate(f"PrivBayes eps={eps}", pb.fit_sample(train), train, test)
 
     print("\nExpected shape (paper Findings 4-6): the conditional GAN "
           "(CGAN-C) beats the unconditional GAN on this skew data, and "

@@ -1,23 +1,44 @@
 """repro — reproduction of Fan et al., "Relational Data Synthesis using
 Generative Adversarial Networks: A Design Space Exploration" (VLDB 2020).
 
-The package implements the paper's unified GAN-based synthesis framework
-(data transformation -> GAN training -> synthetic generation), its full
-design space (Figure 3), the baselines (VAE, PrivBayes), the evaluation
+The package implements the paper's unified synthesis framework (data
+transformation -> training -> synthetic generation), its full GAN design
+space (Figure 3), the baselines (VAE, PrivBayes), the evaluation
 framework (classification / clustering / AQP utility + privacy metrics),
 and all the substrates those require (an autograd NN engine, classical ML
 models, an AQP engine, dataset generators).
 
-Quickstart::
+All method families implement one :class:`repro.api.Synthesizer`
+contract and are selected by name through a registry, so experiment
+code never hard-codes a family.
 
-    from repro import GANSynthesizer, DesignConfig, datasets
+Quickstart — one call with validation-based model selection::
+
+    import repro
+    from repro import datasets
 
     table = datasets.load("adult", n_records=4000, seed=0)
-    config = DesignConfig(generator="mlp", categorical_encoding="onehot",
-                          numerical_normalization="gmm")
-    synth = GANSynthesizer(config, epochs=5, seed=0)
-    synth.fit(table)
-    fake = synth.sample(len(table))
+    train, valid, test = datasets.split(table, seed=0)
+
+    result = repro.synthesize(train, method="gan", valid=valid,
+                              epochs=5, seed=0)
+    fake = result.table            # the synthetic table
+    result.best_epoch              # validation-selected snapshot
+    result.curves["selection"]     # the per-epoch selection series
+
+Or drive the lifecycle yourself — any registered family ("gan", "vae",
+"privbayes") behaves identically::
+
+    synth = repro.make_synthesizer("gan", epochs=5, seed=0)
+    synth.fit(train)
+    fake = synth.sample(len(train), seed=0)   # reproducible sampling
+    for chunk in synth.sample_iter(100_000, batch=512):
+        ...                                    # streaming generation
+    synth.save("models/adult-gan")
+    same = repro.load_synthesizer("models/adult-gan")
+
+Legacy entry points (``GANSynthesizer(config).fit(...)``,
+``repro.core.run_gan_synthesis``) remain importable as thin shims.
 """
 
 from .errors import (
@@ -25,11 +46,13 @@ from .errors import (
     QueryError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DesignConfig", "GANSynthesizer", "VAESynthesizer",
     "PrivBayesSynthesizer", "datasets",
+    "Synthesizer", "SynthesisResult", "synthesize", "make_synthesizer",
+    "register", "available_synthesizers", "load_synthesizer",
     "ReproError", "SchemaError", "TransformError", "TrainingError",
     "ConfigError", "QueryError",
 ]
@@ -41,6 +64,13 @@ _LAZY = {
     "PrivBayesSynthesizer": ("repro.privbayes.synthesizer",
                              "PrivBayesSynthesizer"),
     "datasets": ("repro.datasets", None),
+    "Synthesizer": ("repro.api", "Synthesizer"),
+    "SynthesisResult": ("repro.api", "SynthesisResult"),
+    "synthesize": ("repro.api.facade", "synthesize"),
+    "make_synthesizer": ("repro.api", "make_synthesizer"),
+    "register": ("repro.api", "register"),
+    "available_synthesizers": ("repro.api", "available_synthesizers"),
+    "load_synthesizer": ("repro.api", "load_synthesizer"),
 }
 
 

@@ -1,0 +1,49 @@
+"""Unified synthesizer API: lifecycle contract, registry, facade.
+
+This package is the seam between method families (GAN design points,
+VAE, PrivBayes, future backends) and everything that consumes them
+(benchmarks, experiment runners, services):
+
+* :class:`Synthesizer` — the abstract lifecycle every family implements
+  (``fit`` / ``sample`` / ``sample_iter`` / ``fit_sample`` / ``save`` /
+  ``load``);
+* :func:`register` / :func:`make_synthesizer` — string-keyed family
+  registry;
+* :func:`synthesize` — one-call facade with validation-based model
+  selection, returning a :class:`SynthesisResult`;
+* :func:`load_synthesizer` — restore any saved synthesizer by its
+  recorded method name.
+"""
+
+from .base import Synthesizer, load_synthesizer
+from .registry import (
+    available_synthesizers, canonical_name, make_synthesizer, register,
+    resolve,
+)
+from .result import SynthesisResult
+
+__all__ = [
+    "Synthesizer", "load_synthesizer",
+    "available_synthesizers", "canonical_name", "make_synthesizer",
+    "register", "resolve",
+    "SynthesisResult", "synthesize",
+    "SnapshotScores", "score_snapshots", "select_snapshot",
+]
+
+_LAZY = {
+    "synthesize": ("repro.api.facade", "synthesize"),
+    "SnapshotScores": ("repro.api.selection", "SnapshotScores"),
+    "score_snapshots": ("repro.api.selection", "score_snapshots"),
+    "select_snapshot": ("repro.api.selection", "select_snapshot"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        value = getattr(importlib.import_module(module_name), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")

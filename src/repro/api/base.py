@@ -1,0 +1,261 @@
+"""The unified synthesizer lifecycle (paper Figure 2, method-agnostic).
+
+Every synthesis method family — GAN design points, the VAE baseline,
+PrivBayes — implements the same contract:
+
+* ``fit(table, callbacks=...)``     Phase I + II (transform, train);
+* ``sample(n, batch=..., seed=...)``  Phase III, optionally reproducible;
+* ``sample_iter(n, ...)``           streaming generation in table chunks;
+* ``fit_sample(table, ...)``        the two phases in one call;
+* ``save(path)`` / ``load(path)``   persistence: JSON metadata (config,
+  fitted transformer state) plus ``.npz`` arrays via
+  :mod:`repro.nn.serialization`.
+
+Subclasses implement the small hook surface at the bottom of
+:class:`Synthesizer` (``_fit``, ``_sample_chunk``, ``_state``,
+``_load_state``); everything user-facing lives here, so benchmarks,
+the :func:`repro.synthesize` facade, and future services can treat all
+families interchangeably.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import (
+    Any, Callable, ClassVar, Dict, Iterator, List, Optional, Sequence, Union,
+)
+
+import numpy as np
+
+from ..datasets.schema import Table
+from ..errors import ConfigError, TrainingError
+from ..nn.serialization import load_state, save_state
+
+PathLike = Union[str, pathlib.Path]
+Callback = Callable[[Any], None]
+
+#: Identifies the on-disk persistence layout written by :meth:`Synthesizer.save`.
+FORMAT_NAME = "repro-synthesizer"
+FORMAT_VERSION = 1
+
+_META_FILE = "synthesizer.json"
+_ARRAYS_FILE = "arrays.npz"
+
+
+def _as_callback_list(callbacks) -> List[Callback]:
+    if callbacks is None:
+        return []
+    if callable(callbacks):
+        return [callbacks]
+    return [cb for cb in callbacks if cb is not None]
+
+
+class Synthesizer:
+    """Abstract base class for all relational data synthesizers.
+
+    Subclasses register under a string key with
+    :func:`repro.api.register`, which also sets :attr:`method` so saved
+    models can be re-instantiated by name.
+    """
+
+    #: Registry key (set by the ``@register`` decorator).
+    method: ClassVar[Optional[str]] = None
+    #: Default generation chunk size when ``batch`` is not given.
+    default_sample_batch: ClassVar[int] = 256
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise TrainingError("synthesizer is not fitted")
+
+    def fit(self, table: Table, callbacks=None) -> "Synthesizer":
+        """Transform ``table`` and train the generative model.
+
+        ``callbacks`` is a callable or sequence of callables invoked with
+        per-epoch progress records (family-specific payloads; GAN passes
+        :class:`~repro.gan.training.EpochRecord`).
+        """
+        self._fit(table, _as_callback_list(callbacks))
+        self._fitted = True
+        return self
+
+    def sample_iter(self, n: int, batch: Optional[int] = None,
+                    seed: Optional[int] = None) -> Iterator[Table]:
+        """Stream ``n`` synthetic records as a sequence of table chunks.
+
+        With ``seed`` given the stream is reproducible and independent of
+        the synthesizer's internal generator state; with ``seed=None``
+        the shared training RNG is consumed (legacy behaviour).
+        """
+        self._require_fitted()
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        batch = batch if batch is not None else self.default_sample_batch
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        rng = self._sampling_rng(seed)
+        remaining = n
+        while remaining > 0:
+            m = min(batch, remaining)
+            yield self._sample_chunk(m, rng)
+            remaining -= m
+
+    def sample(self, n: int, batch: Optional[int] = None,
+               seed: Optional[int] = None) -> Table:
+        """Generate a synthetic table of ``n`` records.
+
+        Passing ``seed`` makes repeated calls after the same ``fit``
+        return identical tables (reproducible sampling).
+        """
+        self._require_fitted()
+        if n <= 0:
+            raise ValueError("n must be positive")
+        chunks = list(self.sample_iter(n, batch=batch, seed=seed))
+        if len(chunks) == 1:
+            return chunks[0]
+        schema = chunks[0].schema
+        columns = {name: np.concatenate([c.columns[name] for c in chunks])
+                   for name in schema.names}
+        return Table(schema, columns)
+
+    def fit_sample(self, table: Table, n: Optional[int] = None,
+                   callbacks=None, batch: Optional[int] = None,
+                   seed: Optional[int] = None) -> Table:
+        """``fit`` then ``sample`` (``n`` defaults to ``len(table)``)."""
+        self.fit(table, callbacks=callbacks)
+        return self.sample(n if n is not None else len(table),
+                           batch=batch, seed=seed)
+
+    def _sampling_rng(self, seed: Optional[int]) -> np.random.Generator:
+        return self.rng if seed is None else np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Optional capabilities (used by the facade's model selection)
+    # ------------------------------------------------------------------
+    @property
+    def supports_snapshots(self) -> bool:
+        """True when per-epoch snapshots are available for selection."""
+        return False
+
+    def training_curves(self) -> Dict[str, List[float]]:
+        """Named per-epoch diagnostic series collected during ``fit``."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> pathlib.Path:
+        """Persist the fitted synthesizer into directory ``path``.
+
+        Layout: ``synthesizer.json`` (method name, constructor params,
+        fitted transformer / structure state) and ``arrays.npz`` (model
+        parameters via :mod:`repro.nn.serialization`).
+        """
+        self._require_fitted()
+        if self.method is None:
+            raise ConfigError(
+                f"{type(self).__name__} is not registered; only registered "
+                "synthesizers can be saved")
+        path = pathlib.Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        meta, arrays = self._state()
+        document = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "method": self.method,
+            "state": meta,
+        }
+        (path / _META_FILE).write_text(json.dumps(document, indent=2))
+        save_state(path / _ARRAYS_FILE, dict(arrays))
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Synthesizer":
+        """Restore a synthesizer saved with :meth:`save`.
+
+        Called on the base class it dispatches on the saved method name
+        through the registry; called on a subclass it additionally
+        verifies the saved method matches.
+        """
+        path = pathlib.Path(path)
+        meta_path = path / _META_FILE
+        if not meta_path.exists():
+            raise ConfigError(f"no saved synthesizer at {path}")
+        document = json.loads(meta_path.read_text())
+        if document.get("format") != FORMAT_NAME:
+            raise ConfigError(f"{meta_path} is not a saved synthesizer")
+        if document.get("version") != FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported synthesizer format version "
+                f"{document.get('version')!r}")
+        from .registry import resolve
+
+        klass = resolve(document["method"])
+        if cls is not Synthesizer and not issubclass(klass, cls):
+            raise ConfigError(
+                f"saved synthesizer has method {document['method']!r}, "
+                f"not a {cls.__name__}")
+        arrays = load_state(path / _ARRAYS_FILE)
+        state = document["state"]
+        instance = klass(**klass._init_kwargs_from_state(state["params"]))
+        instance._load_state(state, arrays)
+        instance._fitted = True
+        return instance
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _fit(self, table: Table, callbacks: List[Callback]) -> None:
+        raise NotImplementedError
+
+    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
+        """Generate one chunk of ``m`` records using ``rng``."""
+        raise NotImplementedError
+
+    def _state(self):
+        """Return ``(meta, arrays)``: a JSON-serializable dict (must
+        contain a ``"params"`` entry of constructor keyword arguments)
+        and a flat ``{key: ndarray}`` mapping."""
+        raise NotImplementedError
+
+    def _load_state(self, state: Dict[str, Any],
+                    arrays: Dict[str, np.ndarray]) -> None:
+        """Restore fitted state produced by :meth:`_state`."""
+        raise NotImplementedError
+
+    @classmethod
+    def _init_kwargs_from_state(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Convert saved constructor params back into keyword arguments
+        (hook for families whose params are richer than JSON scalars)."""
+        return dict(params)
+
+
+def prefixed(prefix: str, state: Dict[str, np.ndarray]
+             ) -> Dict[str, np.ndarray]:
+    """Namespace a state dict's keys (``{prefix}::{key}``)."""
+    return {f"{prefix}::{key}": value for key, value in state.items()}
+
+
+def unprefixed(prefix: str, arrays: Dict[str, np.ndarray]
+               ) -> Dict[str, np.ndarray]:
+    """Extract and strip one namespace written by :func:`prefixed`."""
+    tag = f"{prefix}::"
+    return {key[len(tag):]: value for key, value in arrays.items()
+            if key.startswith(tag)}
+
+
+def load_synthesizer(path: PathLike) -> Synthesizer:
+    """Load any saved synthesizer, dispatching on its registered method."""
+    return Synthesizer.load(path)

@@ -1,0 +1,146 @@
+"""One-call synthesis facade: ``repro.synthesize(table, method=...)``.
+
+Subsumes the legacy GAN-only pipeline (``run_gan_synthesis``) in a
+method-generic way: any registered family is constructed by name,
+fitted, optionally snapshot-selected against a validation table, and
+returned as a :class:`~repro.api.result.SynthesisResult` carrying the
+synthetic table, the fitted synthesizer, and full provenance.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Any, Dict, Optional
+
+from ..datasets.schema import Table
+from ..errors import ConfigError
+from .base import Synthesizer
+from .registry import canonical_name, make_synthesizer, resolve
+from .result import SynthesisResult
+from .selection import extend_to, score_snapshots
+
+
+def _constructor_kwargs(klass, explicit: Dict[str, Any],
+                        defaults: Dict[str, Any]) -> Dict[str, Any]:
+    """Assemble constructor keyword arguments for ``klass``.
+
+    ``explicit`` holds what the caller spelled out (facade ``**kwargs``
+    plus any named facade parameter they set): unaccepted keys are an
+    error, so typos and family mismatches fail loudly, and values —
+    including meaningful ``None``\\ s like ``epsilon=None`` — pass
+    through verbatim.  ``defaults`` holds unset facade parameters:
+    they are dropped so each family keeps its own defaults.
+    """
+    params = inspect.signature(klass.__init__).parameters
+    accepts_var_kwargs = any(p.kind is inspect.Parameter.VAR_KEYWORD
+                             for p in params.values())
+    rejected = [key for key in explicit
+                if key not in params and not accepts_var_kwargs]
+    if rejected:
+        raise ConfigError(
+            f"{klass.__name__} does not accept argument(s) "
+            f"{', '.join(sorted(rejected))}")
+    accepted = dict(explicit)
+    for key, value in defaults.items():
+        if key not in accepted and (key in params or accepts_var_kwargs) \
+                and value is not None:
+            accepted[key] = value
+    return accepted
+
+
+def synthesize(table: Table, method: str = "gan", *,
+               config=None,
+               valid: Optional[Table] = None,
+               n: Optional[int] = None,
+               size_ratio: float = 1.0,
+               epochs: Optional[int] = None,
+               iterations_per_epoch: Optional[int] = None,
+               seed: int = 0,
+               selection_classifier: str = "DT10",
+               selection_sample_size: Optional[int] = None,
+               sample_seed: Optional[int] = None,
+               callbacks=None,
+               **kwargs) -> SynthesisResult:
+    """Fit a synthesizer by name and emit a synthetic table.
+
+    Parameters
+    ----------
+    table:
+        Training table ``T_train``.
+    method:
+        Registered family name ("gan", "vae", "privbayes", ...).
+    config:
+        :class:`~repro.core.design_space.DesignConfig` for families that
+        take one (the GAN design space); must be omitted otherwise.
+    valid:
+        Validation table enabling per-epoch snapshot selection (paper
+        §6.2) for families that support snapshots.  The snapshot tables
+        generated for scoring are cached and the winner is reused as the
+        final output (unless ``sample_seed`` is set), so the best epoch
+        is not resampled from scratch.
+    n, size_ratio:
+        Output size: explicit ``n``, or ``round(len(table) *
+        size_ratio)`` (the paper's ``|T'| / |T_train|`` knob).
+    epochs, iterations_per_epoch, seed, kwargs:
+        Forwarded to the family constructor when it accepts them.
+    selection_classifier, selection_sample_size:
+        Snapshot scoring knobs (classifier F1 on labeled tables,
+        marginal fidelity on unlabeled ones).
+    sample_seed:
+        Seed for the final sampling pass (reproducible output); setting
+        it bypasses the scoring-table cache so the whole output comes
+        from one seeded pass.
+    callbacks:
+        Per-epoch progress callbacks forwarded to ``fit``.
+    """
+    method = canonical_name(method)
+    klass = resolve(method)
+    explicit = dict(kwargs)
+    for key, value in (("config", config), ("epochs", epochs),
+                       ("iterations_per_epoch", iterations_per_epoch)):
+        if value is not None:
+            explicit[key] = value
+    init_kwargs = _constructor_kwargs(klass, explicit, {"seed": seed})
+
+    start = time.perf_counter()
+    synthesizer: Synthesizer = make_synthesizer(method, **init_kwargs)
+    synthesizer.fit(table, callbacks=callbacks)
+
+    n_out = n if n is not None else max(1, int(round(len(table) * size_ratio)))
+    curves = dict(synthesizer.training_curves())
+    best_epoch = None
+    criterion = None
+    if synthesizer.supports_snapshots and valid is not None:
+        selection = score_snapshots(
+            synthesizer, valid, classifier=selection_classifier,
+            sample_size=selection_sample_size, seed=seed)
+        best_epoch = selection.best_index
+        criterion = selection.criterion
+        synthesizer.use_snapshot(best_epoch)
+        curves["selection"] = selection.scores
+        if sample_seed is None:
+            synthetic = extend_to(selection.tables[best_epoch], n_out,
+                                  synthesizer)
+        else:
+            # A seeded output must be one reproducible sampling pass,
+            # not a mix of cached (unseeded) rows and seeded top-up.
+            synthetic = synthesizer.sample(n_out, seed=sample_seed)
+    else:
+        synthetic = synthesizer.sample(n_out, seed=sample_seed)
+    elapsed = time.perf_counter() - start
+
+    provenance = {
+        "method": method,
+        "seed": seed,
+        "n_train": len(table),
+        "n_synthetic": len(synthetic),
+        "selection_criterion": criterion,
+        "elapsed_seconds": elapsed,
+    }
+    describe = getattr(getattr(synthesizer, "config", None), "describe", None)
+    if callable(describe):
+        provenance["config"] = describe()
+    return SynthesisResult(table=synthetic, synthesizer=synthesizer,
+                           method=method, best_epoch=best_epoch,
+                           curves=curves, provenance=provenance)

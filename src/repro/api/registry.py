@@ -1,0 +1,91 @@
+"""String-keyed synthesizer registry.
+
+Experiment code, benchmarks, and services select method families by
+name instead of importing concrete classes::
+
+    from repro.api import make_synthesizer
+
+    synth = make_synthesizer("gan", epochs=5, seed=0)
+    synth.fit(train)
+
+Built-in families ("gan", "vae", "privbayes") resolve lazily so that
+importing :mod:`repro.api` stays cheap; third-party synthesizers join
+the registry with the :func:`register` class decorator.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Tuple, Type
+
+from ..errors import ConfigError
+
+#: Lazily imported built-in families: name -> (module, class name).
+_BUILTIN: Dict[str, Tuple[str, str]] = {
+    "gan": ("repro.gan.synthesizer", "GANSynthesizer"),
+    "vae": ("repro.vae.synthesizer", "VAESynthesizer"),
+    "privbayes": ("repro.privbayes.synthesizer", "PrivBayesSynthesizer"),
+}
+
+#: Convenience aliases accepted anywhere a method name is.
+_ALIASES: Dict[str, str] = {"pb": "privbayes"}
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register(name: str):
+    """Class decorator adding a :class:`~repro.api.base.Synthesizer`
+    subclass to the registry under ``name`` (also sets ``cls.method``).
+    """
+
+    def decorator(cls):
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigError(
+                f"synthesizer name {name!r} is already registered "
+                f"to {existing.__name__}")
+        cls.method = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases (e.g. ``"pb"`` -> ``"privbayes"``)."""
+    return _ALIASES.get(name, name)
+
+
+def resolve(name: str) -> Type:
+    """Look up a synthesizer class by registered name.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names.
+    """
+    if not isinstance(name, str):
+        raise ConfigError(f"synthesizer name must be a string, got {name!r}")
+    key = canonical_name(name)
+    if key not in _REGISTRY and key in _BUILTIN:
+        module_name, class_name = _BUILTIN[key]
+        # Importing the module runs its @register decorator.
+        module = importlib.import_module(module_name)
+        _REGISTRY.setdefault(key, getattr(module, class_name))
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(available_synthesizers()))
+        raise ConfigError(
+            f"unknown synthesizer {name!r} (available: {known})")
+    return _REGISTRY[key]
+
+
+def make_synthesizer(name: str, **kwargs):
+    """Instantiate a registered synthesizer by name.
+
+    Keyword arguments are forwarded verbatim to the family's
+    constructor (e.g. ``config=``/``epochs=`` for "gan", ``epsilon=``
+    for "privbayes").
+    """
+    return resolve(name)(**kwargs)
+
+
+def available_synthesizers() -> Tuple[str, ...]:
+    """Sorted names of every registered (or built-in) family."""
+    return tuple(sorted(set(_BUILTIN) | set(_REGISTRY)))

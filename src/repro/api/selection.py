@@ -1,0 +1,116 @@
+"""Validation-based snapshot selection, shared across method families.
+
+Paper §6.2: after each training epoch the generator snapshot synthesizes
+a table, which is scored against the *validation* set — classifier F1
+for labeled tables, negative mean marginal total variation for unlabeled
+ones.  The scoring tables are cached so the winning snapshot's table can
+be reused as (part of) the final output instead of being regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..datasets.schema import Table
+from .base import Synthesizer
+
+Criterion = Callable[[Table], float]
+
+
+@dataclass
+class SnapshotScores:
+    """Per-snapshot validation scores plus the tables that produced them."""
+
+    scores: List[float]
+    tables: List[Table]
+    criterion: str
+
+    @property
+    def best_index(self) -> int:
+        return int(np.argmax(self.scores))
+
+
+def default_sample_size(valid: Table) -> int:
+    """The paper's scoring sample size: ``min(2000, max(500, 2|V|))``."""
+    return min(2000, max(500, len(valid) * 2))
+
+
+def make_criterion(valid: Table, classifier: str = "DT10",
+                   seed: int = 0) -> tuple:
+    """Build the validation scoring function for ``valid``.
+
+    Labeled tables score classifier F1 (higher is better); unlabeled
+    tables score ``-mean marginal TV`` so both criteria are maximized.
+    Returns ``(name, callable)``.
+    """
+    from ..core.evaluation import classifier_f1
+    from ..core.statistics import marginal_distances
+
+    if valid.schema.label is not None:
+        def score(table: Table) -> float:
+            return classifier_f1(table, valid, classifier, seed)
+
+        return f"f1:{classifier}", score
+
+    def score(table: Table) -> float:
+        distances = marginal_distances(valid, table)
+        return -float(np.mean(list(distances.values())))
+
+    return "fidelity", score
+
+
+def score_snapshots(synthesizer: Synthesizer, valid: Table,
+                    classifier: str = "DT10",
+                    sample_size: Optional[int] = None,
+                    seed: int = 0,
+                    criterion: Optional[Criterion] = None,
+                    criterion_name: str = "custom") -> SnapshotScores:
+    """Score every training snapshot on the validation table.
+
+    The synthesizer is left with the *last* scored snapshot active;
+    callers select with ``synthesizer.use_snapshot(result.best_index)``.
+    """
+    if not synthesizer.supports_snapshots:
+        raise ValueError(
+            f"{type(synthesizer).__name__} does not expose snapshots")
+    if criterion is None:
+        criterion_name, criterion = make_criterion(valid, classifier, seed)
+    if sample_size is None:
+        sample_size = default_sample_size(valid)
+    scores: List[float] = []
+    tables: List[Table] = []
+    for index in range(len(synthesizer.snapshots)):
+        synthesizer.use_snapshot(index)
+        snapshot_table = synthesizer.sample(sample_size)
+        tables.append(snapshot_table)
+        scores.append(float(criterion(snapshot_table)))
+    return SnapshotScores(scores=scores, tables=tables,
+                          criterion=criterion_name)
+
+
+def select_snapshot(synthesizer: Synthesizer, valid: Table,
+                    classifier: str = "DT10",
+                    sample_size: Optional[int] = None,
+                    seed: int = 0) -> SnapshotScores:
+    """Score all snapshots and activate the best one."""
+    result = score_snapshots(synthesizer, valid, classifier=classifier,
+                             sample_size=sample_size, seed=seed)
+    synthesizer.use_snapshot(result.best_index)
+    return result
+
+
+def extend_to(table: Table, n: int, synthesizer: Synthesizer,
+              seed: Optional[int] = None) -> Table:
+    """Reuse a cached sample as the final output of ``n`` records.
+
+    Takes a prefix when the cache is large enough; otherwise generates
+    only the shortfall — the resampling the selection loop used to do
+    from scratch.
+    """
+    if n <= len(table):
+        return table.take(np.arange(n))
+    extra = synthesizer.sample(n - len(table), seed=seed)
+    return table.concat_rows(extra)

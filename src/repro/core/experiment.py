@@ -22,9 +22,8 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import datasets
+from ..api import SynthesisResult, make_synthesizer
 from ..datasets.schema import Table
-from ..privbayes.synthesizer import PrivBayesSynthesizer
-from ..vae.synthesizer import VAESynthesizer
 from .design_space import DesignConfig
 from .evaluation import classification_utilities
 from .pipeline import SynthesisRun, run_gan_synthesis
@@ -60,6 +59,31 @@ class ExperimentContext:
             table, seed=self.seed)
 
     # -- synthesis ------------------------------------------------------
+    def synthesize(self, method: str, valid: bool = True,
+                   **kwargs) -> SynthesisResult:
+        """Run any registered family through :func:`repro.synthesize`.
+
+        The context's training table, validation table (when ``valid``),
+        seed, and training budget (``epochs`` / ``iterations_per_epoch``,
+        where the family accepts them) are supplied automatically;
+        ``kwargs`` go to the facade (and through it to the family
+        constructor).
+        """
+        import inspect
+
+        from ..api.facade import synthesize
+        from ..api.registry import resolve
+
+        params = inspect.signature(resolve(method).__init__).parameters
+        for key, value in (("epochs", self.epochs),
+                           ("iterations_per_epoch",
+                            self.iterations_per_epoch)):
+            if key in params:
+                kwargs.setdefault(key, value)
+        return synthesize(self.train, method=method,
+                          valid=self.valid if valid else None,
+                          seed=kwargs.pop("seed", self.seed), **kwargs)
+
     def gan(self, config: Optional[DesignConfig] = None,
             size_ratio: float = 1.0, seed_offset: int = 0) -> SynthesisRun:
         config = config if config is not None else DesignConfig()
@@ -69,18 +93,16 @@ class ExperimentContext:
             size_ratio=size_ratio, seed=self.seed + seed_offset)
 
     def vae(self, **kwargs) -> Table:
-        synth = VAESynthesizer(
-            epochs=max(self.epochs, 8),
+        synth = make_synthesizer(
+            "vae", epochs=max(self.epochs, 8),
             iterations_per_epoch=max(self.iterations_per_epoch, 40),
             seed=self.seed, **kwargs)
-        synth.fit(self.train)
-        return synth.sample(len(self.train))
+        return synth.fit_sample(self.train)
 
     def privbayes(self, epsilon: Optional[float], **kwargs) -> Table:
-        synth = PrivBayesSynthesizer(epsilon=epsilon, seed=self.seed,
-                                     **kwargs)
-        synth.fit(self.train)
-        return synth.sample(len(self.train))
+        synth = make_synthesizer("privbayes", epsilon=epsilon,
+                                 seed=self.seed, **kwargs)
+        return synth.fit_sample(self.train)
 
     # -- evaluation -----------------------------------------------------
     def diff_row(self, synthetic: Table,

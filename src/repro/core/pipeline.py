@@ -1,10 +1,21 @@
-"""End-to-end synthesis pipeline with validation-based model selection.
+"""Legacy GAN pipeline entry points (deprecation shims over ``repro.api``).
 
 Paper §6.2: training is divided into 10 epochs; after each epoch the
 generator snapshot synthesizes a table, a classifier trained on it is
 scored on the *validation* set, and the best snapshot produces the final
-synthetic table.  :func:`run_gan_synthesis` implements exactly that and
-also exposes the per-epoch F1 curve (the series plotted in Figure 4).
+synthetic table.  That loop now lives, method-generically, in
+:func:`repro.api.synthesize`; this module keeps the original GAN-only
+spellings working:
+
+* :func:`run_gan_synthesis` — thin wrapper over the facade returning the
+  legacy :class:`SynthesisRun`.  The facade also fixes the old
+  resampling waste: the winning snapshot's scoring table is reused as
+  (part of) the final output instead of being regenerated.
+* :func:`snapshot_f1_curve` / :func:`snapshot_fidelity_curve` — the two
+  selection criteria as plain score lists.
+
+New code should prefer ``repro.synthesize(...)`` /
+``repro.make_synthesizer(...)``.
 """
 
 from __future__ import annotations
@@ -39,14 +50,14 @@ def snapshot_f1_curve(synthesizer: GANSynthesizer, valid: Table,
                       sample_size: Optional[int] = None,
                       seed: int = 0) -> List[float]:
     """Validation F1 of a classifier trained on each epoch's snapshot."""
-    if sample_size is None:
-        sample_size = min(2000, max(500, len(valid) * 2))
-    scores = []
-    for index in range(len(synthesizer.snapshots)):
-        synthesizer.use_snapshot(index)
-        snapshot_table = synthesizer.sample(sample_size)
-        scores.append(classifier_f1(snapshot_table, valid, classifier, seed))
-    return scores
+    from ..api.selection import score_snapshots
+
+    def criterion(table: Table) -> float:
+        return classifier_f1(table, valid, classifier, seed)
+
+    return score_snapshots(synthesizer, valid, sample_size=sample_size,
+                           criterion=criterion,
+                           criterion_name=f"f1:{classifier}").scores
 
 
 def snapshot_fidelity_curve(synthesizer: GANSynthesizer, valid: Table,
@@ -59,17 +70,16 @@ def snapshot_fidelity_curve(synthesizer: GANSynthesizer, valid: Table,
     tables (e.g. the Bing AQP workload), where classifier-based
     selection is undefined.
     """
+    from ..api.selection import score_snapshots
     from .statistics import marginal_distances
 
-    if sample_size is None:
-        sample_size = min(2000, max(500, len(valid) * 2))
-    scores = []
-    for index in range(len(synthesizer.snapshots)):
-        synthesizer.use_snapshot(index)
-        snapshot_table = synthesizer.sample(sample_size)
-        distances = marginal_distances(valid, snapshot_table)
-        scores.append(-float(np.mean(list(distances.values()))))
-    return scores
+    def criterion(table: Table) -> float:
+        distances = marginal_distances(valid, table)
+        return -float(np.mean(list(distances.values())))
+
+    return score_snapshots(synthesizer, valid, sample_size=sample_size,
+                           criterion=criterion,
+                           criterion_name="fidelity").scores
 
 
 def run_gan_synthesis(config: DesignConfig, train: Table, valid: Table,
@@ -81,19 +91,19 @@ def run_gan_synthesis(config: DesignConfig, train: Table, valid: Table,
 
     ``size_ratio`` scales ``|T'|`` relative to ``|T_train|`` (Table 4's
     experiment knob).
+
+    .. deprecated:: use :func:`repro.synthesize` with ``method="gan"``;
+       this wrapper adapts its :class:`~repro.api.SynthesisResult` into
+       the legacy :class:`SynthesisRun`.
     """
-    synthesizer = GANSynthesizer(config, epochs=epochs,
-                                 iterations_per_epoch=iterations_per_epoch,
-                                 seed=seed)
-    synthesizer.fit(train)
-    if train.schema.label is not None:
-        curve = snapshot_f1_curve(synthesizer, valid, selection_classifier,
-                                  seed=seed)
-    else:
-        # Unlabeled tables (AQP workloads): select on marginal fidelity.
-        curve = snapshot_fidelity_curve(synthesizer, valid)
-    best_epoch = int(np.argmax(curve))
-    synthesizer.use_snapshot(best_epoch)
-    synthetic = synthesizer.sample(max(1, int(round(len(train) * size_ratio))))
-    return SynthesisRun(synthesizer=synthesizer, synthetic=synthetic,
-                        best_epoch=best_epoch, epoch_f1=curve)
+    from ..api.facade import synthesize
+
+    result = synthesize(train, method="gan", config=config, valid=valid,
+                        epochs=epochs,
+                        iterations_per_epoch=iterations_per_epoch,
+                        selection_classifier=selection_classifier,
+                        size_ratio=size_ratio, seed=seed)
+    return SynthesisRun(synthesizer=result.synthesizer,
+                        synthetic=result.table,
+                        best_epoch=result.best_epoch,
+                        epoch_f1=list(result.selection_curve))

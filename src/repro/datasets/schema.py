@@ -113,6 +113,30 @@ class Schema:
         return Schema(tuple(self.feature_attributes), label_name=None)
 
 
+def schema_to_dict(schema: Schema) -> Dict:
+    """JSON-serializable schema description (synthesizer persistence)."""
+    return {
+        "label_name": schema.label_name,
+        "attributes": [
+            {"name": a.name, "kind": a.kind,
+             "categories": list(a.categories) if a.categories else None,
+             "integral": a.integral}
+            for a in schema.attributes
+        ],
+    }
+
+
+def schema_from_dict(data: Dict) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    attributes = tuple(
+        Attribute(name=a["name"], kind=a["kind"],
+                  categories=(tuple(a["categories"])
+                              if a.get("categories") else None),
+                  integral=bool(a.get("integral", False)))
+        for a in data["attributes"])
+    return Schema(attributes, label_name=data.get("label_name"))
+
+
 class Table:
     """A relational table: a :class:`Schema` plus aligned numpy columns."""
 

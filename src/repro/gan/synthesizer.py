@@ -7,26 +7,35 @@ II.  adversarial training (one of VTrain / WTrain / CTrain / DPTrain),
      producing one generator snapshot per epoch for model selection;
 III. synthetic data generation — noise (plus sampled label conditions)
      through the trained generator, then the inverse transformation.
+
+It implements the unified :class:`repro.api.Synthesizer` contract
+(``fit`` / ``sample`` / ``sample_iter`` / ``save`` / ``load``) and is
+registered under the name ``"gan"``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..api.base import Synthesizer, prefixed, unprefixed
+from ..api.registry import register
 from ..core.design_space import DesignConfig
 from ..datasets.schema import Table
 from ..errors import TrainingError
 from ..nn import Module, Tensor
 from ..transform import MatrixTransformer, RecordTransformer
+from ..transform.record import transformer_from_state
 from .cnn import CNNDiscriminator, CNNGenerator, DEFAULT_SIDE
 from .lstm import LSTMDiscriminator, LSTMGenerator
 from .mlp import MLPDiscriminator, MLPGenerator
 from .training import EpochRecord, TrainResult, make_trainer
 
 
-class GANSynthesizer:
+@register("gan")
+class GANSynthesizer(Synthesizer):
     """GAN-based relational data synthesizer.
 
     Parameters
@@ -42,11 +51,10 @@ class GANSynthesizer:
     def __init__(self, config: Optional[DesignConfig] = None,
                  epochs: int = 10, iterations_per_epoch: int = 40,
                  seed: int = 0):
+        super().__init__(seed=seed)
         self.config = config if config is not None else DesignConfig()
         self.epochs = epochs
         self.iterations_per_epoch = iterations_per_epoch
-        self.seed = seed
-        self.rng = np.random.default_rng(seed)
         self.generator: Optional[Module] = None
         self.discriminator: Optional[Module] = None
         self.transformer = None
@@ -58,10 +66,23 @@ class GANSynthesizer:
     # ------------------------------------------------------------------
     # Phase I + II
     # ------------------------------------------------------------------
-    def fit(self, table: Table,
+    def fit(self, table: Table, callbacks=None,
             epoch_callback: Optional[Callable[[EpochRecord], None]] = None
             ) -> "GANSynthesizer":
-        """Transform ``table`` and adversarially train the generator."""
+        """Transform ``table`` and adversarially train the generator.
+
+        ``epoch_callback`` is the legacy single-callable spelling of
+        ``callbacks``; both receive per-epoch :class:`EpochRecord`\\ s.
+        """
+        if epoch_callback is not None:
+            merged = [epoch_callback]
+            if callbacks is not None:
+                merged = ([callbacks] if callable(callbacks)
+                          else list(callbacks)) + merged
+            callbacks = merged
+        return super().fit(table, callbacks=callbacks)
+
+    def _fit(self, table: Table, callbacks) -> None:
         config = self.config
         label_attr = table.schema.label
         if config.is_conditional and label_attr is None:
@@ -90,11 +111,15 @@ class GANSynthesizer:
         self.generator, self.discriminator = self._build_models()
         trainer = make_trainer(config, self.generator, self.discriminator,
                                self.rng)
+        epoch_callback = None
+        if callbacks:
+            def epoch_callback(record, _callbacks=tuple(callbacks)):
+                for callback in _callbacks:
+                    callback(record)
         self.train_result = trainer.train(
             data, labels, self._n_labels, self.epochs,
             self.iterations_per_epoch, epoch_callback=epoch_callback)
         self._active_snapshot = len(self.train_result.epochs) - 1
-        return self
 
     def _build_models(self):
         config = self.config
@@ -140,9 +165,13 @@ class GANSynthesizer:
     # Snapshots (model selection, paper §6.2)
     # ------------------------------------------------------------------
     @property
+    def supports_snapshots(self) -> bool:
+        return self.train_result is not None
+
+    @property
     def snapshots(self) -> List[Dict[str, np.ndarray]]:
         if self.train_result is None:
-            raise TrainingError("synthesizer is not fitted")
+            raise TrainingError("synthesizer has no training history")
         return self.train_result.snapshots
 
     def use_snapshot(self, index: int) -> None:
@@ -157,38 +186,90 @@ class GANSynthesizer:
     def active_snapshot(self) -> Optional[int]:
         return self._active_snapshot
 
+    def training_curves(self) -> Dict[str, List[float]]:
+        if self.train_result is None:
+            return {}
+        return {"g_loss": [e.g_loss for e in self.train_result.epochs],
+                "d_loss": [e.d_loss for e in self.train_result.epochs]}
+
     # ------------------------------------------------------------------
     # Phase III
     # ------------------------------------------------------------------
-    def sample_raw(self, n: int, batch: int = 256) -> np.ndarray:
-        """Generate ``n`` raw samples (pre-inverse-transformation)."""
-        if self.generator is None:
-            raise TrainingError("synthesizer is not fitted")
+    def _generate_raw(self, m: int, rng: np.random.Generator
+                      ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """One chunk of generator output plus sampled label conditions."""
         self.generator.eval()
+        try:
+            z = Tensor(rng.standard_normal((m, self.config.z_dim)))
+            cond = None
+            labels = None
+            if self.config.is_conditional:
+                labels = rng.choice(self._n_labels, size=m,
+                                    p=self._label_freq)
+                onehot = np.zeros((m, self._n_labels))
+                onehot[np.arange(m), labels] = 1.0
+                cond = Tensor(onehot)
+            raw = self.generator(z, cond).data
+        finally:
+            self.generator.train()
+        return raw, labels
+
+    def sample_raw(self, n: int, batch: int = 256,
+                   seed: Optional[int] = None) -> np.ndarray:
+        """Generate ``n`` raw samples (pre-inverse-transformation)."""
+        self._require_fitted()
+        rng = self._sampling_rng(seed)
         chunks = []
         self._sampled_labels = []
         remaining = n
         while remaining > 0:
             m = min(batch, remaining)
-            z = Tensor(self.rng.standard_normal((m, self.config.z_dim)))
-            cond = None
-            if self.config.is_conditional:
-                labels = self.rng.choice(self._n_labels, size=m,
-                                         p=self._label_freq)
-                onehot = np.zeros((m, self._n_labels))
-                onehot[np.arange(m), labels] = 1.0
-                cond = Tensor(onehot)
+            raw, labels = self._generate_raw(m, rng)
+            chunks.append(raw)
+            if labels is not None:
                 self._sampled_labels.append(labels)
-            chunks.append(self.generator(z, cond).data)
             remaining -= m
-        self.generator.train()
         return np.concatenate(chunks, axis=0)
 
-    def sample(self, n: int, batch: int = 256) -> Table:
-        """Generate a synthetic table of ``n`` records."""
-        raw = self.sample_raw(n, batch=batch)
+    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
+        raw, labels = self._generate_raw(m, rng)
         extra = None
-        if self.config.is_conditional:
+        if labels is not None:
             label_name = self.transformer.exclude[0]
-            extra = {label_name: np.concatenate(self._sampled_labels)}
+            extra = {label_name: labels}
         return self.transformer.inverse(raw, extra_columns=extra)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _state(self):
+        meta = {
+            "params": {"config": asdict(self.config), "epochs": self.epochs,
+                       "iterations_per_epoch": self.iterations_per_epoch,
+                       "seed": self.seed},
+            "transformer": self.transformer.to_state(),
+            "n_labels": self._n_labels,
+            "label_freq": (self._label_freq.tolist()
+                           if self._label_freq is not None else None),
+            "active_snapshot": self._active_snapshot,
+        }
+        # Only the active generator is persisted: it is all Phase III
+        # needs, and the winning snapshot is active after selection.
+        arrays = prefixed("generator", self.generator.state_dict())
+        return meta, arrays
+
+    def _load_state(self, state, arrays) -> None:
+        self.transformer = transformer_from_state(state["transformer"],
+                                                  rng=self.rng)
+        self._n_labels = int(state["n_labels"])
+        self._label_freq = (np.asarray(state["label_freq"], dtype=np.float64)
+                            if state["label_freq"] is not None else None)
+        self.generator, self.discriminator = self._build_models()
+        self.generator.load_state_dict(unprefixed("generator", arrays))
+        self._active_snapshot = state["active_snapshot"]
+
+    @classmethod
+    def _init_kwargs_from_state(cls, params):
+        kwargs = dict(params)
+        kwargs["config"] = DesignConfig(**kwargs["config"])
+        return kwargs

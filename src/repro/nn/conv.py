@@ -166,8 +166,8 @@ class BatchNorm2d(Module):
         self.eps = eps
         self.gamma = Parameter(init.ones((1, num_channels, 1, 1)))
         self.beta = Parameter(init.zeros((1, num_channels, 1, 1)))
-        self.running_mean = np.zeros((1, num_channels, 1, 1))
-        self.running_var = np.ones((1, num_channels, 1, 1))
+        self.register_buffer("running_mean", np.zeros((1, num_channels, 1, 1)))
+        self.register_buffer("running_var", np.ones((1, num_channels, 1, 1)))
 
     def forward(self, x: Tensor) -> Tensor:
         axes = (0, 2, 3)

@@ -49,8 +49,8 @@ class BatchNorm1d(Module):
         self.eps = eps
         self.gamma = Parameter(init.ones(num_features))
         self.beta = Parameter(init.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training and x.shape[0] > 1:

@@ -27,6 +27,7 @@ class Module:
     def __init__(self):
         self._params: Dict[str, Parameter] = {}
         self._modules: Dict[str, "Module"] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
         self.training = True
 
     def __setattr__(self, name, value):
@@ -34,11 +35,24 @@ class Module:
             self.__dict__.setdefault("_params", {})[name] = value
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", {})[name] = value
+        elif name in self.__dict__.get("_buffers", ()):
+            self.__dict__["_buffers"][name] = np.asarray(value)
         object.__setattr__(self, name, value)
 
     def register_module(self, name: str, module: "Module") -> None:
         """Register a child module stored in a container (list/dict)."""
         self._modules[name] = module
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. batch-norm running stats).
+
+        Buffers travel with :meth:`state_dict` / :meth:`load_state_dict`
+        so snapshots and persistence capture eval-mode behaviour, but
+        they receive no gradients.  The buffer is also exposed as a
+        plain attribute; reassigning that attribute updates the buffer.
+        """
+        self.__dict__.setdefault("_buffers", {})[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
 
     def parameters(self) -> List[Parameter]:
         out: List[Parameter] = []
@@ -60,6 +74,24 @@ class Module:
         for mod_name, module in self._modules.items():
             yield from module.named_parameters(prefix + mod_name + ".")
 
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, value in self._buffers.items():
+            yield prefix + name, value
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix + mod_name + ".")
+
+    def _set_buffer_by_path(self, path: str, value: np.ndarray) -> bool:
+        module = self
+        parts = path.split(".")
+        for part in parts[:-1]:
+            if part not in module._modules:
+                return False
+            module = module._modules[part]
+        if parts[-1] not in module._buffers:
+            return False
+        setattr(module, parts[-1], value.copy())
+        return True
+
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.grad = None
@@ -77,8 +109,12 @@ class Module:
         return self
 
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Snapshot of all parameter values (copies)."""
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        """Snapshot of all parameter and buffer values (copies)."""
+        state = {name: param.data.copy()
+                 for name, param in self.named_parameters()}
+        for name, value in self.named_buffers():
+            state[name] = np.asarray(value).copy()
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         for name, param in self.named_parameters():
@@ -89,6 +125,10 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"{state[name].shape} vs {param.data.shape}")
             param.data = state[name].copy()
+        for name, value in self.named_buffers():
+            # Buffers absent from older state dicts keep current values.
+            if name in state:
+                self._set_buffer_by_path(name, np.asarray(state[name]))
 
     def num_parameters(self) -> int:
         return sum(p.data.size for p in self.parameters())

@@ -57,3 +57,18 @@ class EquiWidthDiscretizer:
         if self.integral:
             values = np.rint(values)
         return values
+
+    def to_state(self) -> dict:
+        """JSON-serializable fitted state (synthesizer persistence)."""
+        if self.low is None:
+            raise RuntimeError("discretizer is not fitted")
+        return {"n_bins": self.n_bins, "integral": self.integral,
+                "low": self.low, "high": self.high}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EquiWidthDiscretizer":
+        disc = cls(n_bins=int(state["n_bins"]),
+                   integral=bool(state["integral"]))
+        disc.low = float(state["low"])
+        disc.high = float(state["high"])
+        return disc

@@ -89,6 +89,22 @@ class BayesianNetwork:
                 return node
         raise KeyError(name)
 
+    def to_state(self) -> dict:
+        """JSON-serializable structure (synthesizer persistence)."""
+        return {
+            "nodes": [{"name": n.name, "domain": n.domain}
+                      for n in self.nodes],
+            "parents": {name: list(pars)
+                        for name, pars in self.parents.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BayesianNetwork":
+        nodes = [NodeSpec(n["name"], int(n["domain"]))
+                 for n in state["nodes"]]
+        return cls(nodes, {name: list(pars)
+                           for name, pars in state["parents"].items()})
+
 
 def learn_structure(data: Dict[str, np.ndarray], nodes: List[NodeSpec],
                     degree: int = 2, epsilon: Optional[float] = None,

@@ -7,7 +7,8 @@ Laplace-noised counts (parameter budget ``epsilon/2``); sample
 ancestrally and map numeric bins back by uniform in-bin draws.
 
 ``epsilon=None`` runs the same machinery noise-free (the non-private
-upper bound).
+upper bound).  Implements the unified :class:`repro.api.Synthesizer`
+contract under the name ``"privbayes"`` (alias ``"pb"``).
 """
 
 from __future__ import annotations
@@ -16,15 +17,17 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..datasets.schema import Table
-from ..errors import TrainingError
+from ..api.base import Synthesizer
+from ..api.registry import register
+from ..datasets.schema import Table, schema_from_dict, schema_to_dict
 from .discretize import EquiWidthDiscretizer
 from .network import (
     BayesianNetwork, NodeSpec, joint_encode, learn_structure,
 )
 
 
-class PrivBayesSynthesizer:
+@register("privbayes")
+class PrivBayesSynthesizer(Synthesizer):
     """Differentially private Bayesian-network data synthesizer.
 
     Parameters
@@ -37,22 +40,26 @@ class PrivBayesSynthesizer:
         Equi-width bins per numerical attribute.
     """
 
+    #: Ancestral sampling is vectorized per column, so generation chunks
+    #: can be much larger than the neural families'.
+    default_sample_batch = 4096
+
     def __init__(self, epsilon: Optional[float] = 0.8, degree: int = 2,
                  n_bins: int = 16, seed: int = 0, max_parent_sets: int = 64):
         if epsilon is not None and epsilon <= 0:
             raise ValueError("epsilon must be positive (or None)")
+        super().__init__(seed=seed)
         self.epsilon = epsilon
         self.degree = degree
         self.n_bins = n_bins
         self.max_parent_sets = max_parent_sets
-        self.rng = np.random.default_rng(seed)
         self.network: Optional[BayesianNetwork] = None
         self.conditionals: Dict[str, np.ndarray] = {}
         self._discretizers: Dict[str, EquiWidthDiscretizer] = {}
         self._table_schema = None
 
     # ------------------------------------------------------------------
-    def fit(self, table: Table) -> "PrivBayesSynthesizer":
+    def _fit(self, table: Table, callbacks) -> None:
         self._table_schema = table.schema
         data: Dict[str, np.ndarray] = {}
         nodes: List[NodeSpec] = []
@@ -97,12 +104,9 @@ class PrivBayesSynthesizer:
             probs = np.where(row_sums > 0, counts / np.maximum(row_sums, 1e-12),
                              uniform)
             self.conditionals[node.name] = probs
-        return self
 
     # ------------------------------------------------------------------
-    def sample(self, n: int) -> Table:
-        if self.network is None:
-            raise TrainingError("synthesizer is not fitted")
+    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
         order = self.network.order
         samples: Dict[str, np.ndarray] = {}
         for name in order:
@@ -115,9 +119,9 @@ class PrivBayesSynthesizer:
             probs = self.conditionals[name]
             if len(parent_nodes) == 0:
                 row = probs[0]
-                samples[name] = self.rng.choice(node.domain, size=n, p=row)
+                samples[name] = rng.choice(node.domain, size=m, p=row)
             else:
-                u = self.rng.random(n)
+                u = rng.random(m)
                 cdf = probs.cumsum(axis=1)
                 samples[name] = (u[:, None] > cdf[joint]).sum(axis=1)
                 samples[name] = np.minimum(samples[name], node.domain - 1)
@@ -127,7 +131,35 @@ class PrivBayesSynthesizer:
             if attr.is_numerical:
                 disc = self._discretizers[attr.name]
                 columns[attr.name] = disc.inverse(samples[attr.name],
-                                                  rng=self.rng)
+                                                  rng=rng)
             else:
                 columns[attr.name] = samples[attr.name]
         return Table(self._table_schema, columns)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _state(self):
+        meta = {
+            "params": {"epsilon": self.epsilon, "degree": self.degree,
+                       "n_bins": self.n_bins, "seed": self.seed,
+                       "max_parent_sets": self.max_parent_sets},
+            "schema": schema_to_dict(self._table_schema),
+            "network": self.network.to_state(),
+            "discretizers": {name: disc.to_state()
+                             for name, disc in self._discretizers.items()},
+        }
+        arrays = {f"conditional::{name}": probs
+                  for name, probs in self.conditionals.items()}
+        return meta, arrays
+
+    def _load_state(self, state, arrays) -> None:
+        self._table_schema = schema_from_dict(state["schema"])
+        self.network = BayesianNetwork.from_state(state["network"])
+        self._discretizers = {
+            name: EquiWidthDiscretizer.from_state(sub)
+            for name, sub in state["discretizers"].items()}
+        tag = "conditional::"
+        self.conditionals = {key[len(tag):]: value
+                             for key, value in arrays.items()
+                             if key.startswith(tag)}

@@ -1,5 +1,7 @@
 """Paper-shaped output formatting for benchmark harnesses."""
 
+from .synthesis import synthesis_summary
 from .tables import format_cell, format_series, format_table, print_report
 
-__all__ = ["format_cell", "format_series", "format_table", "print_report"]
+__all__ = ["format_cell", "format_series", "format_table", "print_report",
+           "synthesis_summary"]

@@ -1,0 +1,34 @@
+"""Human-readable summaries of unified-API synthesis results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tables import format_cell, format_series
+
+
+def synthesis_summary(result, precision: int = 3) -> str:
+    """Render a :class:`~repro.api.SynthesisResult` as a framed report.
+
+    Shows the provenance record (method, seed, sizes, selection
+    criterion, wall-clock) followed by the per-epoch curves — the
+    selection series the best epoch was chosen from plus any family
+    training diagnostics.
+    """
+    lines: List[str] = [f"synthesis: method={result.method}"]
+    for key in ("config", "seed", "n_train", "n_synthetic",
+                "selection_criterion"):
+        value = result.provenance.get(key)
+        if value is not None:
+            lines.append(f"  {key} = {format_cell(value, precision)}")
+    elapsed = result.provenance.get("elapsed_seconds")
+    if elapsed is not None:
+        lines.append(f"  elapsed_seconds = {elapsed:.2f}")
+    if result.best_epoch is not None:
+        lines.append(f"  best_epoch = {result.best_epoch}"
+                     f" (score {format_cell(result.final_score, precision)})")
+    if result.curves:
+        lines.append("")
+        lines.append(format_series(result.curves, title="per-epoch curves",
+                                   precision=precision))
+    return "\n".join(lines)

@@ -1,22 +1,22 @@
 """Phase I data transformation (paper §4): records <-> numeric samples."""
 
 from .base import (
-    AttributeTransformer, BlockSpec,
+    AttributeTransformer, BlockSpec, attribute_transformer_from_state,
     HEAD_TANH, HEAD_TANH_SOFTMAX, HEAD_SOFTMAX, HEAD_SIGMOID,
 )
 from .categorical import OneHotEncoder, OrdinalEncoder, TanhOrdinalEncoder
 from .numerical import GMMNormalizer, SimpleNormalizer
 from .gmm import GaussianMixture1D
 from .record import (
-    RecordTransformer, MatrixTransformer,
+    RecordTransformer, MatrixTransformer, transformer_from_state,
     ORDINAL, ONEHOT, SIMPLE, GMM,
 )
 
 __all__ = [
-    "AttributeTransformer", "BlockSpec",
+    "AttributeTransformer", "BlockSpec", "attribute_transformer_from_state",
     "HEAD_TANH", "HEAD_TANH_SOFTMAX", "HEAD_SOFTMAX", "HEAD_SIGMOID",
     "OneHotEncoder", "OrdinalEncoder", "TanhOrdinalEncoder",
     "GMMNormalizer", "SimpleNormalizer", "GaussianMixture1D",
-    "RecordTransformer", "MatrixTransformer",
+    "RecordTransformer", "MatrixTransformer", "transformer_from_state",
     "ORDINAL", "ONEHOT", "SIMPLE", "GMM",
 ]

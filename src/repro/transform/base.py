@@ -29,8 +29,19 @@ class AttributeTransformer:
     width: int = 1
     #: True when the block's values are category-like (used by KL warm-up)
     discrete_block: bool = False
+    #: persistence key; set by concrete subclasses
+    state_kind: str = ""
 
     def fit(self, values: np.ndarray) -> "AttributeTransformer":
+        raise NotImplementedError
+
+    def to_state(self) -> dict:
+        """JSON-serializable fitted state; ``"kind"`` keys the subclass."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AttributeTransformer":
+        """Rebuild a fitted transformer from :meth:`to_state` output."""
         raise NotImplementedError
 
     def transform(self, values: np.ndarray) -> np.ndarray:
@@ -47,6 +58,21 @@ class AttributeTransformer:
             raise ValueError(
                 f"expected block of width {self.width}, got {block.shape}")
         return block
+
+
+def attribute_transformer_from_state(state: dict) -> AttributeTransformer:
+    """Dispatch :meth:`AttributeTransformer.from_state` on ``state["kind"]``."""
+    # Imported lazily: the concrete modules import this one.
+    from .categorical import OneHotEncoder, OrdinalEncoder, TanhOrdinalEncoder
+    from .numerical import GMMNormalizer, SimpleNormalizer
+
+    kinds = {cls.state_kind: cls
+             for cls in (OrdinalEncoder, TanhOrdinalEncoder, OneHotEncoder,
+                         SimpleNormalizer, GMMNormalizer)}
+    kind = state.get("kind")
+    if kind not in kinds:
+        raise ValueError(f"unknown attribute transformer kind {kind!r}")
+    return kinds[kind].from_state(state)
 
 
 @dataclass

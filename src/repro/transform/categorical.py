@@ -19,6 +19,7 @@ class OrdinalEncoder(AttributeTransformer):
     head = HEAD_SIGMOID
     width = 1
     discrete_block = False
+    state_kind = "ordinal"
 
     def __init__(self):
         self.domain_size: int | None = None
@@ -29,6 +30,15 @@ class OrdinalEncoder(AttributeTransformer):
             raise TransformError("cannot fit encoder on empty column")
         self.domain_size = int(values.max()) + 1
         return self
+
+    def to_state(self) -> dict:
+        return {"kind": self.state_kind, "domain_size": self.domain_size}
+
+    @classmethod
+    def from_state(cls, state: dict):
+        encoder = cls()
+        encoder.domain_size = int(state["domain_size"])
+        return encoder
 
     def _scale(self) -> float:
         if self.domain_size is None:
@@ -53,6 +63,7 @@ class TanhOrdinalEncoder(OrdinalEncoder):
     """
 
     head = HEAD_TANH
+    state_kind = "tanh_ordinal"
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
@@ -70,6 +81,7 @@ class OneHotEncoder(AttributeTransformer):
 
     head = HEAD_SOFTMAX
     discrete_block = True
+    state_kind = "onehot"
 
     def __init__(self):
         self.domain_size: int | None = None
@@ -82,6 +94,16 @@ class OneHotEncoder(AttributeTransformer):
         self.domain_size = int(values.max()) + 1
         self.width = self.domain_size
         return self
+
+    def to_state(self) -> dict:
+        return {"kind": self.state_kind, "domain_size": self.domain_size}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OneHotEncoder":
+        encoder = cls()
+        encoder.domain_size = int(state["domain_size"])
+        encoder.width = encoder.domain_size
+        return encoder
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         if self.domain_size is None:

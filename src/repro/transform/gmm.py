@@ -99,6 +99,22 @@ class GaussianMixture1D:
         comps = rng.choice(self.n_components, size=n, p=self.weights)
         return rng.normal(self.means[comps], self.stds[comps])
 
+    def to_state(self) -> dict:
+        """JSON-serializable fitted parameters (persistence)."""
+        self._check_fitted()
+        return {"n_components": self.n_components, "max_iter": self.max_iter,
+                "tol": self.tol, "means": self.means.tolist(),
+                "stds": self.stds.tolist(), "weights": self.weights.tolist()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GaussianMixture1D":
+        gmm = cls(n_components=int(state["n_components"]),
+                  max_iter=int(state["max_iter"]), tol=float(state["tol"]))
+        gmm.means = np.asarray(state["means"], dtype=np.float64)
+        gmm.stds = np.asarray(state["stds"], dtype=np.float64)
+        gmm.weights = np.asarray(state["weights"], dtype=np.float64)
+        return gmm
+
 
 def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
     amax = a.max(axis=axis, keepdims=True)

@@ -23,6 +23,7 @@ class SimpleNormalizer(AttributeTransformer):
     head = HEAD_TANH
     width = 1
     discrete_block = False
+    state_kind = "simple"
 
     def __init__(self, integral: bool = False):
         self.integral = integral
@@ -55,6 +56,19 @@ class SimpleNormalizer(AttributeTransformer):
             values = np.rint(values)
         return values
 
+    def to_state(self) -> dict:
+        if self.min is None:
+            raise TransformError("normalizer is not fitted")
+        return {"kind": self.state_kind, "integral": self.integral,
+                "min": self.min, "max": self.max}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SimpleNormalizer":
+        normalizer = cls(integral=bool(state["integral"]))
+        normalizer.min = float(state["min"])
+        normalizer.max = float(state["max"])
+        return normalizer
+
 
 class GMMNormalizer(AttributeTransformer):
     """Mode-specific normalization via a 1-D Gaussian mixture.
@@ -65,6 +79,7 @@ class GMMNormalizer(AttributeTransformer):
 
     head = HEAD_TANH_SOFTMAX
     discrete_block = True
+    state_kind = "gmm"
 
     def __init__(self, n_components: int = 5, integral: bool = False,
                  rng: Optional[np.random.Generator] = None):
@@ -107,3 +122,18 @@ class GMMNormalizer(AttributeTransformer):
         if self.integral:
             values = np.rint(values)
         return values
+
+    def to_state(self) -> dict:
+        if self.gmm is None:
+            raise TransformError("normalizer is not fitted")
+        return {"kind": self.state_kind, "integral": self.integral,
+                "gmm": self.gmm.to_state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GMMNormalizer":
+        gmm = GaussianMixture1D.from_state(state["gmm"])
+        normalizer = cls(n_components=gmm.n_components,
+                         integral=bool(state["integral"]))
+        normalizer.gmm = gmm
+        normalizer.width = 1 + gmm.n_components
+        return normalizer

@@ -18,9 +18,9 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..datasets.schema import Schema, Table
+from ..datasets.schema import Schema, Table, schema_from_dict, schema_to_dict
 from ..errors import TransformError
-from .base import AttributeTransformer, BlockSpec
+from .base import AttributeTransformer, BlockSpec, attribute_transformer_from_state
 from .categorical import OneHotEncoder, OrdinalEncoder, TanhOrdinalEncoder
 from .numerical import GMMNormalizer, SimpleNormalizer
 
@@ -146,6 +146,45 @@ class RecordTransformer:
             columns[name] = extra_columns[name]
         return Table(self.schema, columns)
 
+    def to_state(self) -> dict:
+        """JSON-serializable fitted state (synthesizer persistence)."""
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        return {
+            "form": "record",
+            "categorical_encoding": self.categorical_encoding,
+            "numerical_normalization": self.numerical_normalization,
+            "gmm_components": self.gmm_components,
+            "exclude": list(self.exclude),
+            "schema": schema_to_dict(self.schema),
+            "transformers": {name: t.to_state()
+                             for name, t in self.transformers.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> "RecordTransformer":
+        """Rebuild a fitted transformer without refitting any data."""
+        transformer = cls(
+            categorical_encoding=state["categorical_encoding"],
+            numerical_normalization=state["numerical_normalization"],
+            gmm_components=state["gmm_components"],
+            exclude=state["exclude"], rng=rng)
+        transformer.schema = schema_from_dict(state["schema"])
+        transformer.transformers = {
+            name: attribute_transformer_from_state(sub)
+            for name, sub in state["transformers"].items()}
+        offset = 0
+        for name in transformer.attribute_names:
+            sub = transformer.transformers[name]
+            transformer.blocks.append(BlockSpec(
+                name=name, start=offset, width=sub.width, head=sub.head,
+                discrete_block=sub.discrete_block))
+            offset += sub.width
+        transformer.output_dim = offset
+        return transformer
+
 
 class MatrixTransformer:
     """Matrix-form sample transformer (CNN pipeline).
@@ -233,3 +272,42 @@ class MatrixTransformer:
                     f"excluded attribute {name!r} needs an explicit column")
             columns[name] = extra_columns[name]
         return Table(self.schema, columns)
+
+    def to_state(self) -> dict:
+        """JSON-serializable fitted state (synthesizer persistence)."""
+        if self.schema is None:
+            raise TransformError("transformer is not fitted")
+        return {
+            "form": "matrix",
+            "exclude": list(self.exclude),
+            "requested_side": self.requested_side,
+            "side": self.side,
+            "n_attributes": self.n_attributes,
+            "schema": schema_to_dict(self.schema),
+            "transformers": {name: t.to_state()
+                             for name, t in self.transformers.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MatrixTransformer":
+        """Rebuild a fitted transformer without refitting any data."""
+        transformer = cls(exclude=state["exclude"],
+                          side=state["requested_side"])
+        transformer.schema = schema_from_dict(state["schema"])
+        transformer.side = int(state["side"])
+        transformer.n_attributes = int(state["n_attributes"])
+        transformer.transformers = {
+            name: attribute_transformer_from_state(sub)
+            for name, sub in state["transformers"].items()}
+        return transformer
+
+
+def transformer_from_state(state: dict,
+                           rng: Optional[np.random.Generator] = None):
+    """Rebuild either sample-form transformer from its ``to_state`` dict."""
+    form = state.get("form")
+    if form == "record":
+        return RecordTransformer.from_state(state, rng=rng)
+    if form == "matrix":
+        return MatrixTransformer.from_state(state)
+    raise TransformError(f"unknown transformer form {form!r}")

@@ -2,24 +2,29 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..api.base import Synthesizer, prefixed, unprefixed
+from ..api.registry import register
 from ..datasets.schema import Table
-from ..errors import TrainingError
 from ..nn import Adam, Tensor
 from ..transform import RecordTransformer
 from .model import VAEModel, elbo_loss
 
 
-class VAESynthesizer:
+@register("vae")
+class VAESynthesizer(Synthesizer):
     """Fit a VAE on the transformed table; sample from the prior.
 
     Uses the same vector-form transformation as the GAN pipeline
     (one-hot + GMM by default), so comparisons isolate the generative
-    model rather than the representation.
+    model rather than the representation.  Implements the unified
+    :class:`repro.api.Synthesizer` contract under the name ``"vae"``.
     """
+
+    default_sample_batch = 512
 
     def __init__(self, latent_dim: int = 32, hidden_dim: int = 128,
                  epochs: int = 10, iterations_per_epoch: int = 40,
@@ -28,6 +33,7 @@ class VAESynthesizer:
                  categorical_encoding: str = "onehot",
                  numerical_normalization: str = "gmm",
                  gmm_components: int = 5, seed: int = 0):
+        super().__init__(seed=seed)
         self.latent_dim = latent_dim
         self.hidden_dim = hidden_dim
         self.epochs = epochs
@@ -38,12 +44,11 @@ class VAESynthesizer:
         self.categorical_encoding = categorical_encoding
         self.numerical_normalization = numerical_normalization
         self.gmm_components = gmm_components
-        self.rng = np.random.default_rng(seed)
         self.model: Optional[VAEModel] = None
         self.transformer: Optional[RecordTransformer] = None
         self.losses: List[float] = []
 
-    def fit(self, table: Table) -> "VAESynthesizer":
+    def _fit(self, table: Table, callbacks) -> None:
         self.transformer = RecordTransformer(
             categorical_encoding=self.categorical_encoding,
             numerical_normalization=self.numerical_normalization,
@@ -56,7 +61,7 @@ class VAESynthesizer:
         optimizer = Adam(self.model.parameters(), lr=self.lr)
         self.losses = []
         n = len(data)
-        for _ in range(self.epochs):
+        for epoch in range(self.epochs):
             for _ in range(self.iterations_per_epoch):
                 idx = self.rng.integers(0, n, size=min(self.batch_size, n))
                 batch = data[idx]
@@ -67,18 +72,52 @@ class VAESynthesizer:
                 loss.backward()
                 optimizer.step()
                 self.losses.append(float(loss.data))
-        return self
+            for callback in callbacks:
+                callback({"epoch": epoch, "loss": self.losses[-1]})
 
-    def sample(self, n: int, batch: int = 512) -> Table:
-        if self.model is None:
-            raise TrainingError("synthesizer is not fitted")
+    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
+        z = Tensor(rng.standard_normal((m, self.latent_dim)))
         self.model.eval()
-        chunks = []
-        remaining = n
-        while remaining > 0:
-            m = min(batch, remaining)
-            z = Tensor(self.rng.standard_normal((m, self.latent_dim)))
-            chunks.append(self.model.decode(z).data)
-            remaining -= m
-        self.model.train()
-        return self.transformer.inverse(np.concatenate(chunks, axis=0))
+        try:
+            decoded = self.model.decode(z).data
+        finally:
+            self.model.train()
+        return self.transformer.inverse(decoded)
+
+    def training_curves(self) -> Dict[str, List[float]]:
+        if not self.losses:
+            return {}
+        # One value per epoch: the mean ELBO over that epoch's iterations.
+        per_epoch = np.array_split(np.asarray(self.losses), self.epochs)
+        return {"loss": [float(np.mean(chunk)) for chunk in per_epoch
+                         if len(chunk)]}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _state(self):
+        meta = {
+            "params": {
+                "latent_dim": self.latent_dim,
+                "hidden_dim": self.hidden_dim,
+                "epochs": self.epochs,
+                "iterations_per_epoch": self.iterations_per_epoch,
+                "batch_size": self.batch_size,
+                "lr": self.lr,
+                "kl_weight": self.kl_weight,
+                "categorical_encoding": self.categorical_encoding,
+                "numerical_normalization": self.numerical_normalization,
+                "gmm_components": self.gmm_components,
+                "seed": self.seed,
+            },
+            "transformer": self.transformer.to_state(),
+        }
+        return meta, prefixed("model", self.model.state_dict())
+
+    def _load_state(self, state, arrays) -> None:
+        self.transformer = RecordTransformer.from_state(
+            state["transformer"], rng=self.rng)
+        self.model = VAEModel(self.transformer.blocks,
+                              latent_dim=self.latent_dim,
+                              hidden_dim=self.hidden_dim, rng=self.rng)
+        self.model.load_state_dict(unprefixed("model", arrays))

@@ -1,0 +1,202 @@
+"""Shared Synthesizer-contract suite run against every method family.
+
+Each registered family must honour the unified lifecycle: fit/sample
+schema preservation, seed-reproducible sampling, streaming generation,
+save/load round trips that reproduce exact output arrays, and registry
+lookup semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Synthesizer, available_synthesizers, load_synthesizer, make_synthesizer,
+    register, resolve,
+)
+from repro.api.registry import _REGISTRY
+from repro.errors import ConfigError, TrainingError
+
+from tests.conftest import make_mixed_table
+
+FAMILIES = {
+    "gan": dict(epochs=2, iterations_per_epoch=3),
+    "vae": dict(epochs=1, iterations_per_epoch=3),
+    "privbayes": dict(epsilon=None),
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n=240, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fitted(table):
+    """One fitted synthesizer per family, shared across the module."""
+    return {name: make_synthesizer(name, seed=0, **kwargs).fit(table)
+            for name, kwargs in FAMILIES.items()}
+
+
+def assert_tables_equal(a, b):
+    assert a.schema.names == b.schema.names
+    for name in a.schema.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+@pytest.mark.parametrize("method", sorted(FAMILIES))
+class TestContract:
+    def test_is_synthesizer_with_method_name(self, fitted, method):
+        synth = fitted[method]
+        assert isinstance(synth, Synthesizer)
+        assert synth.method == method
+        assert synth.is_fitted
+
+    def test_sample_preserves_schema(self, fitted, table, method):
+        fake = fitted[method].sample(40)
+        assert fake.schema.names == table.schema.names
+        assert len(fake) == 40
+
+    def test_seeded_sampling_is_reproducible(self, fitted, method):
+        synth = fitted[method]
+        assert_tables_equal(synth.sample(35, seed=11), synth.sample(35, seed=11))
+
+    def test_unseeded_sampling_varies(self, fitted, table, method):
+        synth = fitted[method]
+        a, b = synth.sample(60), synth.sample(60)
+        stacked = [np.concatenate([a.column(n).astype(float),
+                                   b.column(n).astype(float)])
+                   for n in table.schema.names]
+        assert any(not np.array_equal(s[:60], s[60:]) for s in stacked)
+
+    def test_sample_iter_streams_chunks(self, fitted, method):
+        synth = fitted[method]
+        chunks = list(synth.sample_iter(25, batch=10, seed=5))
+        assert [len(chunk) for chunk in chunks] == [10, 10, 5]
+        streamed = chunks[0].concat_rows(chunks[1]).concat_rows(chunks[2])
+        assert_tables_equal(streamed, synth.sample(25, batch=10, seed=5))
+
+    def test_unfitted_sample_raises(self, method):
+        synth = make_synthesizer(method, **FAMILIES[method])
+        with pytest.raises(TrainingError):
+            synth.sample(5)
+
+    def test_fit_sample_defaults_to_table_size(self, table, method):
+        synth = make_synthesizer(method, seed=1, **FAMILIES[method])
+        fake = synth.fit_sample(table)
+        assert len(fake) == len(table)
+
+    def test_save_load_round_trip_exact(self, fitted, method, tmp_path):
+        synth = fitted[method]
+        synth.save(tmp_path / "model")
+        restored = load_synthesizer(tmp_path / "model")
+        assert type(restored) is type(synth)
+        assert restored.is_fitted
+        assert_tables_equal(synth.sample(50, seed=21),
+                            restored.sample(50, seed=21))
+
+    def test_load_via_concrete_class(self, fitted, method, tmp_path):
+        synth = fitted[method]
+        synth.save(tmp_path / "model")
+        restored = type(synth).load(tmp_path / "model")
+        assert type(restored) is type(synth)
+
+    def test_registry_resolves(self, fitted, method):
+        assert resolve(method) is type(fitted[method])
+        assert method in available_synthesizers()
+
+
+class TestRegistry:
+    def test_unknown_name_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown synthesizer"):
+            make_synthesizer("no-such-method")
+
+    def test_unknown_name_on_resolve(self):
+        with pytest.raises(ConfigError):
+            resolve("definitely-not-registered")
+
+    def test_non_string_name(self):
+        with pytest.raises(ConfigError):
+            resolve(42)
+
+    def test_privbayes_alias(self):
+        from repro.privbayes import PrivBayesSynthesizer
+
+        assert resolve("pb") is PrivBayesSynthesizer
+
+    def test_register_decorator(self):
+        @register("dummy-for-test")
+        class Dummy(Synthesizer):
+            pass
+
+        try:
+            assert Dummy.method == "dummy-for-test"
+            assert isinstance(make_synthesizer("dummy-for-test"), Dummy)
+            assert "dummy-for-test" in available_synthesizers()
+        finally:
+            _REGISTRY.pop("dummy-for-test", None)
+
+    def test_duplicate_registration_rejected(self):
+        @register("dummy-dup")
+        class First(Synthesizer):
+            pass
+
+        try:
+            with pytest.raises(ConfigError, match="already registered"):
+                @register("dummy-dup")
+                class Second(Synthesizer):
+                    pass
+        finally:
+            _REGISTRY.pop("dummy-dup", None)
+
+
+class TestPersistenceErrors:
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(TrainingError):
+            make_synthesizer("privbayes", epsilon=None).save(tmp_path / "x")
+
+    def test_load_missing_path_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="no saved synthesizer"):
+            load_synthesizer(tmp_path / "nothing-here")
+
+    def test_load_wrong_class_raises(self, table, tmp_path):
+        from repro.vae import VAESynthesizer
+
+        synth = make_synthesizer("privbayes", epsilon=None, seed=0).fit(table)
+        synth.save(tmp_path / "pb")
+        with pytest.raises(ConfigError, match="not a VAESynthesizer"):
+            VAESynthesizer.load(tmp_path / "pb")
+
+
+class TestGANSpecificPersistence:
+    def test_cnn_matrix_form_round_trip(self, table, tmp_path):
+        from repro.core.design_space import DesignConfig
+
+        config = DesignConfig(generator="cnn", categorical_encoding="ordinal",
+                              numerical_normalization="simple")
+        synth = make_synthesizer("gan", config=config, epochs=1,
+                                 iterations_per_epoch=2, seed=0).fit(table)
+        synth.save(tmp_path / "cnn")
+        restored = load_synthesizer(tmp_path / "cnn")
+        assert_tables_equal(synth.sample(20, seed=9),
+                            restored.sample(20, seed=9))
+
+    def test_conditional_round_trip(self, table, tmp_path):
+        from repro.core.design_space import DesignConfig
+
+        synth = make_synthesizer(
+            "gan", config=DesignConfig(training="ctrain"), epochs=1,
+            iterations_per_epoch=2, seed=0).fit(table)
+        synth.save(tmp_path / "cgan")
+        restored = load_synthesizer(tmp_path / "cgan")
+        assert_tables_equal(synth.sample(30, seed=4),
+                            restored.sample(30, seed=4))
+
+    def test_saved_config_survives(self, table, tmp_path):
+        from repro.core.design_space import DesignConfig
+
+        config = DesignConfig(generator="lstm", hidden_dim=96)
+        synth = make_synthesizer("gan", config=config, epochs=1,
+                                 iterations_per_epoch=2, seed=0).fit(table)
+        synth.save(tmp_path / "lstm")
+        restored = load_synthesizer(tmp_path / "lstm")
+        assert restored.config == config

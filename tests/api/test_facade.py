@@ -1,0 +1,205 @@
+"""repro.synthesize facade: method-generic selection loop + provenance."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import datasets
+from repro.api import SynthesisResult
+from repro.api.facade import synthesize
+from repro.api.selection import extend_to, score_snapshots
+from repro.errors import ConfigError
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def split():
+    table = make_mixed_table(n=300, seed=9)
+    return datasets.split(table, seed=0)
+
+
+class TestFacade:
+    def test_gan_with_selection(self, split):
+        train, valid, _ = split
+        result = synthesize(train, method="gan", valid=valid, epochs=3,
+                            iterations_per_epoch=4, seed=0)
+        assert isinstance(result, SynthesisResult)
+        assert result.method == "gan"
+        assert len(result.table) == len(train)
+        assert len(result.curves["selection"]) == 3
+        assert result.best_epoch == int(np.argmax(result.curves["selection"]))
+        assert result.final_score == max(result.curves["selection"])
+        # The winning snapshot is left active on the returned synthesizer.
+        assert result.synthesizer.active_snapshot == result.best_epoch
+        assert result.provenance["selection_criterion"].startswith("f1:")
+        assert result.provenance["n_synthetic"] == len(train)
+
+    def test_gan_without_valid_skips_selection(self, split):
+        train, _, _ = split
+        result = synthesize(train, method="gan", epochs=2,
+                            iterations_per_epoch=3, seed=0, n=50)
+        assert result.best_epoch is None
+        assert "selection" not in result.curves
+        assert len(result.table) == 50
+
+    def test_vae_and_privbayes(self, split):
+        train, _, _ = split
+        for method, kwargs in (("vae", dict(epochs=1,
+                                            iterations_per_epoch=2)),
+                               ("privbayes", dict(epsilon=None))):
+            result = synthesize(train, method=method, n=40, **kwargs)
+            assert result.method == method
+            assert len(result.table) == 40
+            assert result.table.schema.names == train.schema.names
+
+    def test_privbayes_alias(self, split):
+        train, _, _ = split
+        result = synthesize(train, method="pb", epsilon=None, n=20)
+        assert result.method == "privbayes"
+
+    def test_size_ratio(self, split):
+        train, valid, _ = split
+        result = synthesize(train, method="gan", valid=valid, epochs=2,
+                            iterations_per_epoch=3, size_ratio=0.5, seed=0)
+        assert len(result.table) == round(len(train) * 0.5)
+
+    def test_training_curves_present(self, split):
+        train, _, _ = split
+        gan = synthesize(train, method="gan", epochs=2,
+                         iterations_per_epoch=3, n=20, seed=0)
+        assert len(gan.curves["g_loss"]) == 2
+        vae = synthesize(train, method="vae", epochs=2,
+                         iterations_per_epoch=3, n=20, seed=0)
+        assert len(vae.curves["loss"]) == 2
+
+    def test_unknown_method(self, split):
+        train, _, _ = split
+        with pytest.raises(ConfigError, match="unknown synthesizer"):
+            synthesize(train, method="nope")
+
+    def test_rejects_family_mismatched_kwargs(self, split):
+        train, _, _ = split
+        with pytest.raises(ConfigError, match="does not accept"):
+            synthesize(train, method="vae", epsilon=0.5)
+
+    def test_unset_facade_params_keep_family_defaults(self, split):
+        """epochs/iterations left unset must not clobber family defaults."""
+        train, valid, _ = split
+        small = train.take(np.arange(40))
+        result = synthesize(small, method="gan", valid=None, n=10,
+                            iterations_per_epoch=1, seed=0)
+        assert result.synthesizer.epochs == 10  # GANSynthesizer default
+        assert len(result.table) == 10
+
+    def test_explicit_none_kwarg_passes_through(self, split):
+        """epsilon=None is meaningful (noise-free PB), not an unset default."""
+        train, _, _ = split
+        result = synthesize(train, method="privbayes", epsilon=None, n=10)
+        assert result.synthesizer.epsilon is None
+
+    def test_config_silently_dropped_only_when_none(self, split):
+        train, _, _ = split
+        from repro.core.design_space import DesignConfig
+
+        with pytest.raises(ConfigError, match="does not accept"):
+            synthesize(train, method="privbayes", config=DesignConfig())
+
+    def test_reproducible_output_with_sample_seed(self, split):
+        train, _, _ = split
+        a = synthesize(train, method="privbayes", epsilon=None, n=30,
+                       seed=0, sample_seed=3)
+        b = synthesize(train, method="privbayes", epsilon=None, n=30,
+                       seed=0, sample_seed=3)
+        for name in train.schema.names:
+            np.testing.assert_array_equal(a.table.column(name),
+                                          b.table.column(name))
+
+    def test_sample_seed_controls_output_on_selection_path(self, split):
+        """With selection active, sample_seed must still steer the output
+        (it bypasses the scoring-table cache)."""
+        train, valid, _ = split
+        common = dict(method="gan", valid=valid, epochs=2,
+                      iterations_per_epoch=3, seed=0, n=40)
+        a = synthesize(train, sample_seed=7, **common)
+        b = synthesize(train, sample_seed=7, **common)
+        c = synthesize(train, sample_seed=8, **common)
+        any_diff_ac = False
+        for name in train.schema.names:
+            np.testing.assert_array_equal(a.table.column(name),
+                                          b.table.column(name))
+            if not np.array_equal(a.table.column(name), c.table.column(name)):
+                any_diff_ac = True
+        assert any_diff_ac
+
+    def test_top_level_export(self, split):
+        train, _, _ = split
+        assert repro.synthesize is synthesize
+        assert "gan" in repro.available_synthesizers()
+
+
+class TestSnapshotCaching:
+    """The selection loop reuses scoring tables (no resampling waste)."""
+
+    def test_winner_sample_is_reused(self, split):
+        train, valid, _ = split
+        result = synthesize(train, method="gan", valid=valid, epochs=2,
+                            iterations_per_epoch=3, seed=0)
+        # Re-run selection on an identically-seeded twin: the facade's
+        # output must be a prefix of the winning snapshot's scoring
+        # table, not a fresh resample.
+        twin = repro.make_synthesizer("gan", epochs=2,
+                                      iterations_per_epoch=3,
+                                      seed=0).fit(train)
+        scores = score_snapshots(twin, valid, seed=0)
+        assert scores.best_index == result.best_epoch
+        cached = scores.tables[scores.best_index]
+        n = len(result.table)
+        assert n <= len(cached)
+        for name in train.schema.names:
+            np.testing.assert_array_equal(result.table.column(name),
+                                          cached.column(name)[:n])
+
+    def test_extend_to_prefix(self, split):
+        train, _, _ = split
+        synth = repro.make_synthesizer("privbayes", epsilon=None,
+                                       seed=0).fit(train)
+        cached = synth.sample(50, seed=1)
+        out = extend_to(cached, 20, synth)
+        for name in train.schema.names:
+            np.testing.assert_array_equal(out.column(name),
+                                          cached.column(name)[:20])
+
+    def test_extend_to_tops_up(self, split):
+        train, _, _ = split
+        synth = repro.make_synthesizer("privbayes", epsilon=None,
+                                       seed=0).fit(train)
+        cached = synth.sample(10, seed=1)
+        out = extend_to(cached, 35, synth, seed=2)
+        assert len(out) == 35
+        for name in train.schema.names:
+            np.testing.assert_array_equal(out.column(name)[:10],
+                                          cached.column(name))
+
+    def test_context_synthesize_forwards_budget(self, split):
+        from repro.core.experiment import ExperimentContext
+
+        ctx = ExperimentContext("adult", n_records=240, epochs=2,
+                                iterations_per_epoch=3, seed=0)
+        result = ctx.synthesize("gan")
+        assert result.synthesizer.epochs == 2
+        assert result.synthesizer.iterations_per_epoch == 3
+        assert len(result.curves["selection"]) == 2
+        pb = ctx.synthesize("privbayes", valid=False, epsilon=None, n=15)
+        assert len(pb.table) == 15
+
+    def test_score_snapshots_returns_tables(self, split):
+        train, valid, _ = split
+        synth = repro.make_synthesizer("gan", epochs=2,
+                                       iterations_per_epoch=3,
+                                       seed=0).fit(train)
+        scores = score_snapshots(synth, valid, sample_size=120)
+        assert len(scores.scores) == 2
+        assert len(scores.tables) == 2
+        assert all(len(t) == 120 for t in scores.tables)
+        assert scores.best_index == int(np.argmax(scores.scores))
