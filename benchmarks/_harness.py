@@ -15,6 +15,21 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_RECORDS``  records per dataset (default 1200)
 * ``REPRO_BENCH_EPOCHS``   GAN epochs (default 5)
 * ``REPRO_BENCH_ITERS``    iterations per epoch (default 25)
+* ``REPRO_BENCH_DTYPE``    engine dtype for the run ("float64" default;
+  "float32" selects the fast training mode — see
+  :func:`repro.nn.set_default_dtype`)
+
+Every ``BENCH_<name>.json`` sidecar records the engine dtype active when
+it was written, so perf trajectories across PRs can distinguish parity
+runs from fast-math runs.  The engine microbenchmark
+(``bench_engine_microbench.py``) times forward/backward/optimizer-step
+per architecture in *both* dtypes and is the regression gate for engine
+changes:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_microbench.py
+
+The resulting ``BENCH_engine_microbench.json`` rows carry per-arch,
+per-dtype wall-clock in milliseconds.
 """
 
 from __future__ import annotations
@@ -27,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn import get_default_dtype, set_default_dtype
 from repro.core.design_space import DesignConfig
 from repro.core.experiment import ExperimentContext
 from repro.core.pipeline import SynthesisRun
@@ -40,6 +56,11 @@ JSON_ENABLED = os.environ.get("REPRO_BENCH_JSON", "1") not in ("0", "false")
 
 #: The paper's evaluator classifiers (table columns).
 CLASSIFIER_COLUMNS = ("DT10", "DT30", "RF10", "RF20", "AB", "LR")
+
+#: ``REPRO_BENCH_DTYPE`` switches the engine dtype for the whole run.
+_BENCH_DTYPE = os.environ.get("REPRO_BENCH_DTYPE")
+if _BENCH_DTYPE:
+    set_default_dtype(_BENCH_DTYPE)
 
 _CONTEXTS: Dict[tuple, ExperimentContext] = {}
 _GAN_RUNS: Dict[tuple, SynthesisRun] = {}
@@ -163,6 +184,7 @@ def _write_json(name: str, rows: Optional[list],
     payload = {
         "name": name,
         "elapsed_seconds": elapsed_seconds,
+        "engine_dtype": np.dtype(get_default_dtype()).name,
         "rows": rows,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }

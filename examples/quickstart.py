@@ -13,6 +13,18 @@ Runs the paper's full loop on the Adult stand-in dataset:
 Every method family works behind the same entry points — swap
 ``method="gan"`` for ``"vae"`` or ``"privbayes"``.
 
+Engine dtype: training runs on the library's own numpy autograd engine,
+which defaults to ``float64`` (bit-for-bit reproducible trajectories).
+For roughly 2x faster sweeps switch to the float32 training mode before
+building any model::
+
+    from repro import nn
+    nn.set_default_dtype("float32")   # or: with nn.default_dtype(...)
+
+``benchmarks/bench_engine_microbench.py`` times the engine's hot phases
+in both dtypes and records them in ``BENCH_engine_microbench.json`` —
+run it after touching ``repro.nn`` to catch perf regressions.
+
 Usage::
 
     python examples/quickstart.py

@@ -101,7 +101,13 @@ def synthesize(table: Table, method: str = "gan", *,
                        ("iterations_per_epoch", iterations_per_epoch)):
         if value is not None:
             explicit[key] = value
-    init_kwargs = _constructor_kwargs(klass, explicit, {"seed": seed})
+    # Without a validation table no snapshot selection can run, so
+    # families that support it default to snapshotting only the final
+    # epoch (big memory win on sweeps); an explicit keep_snapshots in
+    # ``kwargs`` still wins.
+    init_kwargs = _constructor_kwargs(
+        klass, explicit,
+        {"seed": seed, "keep_snapshots": valid is not None})
 
     start = time.perf_counter()
     synthesizer: Synthesizer = make_synthesizer(method, **init_kwargs)

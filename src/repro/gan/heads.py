@@ -18,7 +18,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..nn import Linear, Module, Tensor, concat
+from ..nn import Linear, Module, Tensor, concat, fused_linear
+from ..nn.tensor import _stable_sigmoid, fast_math
 from ..transform.base import (
     BlockSpec, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH, HEAD_TANH_SOFTMAX,
 )
@@ -42,20 +43,27 @@ class BlockHead(Module):
 
     def forward(self, h: Tensor) -> Tensor:
         if self.head == HEAD_TANH:
-            return self.fc(h).tanh()
+            return self.fc(h, activation="tanh")
         if self.head == HEAD_SIGMOID:
-            return self.fc(h).sigmoid()
+            return self.fc(h, activation="sigmoid")
         if self.head == HEAD_SOFTMAX:
             return self.fc(h).softmax(axis=-1)
         if self.head == HEAD_TANH_SOFTMAX:
-            value = self.value_fc(h).tanh()
+            value = self.value_fc(h, activation="tanh")
             mode = self.mode_fc(h).softmax(axis=-1)
             return concat([value, mode], axis=1)
         raise ConfigError(f"unknown head kind {self.head!r}")
 
 
 class MultiHead(Module):
-    """All attribute heads applied to one shared hidden vector (MLP G)."""
+    """All attribute heads applied to one shared hidden vector (MLP G).
+
+    Under fast-math all head projections run as one wide matmul —
+    weights are concatenated per forward and the activations applied to
+    slices of the joint pre-activation.  Flop-equivalent but with one
+    input-gradient GEMM instead of one per head; parity mode keeps the
+    per-head kernels (bit-identical to the historical graph).
+    """
 
     def __init__(self, in_features: int, blocks: List[BlockSpec],
                  rng: Optional[np.random.Generator] = None):
@@ -66,6 +74,76 @@ class MultiHead(Module):
             head = BlockHead(in_features, block, rng=rng)
             self.heads.append(head)
             self.register_module(f"head{i}", head)
+        # (activation, width, fc) segments of the joint projection.
+        self._plan = []
+        for head, block in zip(self.heads, blocks):
+            if head.head == HEAD_TANH_SOFTMAX:
+                self._plan.append(("tanh", 1, head.value_fc))
+                self._plan.append(("softmax", block.width - 1, head.mode_fc))
+            else:
+                act = {HEAD_TANH: "tanh", HEAD_SIGMOID: "sigmoid",
+                       HEAD_SOFTMAX: "softmax"}[head.head]
+                self._plan.append((act, block.width, head.fc))
+        self._seg_info = self._build_seg_info()
 
     def forward(self, h: Tensor) -> Tensor:
-        return concat([head(h) for head in self.heads], axis=1)
+        if not fast_math():
+            return concat([head(h) for head in self.heads], axis=1)
+        weight = concat([fc.weight for _, _, fc in self._plan], axis=1)
+        bias = concat([fc.bias for _, _, fc in self._plan], axis=0)
+        pre = fused_linear(h, weight, bias)
+        return _multi_activation(pre, self._seg_info)
+
+    def _build_seg_info(self):
+        """Segment layout for :func:`_multi_activation` (fixed by _plan)."""
+        starts, widths = [], []
+        offset = 0
+        total = sum(width for _, width, _ in self._plan)
+        tanh_cols = np.zeros(total, dtype=bool)
+        sigmoid_cols = np.zeros(total, dtype=bool)
+        for act, width, _ in self._plan:
+            starts.append(offset)
+            widths.append(width)
+            if act == "tanh":
+                tanh_cols[offset:offset + width] = True
+            elif act == "sigmoid":
+                sigmoid_cols[offset:offset + width] = True
+            offset += width
+        return (np.asarray(starts), np.asarray(widths),
+                tanh_cols, sigmoid_cols)
+
+
+def _multi_activation(pre: Tensor, seg_info) -> Tensor:
+    """Per-column-segment activations on ``pre`` as one tape node.
+
+    ``seg_info`` is ``(starts, widths, tanh_cols, sigmoid_cols)``: the
+    segment layout plus boolean column masks for the non-softmax
+    segments.  The row-wise softmax runs group-vectorized over ALL
+    segments via ``reduceat`` (width-1 tanh/sigmoid segments come out as
+    1.0 and are overwritten through their masks), so the cost does not
+    scale with the number of attribute heads.  Fast-math companion of
+    the per-head op chain.
+    """
+    starts, widths, tanh_cols, sigmoid_cols = seg_info
+    pd = pre.data
+    mx = np.maximum.reduceat(pd, starts, axis=1)
+    e = np.exp(pd - mx.repeat(widths, axis=1))
+    s = np.add.reduceat(e, starts, axis=1)
+    out = e / s.repeat(widths, axis=1)
+    if tanh_cols.any():
+        out[:, tanh_cols] = np.tanh(pd[:, tanh_cols])
+    if sigmoid_cols.any():
+        out[:, sigmoid_cols] = _stable_sigmoid(pd[:, sigmoid_cols])
+
+    def backward(grad: np.ndarray):
+        dot = np.add.reduceat(grad * out, starts, axis=1)
+        d = out * (grad - dot.repeat(widths, axis=1))
+        if tanh_cols.any():
+            o = out[:, tanh_cols]
+            d[:, tanh_cols] = grad[:, tanh_cols] * (1.0 - o ** 2)
+        if sigmoid_cols.any():
+            o = out[:, sigmoid_cols]
+            d[:, sigmoid_cols] = grad[:, sigmoid_cols] * o * (1.0 - o)
+        return (d,)
+
+    return Tensor._make(out, (pre,), backward)

@@ -8,6 +8,14 @@ GMM normalization take *two* timesteps — one for ``v_gmm`` (tanh), one
 for the mode indicator (softmax) — exactly as in the paper.
 
 The discriminator is a sequence-to-one LSTM over per-block embeddings.
+
+Hot-path notes: both models run on the fused LSTM kernels of
+:mod:`repro.nn.rnn` (bit-exact in float64).  Under fast-math (float32
+mode) the generator additionally splits the input projection into a
+static part — ``(z ⊕ cond) @ W_x`` is identical at every timestep and
+computed once — plus a small per-step ``f^{j-1}`` projection, and the
+discriminator batches all block embeddings through the cell's input
+projection in one matmul.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..nn import Linear, LSTMCell, Module, Tensor, concat
+from ..nn.rnn import addmm, lstm_gates, lstm_step
+from ..nn.tensor import fast_math
 from ..transform.base import (
     BlockSpec, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH, HEAD_TANH_SOFTMAX,
 )
@@ -72,32 +82,51 @@ class LSTMGenerator(Module):
     def output_dim(self) -> int:
         return sum(block.width for block in self.blocks)
 
+    def _emit(self, block_index: int, part: str, fc: Linear,
+              f_prev: Tensor) -> Tensor:
+        block = self.blocks[block_index]
+        if part == "value":
+            return fc(f_prev, activation="tanh")
+        if part == "mode":
+            return fc(f_prev).softmax(axis=-1)
+        if block.head == HEAD_TANH:
+            return fc(f_prev, activation="tanh")
+        if block.head == HEAD_SIGMOID:
+            return fc(f_prev, activation="sigmoid")
+        if block.head == HEAD_SOFTMAX:
+            return fc(f_prev).softmax(axis=-1)
+        raise ConfigError(f"unknown head {block.head!r}")
+
     def forward(self, z: Tensor, cond: Optional[Tensor] = None) -> Tensor:
         batch = z.shape[0]
         base = z if cond is None else concat([z, cond], axis=1)
         h, c = self.cell.initial_state(batch)
         f_prev = Tensor(np.zeros((batch, self.output_dim_f)))
 
+        split = fast_math()
+        if split:
+            # The (z ⊕ cond) part of every timestep input is the same
+            # tensor: project it through the matching rows of W_x once
+            # and add only the small f^{j-1} projection per step.
+            k = base.shape[1]
+            w_static = self.cell.weight_x[:k]
+            w_dynamic = self.cell.weight_x[k:]
+            static_proj = base @ w_static
+
         block_parts: List[List[Tensor]] = [[] for _ in self.blocks]
         for (block_index, part), fc in zip(self._step_plan, self._step_fcs):
-            step_in = concat([base, f_prev], axis=1)
-            h, c = self.cell(step_in, (h, c))
-            f_prev = self.f_fc(h).tanh()
-            block = self.blocks[block_index]
-            raw = fc(f_prev)
-            if part == "value":
-                out = raw.tanh()
-            elif part == "mode":
-                out = raw.softmax(axis=-1)
-            elif block.head == HEAD_TANH:
-                out = raw.tanh()
-            elif block.head == HEAD_SIGMOID:
-                out = raw.sigmoid()
-            elif block.head == HEAD_SOFTMAX:
-                out = raw.softmax(axis=-1)
+            if split:
+                x_proj = addmm(static_proj, f_prev, w_dynamic)
+                gates = lstm_gates(None, None, h, self.cell.weight_h,
+                                   self.cell.bias, x_proj=x_proj)
             else:
-                raise ConfigError(f"unknown head {block.head!r}")
-            block_parts[block_index].append(out)
+                step_in = concat([base, f_prev], axis=1)
+                gates = lstm_gates(step_in, self.cell.weight_x, h,
+                                   self.cell.weight_h, self.cell.bias)
+            h, c = lstm_step(gates, c, self.cell.hidden_size)
+            f_prev = self.f_fc(h, activation="tanh")
+            block_parts[block_index].append(
+                self._emit(block_index, part, fc, f_prev))
 
         outputs = []
         for parts in block_parts:
@@ -133,11 +162,15 @@ class LSTMDiscriminator(Module):
 
     def forward(self, t: Tensor, cond: Optional[Tensor] = None) -> Tensor:
         batch = t.shape[0]
-        h, c = self.cell.initial_state(batch)
+        # Block embeddings do not depend on the recurrence: compute them
+        # up front so their cell input projections can be batched.
+        steps: List[Tensor] = []
         for block, embed in zip(self.blocks, self.embeds):
             part = t[:, block.start:block.stop]
             if cond is not None:
                 part = concat([part, cond], axis=1)
-            step = embed(part).tanh()
-            h, c = self.cell(step, (h, c))
+            steps.append(embed(part, activation="tanh"))
+        h, c = self.cell.initial_state(batch)
+        for x_proj in self.cell.project_steps(steps):
+            h, c = self.cell.step_projected(x_proj, (h, c))
         return self.out(h)

@@ -48,7 +48,7 @@ class MLPGenerator(Module):
     def forward(self, z: Tensor, cond: Optional[Tensor] = None) -> Tensor:
         h = z if cond is None else concat([z, cond], axis=1)
         for fc, bn in self.hidden_layers:
-            h = bn(fc(h)).relu()
+            h = bn(fc(h), activation="relu")
         return self.heads(h)
 
 
@@ -81,5 +81,5 @@ class MLPDiscriminator(Module):
     def forward(self, t: Tensor, cond: Optional[Tensor] = None) -> Tensor:
         h = t if cond is None else concat([t, cond], axis=1)
         for fc in self.hidden_layers:
-            h = fc(h).leaky_relu(0.2)
+            h = fc(h, activation="leaky_relu", slope=0.2)
         return self.out(h)

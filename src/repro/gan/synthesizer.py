@@ -25,7 +25,7 @@ from ..api.registry import register
 from ..core.design_space import DesignConfig
 from ..datasets.schema import Table
 from ..errors import TrainingError
-from ..nn import Module, Tensor
+from ..nn import Module, Tensor, no_grad
 from ..transform import MatrixTransformer, RecordTransformer
 from ..transform.record import transformer_from_state
 from .cnn import CNNDiscriminator, CNNGenerator, DEFAULT_SIDE
@@ -46,15 +46,21 @@ class GANSynthesizer(Synthesizer):
     epochs, iterations_per_epoch:
         The paper divides training into 10 epochs and snapshots the
         generator after each for validation-based selection.
+    keep_snapshots:
+        When False, only the final epoch deep-copies the generator
+        state (the others record ``snapshot=None``), cutting sweep
+        memory by ``epochs``x generator size.  Leave True (the default)
+        whenever validation-based snapshot selection will run.
     """
 
     def __init__(self, config: Optional[DesignConfig] = None,
                  epochs: int = 10, iterations_per_epoch: int = 40,
-                 seed: int = 0):
+                 keep_snapshots: bool = True, seed: int = 0):
         super().__init__(seed=seed)
         self.config = config if config is not None else DesignConfig()
         self.epochs = epochs
         self.iterations_per_epoch = iterations_per_epoch
+        self.keep_snapshots = bool(keep_snapshots)
         self.generator: Optional[Module] = None
         self.discriminator: Optional[Module] = None
         self.transformer = None
@@ -118,7 +124,8 @@ class GANSynthesizer(Synthesizer):
                     callback(record)
         self.train_result = trainer.train(
             data, labels, self._n_labels, self.epochs,
-            self.iterations_per_epoch, epoch_callback=epoch_callback)
+            self.iterations_per_epoch, epoch_callback=epoch_callback,
+            snapshot_epochs=None if self.keep_snapshots else ())
         self._active_snapshot = len(self.train_result.epochs) - 1
 
     def _build_models(self):
@@ -179,7 +186,12 @@ class GANSynthesizer(Synthesizer):
         snapshots = self.snapshots
         if not -len(snapshots) <= index < len(snapshots):
             raise IndexError(f"no snapshot {index}")
-        self.generator.load_state_dict(snapshots[index])
+        state = snapshots[index]
+        if state is None:
+            raise TrainingError(
+                f"epoch {index % len(snapshots)} was not snapshotted; "
+                "fit with keep_snapshots=True to enable selection")
+        self.generator.load_state_dict(state)
         self._active_snapshot = index % len(snapshots)
 
     @property
@@ -209,7 +221,8 @@ class GANSynthesizer(Synthesizer):
                 onehot = np.zeros((m, self._n_labels))
                 onehot[np.arange(m), labels] = 1.0
                 cond = Tensor(onehot)
-            raw = self.generator(z, cond).data
+            with no_grad():
+                raw = self.generator(z, cond).data
         finally:
             self.generator.train()
         return raw, labels
@@ -246,6 +259,7 @@ class GANSynthesizer(Synthesizer):
         meta = {
             "params": {"config": asdict(self.config), "epochs": self.epochs,
                        "iterations_per_epoch": self.iterations_per_epoch,
+                       "keep_snapshots": self.keep_snapshots,
                        "seed": self.seed},
             "transformer": self.transformer.to_state(),
             "n_labels": self._n_labels,

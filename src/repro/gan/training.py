@@ -19,14 +19,15 @@ DPTrain is WTrain with bounded, noised discriminator gradients (DPGAN).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
 from ..errors import TrainingError
 from ..nn import (
     Adam, Module, RMSProp, Tensor, add_gradient_noise, bce_with_logits,
-    categorical_kl, clip_gradients, clip_parameters,
+    categorical_kl_sum, clip_gradients, clip_parameters, fast_math,
+    get_default_dtype, no_grad,
 )
 from ..transform.base import BlockSpec, HEAD_TANH_SOFTMAX, HEAD_SOFTMAX
 from .sampler import LabelAwareSampler, RandomSampler
@@ -34,12 +35,16 @@ from .sampler import LabelAwareSampler, RandomSampler
 
 @dataclass
 class EpochRecord:
-    """Diagnostics collected at the end of one epoch."""
+    """Diagnostics collected at the end of one epoch.
+
+    ``snapshot`` is ``None`` for epochs the trainer was told not to
+    snapshot (see ``BaseTrainer.train(snapshot_epochs=...)``).
+    """
 
     epoch: int
     g_loss: float
     d_loss: float
-    snapshot: Dict[str, np.ndarray]
+    snapshot: Optional[Dict[str, np.ndarray]]
 
 
 @dataclass
@@ -51,7 +56,7 @@ class TrainResult:
     d_losses: List[float] = field(default_factory=list)
 
     @property
-    def snapshots(self) -> List[Dict[str, np.ndarray]]:
+    def snapshots(self) -> List[Optional[Dict[str, np.ndarray]]]:
         return [e.snapshot for e in self.epochs]
 
 
@@ -72,18 +77,60 @@ class BaseTrainer:
         self.rng = rng
         self._last_g_loss = 0.0
         self._last_d_loss = 0.0
+        # Fast-math only: run D once on [real; fake] instead of twice.
+        # Unsafe when D couples rows through batch statistics (layers
+        # with running-stat buffers, i.e. batch norm), because a mixed
+        # real/fake batch would change those statistics.
+        self._batch_d_passes = not any(
+            True for _ in discriminator.named_buffers())
+
+    def _discriminate_pair(self, real: np.ndarray, fake: Tensor, cond):
+        """D logits for a real batch and a fake batch (maybe batched)."""
+        if fast_math() and self._batch_d_passes:
+            m = len(real)
+            both = Tensor(np.concatenate([real, fake.data], axis=0))
+            cond_both = None
+            if cond is not None:
+                cond_both = Tensor(
+                    np.concatenate([cond.data, cond.data], axis=0))
+            d_both = self.discriminator(both, cond_both)
+            return d_both[:m], d_both[m:]
+        return (self.discriminator(Tensor(real), cond),
+                self.discriminator(fake, cond))
 
     # -- noise ----------------------------------------------------------
     def sample_noise(self, m: int) -> Tensor:
-        return Tensor(self.rng.standard_normal((m, self.config.z_dim)))
+        shape = (m, self.config.z_dim)
+        dtype = get_default_dtype()
+        if dtype is np.float64:
+            return Tensor(self.rng.standard_normal(shape))
+        # float32 mode: draw directly in the engine dtype (skips a cast;
+        # consumes the RNG stream differently, which is fine outside the
+        # float64 parity mode).
+        return Tensor(self.rng.standard_normal(shape, dtype=dtype))
 
     # -- main loop ------------------------------------------------------
     def train(self, data: np.ndarray, labels: Optional[np.ndarray],
               n_labels: int, epochs: int, iterations_per_epoch: int,
-              epoch_callback: Optional[Callable[[EpochRecord], None]] = None
-              ) -> TrainResult:
+              epoch_callback: Optional[Callable[[EpochRecord], None]] = None,
+              snapshot_epochs: Optional[Iterable[int]] = None) -> TrainResult:
+        """Run the epoch loop.
+
+        ``snapshot_epochs`` limits which epochs deep-copy the generator
+        ``state_dict`` into their :class:`EpochRecord` (``None`` keeps
+        every epoch — required for model selection).  The final epoch is
+        always snapshotted so the trained generator can be restored and
+        persisted.  Sweeps that skip the selection loop pass an empty
+        collection and avoid ``epochs``x generator-sized deep copies.
+        """
         if len(data) == 0:
             raise TrainingError("cannot train on an empty table")
+        # Hold the training matrix in the engine dtype so minibatch
+        # gathers and loss statistics skip a per-iteration cast (a no-op
+        # in float64 parity mode, where data already is float64).
+        data = np.asarray(data, dtype=get_default_dtype())
+        snapshot_set = (None if snapshot_epochs is None
+                        else {int(e) for e in snapshot_epochs})
         self.prepare(data, labels, n_labels)
         result = TrainResult()
         for epoch in range(epochs):
@@ -91,11 +138,14 @@ class BaseTrainer:
                 self.iteration()
                 result.g_losses.append(self._last_g_loss)
                 result.d_losses.append(self._last_d_loss)
+            take_snapshot = (snapshot_set is None or epoch in snapshot_set
+                             or epoch == epochs - 1)
             record = EpochRecord(
                 epoch=epoch,
                 g_loss=self._last_g_loss,
                 d_loss=self._last_d_loss,
-                snapshot=self.generator.state_dict(),
+                snapshot=(self.generator.state_dict()
+                          if take_snapshot else None),
             )
             result.epochs.append(record)
             if epoch_callback is not None:
@@ -114,21 +164,18 @@ class BaseTrainer:
 
         Differentiable through the generator's softmax heads; tanh
         (numerical) blocks are skipped, matching the released Daisy code.
+        Computed as one fused tape node (:func:`categorical_kl_sum`).
         """
         blocks: List[BlockSpec] = getattr(self.generator, "blocks", [])
-        total = None
+        slices = []
         for block in blocks:
             if block.head == HEAD_SOFTMAX:
-                sl = block.slice
+                slices.append(block.slice)
             elif block.head == HEAD_TANH_SOFTMAX:
-                sl = slice(block.start + 1, block.stop)
-            else:
-                continue
-            p_real = real_batch[:, sl].mean(axis=0)
-            p_fake = fake[:, sl].mean(axis=0)
-            term = categorical_kl(p_real, p_fake)
-            total = term if total is None else total + term
-        return total
+                slices.append(slice(block.start + 1, block.stop))
+        if not slices:
+            return None
+        return categorical_kl_sum(real_batch, fake, slices)
 
 
 class VanillaTrainer(BaseTrainer):
@@ -165,10 +212,10 @@ class VanillaTrainer(BaseTrainer):
     def _step_discriminator(self, real: np.ndarray, cond) -> None:
         m = len(real)
         z = self.sample_noise(m)
-        fake = self.generator(z, cond).detach()
+        with no_grad():
+            fake = self.generator(z, cond)
         self.opt_d.zero_grad()
-        d_real = self.discriminator(Tensor(real), cond)
-        d_fake = self.discriminator(fake, cond)
+        d_real, d_fake = self._discriminate_pair(real, fake, cond)
         loss = (bce_with_logits(d_real, np.ones((m, 1)))
                 + bce_with_logits(d_fake, np.zeros((m, 1))))
         loss.backward()
@@ -238,11 +285,11 @@ class WGANTrainer(BaseTrainer):
     def _critic_step(self, real: np.ndarray) -> float:
         m = len(real)
         z = self.sample_noise(m)
-        fake = self.generator(z).detach()
+        with no_grad():
+            fake = self.generator(z)
         self.opt_d.zero_grad()
-        d_real = self.discriminator(Tensor(real)).mean()
-        d_fake = self.discriminator(fake).mean()
-        loss = d_fake - d_real  # minimize => maximize (d_real - d_fake)
+        d_real, d_fake = self._discriminate_pair(real, fake, None)
+        loss = d_fake.mean() - d_real.mean()  # minimize (d_fake - d_real)
         loss.backward()
         self._post_process_critic_grads(m)
         self.opt_d.step()

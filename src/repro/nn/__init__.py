@@ -5,29 +5,37 @@ Public surface::
     from repro.nn import Tensor, Linear, BatchNorm1d, LSTMCell, Adam, ...
 """
 
-from .tensor import Tensor, as_tensor, concat, stack, where
+from .tensor import (
+    Tensor, as_tensor, concat, stack, where,
+    default_dtype, fast_math, get_default_dtype, is_grad_enabled, no_grad,
+    set_default_dtype,
+)
 from .module import Module, Parameter, Sequential
 from .layers import (
     Linear, BatchNorm1d, ReLU, LeakyReLU, Tanh, Sigmoid, Dropout,
+    fused_linear,
 )
 from .conv import Conv2d, ConvTranspose2d, BatchNorm2d
-from .rnn import LSTMCell, SequenceToOneLSTM
+from .rnn import LSTMCell, SequenceToOneLSTM, addmm, lstm_gates, lstm_step
 from .optim import (
     SGD, Adam, RMSProp, Optimizer, clip_parameters, clip_gradients,
     add_gradient_noise, global_gradient_norm,
 )
 from .losses import (
-    bce_with_logits, binary_cross_entropy, mse, categorical_kl, gaussian_kl,
+    bce_with_logits, binary_cross_entropy, mse, categorical_kl,
+    categorical_kl_sum, gaussian_kl,
 )
 
 __all__ = [
     "Tensor", "as_tensor", "concat", "stack", "where",
+    "default_dtype", "fast_math", "get_default_dtype", "is_grad_enabled",
+    "no_grad", "set_default_dtype",
     "Module", "Parameter", "Sequential",
     "Linear", "BatchNorm1d", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
-    "Dropout", "Conv2d", "ConvTranspose2d", "BatchNorm2d",
-    "LSTMCell", "SequenceToOneLSTM",
+    "Dropout", "fused_linear", "Conv2d", "ConvTranspose2d", "BatchNorm2d",
+    "LSTMCell", "SequenceToOneLSTM", "addmm", "lstm_gates", "lstm_step",
     "SGD", "Adam", "RMSProp", "Optimizer", "clip_parameters",
     "clip_gradients", "add_gradient_noise", "global_gradient_norm",
     "bce_with_logits", "binary_cross_entropy", "mse", "categorical_kl",
-    "gaussian_kl",
+    "categorical_kl_sum", "gaussian_kl",
 ]

@@ -31,12 +31,22 @@ class Module:
         self.training = True
 
     def __setattr__(self, name, value):
+        # Reassignment must drop the name from the registries it is NOT
+        # entering, otherwise ``parameters()`` keeps optimizing orphans
+        # and ``state_dict()`` persists dead weights / stale buffers.
         if isinstance(value, Parameter):
             self.__dict__.setdefault("_params", {})[name] = value
+            self.__dict__.get("_modules", {}).pop(name, None)
+            self.__dict__.get("_buffers", {}).pop(name, None)
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", {})[name] = value
+            self.__dict__.get("_params", {}).pop(name, None)
+            self.__dict__.get("_buffers", {}).pop(name, None)
         elif name in self.__dict__.get("_buffers", ()):
             self.__dict__["_buffers"][name] = np.asarray(value)
+        else:
+            self.__dict__.get("_params", {}).pop(name, None)
+            self.__dict__.get("_modules", {}).pop(name, None)
         object.__setattr__(self, name, value)
 
     def register_module(self, name: str, module: "Module") -> None:

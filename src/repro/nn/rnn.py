@@ -4,6 +4,23 @@ The paper's LSTM generator (Appendix A.1.3, Figure 12) produces a record
 attribute by attribute: the j-th timestep consumes the noise ``z``, the
 previous output ``f^j`` and hidden state ``h^j``.  The discriminator uses
 a sequence-to-one LSTM.  Both are built on :class:`LSTMCell`.
+
+Engine notes
+------------
+A timestep used to cost ~16 tape nodes (two matmuls, two broadcast
+adds, four gate slices, three sigmoids, two tanhs, three elementwise
+combines).  The hot path now records three:
+
+* :func:`lstm_gates` — fused ``x @ W_x + h @ W_h + b`` affine kernel;
+* :func:`lstm_step` — one fused node for the cell update
+  ``c' = f*c + i*g`` and one for the output ``h' = o * tanh(c')``.
+
+Both evaluate the same floating point operations in the same order as
+the composed form, so float64 trajectories are bit-for-bit unchanged.
+When :func:`repro.nn.tensor.fast_math` is on (float32 mode), sequence
+modules additionally batch the input projections of all timesteps into
+one matmul (:meth:`LSTMCell.project_steps`) — a sum re-association that
+is why this rewrite is gated on fast-math.
 """
 
 from __future__ import annotations
@@ -14,7 +31,129 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, concat
+from .tensor import Tensor, _stable_sigmoid, concat, fast_math
+
+
+def _split_rows(projected: Tensor, n_chunks: int, batch: int) -> List[Tensor]:
+    """Split ``projected`` into ``n_chunks`` row chunks of ``batch`` rows.
+
+    A naive per-chunk ``__getitem__`` backward is O(T^2): each chunk
+    scatters into its own full-size zeros array and the accumulator adds
+    them pairwise.  Here all chunks share one gradient buffer; each
+    backward writes its row block in place and only the last one to run
+    hands the assembled buffer to ``projected`` (the chunks are
+    independent, so the reverse pass may visit them in any order).
+
+    Invariant: every chunk must be consumed by the backward graph — the
+    recurrence consumers here use all timesteps.  The chunks must cover
+    ``projected`` exactly (``n_chunks * batch`` rows).
+    """
+    pd = projected.data
+    state = {"buf": None, "pending": n_chunks}
+    chunks: List[Tensor] = []
+    for t in range(n_chunks):
+        start, stop = t * batch, (t + 1) * batch
+
+        def backward(grad: np.ndarray, start=start, stop=stop):
+            if state["buf"] is None:
+                state["buf"] = np.empty_like(pd)
+            state["buf"][start:stop] = grad
+            state["pending"] -= 1
+            if state["pending"] == 0:
+                buf = state["buf"]
+                state["buf"] = None
+                state["pending"] = n_chunks
+                return (buf,)
+            return (None,)
+
+        chunks.append(Tensor._make(pd[start:stop], (projected,), backward))
+    return chunks
+
+
+def addmm(base: Tensor, x: Tensor, weight: Tensor) -> Tensor:
+    """Fused ``base + x @ weight`` with ``base`` the same shape as the
+    product (used to add a precomputed static projection)."""
+    xd, wd = x.data, weight.data
+    pre = base.data + xd @ wd
+
+    def backward(grad: np.ndarray):
+        return (grad, grad @ wd.T, xd.T @ grad)
+
+    return Tensor._make(pre, (base, x, weight), backward)
+
+
+def lstm_gates(x: Tensor, weight_x: Tensor, h: Tensor, weight_h: Tensor,
+               bias: Tensor, x_proj: Optional[Tensor] = None) -> Tensor:
+    """Fused gate pre-activation ``x @ W_x + h @ W_h + b``.
+
+    With ``x_proj`` given, ``x``/``weight_x`` are ignored and the
+    precomputed projection is used instead (the batched fast path).
+    """
+    hd, whd = h.data, weight_h.data
+
+    if x_proj is not None:
+        xpd = x_proj.data
+        pre = xpd + hd @ whd
+        pre += bias.data
+
+        def backward(grad: np.ndarray):
+            return (grad,
+                    grad @ whd.T if h.requires_grad else None,
+                    hd.T @ grad,
+                    grad.sum(axis=0))
+
+        return Tensor._make(pre, (x_proj, h, weight_h, bias), backward)
+
+    xd, wxd = x.data, weight_x.data
+    pre = xd @ wxd
+    pre += hd @ whd
+    pre += bias.data
+
+    def backward(grad: np.ndarray):
+        return (grad @ wxd.T if x.requires_grad else None,
+                xd.T @ grad,
+                grad @ whd.T if h.requires_grad else None,
+                hd.T @ grad,
+                grad.sum(axis=0))
+
+    return Tensor._make(pre, (x, weight_x, h, weight_h, bias), backward)
+
+
+def lstm_step(gates: Tensor, c_prev: Tensor, hidden_size: int
+              ) -> Tuple[Tensor, Tensor]:
+    """Fused LSTM cell update from gate pre-activations.
+
+    Gate layout along the last axis: input, forget, cell, output.
+    Returns ``(h_new, c_new)`` as two tape nodes: the cell node owns the
+    i/f/g gate gradients, the output node owns the o gate gradient and
+    routes its tanh path through the cell node — the same gradient flow
+    (and accumulation order) as the composed op graph.
+    """
+    raw = gates.data
+    hs = hidden_size
+    i = _stable_sigmoid(raw[:, 0 * hs:1 * hs])
+    f = _stable_sigmoid(raw[:, 1 * hs:2 * hs])
+    g = np.tanh(raw[:, 2 * hs:3 * hs])
+    o = _stable_sigmoid(raw[:, 3 * hs:4 * hs])
+    c_data = f * c_prev.data + i * g
+    tanh_c = np.tanh(c_data)
+
+    def backward_c(grad: np.ndarray):
+        d_gates = np.zeros_like(raw)
+        d_gates[:, 0 * hs:1 * hs] = grad * g * i * (1.0 - i)
+        d_gates[:, 1 * hs:2 * hs] = grad * c_prev.data * f * (1.0 - f)
+        d_gates[:, 2 * hs:3 * hs] = grad * i * (1.0 - g ** 2)
+        return (d_gates, grad * f if c_prev.requires_grad else None)
+
+    c_new = Tensor._make(c_data, (gates, c_prev), backward_c)
+
+    def backward_h(grad: np.ndarray):
+        d_gates = np.zeros_like(raw)
+        d_gates[:, 3 * hs:4 * hs] = grad * tanh_c * o * (1.0 - o)
+        return (d_gates, grad * o * (1.0 - tanh_c ** 2))
+
+    h_new = Tensor._make(o * tanh_c, (gates, c_new), backward_h)
+    return h_new, c_new
 
 
 class LSTMCell(Module):
@@ -42,15 +181,31 @@ class LSTMCell(Module):
                 ) -> Tuple[Tensor, Tensor]:
         """One step. ``state`` is ``(h, c)``; returns the new ``(h, c)``."""
         h_prev, c_prev = state
-        gates = x @ self.weight_x + h_prev @ self.weight_h + self.bias
-        hs = self.hidden_size
-        i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
-        f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
-        g_gate = gates[:, 2 * hs:3 * hs].tanh()
-        o_gate = gates[:, 3 * hs:4 * hs].sigmoid()
-        c_new = f_gate * c_prev + i_gate * g_gate
-        h_new = o_gate * c_new.tanh()
-        return h_new, c_new
+        gates = lstm_gates(x, self.weight_x, h_prev, self.weight_h, self.bias)
+        return lstm_step(gates, c_prev, self.hidden_size)
+
+    def step_projected(self, x_proj: Tensor, state: Tuple[Tensor, Tensor]
+                       ) -> Tuple[Tensor, Tensor]:
+        """One step from a precomputed input projection ``x @ W_x``."""
+        h_prev, c_prev = state
+        gates = lstm_gates(None, None, h_prev, self.weight_h, self.bias,
+                           x_proj=x_proj)
+        return lstm_step(gates, c_prev, self.hidden_size)
+
+    def project_steps(self, steps: List[Tensor]) -> List[Tensor]:
+        """Input projections ``x_t @ W_x`` for recurrence-independent steps.
+
+        Under fast-math the per-timestep inputs are stacked and projected
+        with a single ``(T*batch, in) @ (in, 4*hidden)`` matmul; in
+        parity mode each step is projected separately (bit-identical to
+        the unbatched recurrence).
+        """
+        if not fast_math() or len(steps) <= 1:
+            return [x @ self.weight_x for x in steps]
+        batch = steps[0].shape[0]
+        stacked = concat(steps, axis=0)
+        projected = stacked @ self.weight_x
+        return _split_rows(projected, len(steps), batch)
 
     def initial_state(self, batch: int,
                       rng: Optional[np.random.Generator] = None
@@ -71,6 +226,10 @@ class SequenceToOneLSTM(Module):
     This realizes the paper's LSTM-based discriminator (a "typical
     sequence-to-one LSTM" [53]): the caller appends a classification head
     on the returned hidden state.
+
+    The step inputs do not depend on the recurrence, so their gate
+    projections are computed up front via :meth:`LSTMCell.project_steps`
+    (batched into one matmul under fast-math).
     """
 
     def __init__(self, input_size: int, hidden_size: int,
@@ -83,6 +242,6 @@ class SequenceToOneLSTM(Module):
             raise ValueError("empty input sequence")
         batch = steps[0].shape[0]
         state = self.cell.initial_state(batch)
-        for step in steps:
-            state = self.cell(step, state)
+        for x_proj in self.cell.project_steps(steps):
+            state = self.cell.step_projected(x_proj, state)
         return state[0]

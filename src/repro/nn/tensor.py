@@ -8,22 +8,127 @@ tape in reverse topological order and accumulates gradients.
 
 Only the operations needed by the paper's models are implemented, but each
 is fully general with respect to broadcasting and shapes.
+
+Engine dtype
+------------
+The engine computes in a configurable default dtype:
+
+* ``float64`` (the default) — exact-parity mode.  Training trajectories
+  are bit-for-bit reproducible and match the reference implementation;
+  the test suite's tight tolerances assume it.
+* ``float32`` — training mode.  Halves memory traffic and roughly
+  doubles BLAS throughput; additionally enables *fast-math* rewrites
+  (e.g. batched LSTM input projections) that re-associate floating point
+  sums and therefore are not bit-identical to the float64 path.
+
+Switch with :func:`set_default_dtype` or scoped via :func:`default_dtype`::
+
+    from repro import nn
+    nn.set_default_dtype("float32")      # fast training mode
+    with nn.default_dtype("float64"):    # temporary parity scope
+        ...
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+import contextlib
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+#: Engine dtypes supported by :func:`set_default_dtype`.
+SUPPORTED_DTYPES = (np.float32, np.float64)
+
+#: Legacy alias for the parity-mode dtype (the historical engine dtype).
 DTYPE = np.float64
 
-ArrayLike = Union[np.ndarray, float, int, Sequence]
+_default_dtype = np.float64
+
+
+def set_default_dtype(dtype: Union[str, np.dtype, type]) -> None:
+    """Set the dtype new tensors are created with (``float32``/``float64``).
+
+    ``float64`` is the parity mode used by the test suite; ``float32`` is
+    the fast training mode and additionally unlocks fast-math rewrites
+    in the LSTM stacks (see module docstring).  Existing tensors,
+    parameters, and optimizer state keep their dtype — switch *before*
+    building models, not mid-training.
+    """
+    global _default_dtype
+    resolved = np.dtype(dtype).type
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported engine dtype {dtype!r}; expected one of "
+            f"{[np.dtype(d).name for d in SUPPORTED_DTYPES]}")
+    _default_dtype = resolved
+
+
+def get_default_dtype() -> type:
+    """The numpy scalar type new tensors are created with."""
+    return _default_dtype
+
+
+def fast_math() -> bool:
+    """True when fast-math (non-bit-exact) rewrites are allowed.
+
+    Tied to the engine dtype: float32 already trades exactness for
+    speed, so sum re-associations (batched projections, split matmuls)
+    are only taken there; float64 keeps the bit-exact op-by-op path.
+    """
+    return _default_dtype is np.float32
+
+
+@contextlib.contextmanager
+def default_dtype(dtype: Union[str, np.dtype, type]) -> Iterator[None]:
+    """Context manager scoping :func:`set_default_dtype`."""
+    previous = _default_dtype
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable tape recording inside the block.
+
+    Forward values are identical; ops simply skip wiring backward
+    closures, so tensors built inside come out detached.  Used for the
+    generator forward feeding the discriminator step (immediately
+    detached anyway) and for sampling.
+    """
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
-    arr = np.asarray(value, dtype=DTYPE)
-    return arr
+    return np.asarray(value, dtype=_default_dtype)
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic with a single ``exp`` evaluation.
+
+    Bit-identical to the textbook two-branch form
+    ``where(x >= 0, 1/(1+exp(-clip(x))), exp(clip(x))/(1+exp(clip(x))))``
+    because both branches reduce to the same ``e = exp(-min(|x|, 500))``.
+    """
+    e = np.exp(-np.minimum(np.abs(x), 500.0))
+    return np.where(x >= 0, 1.0, e) / (1.0 + e)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -45,13 +150,32 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_basic_index(index) -> bool:
+    """True when ``index`` performs numpy *basic* (or boolean) indexing.
+
+    Basic and boolean indices select each source element at most once,
+    so the backward scatter can be a plain assignment into zeros instead
+    of the much slower ``np.add.at`` (which must handle repeated fancy
+    indices).
+    """
+    if isinstance(index, tuple):
+        return all(_is_basic_index(part) for part in index)
+    if index is None or index is Ellipsis:
+        return True
+    if isinstance(index, (int, np.integer, slice)):
+        return True
+    if isinstance(index, np.ndarray) and index.dtype == np.bool_:
+        return True
+    return False
+
+
 class Tensor:
     """A numpy array with an autograd tape.
 
     Parameters
     ----------
     data:
-        Array data (converted to ``float64``).
+        Array data (converted to the engine's default dtype).
     requires_grad:
         If True, gradients are accumulated into :attr:`grad` on backward.
     """
@@ -71,11 +195,19 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        out = Tensor(data)
-        if any(p.requires_grad for p in parents):
-            out.requires_grad = True
-            out._parents = parents
-            out._backward = backward
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        if _grad_enabled:
+            for p in parents:
+                if p.requires_grad:
+                    out.requires_grad = True
+                    out._parents = parents
+                    out._backward = backward
+                    break
         return out
 
     @property
@@ -89,6 +221,10 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     def __len__(self) -> int:
         return len(self.data)
@@ -126,26 +262,27 @@ class Tensor:
                     f"grad shape {grad.shape} != tensor shape {self.data.shape}")
 
         # Topological order via iterative DFS (avoids recursion limits for
-        # long LSTM tapes).
-        order: list[Tensor] = []
+        # long LSTM tapes).  Node ids are computed once and carried along.
+        order: list[tuple[Tensor, int]] = []
         visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        stack: list[tuple[int, Tensor, bool]] = [(id(self), self, False)]
         while stack:
-            node, processed = stack.pop()
+            nid, node, processed = stack.pop()
             if processed:
-                order.append(node)
+                order.append((node, nid))
                 continue
-            if id(node) in visited:
+            if nid in visited:
                 continue
-            visited.add(id(node))
-            stack.append((node, True))
+            visited.add(nid)
+            stack.append((nid, node, True))
             for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
+                pid = id(parent)
+                if pid not in visited:
+                    stack.append((pid, parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
+        for node, nid in reversed(order):
+            node_grad = grads.pop(nid, None)
             if node_grad is None:
                 continue
             if node.requires_grad and node._backward is None:
@@ -244,8 +381,23 @@ class Tensor:
         data = self.data @ other.data
 
         def backward(grad: np.ndarray):
-            ga = grad @ other.data.T if other.data.ndim == 2 else np.outer(grad, other.data)
-            gb = self.data.T @ grad
+            a, b = self.data, other.data
+            need_a, need_b = self.requires_grad, other.requires_grad
+            if a.ndim == 1 and b.ndim == 1:
+                # inner product: scalar grad
+                ga = grad * b if need_a else None
+                gb = grad * a if need_b else None
+            elif a.ndim == 1:
+                # (k,) @ (k, n) -> (n,)
+                ga = grad @ b.T if need_a else None
+                gb = np.outer(a, grad) if need_b else None
+            elif b.ndim == 1:
+                # (m, k) @ (k,) -> (m,)
+                ga = np.outer(grad, b) if need_a else None
+                gb = a.T @ grad if need_b else None
+            else:
+                ga = grad @ b.T if need_a else None
+                gb = a.T @ grad if need_b else None
             return (ga, gb)
 
         return Tensor._make(data, (self, other), backward)
@@ -276,10 +428,20 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
 
-        def backward(grad: np.ndarray):
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            return (full,)
+        if _is_basic_index(index):
+            # Basic/boolean indexing never selects an element twice, so
+            # the scatter is a plain assignment — ``np.add.at`` (which
+            # tolerates repeated fancy indices) is ~10x slower and used
+            # to dominate LSTM and kl_term profiles.
+            def backward(grad: np.ndarray):
+                full = np.zeros_like(self.data)
+                full[index] = grad
+                return (full,)
+        else:
+            def backward(grad: np.ndarray):
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                return (full,)
 
         return Tensor._make(data, (self,), backward)
 
@@ -346,11 +508,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        data = np.where(self.data >= 0,
-                        1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
-                        np.exp(np.clip(self.data, -500, 500))
-                        / (1.0 + np.exp(np.clip(self.data, -500, 500))))
+        data = _stable_sigmoid(self.data)
 
         def backward(grad: np.ndarray):
             return (grad * data * (1.0 - data),)

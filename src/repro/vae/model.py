@@ -39,13 +39,13 @@ class VAEModel(Module):
         self.heads = MultiHead(hidden_dim, blocks, rng=rng)
 
     def encode(self, x: Tensor):
-        h = self.enc1(x).relu()
-        h = self.enc2(h).relu()
+        h = self.enc1(x, activation="relu")
+        h = self.enc2(h, activation="relu")
         return self.mu_fc(h), self.logvar_fc(h)
 
     def decode(self, z: Tensor) -> Tensor:
-        h = self.dec1(z).relu()
-        h = self.dec2(h).relu()
+        h = self.dec1(z, activation="relu")
+        h = self.dec2(h, activation="relu")
         return self.heads(h)
 
     def reparameterize(self, mu: Tensor, logvar: Tensor,
@@ -62,7 +62,7 @@ class VAEModel(Module):
 def reconstruction_loss(pred: Tensor, target: np.ndarray,
                         blocks: List[BlockSpec], eps: float = 1e-7) -> Tensor:
     """Per-block reconstruction loss (BCE for categorical, MSE numeric)."""
-    target = np.asarray(target, dtype=np.float64)
+    target = np.asarray(target, dtype=pred.data.dtype)
     n = target.shape[0]
     total = None
 

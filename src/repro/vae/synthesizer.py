@@ -9,7 +9,7 @@ import numpy as np
 from ..api.base import Synthesizer, prefixed, unprefixed
 from ..api.registry import register
 from ..datasets.schema import Table
-from ..nn import Adam, Tensor
+from ..nn import Adam, Tensor, no_grad
 from ..transform import RecordTransformer
 from .model import VAEModel, elbo_loss
 
@@ -79,7 +79,8 @@ class VAESynthesizer(Synthesizer):
         z = Tensor(rng.standard_normal((m, self.latent_dim)))
         self.model.eval()
         try:
-            decoded = self.model.decode(z).data
+            with no_grad():
+                decoded = self.model.decode(z).data
         finally:
             self.model.train()
         return self.transformer.inverse(decoded)

@@ -203,3 +203,20 @@ class TestSnapshotCaching:
         assert len(scores.tables) == 2
         assert all(len(t) == 120 for t in scores.tables)
         assert scores.best_index == int(np.argmax(scores.scores))
+
+
+def test_no_valid_table_skips_per_epoch_snapshots(mixed_table):
+    """Without a validation table the facade trains with lazy snapshots,
+    keeping only the final generator state in memory."""
+    result = repro.synthesize(mixed_table, method="gan",
+                              epochs=3, iterations_per_epoch=2)
+    snaps = result.synthesizer.snapshots
+    assert [s is not None for s in snaps] == [False, False, True]
+
+
+def test_valid_table_keeps_all_snapshots(mixed_table):
+    valid = make_mixed_table(n=80, seed=9)
+    result = repro.synthesize(mixed_table, method="gan", valid=valid,
+                              epochs=2, iterations_per_epoch=2)
+    assert all(s is not None for s in result.synthesizer.snapshots)
+    assert result.best_epoch is not None

@@ -1,0 +1,112 @@
+"""Fast-math (float32) model paths must agree with the parity graph.
+
+The float32 engine mode rewrites hot paths (batched LSTM projections,
+fused batch norm, joint head matmul).  These tests run the same weights
+through both graphs and require close agreement — the rewrites may only
+re-associate floating point sums, never change the math.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import BatchNorm1d, Tensor
+from repro.gan.heads import MultiHead
+from repro.gan.lstm import LSTMDiscriminator, LSTMGenerator
+from repro.transform import RecordTransformer
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture
+def blocks():
+    table = make_mixed_table(n=120, seed=2)
+    rt = RecordTransformer("onehot", "gmm", gmm_components=3,
+                           rng=np.random.default_rng(0)).fit(table)
+    return rt.blocks
+
+
+def _both_modes(build_and_run):
+    out64 = build_and_run()
+    with nn.default_dtype("float32"):
+        out32 = build_and_run()
+    return out64, out32
+
+
+def test_multihead_fast_path_matches(blocks, rng):
+    h = rng.normal(size=(16, 32))
+
+    def run():
+        heads = MultiHead(32, blocks, rng=np.random.default_rng(5))
+        x = Tensor(h, requires_grad=True)
+        out = heads(x)
+        (out * out).sum().backward()
+        return out.data, x.grad
+
+    (out64, grad64), (out32, grad32) = _both_modes(run)
+    np.testing.assert_allclose(out32, out64, atol=1e-4, rtol=1e-3)
+    np.testing.assert_allclose(grad32, grad64, atol=1e-3, rtol=1e-2)
+
+
+def test_batchnorm_fused_matches(rng):
+    x = rng.normal(size=(32, 8))
+
+    def run():
+        bn = BatchNorm1d(8)
+        t = Tensor(x, requires_grad=True)
+        out = bn(t, activation="relu")
+        (out * out).sum().backward()
+        return (out.data, t.grad, bn.gamma.grad, bn.beta.grad,
+                bn.running_mean.copy(), bn.running_var.copy())
+
+    r64, r32 = _both_modes(run)
+    for a64, a32 in zip(r64, r32):
+        np.testing.assert_allclose(a32, a64, atol=1e-3, rtol=1e-2)
+
+
+def test_lstm_generator_fast_path_matches(blocks, rng):
+    z = rng.normal(size=(12, 16))
+
+    def run():
+        gen = LSTMGenerator(16, blocks, hidden_dim=24, lstm_output_dim=12,
+                            rng=np.random.default_rng(9))
+        out = gen(Tensor(z))
+        (out * out).sum().backward()
+        grads = np.concatenate([p.grad.ravel() for p in gen.parameters()
+                                if p.grad is not None])
+        return out.data, grads
+
+    (out64, g64), (out32, g32) = _both_modes(run)
+    np.testing.assert_allclose(out32, out64, atol=1e-4, rtol=1e-3)
+    np.testing.assert_allclose(g32, g64, atol=1e-2, rtol=5e-2)
+
+
+def test_lstm_discriminator_fast_path_matches(blocks, rng):
+    t = rng.normal(size=(12, sum(b.width for b in blocks)))
+
+    def run():
+        disc = LSTMDiscriminator(blocks, hidden_dim=24,
+                                 rng=np.random.default_rng(4))
+        x = Tensor(t, requires_grad=True)
+        out = disc(x)
+        out.sum().backward()
+        return out.data, x.grad
+
+    (out64, g64), (out32, g32) = _both_modes(run)
+    np.testing.assert_allclose(out32, out64, atol=1e-4, rtol=1e-3)
+    np.testing.assert_allclose(g32, g64, atol=1e-3, rtol=1e-2)
+
+
+def test_gan_synthesizer_end_to_end_float32(rng):
+    """Full fit/select/sample cycle in fast-math mode stays healthy."""
+    from repro.core.design_space import DesignConfig
+    from repro.gan.synthesizer import GANSynthesizer
+
+    table = make_mixed_table(n=150, seed=4)
+    with nn.default_dtype("float32"):
+        synth = GANSynthesizer(config=DesignConfig(batch_size=32),
+                               epochs=2, iterations_per_epoch=4, seed=0)
+        synth.fit(table)
+        out = synth.sample(60)
+    assert len(out) == 60
+    assert set(out.schema.names) == set(table.schema.names)

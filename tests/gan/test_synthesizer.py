@@ -131,3 +131,26 @@ class TestModeCollapseMetrics:
         healthy = rng.normal(size=(200, 4))
         assert is_collapsed(collapsed)
         assert not is_collapsed(healthy)
+
+
+class TestKeepSnapshots:
+    def test_keep_snapshots_false_stores_only_final(self, table):
+        synth = GANSynthesizer(config=DesignConfig(batch_size=32), epochs=3,
+                               iterations_per_epoch=2, keep_snapshots=False,
+                               seed=0)
+        synth.fit(table)
+        snaps = synth.snapshots
+        assert [s is not None for s in snaps] == [False, False, True]
+        synth.use_snapshot(2)  # final snapshot always available
+        with pytest.raises(TrainingError):
+            synth.use_snapshot(0)
+
+    def test_keep_snapshots_round_trips_through_save(self, table, tmp_path):
+        synth = GANSynthesizer(config=DesignConfig(batch_size=32), epochs=2,
+                               iterations_per_epoch=2, keep_snapshots=False,
+                               seed=0)
+        synth.fit(table)
+        synth.save(tmp_path / "model")
+        loaded = GANSynthesizer.load(tmp_path / "model")
+        assert loaded.keep_snapshots is False
+        assert len(loaded.sample(20)) == 20

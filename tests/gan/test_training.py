@@ -194,3 +194,75 @@ class TestMakeTrainer:
         gen, disc = build(rt, config, rng, cond_dim=2)
         trainer = make_trainer(config, gen, disc, rng)
         assert type(trainer) is ConditionalVanillaTrainer
+
+
+class TestLazySnapshots:
+    def test_default_snapshots_every_epoch(self, setup):
+        table, rt, data, labels = setup
+        config = DesignConfig(batch_size=32)
+        rng = np.random.default_rng(0)
+        trainer = VanillaTrainer(*build(rt, config, rng), config, rng)
+        result = trainer.train(data, labels, 2, epochs=3,
+                               iterations_per_epoch=2)
+        assert all(e.snapshot is not None for e in result.epochs)
+
+    def test_empty_snapshot_epochs_keeps_only_final(self, setup):
+        table, rt, data, labels = setup
+        config = DesignConfig(batch_size=32)
+        rng = np.random.default_rng(0)
+        trainer = VanillaTrainer(*build(rt, config, rng), config, rng)
+        result = trainer.train(data, labels, 2, epochs=4,
+                               iterations_per_epoch=2, snapshot_epochs=())
+        assert [e.snapshot is not None for e in result.epochs] == [
+            False, False, False, True]
+
+    def test_explicit_snapshot_epochs(self, setup):
+        table, rt, data, labels = setup
+        config = DesignConfig(batch_size=32)
+        rng = np.random.default_rng(0)
+        trainer = VanillaTrainer(*build(rt, config, rng), config, rng)
+        result = trainer.train(data, labels, 2, epochs=4,
+                               iterations_per_epoch=2, snapshot_epochs=(1,))
+        assert [e.snapshot is not None for e in result.epochs] == [
+            False, True, False, True]
+
+
+class TestEngineDtypeTraining:
+    def test_float32_mode_trains_all_algorithms(self, setup):
+        from repro import nn
+        table, rt, data, labels = setup
+        with nn.default_dtype("float32"):
+            for training in ("vtrain", "wtrain", "dptrain"):
+                config = DesignConfig(batch_size=32, training=training)
+                rng = np.random.default_rng(0)
+                trainer = make_trainer(config, *build(rt, config, rng), rng)
+                result = trainer.train(data, labels, 2, epochs=1,
+                                       iterations_per_epoch=3)
+                assert np.isfinite(result.g_losses).all()
+                assert np.isfinite(result.d_losses).all()
+                # Parameters train in the engine dtype (running-stat
+                # buffers keep float64 on purpose).
+                for param in trainer.generator.parameters():
+                    assert param.data.dtype == np.float32
+                    assert param.grad is None or param.grad.dtype == np.float32
+
+    def test_float64_training_is_deterministic(self, setup):
+        """Fixed seeds must reproduce the trajectory bit for bit."""
+        table, rt, data, labels = setup
+
+        def run():
+            config = DesignConfig(batch_size=32)
+            rng = np.random.default_rng(7)
+            gen, disc = build(rt, config, np.random.default_rng(3))
+            trainer = VanillaTrainer(gen, disc, config, rng)
+            result = trainer.train(data, labels, 2, epochs=2,
+                                   iterations_per_epoch=3)
+            return result, gen
+
+        result_a, gen_a = run()
+        result_b, gen_b = run()
+        assert result_a.g_losses == result_b.g_losses
+        assert result_a.d_losses == result_b.d_losses
+        state_a, state_b = gen_a.state_dict(), gen_b.state_dict()
+        for key in state_a:
+            assert np.array_equal(state_a[key], state_b[key]), key

@@ -78,3 +78,69 @@ def test_load_state_dict_shape_mismatch(rng):
 def test_num_parameters(rng):
     model = Linear(3, 4, rng=rng)
     assert model.num_parameters() == 3 * 4 + 4
+
+
+class TestStaleRegistration:
+    """Reassigning a Parameter/Module attribute must drop the old entry.
+
+    Regression: the orphan used to linger in ``_params``/``_modules``,
+    so ``parameters()`` kept optimizing it and ``state_dict()``
+    persisted dead weights.
+    """
+
+    def test_parameter_replaced_by_none_is_dropped(self, rng):
+        model = Linear(2, 3, rng=rng)
+        assert len(model.parameters()) == 2
+        model.bias = None
+        assert len(model.parameters()) == 1
+        assert "bias" not in dict(model.named_parameters())
+        assert "bias" not in model.state_dict()
+
+    def test_parameter_replaced_by_array_is_dropped(self, rng):
+        model = Linear(2, 3, rng=rng)
+        model.weight = np.zeros((2, 3))
+        assert [name for name, _ in model.named_parameters()] == ["bias"]
+
+    def test_module_replaced_by_plain_value_is_dropped(self, rng):
+        model = TinyModel(rng)
+        model.fc2 = None
+        names = [name for name, _ in model.named_parameters()]
+        assert all(not name.startswith("fc2.") for name in names)
+        assert all(not key.startswith("fc2.") for key in model.state_dict())
+
+    def test_parameter_reassignment_keeps_single_entry(self, rng):
+        model = Linear(2, 3, rng=rng)
+        new_weight = Parameter(np.ones((2, 3)))
+        model.weight = new_weight
+        params = model.parameters()
+        assert len(params) == 2
+        assert any(p is new_weight for p in params)
+
+    def test_module_replaced_by_parameter_and_back(self, rng):
+        model = TinyModel(rng)
+        model.fc1 = Parameter(np.ones(3))
+        assert "fc1" in dict(model.named_parameters())
+        assert all(not name.startswith("fc1.")
+                   for name, _ in model.named_parameters())
+        model.fc1 = Linear(2, 2, rng=rng)
+        assert "fc1" not in dict(model.named_parameters())
+        assert "fc1.weight" in dict(model.named_parameters())
+
+    def test_optimizer_no_longer_sees_dead_weights(self, rng):
+        model = TinyModel(rng)
+        dead = model.fc1
+        model.fc1 = Linear(2, 2, rng=rng)
+        live_ids = {id(p) for p in model.parameters()}
+        assert id(dead.weight) not in live_ids
+
+    def test_buffer_replaced_by_parameter_drops_buffer_entry(self, rng):
+        class WithBuffer(Module):
+            def __init__(self):
+                super().__init__()
+                self.register_buffer("rm", np.zeros(3))
+
+        model = WithBuffer()
+        model.rm = Parameter(np.ones(3))
+        assert "rm" not in dict(model.named_buffers())
+        np.testing.assert_allclose(model.state_dict()["rm"], 1.0)
+        assert any(p is model.rm for p in model.parameters())

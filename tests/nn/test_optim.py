@@ -91,3 +91,65 @@ def test_adam_bias_correction_first_step():
     p.grad = np.array([1e-4])
     opt.step()
     assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-2)
+
+
+class TestFlatStateOptimizers:
+    """The flat-buffer fast path must match the per-parameter update."""
+
+    def _reference_adam(self, params, grads_seq, lr=0.05,
+                        betas=(0.9, 0.999), eps=1e-8):
+        m = [np.zeros_like(p) for p in params]
+        v = [np.zeros_like(p) for p in params]
+        out = [p.copy() for p in params]
+        t = 0
+        for grads in grads_seq:
+            t += 1
+            bias1 = 1.0 - betas[0] ** t
+            bias2 = 1.0 - betas[1] ** t
+            for i, g in enumerate(grads):
+                if g is None:
+                    continue
+                m[i] = betas[0] * m[i] + (1 - betas[0]) * g
+                v[i] = betas[1] * v[i] + (1 - betas[1]) * g * g
+                out[i] -= 0.05 * (m[i] / bias1) / (np.sqrt(v[i] / bias2) + eps)
+        return out
+
+    def test_adam_matches_reference_with_missing_grads(self, rng):
+        shapes = [(3, 2), (4,), (2, 2)]
+        initial = [rng.normal(size=s) for s in shapes]
+        params = [Parameter(p.copy()) for p in initial]
+        opt = Adam(params, lr=0.05)
+        grads_seq = []
+        for step in range(5):
+            grads = [rng.normal(size=s) for s in shapes]
+            if step == 2:
+                grads[1] = None  # exercises the per-segment fallback
+            grads_seq.append(grads)
+        for grads in grads_seq:
+            for param, grad in zip(params, grads):
+                param.grad = grad
+            opt.step()
+            opt.zero_grad()
+        expected = self._reference_adam(initial, grads_seq)
+        for param, exp in zip(params, expected):
+            np.testing.assert_allclose(param.data, exp, rtol=1e-10)
+
+    def test_rmsprop_step_allocates_into_views(self, rng):
+        params = [Parameter(rng.normal(size=(3, 3))),
+                  Parameter(rng.normal(size=(5,)))]
+        opt = RMSProp(params, lr=0.01)
+        for param in params:
+            param.grad = np.ones_like(param.data)
+        before = [p.data.copy() for p in params]
+        opt.step()
+        for param, prev in zip(params, before):
+            assert not np.allclose(param.data, prev)
+
+    def test_float32_params_keep_dtype_through_step(self):
+        from repro import nn
+        with nn.default_dtype("float32"):
+            param = Parameter(np.ones(4))
+            opt = Adam([param], lr=0.1)
+            param.grad = np.ones(4, dtype=np.float32)
+            opt.step()
+        assert param.data.dtype == np.float32
