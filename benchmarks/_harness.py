@@ -15,21 +15,33 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_RECORDS``  records per dataset (default 1200)
 * ``REPRO_BENCH_EPOCHS``   GAN epochs (default 5)
 * ``REPRO_BENCH_ITERS``    iterations per epoch (default 25)
-* ``REPRO_BENCH_DTYPE``    engine dtype for the run ("float64" default;
-  "float32" selects the fast training mode — see
-  :func:`repro.nn.set_default_dtype`)
+* ``REPRO_BENCH_DTYPE``    engine dtype for the run.  **float32 (the
+  fast-math training mode) is the default for the sweep benchmarks** —
+  paper-shape conclusions were re-validated under it (see ROADMAP) and
+  it roughly halves sweep wall-clock.  Pass ``--parity`` to pytest (or
+  set ``REPRO_BENCH_DTYPE=float64``) to run the bit-exact float64
+  parity mode instead, e.g. when validating a trajectory against the
+  historical engine.
 
 Every ``BENCH_<name>.json`` sidecar records the engine dtype active when
 it was written, so perf trajectories across PRs can distinguish parity
 runs from fast-math runs.  The engine microbenchmark
 (``bench_engine_microbench.py``) times forward/backward/optimizer-step
-per architecture in *both* dtypes and is the regression gate for engine
-changes:
+per architecture in *both* dtypes regardless of the ambient default and
+is the regression gate for engine changes:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine_microbench.py
+    python benchmarks/check_bench_regression.py \
+        <committed BENCH_engine_microbench.json> \
+        benchmarks/results/BENCH_engine_microbench.json
 
 The resulting ``BENCH_engine_microbench.json`` rows carry per-arch,
-per-dtype wall-clock in milliseconds.
+per-dtype wall-clock in milliseconds; ``check_bench_regression.py``
+fails (exit 1) when the CNN train step regresses beyond the allowed
+margin, which CI runs on every push.  Sampling throughput has its own
+harness (``bench_sampling_throughput.py`` ->
+``BENCH_sampling_throughput.json``) comparing the streaming generation
+path against the pre-PR float64 loop.
 """
 
 from __future__ import annotations
@@ -57,10 +69,11 @@ JSON_ENABLED = os.environ.get("REPRO_BENCH_JSON", "1") not in ("0", "false")
 #: The paper's evaluator classifiers (table columns).
 CLASSIFIER_COLUMNS = ("DT10", "DT30", "RF10", "RF20", "AB", "LR")
 
-#: ``REPRO_BENCH_DTYPE`` switches the engine dtype for the whole run.
-_BENCH_DTYPE = os.environ.get("REPRO_BENCH_DTYPE")
-if _BENCH_DTYPE:
-    set_default_dtype(_BENCH_DTYPE)
+#: ``REPRO_BENCH_DTYPE`` switches the engine dtype for the whole run;
+#: the sweep default is the float32 fast-math mode (float64 = the
+#: ``--parity`` escape hatch, see module docstring).
+_BENCH_DTYPE = os.environ.get("REPRO_BENCH_DTYPE", "float32")
+set_default_dtype(_BENCH_DTYPE)
 
 _CONTEXTS: Dict[tuple, ExperimentContext] = {}
 _GAN_RUNS: Dict[tuple, SynthesisRun] = {}

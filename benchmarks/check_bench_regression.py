@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""CI gate: fail when the CNN train step regresses vs a committed baseline.
+
+Compares two ``BENCH_engine_microbench.json`` files (the committed
+baseline and a freshly measured one) on the CNN float32 train-step
+time.  Because CI hardware differs from the machine that produced the
+committed baseline, the default comparison is **relative**: the CNN
+step is normalized by the same run's MLP step, so a uniform machine
+slowdown cancels out while a conv-path regression (the thing this PR's
+fast path fixed) still trips the gate.  ``--absolute`` compares raw
+milliseconds instead, for same-machine trajectories.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE.json CURRENT.json \
+        [--arch cnn] [--dtype float32] [--relative-to mlp] \
+        [--max-regression 0.20] [--absolute]
+
+Exit status 0 when within bounds, 1 on regression (or missing rows).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load_rows(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {(row["arch"], row["dtype"]): row for row in payload["rows"]}
+
+
+def _metric(rows: dict, arch: str, dtype: str, relative_to: str | None
+            ) -> float:
+    key = (arch, dtype)
+    if key not in rows:
+        raise KeyError(f"no ({arch}, {dtype}) row in benchmark json")
+    value = float(rows[key]["train_step_ms"])
+    if relative_to:
+        ref_key = (relative_to, dtype)
+        if ref_key not in rows:
+            raise KeyError(f"no ({relative_to}, {dtype}) row for "
+                           "normalization")
+        value /= float(rows[ref_key]["train_step_ms"])
+    return value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly measured BENCH_*.json")
+    parser.add_argument("--arch", default="cnn")
+    parser.add_argument("--dtype", default="float32")
+    parser.add_argument("--relative-to", default="mlp",
+                        help="normalize by this arch's train step "
+                             "(machine-speed cancellation)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw milliseconds (same-machine runs)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    args = parser.parse_args(argv)
+
+    relative_to = None if args.absolute else args.relative_to
+    try:
+        base = _metric(_load_rows(args.baseline), args.arch, args.dtype,
+                       relative_to)
+        curr = _metric(_load_rows(args.current), args.arch, args.dtype,
+                       relative_to)
+    except (KeyError, FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"check_bench_regression: cannot compare: {exc}",
+              file=sys.stderr)
+        return 1
+
+    unit = "ms" if args.absolute else f"x {args.relative_to}"
+    change = curr / base - 1.0
+    print(f"{args.arch}/{args.dtype} train step: baseline {base:.4g} {unit}"
+          f" -> current {curr:.4g} {unit} ({change:+.1%})")
+    if curr > base * (1.0 + args.max_regression):
+        print(f"FAIL: regression exceeds {args.max_regression:.0%} budget",
+              file=sys.stderr)
+        return 1
+    print(f"OK: within the {args.max_regression:.0%} regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

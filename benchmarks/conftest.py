@@ -1,0 +1,22 @@
+"""Benchmark-suite pytest options.
+
+``--parity`` switches the whole benchmark run into the float64
+bit-exact parity engine mode (the pre-fast-math default), overriding
+the float32 sweep default.  It works by exporting
+``REPRO_BENCH_DTYPE`` before ``_harness`` is imported, so every bench
+module sees the requested dtype.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--parity", action="store_true", default=False,
+        help="run benchmarks in the float64 bit-exact parity engine mode "
+             "(default: float32 fast-math)")
+
+
+def pytest_configure(config):
+    if config.getoption("--parity"):
+        os.environ["REPRO_BENCH_DTYPE"] = "float64"

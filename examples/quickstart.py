@@ -15,15 +15,41 @@ Every method family works behind the same entry points — swap
 
 Engine dtype: training runs on the library's own numpy autograd engine,
 which defaults to ``float64`` (bit-for-bit reproducible trajectories).
-For roughly 2x faster sweeps switch to the float32 training mode before
-building any model::
+For roughly 2x faster MLP/LSTM sweeps — and >10x on the CNN design
+point — switch to the float32 training mode before building any model::
 
     from repro import nn
     nn.set_default_dtype("float32")   # or: with nn.default_dtype(...)
 
+CNN fast path & sampling throughput
+-----------------------------------
+The convolution engine (``repro.nn.conv``) unfolds receptive fields
+with a strided view and runs each layer as one GEMM; in float32
+fast-math mode the whole conv + BatchNorm2d + activation chain executes
+as a single fused tape node (``conv2d_bn_act`` /
+``conv_transpose2d_bn_act``, wired through
+``Conv2d.forward(activation=..., bn=...)``), with unfold/grad scratch
+buffers recycled across train steps via ``repro.nn.ArrayPool``.  In
+float64 parity mode conv outputs stay bit-identical to the historical
+im2col engine.
+
+Generation is streaming end to end: ``sample``/``sample_iter`` run the
+whole stream inside one sampling session (models flip to eval once, not
+per chunk), draw noise in the engine dtype, decode chunks through the
+transformers' precomputed vectorized inverse (``CompiledInverse`` —
+whole-matrix ops instead of per-attribute calls, bit-identical
+results), and in fast-math mode fold eval-mode batch norm into the
+generator's affine layers.  ``repro.synthesize(..., sample_batch=...)``
+exposes the chunk size.
+
 ``benchmarks/bench_engine_microbench.py`` times the engine's hot phases
-in both dtypes and records them in ``BENCH_engine_microbench.json`` —
-run it after touching ``repro.nn`` to catch perf regressions.
+in both dtypes and records them in ``BENCH_engine_microbench.json``
+(CI fails if the CNN step regresses >20% vs the committed baseline);
+``benchmarks/bench_sampling_throughput.py`` tracks generation rows/sec
+against the pre-fast-path loop in ``BENCH_sampling_throughput.json``.
+Run both after touching ``repro.nn`` or the transform layer.  The sweep
+benchmarks default to float32 fast-math; pass ``--parity`` (or set
+``REPRO_BENCH_DTYPE=float64``) for the bit-exact mode.
 
 Usage::
 

@@ -20,6 +20,7 @@ families interchangeably.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
 from typing import (
@@ -68,6 +69,9 @@ class Synthesizer:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self._fitted = False
+        self._active_snapshot: Optional[int] = None
+        self._sampling_depth = 0
+        self._sampling_generation = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -87,6 +91,11 @@ class Synthesizer:
         per-epoch progress records (family-specific payloads; GAN passes
         :class:`~repro.gan.training.EpochRecord`).
         """
+        # Refitting rebuilds models, so any sampling session opened
+        # before the refit is void: reset the depth counter and bump the
+        # generation token so stale streams can no longer unwind it.
+        self._sampling_depth = 0
+        self._sampling_generation += 1
         self._fit(table, _as_callback_list(callbacks))
         self._fitted = True
         return self
@@ -97,7 +106,10 @@ class Synthesizer:
 
         With ``seed`` given the stream is reproducible and independent of
         the synthesizer's internal generator state; with ``seed=None``
-        the shared training RNG is consumed (legacy behaviour).
+        the shared training RNG is consumed (legacy behaviour).  The
+        whole stream runs inside one :meth:`_sampling_session`, so
+        per-stream setup (e.g. switching models to eval mode) happens
+        once rather than per chunk.
         """
         self._require_fitted()
         if n < 0:
@@ -107,10 +119,11 @@ class Synthesizer:
             raise ValueError("batch must be positive")
         rng = self._sampling_rng(seed)
         remaining = n
-        while remaining > 0:
-            m = min(batch, remaining)
-            yield self._sample_chunk(m, rng)
-            remaining -= m
+        with self._sampling_session():
+            while remaining > 0:
+                m = min(batch, remaining)
+                yield self._sample_chunk(m, rng)
+                remaining -= m
 
     def sample(self, n: int, batch: Optional[int] = None,
                seed: Optional[int] = None) -> Table:
@@ -148,6 +161,34 @@ class Synthesizer:
     def supports_snapshots(self) -> bool:
         """True when per-epoch snapshots are available for selection."""
         return False
+
+    @property
+    def snapshots(self) -> List[Optional[Dict[str, np.ndarray]]]:
+        """Per-epoch model state dicts (``None`` for unsnapshotted
+        epochs); families that support snapshots override this."""
+        raise TrainingError(
+            f"{type(self).__name__} does not expose snapshots")
+
+    def _snapshot_module(self):
+        """The module :meth:`use_snapshot` restores state into."""
+        raise NotImplementedError
+
+    def use_snapshot(self, index: int) -> None:
+        """Activate the model snapshot taken after epoch ``index``."""
+        snapshots = self.snapshots
+        if not -len(snapshots) <= index < len(snapshots):
+            raise IndexError(f"no snapshot {index}")
+        state = snapshots[index]
+        if state is None:
+            raise TrainingError(
+                f"epoch {index % len(snapshots)} was not snapshotted; "
+                "fit with keep_snapshots=True to enable selection")
+        self._snapshot_module().load_state_dict(state)
+        self._active_snapshot = index % len(snapshots)
+
+    @property
+    def active_snapshot(self) -> Optional[int]:
+        return self._active_snapshot
 
     def training_curves(self) -> Dict[str, List[float]]:
         """Named per-epoch diagnostic series collected during ``fit``."""
@@ -223,6 +264,40 @@ class Synthesizer:
     def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
         """Generate one chunk of ``m`` records using ``rng``."""
         raise NotImplementedError
+
+    def _sampling_session(self):
+        """Context manager held open across one ``sample_iter`` stream.
+
+        Subclasses hoist per-chunk bookkeeping here (eval/train mode
+        flips, buffer setup); the default is a no-op.  The context must
+        be re-entrant: nested streams may open sessions concurrently.
+        Families backed by an ``nn.Module`` typically return
+        ``self._eval_mode_session(self.<module>)``.
+        """
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def _eval_mode_session(self, module):
+        """Depth-counted eval/train session over ``module``.
+
+        The eval/train flips walk the module tree; doing them once per
+        stream instead of once per chunk matters for large streaming
+        runs.  Depth counting keeps nested streams (e.g. snapshot
+        scoring while another stream is open) in eval mode until the
+        outermost one closes; the generation token voids sessions that
+        were still open when a refit replaced the model.
+        """
+        token = self._sampling_generation
+        self._sampling_depth += 1
+        if self._sampling_depth == 1:
+            module.eval()
+        try:
+            yield
+        finally:
+            if token == self._sampling_generation:
+                self._sampling_depth -= 1
+                if self._sampling_depth == 0:
+                    module.train()
 
     def _state(self):
         """Return ``(meta, arrays)``: a JSON-serializable dict (must

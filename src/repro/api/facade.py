@@ -60,6 +60,7 @@ def synthesize(table: Table, method: str = "gan", *,
                selection_classifier: str = "DT10",
                selection_sample_size: Optional[int] = None,
                sample_seed: Optional[int] = None,
+               sample_batch: Optional[int] = None,
                callbacks=None,
                **kwargs) -> SynthesisResult:
     """Fit a synthesizer by name and emit a synthetic table.
@@ -91,6 +92,10 @@ def synthesize(table: Table, method: str = "gan", *,
         Seed for the final sampling pass (reproducible output); setting
         it bypasses the scoring-table cache so the whole output comes
         from one seeded pass.
+    sample_batch:
+        Streaming chunk size for the final sampling pass (defaults to
+        the family's ``default_sample_batch``); generation always runs
+        through the ``sample_iter`` streaming path.
     callbacks:
         Per-epoch progress callbacks forwarded to ``fit``.
     """
@@ -127,13 +132,15 @@ def synthesize(table: Table, method: str = "gan", *,
         curves["selection"] = selection.scores
         if sample_seed is None:
             synthetic = extend_to(selection.tables[best_epoch], n_out,
-                                  synthesizer)
+                                  synthesizer, batch=sample_batch)
         else:
             # A seeded output must be one reproducible sampling pass,
             # not a mix of cached (unseeded) rows and seeded top-up.
-            synthetic = synthesizer.sample(n_out, seed=sample_seed)
+            synthetic = synthesizer.sample(n_out, batch=sample_batch,
+                                           seed=sample_seed)
     else:
-        synthetic = synthesizer.sample(n_out, seed=sample_seed)
+        synthetic = synthesizer.sample(n_out, batch=sample_batch,
+                                       seed=sample_seed)
     elapsed = time.perf_counter() - start
 
     provenance = {

@@ -103,14 +103,16 @@ def select_snapshot(synthesizer: Synthesizer, valid: Table,
 
 
 def extend_to(table: Table, n: int, synthesizer: Synthesizer,
-              seed: Optional[int] = None) -> Table:
+              seed: Optional[int] = None,
+              batch: Optional[int] = None) -> Table:
     """Reuse a cached sample as the final output of ``n`` records.
 
     Takes a prefix when the cache is large enough; otherwise generates
     only the shortfall — the resampling the selection loop used to do
-    from scratch.
+    from scratch.  ``batch`` is the streaming chunk size of the top-up
+    pass.
     """
     if n <= len(table):
         return table.take(np.arange(n))
-    extra = synthesizer.sample(n - len(table), seed=seed)
+    extra = synthesizer.sample(n - len(table), batch=batch, seed=seed)
     return table.concat_rows(extra)

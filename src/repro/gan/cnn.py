@@ -48,10 +48,13 @@ class CNNGenerator(Module):
         if cond is not None:
             raise ConfigError("the CNN pipeline is unconditional")
         batch = z.shape[0]
-        h = self.project(z).relu()
+        h = self.project(z, activation="relu")
         h = h.reshape(batch, self.channels, self.start, self.start)
-        h = self.bn1(self.deconv1(h)).relu()
-        return self.deconv2(h).tanh()
+        # The activation/bn hooks fuse deconv + BN + nonlinearity into
+        # one tape node in fast-math mode; in float64 parity mode they
+        # compose the historical op chain bit-exactly.
+        h = self.deconv1(h, activation="relu", bn=self.bn1)
+        return self.deconv2(h, activation="tanh")
 
 
 class CNNDiscriminator(Module):
@@ -79,7 +82,7 @@ class CNNDiscriminator(Module):
         if cond is not None:
             raise ConfigError("the CNN pipeline is unconditional")
         batch = t.shape[0]
-        h = self.conv1(t).leaky_relu(0.2)
-        h = self.bn2(self.conv2(h)).leaky_relu(0.2)
+        h = self.conv1(t, activation="leaky_relu", slope=0.2)
+        h = self.conv2(h, activation="leaky_relu", slope=0.2, bn=self.bn2)
         h = h.reshape(batch, -1)
         return self.out(h)

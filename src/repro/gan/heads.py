@@ -19,7 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..nn import Linear, Module, Tensor, concat, fused_linear
-from ..nn.tensor import _stable_sigmoid, fast_math
+from ..nn.tensor import _stable_sigmoid, fast_math, is_grad_enabled
 from ..transform.base import (
     BlockSpec, HEAD_SIGMOID, HEAD_SOFTMAX, HEAD_TANH, HEAD_TANH_SOFTMAX,
 )
@@ -127,6 +127,21 @@ def _multi_activation(pre: Tensor, seg_info) -> Tensor:
     starts, widths, tanh_cols, sigmoid_cols = seg_info
     pd = pre.data
     mx = np.maximum.reduceat(pd, starts, axis=1)
+    if not is_grad_enabled():
+        # Sampling fast path: no backward reads ``pd``/``e``, so the
+        # exp/normalize passes can run in place (two fewer full-width
+        # temporaries per chunk).
+        tanh_in = pd[:, tanh_cols] if tanh_cols.any() else None
+        sigmoid_in = pd[:, sigmoid_cols] if sigmoid_cols.any() else None
+        e = np.subtract(pd, mx.repeat(widths, axis=1), out=pd)
+        np.exp(e, out=e)
+        s = np.add.reduceat(e, starts, axis=1)
+        out = np.divide(e, s.repeat(widths, axis=1), out=e)
+        if tanh_in is not None:
+            out[:, tanh_cols] = np.tanh(tanh_in)
+        if sigmoid_in is not None:
+            out[:, sigmoid_cols] = _stable_sigmoid(sigmoid_in)
+        return Tensor(out)
     e = np.exp(pd - mx.repeat(widths, axis=1))
     s = np.add.reduceat(e, starts, axis=1)
     out = e / s.repeat(widths, axis=1)

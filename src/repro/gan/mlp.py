@@ -13,10 +13,30 @@ from typing import List, Optional
 import numpy as np
 
 from ..nn import (
-    BatchNorm1d, Linear, Module, Tensor, concat,
+    BatchNorm1d, Linear, Module, Tensor, concat, fused_linear,
 )
+from ..nn.tensor import fast_math, is_grad_enabled
 from ..transform.base import BlockSpec
 from .heads import MultiHead
+
+
+def _fold_eval_bn(fc: Linear, bn: BatchNorm1d) -> tuple:
+    """Fold eval-mode batch norm into the preceding linear layer.
+
+    ``relu(BN_eval(x W + b))`` equals ``relu(x W' + b')`` with
+    ``W' = W * s`` and ``b' = (b - mean) * s + beta`` for the fixed
+    per-feature scale ``s = gamma / sqrt(running_var + eps)``.  The fold
+    costs two elementwise passes over the (small) weight matrix and
+    removes every full-batch BN temporary from the sampling hot loop.
+    Fast-math only (the re-associated affine is not bit-identical).
+    """
+    dtype = fc.weight.data.dtype
+    inv = np.asarray(1.0 / np.sqrt(bn.running_var + bn.eps), dtype=dtype)
+    mean = np.asarray(bn.running_mean, dtype=dtype)
+    scale = bn.gamma.data * inv
+    weight = Tensor(fc.weight.data * scale)
+    bias = Tensor((fc.bias.data - mean) * scale + bn.beta.data)
+    return weight, bias
 
 
 class MLPGenerator(Module):
@@ -40,6 +60,22 @@ class MLPGenerator(Module):
             self.hidden_layers.append((fc, bn))
             in_dim = hidden_dim
         self.heads = MultiHead(in_dim, blocks, rng=rng)
+        self._folded_cache = None
+
+    # The folded eval-BN weights are constant for a whole eval-mode
+    # sampling stream; any event that could change weights or mode
+    # invalidates the cache.
+    def train(self) -> "Module":
+        self._folded_cache = None
+        return super().train()
+
+    def eval(self) -> "Module":
+        self._folded_cache = None
+        return super().eval()
+
+    def load_state_dict(self, state) -> None:
+        self._folded_cache = None
+        super().load_state_dict(state)
 
     @property
     def output_dim(self) -> int:
@@ -47,8 +83,18 @@ class MLPGenerator(Module):
 
     def forward(self, z: Tensor, cond: Optional[Tensor] = None) -> Tensor:
         h = z if cond is None else concat([z, cond], axis=1)
-        for fc, bn in self.hidden_layers:
-            h = bn(fc(h), activation="relu")
+        if fast_math() and not self.training and not is_grad_enabled():
+            # Sampling fast path: eval-mode BN is a constant affine, so
+            # each hidden layer collapses to one fused GEMM (the fold is
+            # computed once per stream, not per chunk).
+            if self._folded_cache is None:
+                self._folded_cache = [_fold_eval_bn(fc, bn)
+                                      for fc, bn in self.hidden_layers]
+            for weight, bias in self._folded_cache:
+                h = fused_linear(h, weight, bias, activation="relu")
+        else:
+            for fc, bn in self.hidden_layers:
+                h = bn(fc(h), activation="relu")
         return self.heads(h)
 
 

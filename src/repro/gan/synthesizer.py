@@ -25,7 +25,7 @@ from ..api.registry import register
 from ..core.design_space import DesignConfig
 from ..datasets.schema import Table
 from ..errors import TrainingError
-from ..nn import Module, Tensor, no_grad
+from ..nn import Module, Tensor, get_default_dtype, no_grad
 from ..transform import MatrixTransformer, RecordTransformer
 from ..transform.record import transformer_from_state
 from .cnn import CNNDiscriminator, CNNGenerator, DEFAULT_SIDE
@@ -57,7 +57,15 @@ class GANSynthesizer(Synthesizer):
                  epochs: int = 10, iterations_per_epoch: int = 40,
                  keep_snapshots: bool = True, seed: int = 0):
         super().__init__(seed=seed)
-        self.config = config if config is not None else DesignConfig()
+        config = config if config is not None else DesignConfig()
+        # Streaming chunk size: large enough that per-chunk python
+        # dispatch amortizes against the generator GEMMs, small enough
+        # that intermediates stay cache-resident.  The CNN generator's
+        # fold buffers blow past L2 earlier than the vector-form models
+        # (measured: 2048 beats 4096 by ~1.6x on the DCGAN stack).
+        self.default_sample_batch = 2048 if config.generator == "cnn" \
+            else 4096
+        self.config = config
         self.epochs = epochs
         self.iterations_per_epoch = iterations_per_epoch
         self.keep_snapshots = bool(keep_snapshots)
@@ -67,7 +75,6 @@ class GANSynthesizer(Synthesizer):
         self.train_result: Optional[TrainResult] = None
         self._label_freq: Optional[np.ndarray] = None
         self._n_labels = 0
-        self._active_snapshot: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Phase I + II
@@ -181,22 +188,8 @@ class GANSynthesizer(Synthesizer):
             raise TrainingError("synthesizer has no training history")
         return self.train_result.snapshots
 
-    def use_snapshot(self, index: int) -> None:
-        """Activate the generator snapshot taken after epoch ``index``."""
-        snapshots = self.snapshots
-        if not -len(snapshots) <= index < len(snapshots):
-            raise IndexError(f"no snapshot {index}")
-        state = snapshots[index]
-        if state is None:
-            raise TrainingError(
-                f"epoch {index % len(snapshots)} was not snapshotted; "
-                "fit with keep_snapshots=True to enable selection")
-        self.generator.load_state_dict(state)
-        self._active_snapshot = index % len(snapshots)
-
-    @property
-    def active_snapshot(self) -> Optional[int]:
-        return self._active_snapshot
+    def _snapshot_module(self) -> Module:
+        return self.generator
 
     def training_curves(self) -> Dict[str, List[float]]:
         if self.train_result is None:
@@ -207,24 +200,33 @@ class GANSynthesizer(Synthesizer):
     # ------------------------------------------------------------------
     # Phase III
     # ------------------------------------------------------------------
+    def _sampling_session(self):
+        return self._eval_mode_session(self.generator)
+
     def _generate_raw(self, m: int, rng: np.random.Generator
                       ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-        """One chunk of generator output plus sampled label conditions."""
-        self.generator.eval()
-        try:
+        """One chunk of generator output plus sampled label conditions.
+
+        Must run inside :meth:`_sampling_session` (the generator is
+        assumed to be in eval mode).  Noise and conditions are drawn in
+        the engine dtype, skipping a cast per chunk in float32 mode.
+        """
+        dtype = get_default_dtype()
+        if dtype is np.float64:
             z = Tensor(rng.standard_normal((m, self.config.z_dim)))
-            cond = None
-            labels = None
-            if self.config.is_conditional:
-                labels = rng.choice(self._n_labels, size=m,
-                                    p=self._label_freq)
-                onehot = np.zeros((m, self._n_labels))
-                onehot[np.arange(m), labels] = 1.0
-                cond = Tensor(onehot)
-            with no_grad():
-                raw = self.generator(z, cond).data
-        finally:
-            self.generator.train()
+        else:
+            z = Tensor(rng.standard_normal((m, self.config.z_dim),
+                                           dtype=dtype))
+        cond = None
+        labels = None
+        if self.config.is_conditional:
+            labels = rng.choice(self._n_labels, size=m,
+                                p=self._label_freq)
+            onehot = np.zeros((m, self._n_labels), dtype=dtype)
+            onehot[np.arange(m), labels] = 1.0
+            cond = Tensor(onehot)
+        with no_grad():
+            raw = self.generator(z, cond).data
         return raw, labels
 
     def sample_raw(self, n: int, batch: int = 256,
@@ -235,13 +237,14 @@ class GANSynthesizer(Synthesizer):
         chunks = []
         self._sampled_labels = []
         remaining = n
-        while remaining > 0:
-            m = min(batch, remaining)
-            raw, labels = self._generate_raw(m, rng)
-            chunks.append(raw)
-            if labels is not None:
-                self._sampled_labels.append(labels)
-            remaining -= m
+        with self._sampling_session():
+            while remaining > 0:
+                m = min(batch, remaining)
+                raw, labels = self._generate_raw(m, rng)
+                chunks.append(raw)
+                if labels is not None:
+                    self._sampled_labels.append(labels)
+                remaining -= m
         return np.concatenate(chunks, axis=0)
 
     def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:

@@ -61,7 +61,9 @@ class TrainResult:
 
 
 def _onehot(labels: np.ndarray, n_labels: int) -> np.ndarray:
-    out = np.zeros((len(labels), n_labels))
+    # Built in the engine dtype so the Tensor wrap is cast-free (a
+    # no-op in float64 parity mode, where zeros() is float64 already).
+    out = np.zeros((len(labels), n_labels), dtype=get_default_dtype())
     out[np.arange(len(labels)), labels] = 1.0
     return out
 

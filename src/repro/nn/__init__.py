@@ -6,7 +6,7 @@ Public surface::
 """
 
 from .tensor import (
-    Tensor, as_tensor, concat, stack, where,
+    ArrayPool, Tensor, as_tensor, concat, stack, where,
     default_dtype, fast_math, get_default_dtype, is_grad_enabled, no_grad,
     set_default_dtype,
 )
@@ -15,7 +15,10 @@ from .layers import (
     Linear, BatchNorm1d, ReLU, LeakyReLU, Tanh, Sigmoid, Dropout,
     fused_linear,
 )
-from .conv import Conv2d, ConvTranspose2d, BatchNorm2d
+from .conv import (
+    BatchNorm2d, Conv2d, ConvTranspose2d, conv2d_bn_act,
+    conv_transpose2d_bn_act,
+)
 from .rnn import LSTMCell, SequenceToOneLSTM, addmm, lstm_gates, lstm_step
 from .optim import (
     SGD, Adam, RMSProp, Optimizer, clip_parameters, clip_gradients,
@@ -27,12 +30,13 @@ from .losses import (
 )
 
 __all__ = [
-    "Tensor", "as_tensor", "concat", "stack", "where",
+    "ArrayPool", "Tensor", "as_tensor", "concat", "stack", "where",
     "default_dtype", "fast_math", "get_default_dtype", "is_grad_enabled",
     "no_grad", "set_default_dtype",
     "Module", "Parameter", "Sequential",
     "Linear", "BatchNorm1d", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
     "Dropout", "fused_linear", "Conv2d", "ConvTranspose2d", "BatchNorm2d",
+    "conv2d_bn_act", "conv_transpose2d_bn_act",
     "LSTMCell", "SequenceToOneLSTM", "addmm", "lstm_gates", "lstm_step",
     "SGD", "Adam", "RMSProp", "Optimizer", "clip_parameters",
     "clip_gradients", "add_gradient_noise", "global_gradient_norm",

@@ -2,10 +2,32 @@
 
 The paper's CNN design (Appendix A.1.1, Figure 10) follows DCGAN: the
 generator is a stack of fractionally strided (de-)convolutions and the
-discriminator a stack of strided convolutions.  Both are implemented here
-with im2col/col2im so forward and backward are plain matrix products.
+discriminator a stack of strided convolutions.  Layout convention is
+``(batch, channels, height, width)``.
 
-Layout convention is ``(batch, channels, height, width)``.
+CNN fast path
+-------------
+Unfolding (im2col) is implemented with
+``np.lib.stride_tricks.sliding_window_view`` — a zero-copy strided view
+materialized with a single ``copyto`` — instead of per-tap python loops,
+and the unfolded layout feeds one large matrix product per layer.  Two
+numerics modes mirror the engine-wide convention (see
+:mod:`repro.nn.tensor`):
+
+* **float64 parity mode** — the unfolded columns keep the historical
+  ``(N, C*kh*kw, oh*ow)`` layout and the contraction runs through the
+  exact same ``einsum`` calls as the original im2col implementation, so
+  conv outputs are bit-identical to the pre-fast-path engine.
+* **float32 fast-math mode** — forward/backward use the GEMM-batched
+  ``(N*oh*ow, C*kh*kw)`` layout (one BLAS matmul each) and the fused
+  tape nodes :func:`conv2d_bn_act` / :func:`conv_transpose2d_bn_act`
+  (conv + analytic BatchNorm2d + activation in a single node, the conv
+  analogue of :func:`repro.nn.layers.fused_linear`).
+
+Column and padding scratch buffers are recycled across train steps via a
+per-layer :class:`repro.nn.tensor.ArrayPool` (the tape-allocation-churn
+item): forward takes a buffer, the backward closure returns it once the
+gradients no longer alias it.
 """
 
 from __future__ import annotations
@@ -13,34 +35,113 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from . import init
+from .layers import _act_backward, _act_forward, _bn_input_grad
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import ArrayPool, Tensor, fast_math, is_grad_enabled
 
 
 def _conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return (size + 2 * pad - kernel) // stride + 1
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
-            pad: int) -> Tuple[np.ndarray, int, int]:
-    """Unfold ``x`` into columns of receptive fields.
+def _check_output_size(oh: int, ow: int, x_shape: Tuple[int, ...],
+                       kernel: int, stride: int, pad: int,
+                       transposed: bool = False) -> None:
+    """Reject degenerate spatial outputs with a shape-naming error.
+
+    Without this, a kernel larger than the padded input (or a
+    transposed convolution whose padding crops away the whole output)
+    silently yields a non-positive output size and crashes much later
+    in ``reshape`` with an unrelated message.
+    """
+    if oh <= 0 or ow <= 0:
+        if transposed:
+            cause = ("padding crops the whole output (needs "
+                     "2*padding < (size-1)*stride + kernel_size)")
+        else:
+            cause = "the (padded) input is smaller than the kernel"
+        kind = "transposed convolution" if transposed else "convolution"
+        raise ValueError(
+            f"{kind} produces empty output {oh}x{ow} for input "
+            f"{tuple(x_shape)} with kernel_size={kernel}, stride={stride}, "
+            f"padding={pad}; {cause}")
+
+
+def _pad_input(x: np.ndarray, pad: int,
+               pool: Optional[ArrayPool] = None) -> np.ndarray:
+    """Zero-pad the two spatial axes (manual fill; ``np.pad`` is slow)."""
+    if pad == 0:
+        return x
+    n, c, h, w = x.shape
+    shape = (n, c, h + 2 * pad, w + 2 * pad)
+    xp = pool.take(shape, x.dtype) if pool is not None else np.empty(
+        shape, dtype=x.dtype)
+    xp.fill(0.0)
+    xp[:, :, pad:-pad, pad:-pad] = x
+    return xp
+
+
+def _window_view(xp: np.ndarray, kh: int, kw: int,
+                 stride: int) -> np.ndarray:
+    """Strided ``(N, C, oh, ow, kh, kw)`` view of every receptive field."""
+    view = sliding_window_view(xp, (kh, kw), axis=(2, 3))
+    if stride != 1:
+        view = view[:, :, ::stride, ::stride]
+    return view
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int,
+            pool: Optional[ArrayPool] = None
+            ) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` into columns of receptive fields (parity layout).
 
     Returns ``(cols, oh, ow)`` where ``cols`` has shape
-    ``(N, C*kh*kw, oh*ow)``.
+    ``(N, C*kh*kw, oh*ow)`` — bit-identical to the historical loop-based
+    implementation (:func:`_im2col_loop`), but produced by one strided
+    gather.
     """
     n, c, h, w = x.shape
     oh = _conv_output_size(h, kh, stride, pad)
     ow = _conv_output_size(w, kw, stride, pad)
-    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
-    for i in range(kh):
-        i_max = i + stride * oh
-        for j in range(kw):
-            j_max = j + stride * ow
-            cols[:, :, i, j, :, :] = xp[:, :, i:i_max:stride, j:j_max:stride]
-    return cols.reshape(n, c * kh * kw, oh * ow), oh, ow
+    _check_output_size(oh, ow, x.shape, kh, stride, pad)
+    xp = _pad_input(x, pad, pool)
+    view = _window_view(xp, kh, kw, stride)
+    cols = pool.take((n, c * kh * kw, oh * ow), x.dtype) \
+        if pool is not None else np.empty((n, c * kh * kw, oh * ow),
+                                          dtype=x.dtype)
+    np.copyto(cols.reshape(n, c, kh, kw, oh, ow),
+              view.transpose(0, 1, 4, 5, 2, 3))
+    if pool is not None and xp is not x:
+        pool.put(xp)
+    return cols, oh, ow
+
+
+def _im2col_gemm(x: np.ndarray, kh: int, kw: int, stride: int, pad: int,
+                 pool: Optional[ArrayPool] = None
+                 ) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` into the GEMM-batched ``(N*oh*ow, C*kh*kw)`` layout.
+
+    This is the fast-math layout: the convolution forward becomes one
+    ``(N*oh*ow, C*kh*kw) @ (C*kh*kw, OC)`` BLAS call and the weight/input
+    gradients two more.
+    """
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, stride, pad)
+    ow = _conv_output_size(w, kw, stride, pad)
+    _check_output_size(oh, ow, x.shape, kh, stride, pad)
+    xp = _pad_input(x, pad, pool)
+    view = _window_view(xp, kh, kw, stride)
+    cols = pool.take((n * oh * ow, c * kh * kw), x.dtype) \
+        if pool is not None else np.empty((n * oh * ow, c * kh * kw),
+                                          dtype=x.dtype)
+    np.copyto(cols.reshape(n, oh, ow, c, kh, kw),
+              view.transpose(0, 2, 3, 1, 4, 5))
+    if pool is not None and xp is not x:
+        pool.put(xp)
+    return cols, oh, ow
 
 
 def _col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
@@ -59,8 +160,304 @@ def _col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
     return xp
 
 
+def _col2im_gemm(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+                 kh: int, kw: int, stride: int, pad: int, oh: int,
+                 ow: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col_gemm` (fold from the GEMM layout)."""
+    n, c, h, w = x_shape
+    folded = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    return _col2im(np.ascontiguousarray(folded), x_shape, kh, kw, stride,
+                   pad, oh, ow)
+
+
+# Historical loop-based implementations, kept as the parity reference for
+# the strided-view unfold/fold (tests assert bit-identity in float64).
+def _im2col_loop(x: np.ndarray, kh: int, kw: int, stride: int,
+                 pad: int) -> Tuple[np.ndarray, int, int]:
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, stride, pad)
+    ow = _conv_output_size(w, kw, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            cols[:, :, i, j, :, :] = xp[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow), oh, ow
+
+
+def _to_channel_cols(x4d: np.ndarray,
+                     pool: Optional[ArrayPool] = None) -> np.ndarray:
+    """Reorder ``(N, C, H, W)`` into the ``(N*H*W, C)`` GEMM layout."""
+    n, c, h, w = x4d.shape
+    if pool is None:
+        return np.ascontiguousarray(x4d.transpose(0, 2, 3, 1)).reshape(
+            n * h * w, c)
+    out = pool.take((n * h * w, c), x4d.dtype)
+    np.copyto(out.reshape(n, h, w, c), x4d.transpose(0, 2, 3, 1))
+    return out
+
+
+def _from_channel_cols(x2d: np.ndarray, n: int, h: int, w: int
+                       ) -> np.ndarray:
+    """Inverse of :func:`_to_channel_cols`."""
+    c = x2d.shape[1]
+    return np.ascontiguousarray(
+        x2d.reshape(n, h, w, c).transpose(0, 3, 1, 2))
+
+
+def _bn_forward_2d(bn: "BatchNorm2d", pre: np.ndarray, batch: int):
+    """Analytic BatchNorm2d forward on the ``(N*oh*ow, C)`` layout.
+
+    Rows of ``pre`` enumerate ``(n, y, x)`` positions, so an axis-0
+    reduction is exactly the ``(0, 2, 3)`` channel reduction of the 4-D
+    layout.  Returns ``(out, normed, inv_std, inv_m, training)`` where
+    ``training`` records whether batch statistics were used.
+    """
+    gamma = bn.gamma.data.ravel()
+    beta = bn.beta.data.ravel()
+    if bn.training and batch > 1:
+        inv_m = 1.0 / pre.shape[0]
+        mean = pre.sum(axis=0) * inv_m
+        centered = pre - mean
+        var = (centered * centered).sum(axis=0) * inv_m
+        bn.running_mean = ((1 - bn.momentum) * bn.running_mean
+                           + bn.momentum * mean.reshape(1, -1, 1, 1))
+        bn.running_var = ((1 - bn.momentum) * bn.running_var
+                          + bn.momentum * var.reshape(1, -1, 1, 1))
+        inv_std = 1.0 / np.sqrt(var + bn.eps)
+        normed = centered * inv_std
+        return normed * gamma + beta, normed, inv_std, inv_m, True
+    # Running-stat buffers are float64; cast to the stream dtype so the
+    # float32 fast path is not silently upcast from here on.
+    dtype = pre.dtype
+    inv_std = np.asarray(1.0 / np.sqrt(bn.running_var.ravel() + bn.eps),
+                         dtype=dtype)
+    mean = np.asarray(bn.running_mean.ravel(), dtype=dtype)
+    normed = (pre - mean) * inv_std
+    return normed * gamma + beta, normed, inv_std, 0.0, False
+
+
+def _bn_forward_4d(bn: "BatchNorm2d", pre: np.ndarray):
+    """Analytic BatchNorm2d forward on the ``(N, C, H, W)`` layout.
+
+    The 4-D counterpart of :func:`_bn_forward_2d`, shared by the fused
+    conv-transpose node and the standalone :class:`BatchNorm2d` fast
+    paths so the statistics / running-stat-update / eval-cast numerics
+    live in exactly one place.  Returns ``(out, normed, inv_std, inv_m,
+    training)``; the eval branch casts the float64 running-stat buffers
+    to the stream dtype and evaluates the exact elementwise expressions
+    of the composed op chain (bit-identical forward).
+    """
+    gamma = bn.gamma.data
+    if bn.training and pre.shape[0] > 1:
+        axes = (0, 2, 3)
+        inv_m = 1.0 / (pre.shape[0] * pre.shape[2] * pre.shape[3])
+        mean = pre.sum(axis=axes, keepdims=True) * inv_m
+        centered = pre - mean
+        var = (centered * centered).sum(axis=axes, keepdims=True) * inv_m
+        bn.running_mean = ((1 - bn.momentum) * bn.running_mean
+                           + bn.momentum * mean)
+        bn.running_var = ((1 - bn.momentum) * bn.running_var
+                          + bn.momentum * var)
+        inv_std = 1.0 / np.sqrt(var + bn.eps)
+        normed = centered * inv_std
+        return normed * gamma + bn.beta.data, normed, inv_std, inv_m, True
+    dtype = pre.dtype
+    inv_std = np.asarray(1.0 / np.sqrt(bn.running_var + bn.eps),
+                         dtype=dtype)
+    normed = (pre - np.asarray(bn.running_mean, dtype=dtype)) * inv_std
+    return normed * gamma + bn.beta.data, normed, inv_std, 0.0, False
+
+
+def conv2d_bn_act(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                  bn: Optional["BatchNorm2d"] = None,
+                  activation: Optional[str] = None, slope: float = 0.2,
+                  stride: int = 1, padding: int = 0,
+                  pool: Optional[ArrayPool] = None) -> Tensor:
+    """Fused ``act(BN(conv2d(x)))`` as a single autograd node.
+
+    Fast-math kernel: the convolution runs in the GEMM-batched
+    ``(N*oh*ow, C*kh*kw)`` layout, batch norm reduces over axis 0 of
+    that same matrix (equivalent to the ``(0, 2, 3)`` reduction of the
+    4-D layout), and the activation mask is fused into the node, so one
+    tape node replaces the conv / BN / activation chain (~15 nodes).
+    ``bn`` and ``activation`` are optional — ``conv2d_bn_act(x, w, b)``
+    is a plain convolution.
+    """
+    oc, c, kh, kw = weight.data.shape
+    n = x.data.shape[0]
+    cols, oh, ow = _im2col_gemm(x.data, kh, kw, stride, padding, pool)
+    wmat = weight.data.reshape(oc, c * kh * kw)
+    pre = cols @ wmat.T
+    if bias is not None:
+        pre += bias.data
+
+    normed = inv_std = None
+    inv_m = 0.0
+    bn_training = False
+    if bn is not None:
+        pre, normed, inv_std, inv_m, bn_training = _bn_forward_2d(bn, pre, n)
+    out2d, mask = _act_forward(pre, activation, slope)
+    out = _from_channel_cols(out2d, n, oh, ow)
+
+    parents = [x, weight]
+    if bias is not None:
+        parents.append(bias)
+    if bn is not None:
+        parents.extend((bn.gamma, bn.beta))
+
+    def backward(grad: np.ndarray):
+        g2d = _to_channel_cols(grad)
+        d_out = _act_backward(g2d, activation, out2d, mask, slope)
+        dgamma = dbeta = None
+        if bn is not None:
+            dgamma = (d_out * normed).sum(axis=0)
+            dbeta = d_out.sum(axis=0)
+            d_normed = d_out * bn.gamma.data.ravel()
+            if bn_training:
+                d_pre = _bn_input_grad(d_normed, normed, inv_std, inv_m)
+            else:
+                d_pre = d_normed * inv_std
+        else:
+            d_pre = d_out
+        gx = None
+        if x.requires_grad:
+            grad_cols = d_pre @ wmat
+            gx = _col2im_gemm(grad_cols, x.data.shape, kh, kw, stride,
+                              padding, oh, ow)
+        gw = (d_pre.T @ cols).reshape(weight.data.shape) \
+            if weight.requires_grad else None
+        grads = [gx, gw]
+        if bias is not None:
+            grads.append(d_pre.sum(axis=0) if bias.requires_grad else None)
+        if bn is not None:
+            grads.extend((dgamma.reshape(bn.gamma.data.shape),
+                          dbeta.reshape(bn.beta.data.shape)))
+        if pool is not None:
+            pool.put(cols)
+        return tuple(grads)
+
+    node = Tensor._make(out, tuple(parents), backward)
+    if pool is not None and not node.requires_grad:
+        # No backward closure will run; the columns are dead already.
+        pool.put(cols)
+    return node
+
+
+def conv_transpose2d_bn_act(x: Tensor, weight: Tensor,
+                            bias: Optional[Tensor] = None,
+                            bn: Optional["BatchNorm2d"] = None,
+                            activation: Optional[str] = None,
+                            slope: float = 0.2, stride: int = 1,
+                            padding: int = 0,
+                            pool: Optional[ArrayPool] = None) -> Tensor:
+    """Fused ``act(BN(conv_transpose2d(x)))`` as a single autograd node.
+
+    The deconvolution runs as one ``(N*h*w, C) @ (C, OC*kh*kw)`` GEMM
+    followed by a strided fold; batch norm and the activation apply to
+    the folded 4-D output (the fold mixes spatial positions, so the
+    2-D-layout trick of :func:`conv2d_bn_act` does not apply here).
+    """
+    c, oc, kh, kw = weight.data.shape
+    n, _, h, w = x.data.shape
+    out_h = (h - 1) * stride - 2 * padding + kh
+    out_w = (w - 1) * stride - 2 * padding + kw
+    _check_output_size(out_h, out_w, x.data.shape, kh, stride, padding,
+                       transposed=True)
+    xg = _to_channel_cols(x.data, pool)
+    wmat = weight.data.reshape(c, oc * kh * kw)
+    if pool is not None:
+        cols = pool.take((n * h * w, oc * kh * kw), xg.dtype)
+        np.matmul(xg, wmat, out=cols)
+    else:
+        cols = xg @ wmat
+    pre = _col2im_gemm(cols, (n, oc, out_h, out_w), kh, kw, stride,
+                       padding, h, w)
+    if pool is not None:
+        # The fold copied the columns out; the scratch is dead already.
+        pool.put(cols)
+    if bias is not None:
+        pre += bias.data[None, :, None, None]
+
+    normed = inv_std = None
+    inv_m = 0.0
+    bn_training = False
+    if bn is not None:
+        pre, normed, inv_std, inv_m, bn_training = _bn_forward_4d(bn, pre)
+    out, mask = _act_forward(pre, activation, slope)
+
+    parents = [x, weight]
+    if bias is not None:
+        parents.append(bias)
+    if bn is not None:
+        parents.extend((bn.gamma, bn.beta))
+
+    def backward(grad: np.ndarray):
+        d_out = _act_backward(grad, activation, out, mask, slope)
+        dgamma = dbeta = None
+        axes = (0, 2, 3)
+        if bn is not None:
+            dgamma = (d_out * normed).sum(axis=axes, keepdims=True)
+            dbeta = d_out.sum(axis=axes, keepdims=True)
+            d_normed = d_out * bn.gamma.data
+            if bn_training:
+                d_pre = _bn_input_grad(d_normed, normed, inv_std, inv_m,
+                                       axes=axes, keepdims=True)
+            else:
+                d_pre = d_normed * inv_std
+        else:
+            d_pre = d_out
+        grad_cols, _, _ = _im2col_gemm(d_pre, kh, kw, stride, padding, pool)
+        gx = _from_channel_cols(grad_cols @ wmat.T, n, h, w) \
+            if x.requires_grad else None
+        gw = (xg.T @ grad_cols).reshape(weight.data.shape) \
+            if weight.requires_grad else None
+        grads = [gx, gw]
+        if bias is not None:
+            grads.append(d_pre.sum(axis=axes) if bias.requires_grad
+                         else None)
+        if bn is not None:
+            grads.extend((dgamma, dbeta))
+        if pool is not None:
+            pool.put(grad_cols)
+            pool.put(xg)
+        return tuple(grads)
+
+    node = Tensor._make(out, tuple(parents), backward)
+    if pool is not None and not node.requires_grad:
+        # No backward closure will run; the input columns are dead.
+        pool.put(xg)
+    return node
+
+
+def _apply_activation(out: Tensor, activation: Optional[str],
+                      slope: float) -> Tensor:
+    """Composed-op activation used by the float64 parity path."""
+    if activation is None:
+        return out
+    if activation == "relu":
+        return out.relu()
+    if activation == "leaky_relu":
+        return out.leaky_relu(slope)
+    if activation == "tanh":
+        return out.tanh()
+    if activation == "sigmoid":
+        return out.sigmoid()
+    raise ValueError(f"cannot fuse activation {activation!r}")
+
+
 class Conv2d(Module):
-    """Strided 2D convolution."""
+    """Strided 2D convolution.
+
+    ``forward`` optionally fuses a following :class:`BatchNorm2d` and
+    activation into the layer call: ``conv(x, activation="leaky_relu",
+    bn=self.bn)``.  In float32 fast-math mode the whole chain runs as
+    one :func:`conv2d_bn_act` tape node; in float64 parity mode the ops
+    compose exactly as the historical layer stack (bit-identical
+    outputs).
+    """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0,
@@ -75,13 +472,29 @@ class Conv2d(Module):
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.normal(rng, shape, std=0.05))
         self.bias = Parameter(init.zeros(out_channels)) if bias else None
+        self._pool = ArrayPool()
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, activation: Optional[str] = None,
+                slope: float = 0.2,
+                bn: Optional["BatchNorm2d"] = None) -> Tensor:
+        if fast_math():
+            return conv2d_bn_act(x, self.weight, self.bias, bn=bn,
+                                 activation=activation, slope=slope,
+                                 stride=self.stride, padding=self.padding,
+                                 pool=self._pool)
+        out = self._forward_parity(x)
+        if bn is not None:
+            out = bn(out)
+        return _apply_activation(out, activation, slope)
+
+    def _forward_parity(self, x: Tensor) -> Tensor:
+        """Bit-exact conv: strided-view unfold + the historical einsums."""
         k, s, p = self.kernel_size, self.stride, self.padding
         weight = self.weight
         bias = self.bias
+        pool = self._pool
         n, c, h, w = x.data.shape
-        cols, oh, ow = _im2col(x.data, k, k, s, p)
+        cols, oh, ow = _im2col(x.data, k, k, s, p, pool)
         wmat = weight.data.reshape(self.out_channels, -1)
         out = np.einsum("ok,nkl->nol", wmat, cols)
         if bias is not None:
@@ -96,16 +509,25 @@ class Conv2d(Module):
                 weight.data.shape)
             grad_cols = np.einsum("ok,nol->nkl", wmat, gmat)
             grad_x = _col2im(grad_cols, (n, c, h, w), k, k, s, p, oh, ow)
+            pool.put(cols)
             if bias is None:
                 return (grad_x, grad_w)
             grad_b = gmat.sum(axis=(0, 2))
             return (grad_x, grad_w, grad_b)
 
-        return Tensor._make(out, parents, backward)
+        node = Tensor._make(out, parents, backward)
+        if not node.requires_grad:
+            pool.put(cols)
+        return node
 
 
 class ConvTranspose2d(Module):
-    """Fractionally strided ("de-") convolution, the DCGAN generator op."""
+    """Fractionally strided ("de-") convolution, the DCGAN generator op.
+
+    ``forward`` accepts the same ``activation=`` / ``bn=`` fusion hooks
+    as :class:`Conv2d` (one :func:`conv_transpose2d_bn_act` node in
+    fast-math mode, the bit-exact composed chain in parity mode).
+    """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0,
@@ -120,17 +542,35 @@ class ConvTranspose2d(Module):
         shape = (in_channels, out_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.normal(rng, shape, std=0.05))
         self.bias = Parameter(init.zeros(out_channels)) if bias else None
+        self._pool = ArrayPool()
 
     def output_size(self, size: int) -> int:
         return (size - 1) * self.stride - 2 * self.padding + self.kernel_size
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, activation: Optional[str] = None,
+                slope: float = 0.2,
+                bn: Optional["BatchNorm2d"] = None) -> Tensor:
+        if fast_math():
+            return conv_transpose2d_bn_act(
+                x, self.weight, self.bias, bn=bn, activation=activation,
+                slope=slope, stride=self.stride, padding=self.padding,
+                pool=self._pool)
+        out = self._forward_parity(x)
+        if bn is not None:
+            out = bn(out)
+        return _apply_activation(out, activation, slope)
+
+    def _forward_parity(self, x: Tensor) -> Tensor:
+        """Bit-exact deconv: the historical einsum/fold op sequence."""
         k, s, p = self.kernel_size, self.stride, self.padding
         weight = self.weight
         bias = self.bias
+        pool = self._pool
         n, c, h, w = x.data.shape
         out_h = self.output_size(h)
         out_w = self.output_size(w)
+        _check_output_size(out_h, out_w, x.data.shape, k, s, p,
+                           transposed=True)
         xm = x.data.reshape(n, c, h * w)
         wmat = weight.data.reshape(c, -1)  # (C, OC*k*k)
         cols = np.einsum("ck,ncl->nkl", wmat, xm)
@@ -142,11 +582,12 @@ class ConvTranspose2d(Module):
         parents = (x, weight) if bias is None else (x, weight, bias)
 
         def backward(grad: np.ndarray):
-            grad_cols, _, _ = _im2col(grad, k, k, s, p)
+            grad_cols, _, _ = _im2col(grad, k, k, s, p, pool)
             grad_x = np.einsum("ck,nkl->ncl", wmat, grad_cols).reshape(
                 n, c, h, w)
             grad_w = np.einsum("ncl,nkl->ck", xm, grad_cols).reshape(
                 weight.data.shape)
+            pool.put(grad_cols)
             if bias is None:
                 return (grad_x, grad_w)
             grad_b = grad.sum(axis=(0, 2, 3))
@@ -156,7 +597,16 @@ class ConvTranspose2d(Module):
 
 
 class BatchNorm2d(Module):
-    """Batch normalization per channel of ``(N, C, H, W)`` activations."""
+    """Batch normalization per channel of ``(N, C, H, W)`` activations.
+
+    Like :class:`repro.nn.layers.BatchNorm1d`, the float32 fast-math
+    mode runs a single fused tape node with the analytic input gradient
+    (``activation="relu"`` / ``"leaky_relu"`` optionally fold the
+    following nonlinearity in); the float64 parity mode keeps the
+    composed op chain.  When the layer follows a convolution, prefer the
+    conv-side fusion hooks (``Conv2d.forward(bn=...)``), which fold the
+    convolution into the same node as well.
+    """
 
     def __init__(self, num_channels: int, momentum: float = 0.1,
                  eps: float = 1e-5):
@@ -169,18 +619,52 @@ class BatchNorm2d(Module):
         self.register_buffer("running_mean", np.zeros((1, num_channels, 1, 1)))
         self.register_buffer("running_var", np.ones((1, num_channels, 1, 1)))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, activation: Optional[str] = None,
+                slope: float = 0.2) -> Tensor:
         axes = (0, 2, 3)
         if self.training and x.shape[0] > 1:
-            mean = x.mean(axis=axes, keepdims=True)
-            centered = x - mean
-            var = (centered * centered).mean(axis=axes, keepdims=True)
-            self.running_mean = ((1 - self.momentum) * self.running_mean
-                                 + self.momentum * mean.data)
-            self.running_var = ((1 - self.momentum) * self.running_var
-                                + self.momentum * var.data)
-            normed = centered * ((var + self.eps) ** -0.5)
-        else:
-            normed = (x - self.running_mean) * (
-                1.0 / np.sqrt(self.running_var + self.eps))
-        return normed * self.gamma + self.beta
+            if not fast_math():
+                # float64 parity: the composed op chain, bit-exact with
+                # the historical engine (training trajectories).
+                mean = x.mean(axis=axes, keepdims=True)
+                centered = x - mean
+                var = (centered * centered).mean(axis=axes, keepdims=True)
+                self.running_mean = ((1 - self.momentum) * self.running_mean
+                                     + self.momentum * mean.data)
+                self.running_var = ((1 - self.momentum) * self.running_var
+                                    + self.momentum * var.data)
+                normed = centered * ((var + self.eps) ** -0.5)
+                return _apply_activation(normed * self.gamma + self.beta,
+                                         activation, slope)
+        return self._forward_node(x, activation, slope)
+
+    def _forward_node(self, x: Tensor, activation: Optional[str] = None,
+                      slope: float = 0.2) -> Tensor:
+        """Single-tape-node batch norm (+ activation).
+
+        Used for batch statistics in fast-math mode (analytic input
+        gradient, not bit-exact) and for running-stat normalization in
+        *both* dtypes — the eval branch of :func:`_bn_forward_4d`
+        evaluates the exact elementwise expressions of the composed
+        chain, so eval forwards stay bit-identical while skipping ~6
+        full-size temporaries per call on the streaming-sampling path
+        (same rationale as ``BatchNorm1d._forward_eval``).
+        """
+        pre, normed, inv_std, inv_m, training = _bn_forward_4d(self, x.data)
+        gamma, beta = self.gamma, self.beta
+        out, mask = _act_forward(pre, activation, slope)
+
+        def backward(grad: np.ndarray):
+            grad = _act_backward(grad, activation, out, mask, slope)
+            axes = (0, 2, 3)
+            dgamma = (grad * normed).sum(axis=axes, keepdims=True)
+            dbeta = grad.sum(axis=axes, keepdims=True)
+            d_normed = grad * gamma.data
+            if training:
+                dx = _bn_input_grad(d_normed, normed, inv_std, inv_m,
+                                    axes=axes, keepdims=True)
+            else:
+                dx = d_normed * inv_std
+            return (dx, dgamma, dbeta)
+
+        return Tensor._make(out, (x, gamma, beta), backward)

@@ -19,10 +19,66 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, _stable_sigmoid, _unbroadcast, fast_math
+from .tensor import (
+    Tensor, _stable_sigmoid, _unbroadcast, fast_math, is_grad_enabled,
+)
 
 #: Activations :func:`fused_linear` can fuse into the affine kernel.
 FUSABLE_ACTIVATIONS = (None, "relu", "leaky_relu", "tanh", "sigmoid")
+
+
+def _act_forward(pre: np.ndarray, activation: Optional[str],
+                 slope: float = 0.2):
+    """Elementwise activation shared by every fused kernel.
+
+    Returns ``(out, mask)`` where ``mask`` is the saved sign mask for
+    relu-family activations (``None`` otherwise).  The operations are
+    exactly those of the composed :class:`~repro.nn.tensor.Tensor` ops,
+    so fused nodes stay bit-identical to the op-by-op tape.
+    """
+    if activation is None:
+        return pre, None
+    if activation == "relu":
+        mask = pre > 0
+        return pre * mask, mask
+    if activation == "leaky_relu":
+        mask = pre > 0
+        return np.where(mask, pre, slope * pre), mask
+    if activation == "tanh":
+        return np.tanh(pre), None
+    if activation == "sigmoid":
+        return _stable_sigmoid(pre), None
+    raise ValueError(f"cannot fuse activation {activation!r}")
+
+
+def _act_backward(grad: np.ndarray, activation: Optional[str],
+                  out: np.ndarray, mask, slope: float = 0.2) -> np.ndarray:
+    """Backward of :func:`_act_forward` given its saved forward state."""
+    if activation is None:
+        return grad
+    if activation == "relu":
+        return grad * mask
+    if activation == "leaky_relu":
+        return np.where(mask, grad, slope * grad)
+    if activation == "tanh":
+        return grad * (1.0 - out ** 2)
+    return grad * out * (1.0 - out)  # sigmoid
+
+
+def _bn_input_grad(d_normed: np.ndarray, normed: np.ndarray,
+                   inv_std, inv_n: float, axes=0,
+                   keepdims: bool = False) -> np.ndarray:
+    """Closed-form batch-norm input gradient (fast-math kernels).
+
+    Shared by :class:`BatchNorm1d`, :class:`~repro.nn.conv.BatchNorm2d`
+    and the fused conv nodes; ``axes`` selects the reduction layout
+    (``0`` for ``(batch, features)`` matrices, ``(0, 2, 3)`` with
+    ``keepdims=True`` for ``(N, C, H, W)`` activations).
+    """
+    return (d_normed - d_normed.sum(axis=axes, keepdims=keepdims) * inv_n
+            - normed * ((d_normed * normed).sum(axis=axes,
+                                                keepdims=keepdims) * inv_n)
+            ) * inv_std
 
 
 def fused_linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
@@ -55,31 +111,20 @@ def fused_linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     if bias is not None:
         pre += bias.data
 
-    mask = None
-    if activation is None:
-        out = pre
-    elif activation == "relu":
-        mask = pre > 0
-        out = pre * mask
-    elif activation == "leaky_relu":
-        mask = pre > 0
-        out = np.where(mask, pre, slope * pre)
-    elif activation == "tanh":
-        out = np.tanh(pre)
-    else:  # sigmoid
-        out = _stable_sigmoid(pre)
+    if (activation in ("relu", "tanh") and fast_math()
+            and not is_grad_enabled()):
+        # Sampling fast path: no backward will run, so the activation
+        # can overwrite the pre-activation in place (no sign mask, no
+        # second full-width temporary).  Fast-math only: ``maximum``
+        # returns +0.0 where the composed ``pre * mask`` yields -0.0.
+        mask = None
+        out = (np.maximum(pre, 0.0, out=pre) if activation == "relu"
+               else np.tanh(pre, out=pre))
+    else:
+        out, mask = _act_forward(pre, activation, slope)
 
     def backward(grad: np.ndarray):
-        if activation is None:
-            d_pre = grad
-        elif activation == "relu":
-            d_pre = grad * mask
-        elif activation == "leaky_relu":
-            d_pre = np.where(mask, grad, slope * grad)
-        elif activation == "tanh":
-            d_pre = grad * (1.0 - out ** 2)
-        else:  # sigmoid
-            d_pre = grad * out * (1.0 - out)
+        d_pre = _act_backward(grad, activation, out, mask, slope)
         gx = d_pre @ wd.T if x.requires_grad else None
         gw = xd.T @ d_pre if weight.requires_grad else None
         if bias is None:
@@ -147,11 +192,36 @@ class BatchNorm1d(Module):
                                 + self.momentum * var.data)
             inv_std = (var + self.eps) ** -0.5
             normed = centered * inv_std
-        else:
-            normed = (x - self.running_mean) * (
-                1.0 / np.sqrt(self.running_var + self.eps))
-        out = normed * self.gamma + self.beta
-        return out.relu() if activation == "relu" else out
+            out = normed * self.gamma + self.beta
+            return out.relu() if activation == "relu" else out
+        return self._forward_eval(x, activation)
+
+    def _forward_eval(self, x: Tensor,
+                      activation: Optional[str] = None) -> Tensor:
+        """Running-stat normalization as one tape node (both dtypes).
+
+        Eval-mode BN is a fixed per-feature affine map; the composed op
+        chain spends ~6 full-width temporaries per call, which used to
+        dominate streaming-sampling profiles.  The fused node evaluates
+        the same elementwise expressions (constants cast to the input
+        dtype exactly as the Tensor wrapper would), so forward values
+        stay bit-identical to the composed path.
+        """
+        dtype = x.data.dtype
+        inv = np.asarray(1.0 / np.sqrt(self.running_var + self.eps),
+                         dtype=dtype)
+        mean = np.asarray(self.running_mean, dtype=dtype)
+        normed = (x.data - mean) * inv
+        gamma, beta = self.gamma, self.beta
+        out, mask = _act_forward(normed * gamma.data + beta.data, activation)
+
+        def backward(grad: np.ndarray):
+            grad = _act_backward(grad, activation, out, mask)
+            dgamma = (grad * normed).sum(axis=0)
+            dbeta = grad.sum(axis=0)
+            return (grad * (gamma.data * inv), dgamma, dbeta)
+
+        return Tensor._make(out, (x, gamma, beta), backward)
 
     def _forward_fused(self, x: Tensor,
                        activation: Optional[str] = None) -> Tensor:
@@ -186,9 +256,7 @@ class BatchNorm1d(Module):
             dgamma = (grad * normed).sum(axis=0)
             dbeta = grad.sum(axis=0)
             d_normed = grad * gamma.data
-            dx = (d_normed - d_normed.sum(axis=0) * inv_n
-                  - normed * ((d_normed * normed).sum(axis=0) * inv_n)
-                  ) * inv_std
+            dx = _bn_input_grad(d_normed, normed, inv_std, inv_n)
             return (dx, dgamma, dbeta)
 
         return Tensor._make(out, (x, gamma, beta), backward)

@@ -120,6 +120,47 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return np.asarray(value, dtype=_default_dtype)
 
 
+class ArrayPool:
+    """Recycled scratch ndarrays keyed by ``(shape, dtype)``.
+
+    A buffer-donation scheme for tape kernels with known buffer
+    lifetimes (the tape-allocation-churn item): a forward pass
+    :meth:`take`\\ s a scratch buffer and its backward closure
+    :meth:`put`\\ s it back once gradients no longer alias it, so
+    repeated train steps stop churning the allocator for their largest
+    temporaries (e.g. the unfolded convolution columns).  Buffers are
+    returned uninitialized, like ``np.empty``.
+
+    The pool is purely an optimization: a buffer that is never returned
+    (a tape that is dropped without running backward) is simply garbage
+    collected and the next ``take`` allocates a fresh one.
+    """
+
+    __slots__ = ("_buffers", "max_per_key")
+
+    def __init__(self, max_per_key: int = 4):
+        self._buffers: dict = {}
+        self.max_per_key = max_per_key
+
+    def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Pop a cached ``(shape, dtype)`` buffer or allocate a new one."""
+        stack = self._buffers.get((tuple(shape), np.dtype(dtype)))
+        if stack:
+            return stack.pop()
+        return np.empty(shape, dtype=dtype)
+
+    def put(self, array: np.ndarray) -> None:
+        """Return ``array`` to the pool for a later :meth:`take`.
+
+        The caller must not touch ``array`` afterwards — the next taker
+        will overwrite it.
+        """
+        key = (array.shape, array.dtype)
+        stack = self._buffers.setdefault(key, [])
+        if len(stack) < self.max_per_key:
+            stack.append(array)
+
+
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic with a single ``exp`` evaluation.
 

@@ -52,6 +52,18 @@ class AttributeTransformer:
         """Decode a ``(n, width)`` block back into a column."""
         raise NotImplementedError
 
+    def inverse_spec(self) -> dict:
+        """Flat parameters of :meth:`inverse` for the vectorized decoder.
+
+        Returns a dict with a ``"kind"`` key plus the scalars/arrays the
+        record-level compiled inverse (see
+        :class:`repro.transform.record.RecordTransformer`) needs to
+        apply this attribute's decode as part of one whole-matrix pass.
+        Every fitted transformer must support this; the per-block
+        :meth:`inverse` remains the reference implementation.
+        """
+        raise NotImplementedError
+
     def _require_block(self, block: np.ndarray) -> np.ndarray:
         block = np.asarray(block, dtype=np.float64)
         if block.ndim != 2 or block.shape[1] != self.width:

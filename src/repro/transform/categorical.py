@@ -40,6 +40,10 @@ class OrdinalEncoder(AttributeTransformer):
         encoder.domain_size = int(state["domain_size"])
         return encoder
 
+    def inverse_spec(self) -> dict:
+        return {"kind": self.state_kind, "scale": self._scale(),
+                "domain_size": self.domain_size}
+
     def _scale(self) -> float:
         if self.domain_size is None:
             raise TransformError("encoder is not fitted")
@@ -104,6 +108,11 @@ class OneHotEncoder(AttributeTransformer):
         encoder.domain_size = int(state["domain_size"])
         encoder.width = encoder.domain_size
         return encoder
+
+    def inverse_spec(self) -> dict:
+        if self.domain_size is None:
+            raise TransformError("encoder is not fitted")
+        return {"kind": self.state_kind, "width": self.width}
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         if self.domain_size is None:

@@ -94,6 +94,16 @@ class GaussianMixture1D:
         """Most likely component index per value (paper's argmax pi)."""
         return self.posteriors(values).argmax(axis=1)
 
+    def mode_arrays(self) -> tuple:
+        """``(means, stds)`` per component, for vectorized mode decoding.
+
+        The record-level inverse denormalizes every GMM-encoded
+        attribute of a sample matrix in one gather over these arrays
+        instead of re-touching the mixture object per chunk.
+        """
+        self._check_fitted()
+        return self.means, self.stds
+
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         self._check_fitted()
         comps = rng.choice(self.n_components, size=n, p=self.weights)

@@ -56,6 +56,12 @@ class SimpleNormalizer(AttributeTransformer):
             values = np.rint(values)
         return values
 
+    def inverse_spec(self) -> dict:
+        if self.min is None:
+            raise TransformError("normalizer is not fitted")
+        return {"kind": "simple", "min": self.min, "range": self._range(),
+                "integral": self.integral}
+
     def to_state(self) -> dict:
         if self.min is None:
             raise TransformError("normalizer is not fitted")
@@ -122,6 +128,13 @@ class GMMNormalizer(AttributeTransformer):
         if self.integral:
             values = np.rint(values)
         return values
+
+    def inverse_spec(self) -> dict:
+        if self.gmm is None:
+            raise TransformError("normalizer is not fitted")
+        means, stds = self.gmm.mode_arrays()
+        return {"kind": "gmm", "means": means, "stds": stds,
+                "integral": self.integral}
 
     def to_state(self) -> dict:
         if self.gmm is None:

@@ -9,6 +9,15 @@ Implements the paper's two sample forms (§4):
 
 Both directions are implemented, so synthetic samples convert back into
 records (Phase III).
+
+Phase III is the sampling hot path: both transformers precompute a
+:class:`CompiledInverse` at fit/load time, so decoding a sample chunk
+is a handful of whole-matrix operations (one clip+affine over all
+simple-normalized columns, one padded gather+argmax over all one-hot /
+GMM-mode blocks, ...) instead of per-attribute numpy calls re-issued
+for every chunk of a streaming ``sample_iter``.  The compiled path is
+bit-identical to the per-block reference (``inverse(...,
+vectorized=False)``).
 """
 
 from __future__ import annotations
@@ -28,6 +37,150 @@ ORDINAL = "ordinal"
 ONEHOT = "onehot"
 SIMPLE = "simple"
 GMM = "gmm"
+
+
+class CompiledInverse:
+    """Whole-matrix inverse transform for a fitted block layout.
+
+    Decoding one sample chunk used to walk the attribute blocks and call
+    each :meth:`AttributeTransformer.inverse` in turn — dozens of small
+    numpy calls per chunk, re-dispatched for every chunk of a streaming
+    ``sample_iter``.  This compiler gathers every block's decode
+    parameters **once** (at fit/load time) into flat arrays grouped by
+    decode kind, so applying the inverse is a handful of whole-matrix
+    operations regardless of attribute count:
+
+    * ``simple``-normalized columns: one clip + one affine map;
+    * ``ordinal`` / ``tanh_ordinal`` columns: one round + clip each;
+    * one-hot blocks: a single padded gather + one ``argmax`` over all
+      blocks at once (padding repeats each block's first column, which
+      can never steal a first-occurrence argmax from a real column);
+    * GMM (mode-specific) blocks: the same padded ``argmax`` for the
+      mode, then one gather over the stacked per-mode means/stds.
+
+    Every kind evaluates the exact elementwise expressions of the
+    per-block reference ``inverse`` methods, so decoded columns are
+    bit-identical to the legacy path.
+    """
+
+    def __init__(self, blocks: Sequence[BlockSpec], transformers):
+        simple = []     # (name, col, min, range, integral)
+        rounded = []    # (name, col, scale, domain, tanh-scaled?)
+        onehot = []     # (name, start, width)
+        gmm = []        # (name, start, width, means, stds, integral)
+        for block in blocks:
+            spec = transformers[block.name].inverse_spec()
+            kind = spec["kind"]
+            if kind == "simple":
+                simple.append((block.name, block.start, spec["min"],
+                               spec["range"], spec["integral"]))
+            elif kind in ("ordinal", "tanh_ordinal"):
+                rounded.append((block.name, block.start, spec["scale"],
+                                spec["domain_size"],
+                                kind == "tanh_ordinal"))
+            elif kind == "onehot":
+                onehot.append((block.name, block.start, spec["width"]))
+            elif kind == "gmm":
+                gmm.append((block.name, block.start, block.width - 1,
+                            spec["means"], spec["stds"], spec["integral"]))
+            else:
+                raise TransformError(
+                    f"unknown inverse kind {kind!r} for {block.name!r}")
+        self._simple = self._pack_simple(simple)
+        self._rounded = self._pack_rounded(rounded)
+        self._onehot = self._pack_argmax(
+            [(name, start, width) for name, start, width in onehot])
+        self._gmm = self._pack_gmm(gmm)
+
+    @staticmethod
+    def _pack_simple(simple):
+        if not simple:
+            return None
+        names, cols, mins, ranges, integral = zip(*simple)
+        return (list(names), np.asarray(cols), np.asarray(mins),
+                np.asarray(ranges), np.asarray(integral, dtype=bool))
+
+    @staticmethod
+    def _pack_rounded(rounded):
+        if not rounded:
+            return None
+        names, cols, scales, domains, tanh = zip(*rounded)
+        return (list(names), np.asarray(cols), np.asarray(scales),
+                np.asarray(domains, dtype=np.int64),
+                np.asarray(tanh, dtype=bool))
+
+    @staticmethod
+    def _pack_argmax(blocks):
+        """Padded column-index matrix for a joint per-block argmax.
+
+        Index matrix rows are padded with each block's *first* column:
+        a duplicate value sits after the original, so ``argmax`` (first
+        occurrence wins) returns exactly the per-block result.
+        """
+        if not blocks:
+            return None
+        names = [name for name, _, _ in blocks]
+        widths = np.asarray([width for _, _, width in blocks])
+        idx = np.empty((len(blocks), int(widths.max())), dtype=np.intp)
+        for g, (_, start, width) in enumerate(blocks):
+            idx[g, :width] = start + np.arange(width)
+            idx[g, width:] = start
+        return names, idx
+
+    @staticmethod
+    def _pack_gmm(gmm):
+        if not gmm:
+            return None
+        names = [name for name, *_ in gmm]
+        vcols = np.asarray([start for _, start, *_ in gmm])
+        argmax = CompiledInverse._pack_argmax(
+            [(name, start + 1, width)
+             for name, start, width, _, _, _ in gmm])
+        max_k = max(width for _, _, width, _, _, _ in gmm)
+        means = np.zeros((len(gmm), max_k))
+        stds = np.ones((len(gmm), max_k))
+        for g, (_, _, width, mu, sigma, _) in enumerate(gmm):
+            means[g, :width] = mu
+            stds[g, :width] = sigma
+        integral = np.asarray([flag for *_, flag in gmm], dtype=bool)
+        return names, vcols, argmax[1], means, stds, integral
+
+    def __call__(self, samples: np.ndarray) -> Dict[str, np.ndarray]:
+        """Decode ``(n, output_dim)`` samples into attribute columns."""
+        columns: Dict[str, np.ndarray] = {}
+        if self._simple is not None:
+            names, cols, mins, ranges, integral = self._simple
+            clipped = np.clip(samples[:, cols], -1.0, 1.0)
+            values = mins + (clipped + 1.0) / 2.0 * ranges
+            if integral.any():
+                values[:, integral] = np.rint(values[:, integral])
+            for i, name in enumerate(names):
+                columns[name] = values[:, i]
+        if self._rounded is not None:
+            names, cols, scales, domains, tanh = self._rounded
+            raw = samples[:, cols]
+            unit = np.where(tanh, (np.clip(raw, -1.0, 1.0) + 1.0) / 2.0, raw)
+            codes = np.rint(unit * scales).astype(np.int64)
+            codes = np.clip(codes, 0, domains - 1)
+            for i, name in enumerate(names):
+                columns[name] = codes[:, i]
+        if self._onehot is not None:
+            names, idx = self._onehot
+            codes = samples[:, idx].argmax(axis=2).astype(np.int64)
+            for i, name in enumerate(names):
+                columns[name] = codes[:, i]
+        if self._gmm is not None:
+            names, vcols, idx, means, stds, integral = self._gmm
+            modes = samples[:, idx].argmax(axis=2)
+            rows = np.arange(len(names))[None, :]
+            v_gmm = np.clip(samples[:, vcols], -1.0, 1.0)
+            values = (v_gmm * 2.0 * stds[rows, modes]
+                      + means[rows, modes])
+            if integral.any():
+                values[:, integral] = np.rint(values[:, integral])
+            for i, name in enumerate(names):
+                columns[name] = values[:, i]
+        return columns
 
 
 def _make_categorical(encoding: str) -> AttributeTransformer:
@@ -77,6 +230,7 @@ class RecordTransformer:
         self.transformers: Dict[str, AttributeTransformer] = {}
         self.blocks: List[BlockSpec] = []
         self.output_dim = 0
+        self._compiled: Optional[CompiledInverse] = None
 
     @property
     def attribute_names(self) -> List[str]:
@@ -109,6 +263,7 @@ class RecordTransformer:
         self.output_dim = offset
         if self.output_dim == 0:
             raise TransformError("no attributes to transform")
+        self._compiled = CompiledInverse(self.blocks, self.transformers)
         return self
 
     def transform(self, table: Table) -> np.ndarray:
@@ -119,12 +274,15 @@ class RecordTransformer:
         return np.concatenate(parts, axis=1)
 
     def inverse(self, samples: np.ndarray,
-                extra_columns: Optional[Dict[str, np.ndarray]] = None
-                ) -> Table:
+                extra_columns: Optional[Dict[str, np.ndarray]] = None,
+                vectorized: bool = True) -> Table:
         """Convert samples back into a table.
 
         ``extra_columns`` supplies excluded attributes (e.g. the label in
-        conditional synthesis).
+        conditional synthesis).  ``vectorized=True`` (the default)
+        decodes through the precomputed :class:`CompiledInverse` —
+        whole-matrix ops, bit-identical to the per-block reference path
+        selected by ``vectorized=False``.
         """
         if self.schema is None:
             raise TransformError("transformer is not fitted")
@@ -133,11 +291,17 @@ class RecordTransformer:
             raise TransformError(
                 f"expected samples of width {self.output_dim}, "
                 f"got {samples.shape}")
-        columns: Dict[str, np.ndarray] = {}
-        for block in self.blocks:
-            transformer = self.transformers[block.name]
-            columns[block.name] = transformer.inverse(
-                samples[:, block.slice])
+        if vectorized:
+            if self._compiled is None:
+                self._compiled = CompiledInverse(self.blocks,
+                                                 self.transformers)
+            columns = self._compiled(samples)
+        else:
+            columns = {}
+            for block in self.blocks:
+                transformer = self.transformers[block.name]
+                columns[block.name] = transformer.inverse(
+                    samples[:, block.slice])
         extra_columns = extra_columns or {}
         for name in self.exclude:
             if name not in extra_columns:
@@ -183,6 +347,8 @@ class RecordTransformer:
                 discrete_block=sub.discrete_block))
             offset += sub.width
         transformer.output_dim = offset
+        transformer._compiled = CompiledInverse(transformer.blocks,
+                                                transformer.transformers)
         return transformer
 
 
@@ -203,6 +369,7 @@ class MatrixTransformer:
         self.transformers: Dict[str, AttributeTransformer] = {}
         self.side = 0
         self.n_attributes = 0
+        self._compiled: Optional[CompiledInverse] = None
 
     @property
     def attribute_names(self) -> List[str]:
@@ -237,7 +404,16 @@ class MatrixTransformer:
             self.side = self.requested_side
         else:
             self.side = minimal
+        self._compiled = CompiledInverse(self._cell_blocks(),
+                                         self.transformers)
         return self
+
+    def _cell_blocks(self) -> List[BlockSpec]:
+        """One width-1 block per attribute cell of the flattened matrix."""
+        return [BlockSpec(name=name, start=i, width=1,
+                          head=self.transformers[name].head,
+                          discrete_block=False)
+                for i, name in enumerate(self.attribute_names)]
 
     def transform(self, table: Table) -> np.ndarray:
         """Encode into shape ``(n, 1, side, side)``."""
@@ -252,8 +428,8 @@ class MatrixTransformer:
         return padded.reshape(n, 1, self.side, self.side)
 
     def inverse(self, samples: np.ndarray,
-                extra_columns: Optional[Dict[str, np.ndarray]] = None
-                ) -> Table:
+                extra_columns: Optional[Dict[str, np.ndarray]] = None,
+                vectorized: bool = True) -> Table:
         if self.schema is None:
             raise TransformError("transformer is not fitted")
         samples = np.asarray(samples, dtype=np.float64)
@@ -262,9 +438,16 @@ class MatrixTransformer:
                 f"expected samples (n, 1, {self.side}, {self.side}), "
                 f"got {samples.shape}")
         flat = samples.reshape(samples.shape[0], -1)[:, :self.n_attributes]
-        columns: Dict[str, np.ndarray] = {}
-        for i, name in enumerate(self.attribute_names):
-            columns[name] = self.transformers[name].inverse(flat[:, i:i + 1])
+        if vectorized:
+            if self._compiled is None:
+                self._compiled = CompiledInverse(self._cell_blocks(),
+                                                 self.transformers)
+            columns = self._compiled(flat)
+        else:
+            columns = {}
+            for i, name in enumerate(self.attribute_names):
+                columns[name] = self.transformers[name].inverse(
+                    flat[:, i:i + 1])
         extra_columns = extra_columns or {}
         for name in self.exclude:
             if name not in extra_columns:
@@ -299,6 +482,8 @@ class MatrixTransformer:
         transformer.transformers = {
             name: attribute_transformer_from_state(sub)
             for name, sub in state["transformers"].items()}
+        transformer._compiled = CompiledInverse(transformer._cell_blocks(),
+                                                transformer.transformers)
         return transformer
 
 

@@ -9,7 +9,8 @@ import numpy as np
 from ..api.base import Synthesizer, prefixed, unprefixed
 from ..api.registry import register
 from ..datasets.schema import Table
-from ..nn import Adam, Tensor, no_grad
+from ..errors import TrainingError
+from ..nn import Adam, Tensor, get_default_dtype, no_grad
 from ..transform import RecordTransformer
 from .model import VAEModel, elbo_loss
 
@@ -22,9 +23,16 @@ class VAESynthesizer(Synthesizer):
     (one-hot + GMM by default), so comparisons isolate the generative
     model rather than the representation.  Implements the unified
     :class:`repro.api.Synthesizer` contract under the name ``"vae"``.
+
+    ``keep_snapshots`` mirrors the GAN family: per-epoch model
+    snapshots enable validation-based epoch selection through
+    ``repro.synthesize(table, method="vae", valid=...)``; with
+    ``keep_snapshots=False`` only the final epoch is deep-copied (the
+    others record ``None``), the lazy-snapshot memory win used by
+    sweeps without a validation table.
     """
 
-    default_sample_batch = 512
+    default_sample_batch = 4096
 
     def __init__(self, latent_dim: int = 32, hidden_dim: int = 128,
                  epochs: int = 10, iterations_per_epoch: int = 40,
@@ -32,7 +40,8 @@ class VAESynthesizer(Synthesizer):
                  kl_weight: float = 0.2,
                  categorical_encoding: str = "onehot",
                  numerical_normalization: str = "gmm",
-                 gmm_components: int = 5, seed: int = 0):
+                 gmm_components: int = 5, keep_snapshots: bool = True,
+                 seed: int = 0):
         super().__init__(seed=seed)
         self.latent_dim = latent_dim
         self.hidden_dim = hidden_dim
@@ -44,9 +53,11 @@ class VAESynthesizer(Synthesizer):
         self.categorical_encoding = categorical_encoding
         self.numerical_normalization = numerical_normalization
         self.gmm_components = gmm_components
+        self.keep_snapshots = bool(keep_snapshots)
         self.model: Optional[VAEModel] = None
         self.transformer: Optional[RecordTransformer] = None
         self.losses: List[float] = []
+        self._snapshots: List[Optional[Dict[str, np.ndarray]]] = []
 
     def _fit(self, table: Table, callbacks) -> None:
         self.transformer = RecordTransformer(
@@ -60,6 +71,7 @@ class VAESynthesizer(Synthesizer):
                               hidden_dim=self.hidden_dim, rng=self.rng)
         optimizer = Adam(self.model.parameters(), lr=self.lr)
         self.losses = []
+        self._snapshots = []
         n = len(data)
         for epoch in range(self.epochs):
             for _ in range(self.iterations_per_epoch):
@@ -72,17 +84,46 @@ class VAESynthesizer(Synthesizer):
                 loss.backward()
                 optimizer.step()
                 self.losses.append(float(loss.data))
+            # Lazy snapshots, GAN-parity: the final epoch is always
+            # kept so the trained model can be restored and persisted.
+            take_snapshot = self.keep_snapshots or epoch == self.epochs - 1
+            self._snapshots.append(self.model.state_dict()
+                                   if take_snapshot else None)
             for callback in callbacks:
                 callback({"epoch": epoch, "loss": self.losses[-1]})
+        self._active_snapshot = len(self._snapshots) - 1
+
+    # ------------------------------------------------------------------
+    # Snapshots (validation-based epoch selection, paper §6.2)
+    # ------------------------------------------------------------------
+    @property
+    def supports_snapshots(self) -> bool:
+        return bool(self._snapshots)
+
+    @property
+    def snapshots(self) -> List[Optional[Dict[str, np.ndarray]]]:
+        if not self._snapshots:
+            raise TrainingError("synthesizer has no training history")
+        return self._snapshots
+
+    def _snapshot_module(self) -> VAEModel:
+        return self.model
+
+    # ------------------------------------------------------------------
+    # Phase III
+    # ------------------------------------------------------------------
+    def _sampling_session(self):
+        return self._eval_mode_session(self.model)
 
     def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
-        z = Tensor(rng.standard_normal((m, self.latent_dim)))
-        self.model.eval()
-        try:
-            with no_grad():
-                decoded = self.model.decode(z).data
-        finally:
-            self.model.train()
+        dtype = get_default_dtype()
+        if dtype is np.float64:
+            z = Tensor(rng.standard_normal((m, self.latent_dim)))
+        else:
+            z = Tensor(rng.standard_normal((m, self.latent_dim),
+                                           dtype=dtype))
+        with no_grad():
+            decoded = self.model.decode(z).data
         return self.transformer.inverse(decoded)
 
     def training_curves(self) -> Dict[str, List[float]]:
@@ -109,10 +150,14 @@ class VAESynthesizer(Synthesizer):
                 "categorical_encoding": self.categorical_encoding,
                 "numerical_normalization": self.numerical_normalization,
                 "gmm_components": self.gmm_components,
+                "keep_snapshots": self.keep_snapshots,
                 "seed": self.seed,
             },
             "transformer": self.transformer.to_state(),
+            "active_snapshot": self._active_snapshot,
         }
+        # Only the active model is persisted (the winning snapshot is
+        # active after selection), matching the GAN family.
         return meta, prefixed("model", self.model.state_dict())
 
     def _load_state(self, state, arrays) -> None:
@@ -122,3 +167,4 @@ class VAESynthesizer(Synthesizer):
                               latent_dim=self.latent_dim,
                               hidden_dim=self.hidden_dim, rng=self.rng)
         self.model.load_state_dict(unprefixed("model", arrays))
+        self._active_snapshot = state.get("active_snapshot")

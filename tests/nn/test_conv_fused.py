@@ -1,0 +1,339 @@
+"""CNN fast path: strided-view unfold parity, fused conv nodes, pooling.
+
+Three contracts are covered, both engine dtypes where relevant:
+
+* the strided-view ``_im2col`` is **bit-identical** to the historical
+  loop-based implementation (and ``_col2im`` remains its exact adjoint);
+* the fused ``conv2d_bn_act`` / ``conv_transpose2d_bn_act`` kernels
+  carry correct gradients (finite differences) across stride > 1,
+  padding > 0, bias on/off, batch-norm on/off and every activation;
+* degenerate spatial shapes raise a ``ValueError`` naming the layer
+  geometry instead of failing later in ``reshape``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (
+    ArrayPool, BatchNorm2d, Conv2d, ConvTranspose2d, Tensor,
+    conv2d_bn_act, conv_transpose2d_bn_act,
+)
+from repro.nn.conv import (
+    _col2im, _col2im_gemm, _im2col, _im2col_gemm, _im2col_loop,
+)
+
+from tests.conftest import numeric_gradient
+
+TOLS = {
+    "float64": dict(atol=1e-6, rtol=1e-5),
+    "float32": dict(atol=5e-3, rtol=5e-2),
+}
+
+
+@pytest.fixture(params=["float64", "float32"])
+def engine_dtype(request):
+    with nn.default_dtype(request.param):
+        yield request.param
+
+
+GEOMETRIES = [
+    # (n, c, h, w, kernel, stride, pad)
+    (2, 3, 8, 8, 3, 1, 0),
+    (3, 2, 8, 8, 4, 2, 1),
+    (2, 4, 5, 7, 3, 2, 2),
+    (1, 1, 6, 6, 5, 3, 1),
+]
+
+
+class TestStridedViewParity:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_im2col_bit_identical_to_loop(self, rng, geometry):
+        n, c, h, w, k, s, p = geometry
+        x = rng.normal(size=(n, c, h, w))
+        fast, oh, ow = _im2col(x, k, k, s, p)
+        loop, oh2, ow2 = _im2col_loop(x, k, k, s, p)
+        assert (oh, ow) == (oh2, ow2)
+        assert fast.dtype == loop.dtype
+        np.testing.assert_array_equal(fast, loop)
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_gemm_layout_is_reordering_of_parity_layout(self, rng, geometry):
+        n, c, h, w, k, s, p = geometry
+        x = rng.normal(size=(n, c, h, w))
+        cols, oh, ow = _im2col(x, k, k, s, p)
+        gemm, _, _ = _im2col_gemm(x, k, k, s, p)
+        # (N, C*k*k, oh*ow) -> (N*oh*ow, C*k*k) is a pure transpose.
+        np.testing.assert_array_equal(
+            gemm, cols.transpose(0, 2, 1).reshape(n * oh * ow, c * k * k))
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_col2im_gemm_adjoint(self, rng, geometry):
+        """<im2col_gemm(x), y> == <x, col2im_gemm(y)>."""
+        n, c, h, w, k, s, p = geometry
+        x = rng.normal(size=(n, c, h, w))
+        cols, oh, ow = _im2col_gemm(x, k, k, s, p)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = _col2im_gemm(y, x.shape, k, k, s, p, oh, ow)
+        assert lhs == pytest.approx(float((x * back).sum()))
+
+    def test_pooled_im2col_matches_unpooled(self, rng):
+        pool = ArrayPool()
+        x = rng.normal(size=(2, 3, 8, 8))
+        a, _, _ = _im2col(x, 4, 4, 2, 1, pool)
+        pool.put(a.copy())  # seed the pool with a same-shaped buffer
+        b, _, _ = _im2col(x, 4, 4, 2, 1, pool)
+        reference, _, _ = _im2col_loop(x, 4, 4, 2, 1)
+        np.testing.assert_array_equal(b, reference)
+
+
+class TestArrayPool:
+    def test_take_put_recycles(self):
+        pool = ArrayPool()
+        a = pool.take((3, 4), np.float32)
+        assert a.shape == (3, 4) and a.dtype == np.float32
+        pool.put(a)
+        assert pool.take((3, 4), np.float32) is a
+        # A different shape/dtype allocates fresh.
+        assert pool.take((3, 4), np.float64) is not a
+
+    def test_capacity_bound(self):
+        pool = ArrayPool(max_per_key=1)
+        a, b = np.empty(3), np.empty(3)
+        pool.put(a)
+        pool.put(b)  # beyond capacity: dropped
+        assert pool.take((3,), np.float64) is a
+        assert pool.take((3,), np.float64) is not b
+
+
+def _gradcheck(build, arrays, dtype):
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    build(tensors).backward()
+    with nn.default_dtype("float64"):
+        for tensor, array in zip(tensors, arrays):
+            numeric = numeric_gradient(
+                lambda: float(build([Tensor(a) for a in arrays]).data),
+                array)
+            assert tensor.grad is not None
+            np.testing.assert_allclose(tensor.grad, numeric, **TOLS[dtype])
+
+
+class TestFusedConvGradients:
+    @pytest.mark.parametrize("bias", [True, False])
+    @pytest.mark.parametrize("activation", [None, "relu", "leaky_relu",
+                                            "tanh"])
+    def test_conv2d_bn_act(self, rng, engine_dtype, bias, activation):
+        bn = BatchNorm2d(3)
+        arrays = [rng.normal(size=(4, 2, 6, 6)),
+                  rng.normal(size=(3, 2, 3, 3)) * 0.4]
+        if bias:
+            arrays.append(rng.normal(size=3))
+
+        def build(ts):
+            b = ts[2] if bias else None
+            return (conv2d_bn_act(ts[0], ts[1], b, bn=bn,
+                                  activation=activation, stride=2,
+                                  padding=1) ** 2).sum()
+
+        _gradcheck(build, arrays, engine_dtype)
+
+    @pytest.mark.parametrize("bias", [True, False])
+    @pytest.mark.parametrize("activation", [None, "relu", "tanh"])
+    def test_conv_transpose2d_bn_act(self, rng, engine_dtype, bias,
+                                     activation):
+        bn = BatchNorm2d(2)
+        arrays = [rng.normal(size=(3, 3, 3, 3)),
+                  rng.normal(size=(3, 2, 4, 4)) * 0.4]
+        if bias:
+            arrays.append(rng.normal(size=2))
+
+        def build(ts):
+            b = ts[2] if bias else None
+            return (conv_transpose2d_bn_act(ts[0], ts[1], b, bn=bn,
+                                            activation=activation, stride=2,
+                                            padding=1) ** 2).sum()
+
+        _gradcheck(build, arrays, engine_dtype)
+
+    def test_conv_without_bn(self, rng, engine_dtype):
+        _gradcheck(
+            lambda ts: (conv2d_bn_act(ts[0], ts[1], ts[2],
+                                      activation="leaky_relu", stride=1,
+                                      padding=2) ** 2).sum(),
+            [rng.normal(size=(2, 2, 5, 5)),
+             rng.normal(size=(3, 2, 3, 3)) * 0.4, rng.normal(size=3)],
+            engine_dtype)
+
+    def test_eval_mode_bn(self, rng, engine_dtype):
+        bn = BatchNorm2d(3)
+        bn.running_mean = rng.normal(size=(1, 3, 1, 1)) * 0.1
+        bn.running_var = rng.uniform(0.5, 1.5, size=(1, 3, 1, 1))
+        bn.eval()
+        _gradcheck(
+            lambda ts: (conv2d_bn_act(ts[0], ts[1], None, bn=bn,
+                                      activation="relu", stride=2,
+                                      padding=1) ** 2).sum(),
+            [rng.normal(size=(2, 2, 6, 6)),
+             rng.normal(size=(3, 2, 4, 4)) * 0.4],
+            engine_dtype)
+
+    def test_bn_parameter_gradients(self, rng, engine_dtype):
+        bn = BatchNorm2d(3)
+        x = rng.normal(size=(4, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3)) * 0.4
+
+        def loss():
+            return (conv2d_bn_act(Tensor(x), Tensor(w), None, bn=bn,
+                                  activation="tanh", stride=2,
+                                  padding=1) ** 2).sum()
+
+        bn.gamma.zero_grad()
+        bn.beta.zero_grad()
+        loss().backward()
+        with nn.default_dtype("float64"):
+            for param in (bn.gamma, bn.beta):
+                numeric = numeric_gradient(lambda: float(loss().data),
+                                           param.data)
+                np.testing.assert_allclose(param.grad, numeric,
+                                           **TOLS[engine_dtype])
+
+
+class TestFusedMatchesComposed:
+    """The fused kernels agree with the composed parity op chain."""
+
+    def test_conv_stack_agreement(self, rng):
+        bn = BatchNorm2d(4)
+        conv = Conv2d(2, 4, kernel_size=4, stride=2, padding=1, rng=rng)
+        x = rng.normal(size=(6, 2, 8, 8))
+        composed = conv._forward_parity(Tensor(x))
+        composed = bn(composed).leaky_relu(0.2)
+        bn_fused = BatchNorm2d(4)  # fresh running stats
+        fused = conv2d_bn_act(Tensor(x), conv.weight, conv.bias, bn=bn_fused,
+                              activation="leaky_relu", stride=2, padding=1)
+        np.testing.assert_allclose(fused.data, composed.data,
+                                   atol=1e-10, rtol=1e-10)
+        np.testing.assert_allclose(bn_fused.running_mean, bn.running_mean,
+                                   atol=1e-12)
+
+    def test_deconv_stack_agreement(self, rng):
+        bn = BatchNorm2d(2)
+        deconv = ConvTranspose2d(3, 2, kernel_size=4, stride=2, padding=1,
+                                 rng=rng)
+        x = rng.normal(size=(5, 3, 4, 4))
+        composed = deconv._forward_parity(Tensor(x))
+        composed = bn(composed).relu()
+        bn_fused = BatchNorm2d(2)
+        fused = conv_transpose2d_bn_act(Tensor(x), deconv.weight, deconv.bias,
+                                        bn=bn_fused, activation="relu",
+                                        stride=2, padding=1)
+        np.testing.assert_allclose(fused.data, composed.data,
+                                   atol=1e-10, rtol=1e-10)
+
+    def test_module_forward_dispatches_per_dtype(self, rng):
+        """float32 takes the fused kernel; float64 the parity einsums —
+        outputs agree to float32 precision."""
+        with nn.default_dtype("float64"):
+            conv = Conv2d(1, 3, kernel_size=4, stride=2, padding=1, rng=rng)
+            x = rng.normal(size=(4, 1, 8, 8))
+            ref = conv(Tensor(x), activation="leaky_relu").data
+        with nn.default_dtype("float32"):
+            conv32 = Conv2d(1, 3, kernel_size=4, stride=2, padding=1)
+            conv32.weight.data = conv.weight.data.astype(np.float32)
+            conv32.bias.data = conv.bias.data.astype(np.float32)
+            out = conv32(Tensor(x), activation="leaky_relu").data
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, ref, atol=1e-4, rtol=1e-4)
+
+    def test_buffer_reuse_across_two_forwards(self, rng):
+        """The real|fake discriminator pattern: two forwards through one
+        layer before backward must not corrupt the first tape's columns."""
+        conv = Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng)
+        a = rng.normal(size=(2, 2, 6, 6))
+        b = rng.normal(size=(2, 2, 6, 6))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        ((conv(ta) ** 2).sum() + (conv(tb) ** 2).sum()).backward()
+        for t, arr in ((ta, a), (tb, b)):
+            numeric = numeric_gradient(
+                lambda: float((conv(Tensor(arr)) ** 2).sum().data), arr)
+            np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+
+class TestDegenerateShapes:
+    def test_conv_too_small_input_raises(self, engine_dtype, rng):
+        conv = Conv2d(1, 2, kernel_size=5, rng=rng)
+        with pytest.raises(ValueError, match="kernel_size=5"):
+            conv(Tensor(rng.normal(size=(1, 1, 3, 3))))
+
+    def test_conv_stride_padding_in_message(self, rng):
+        conv = Conv2d(1, 2, kernel_size=7, stride=2, padding=1, rng=rng)
+        with pytest.raises(ValueError, match=r"stride=2.*padding=1"):
+            conv(Tensor(rng.normal(size=(2, 1, 4, 4))))
+
+    def test_deconv_overpadded_raises(self, engine_dtype, rng):
+        deconv = ConvTranspose2d(1, 1, kernel_size=2, stride=1, padding=3,
+                                 rng=rng)
+        with pytest.raises(ValueError):
+            deconv(Tensor(rng.normal(size=(1, 1, 2, 2))))
+
+
+class TestFastMathDtypeFlow:
+    def test_eval_bn_keeps_float32_stream(self, rng):
+        """Eval-mode BN inside the fused kernels must cast the float64
+        running-stat buffers, not upcast the float32 stream."""
+        with nn.default_dtype("float32"):
+            for module in (Conv2d(2, 3, kernel_size=4, stride=2, padding=1),
+                           ConvTranspose2d(2, 3, kernel_size=4, stride=2,
+                                           padding=1)):
+                bn = BatchNorm2d(3)
+                bn.eval()
+                module.eval()
+                out = module(Tensor(rng.normal(size=(2, 2, 4, 4))),
+                             activation="relu", bn=bn)
+                assert out.data.dtype == np.float32
+
+
+class TestBatchNormEvalFused:
+    def test_bn1d_eval_single_node_bit_identical(self, rng):
+        from repro.nn import BatchNorm1d
+
+        bn = BatchNorm1d(5)
+        for _ in range(3):
+            bn(Tensor(rng.normal(1.5, 2.0, size=(16, 5))))
+        bn.eval()
+        x = rng.normal(size=(7, 5))
+        out = bn(Tensor(x))
+        inv = 1.0 / np.sqrt(bn.running_var + bn.eps)
+        expected = ((x - bn.running_mean) * inv) * bn.gamma.data \
+            + bn.beta.data
+        np.testing.assert_array_equal(out.data, expected)
+        assert out._parents  # single fused node, parents wired
+
+    def test_bn2d_eval_single_node_bit_identical(self, rng):
+        bn = BatchNorm2d(3)
+        for _ in range(3):
+            bn(Tensor(rng.normal(0.5, 1.5, size=(8, 3, 4, 4))))
+        bn.eval()
+        x = rng.normal(size=(4, 3, 4, 4))
+        out = bn(Tensor(x))
+        inv = 1.0 / np.sqrt(bn.running_var + bn.eps)
+        expected = ((x - bn.running_mean) * inv) * bn.gamma.data \
+            + bn.beta.data
+        np.testing.assert_array_equal(out.data, expected)
+
+    def test_bn1d_eval_gradients(self, rng, engine_dtype):
+        from repro.nn import BatchNorm1d
+
+        bn = BatchNorm1d(4)
+        bn.running_mean = rng.normal(size=4)
+        bn.running_var = rng.uniform(0.5, 2.0, size=4)
+        bn.eval()
+        x = rng.normal(size=(6, 4))
+        t = Tensor(x, requires_grad=True)
+        (bn(t, activation="relu") ** 2).sum().backward()
+        with nn.default_dtype("float64"):
+            numeric = numeric_gradient(
+                lambda: float((bn(Tensor(x), activation="relu") ** 2)
+                              .sum().data), x)
+        np.testing.assert_allclose(t.grad, numeric, **TOLS[engine_dtype])

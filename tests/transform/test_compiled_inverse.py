@@ -1,0 +1,162 @@
+"""Vectorized (compiled) inverse vs the per-block reference path.
+
+The compiled inverse must be **bit-identical** to walking the attribute
+blocks and calling each transformer's ``inverse`` — same values, same
+dtypes — for every encoding/normalization combination, after state
+round trips, and for the matrix (CNN) sample form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import (
+    Attribute, CATEGORICAL, NUMERICAL, Schema, Table,
+)
+from repro.transform import MatrixTransformer, RecordTransformer
+from repro.transform.record import CompiledInverse, transformer_from_state
+
+from tests.conftest import make_mixed_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n=250, seed=2)
+
+
+@pytest.fixture(scope="module")
+def integral_table():
+    """Mixed table with an integral numerical attribute (rint on decode)."""
+    rng = np.random.default_rng(5)
+    n = 200
+    schema = Schema(
+        attributes=(
+            Attribute("count", NUMERICAL, integral=True),
+            Attribute("score", NUMERICAL),
+            Attribute("kind", CATEGORICAL, categories=("a", "b", "c")),
+        ),
+    )
+    return Table(schema, {
+        "count": rng.integers(0, 50, n).astype(np.float64),
+        "score": rng.normal(size=n),
+        "kind": rng.integers(0, 3, n),
+    })
+
+
+def assert_columns_identical(a, b):
+    assert a.schema.names == b.schema.names
+    for name in a.schema.names:
+        ca, cb = a.column(name), b.column(name)
+        assert ca.dtype == cb.dtype, name
+        np.testing.assert_array_equal(ca, cb)
+
+
+@pytest.mark.parametrize("encoding", ["onehot", "ordinal"])
+@pytest.mark.parametrize("normalization", ["gmm", "simple"])
+class TestRecordCompiledInverse:
+    def test_bit_identical_to_reference(self, table, encoding,
+                                        normalization):
+        transformer = RecordTransformer(
+            categorical_encoding=encoding,
+            numerical_normalization=normalization,
+            rng=np.random.default_rng(1)).fit(table)
+        samples = np.random.default_rng(0).normal(
+            scale=0.8, size=(400, transformer.output_dim))
+        assert_columns_identical(
+            transformer.inverse(samples),
+            transformer.inverse(samples, vectorized=False))
+
+    def test_state_round_trip_keeps_compiled_path(self, table, encoding,
+                                                  normalization):
+        transformer = RecordTransformer(
+            categorical_encoding=encoding,
+            numerical_normalization=normalization,
+            rng=np.random.default_rng(1)).fit(table)
+        samples = np.random.default_rng(0).normal(
+            scale=0.8, size=(120, transformer.output_dim))
+        restored = transformer_from_state(transformer.to_state())
+        assert restored._compiled is not None
+        assert_columns_identical(transformer.inverse(samples),
+                                 restored.inverse(samples))
+
+
+class TestIntegralAndEdgeCases:
+    def test_integral_columns_are_rounded(self, integral_table):
+        for normalization in ("simple", "gmm"):
+            transformer = RecordTransformer(
+                numerical_normalization=normalization,
+                rng=np.random.default_rng(2)).fit(integral_table)
+            samples = np.random.default_rng(3).normal(
+                scale=0.7, size=(300, transformer.output_dim))
+            fast = transformer.inverse(samples)
+            slow = transformer.inverse(samples, vectorized=False)
+            assert_columns_identical(fast, slow)
+            counts = fast.column("count")
+            np.testing.assert_array_equal(counts, np.rint(counts))
+
+    def test_out_of_range_values_clip_identically(self, table):
+        transformer = RecordTransformer(
+            rng=np.random.default_rng(1)).fit(table)
+        samples = np.random.default_rng(0).normal(
+            scale=5.0, size=(200, transformer.output_dim))  # far outside
+        assert_columns_identical(
+            transformer.inverse(samples),
+            transformer.inverse(samples, vectorized=False))
+
+    def test_transform_inverse_round_trip(self, table):
+        transformer = RecordTransformer(
+            categorical_encoding="onehot", numerical_normalization="simple",
+            rng=np.random.default_rng(1)).fit(table)
+        encoded = transformer.transform(table)
+        decoded = transformer.inverse(encoded)
+        for name in ("job", "city", "label"):
+            np.testing.assert_array_equal(decoded.column(name),
+                                          table.column(name))
+
+
+class TestMatrixCompiledInverse:
+    def test_bit_identical_to_reference(self, table):
+        transformer = MatrixTransformer().fit(table)
+        samples = np.random.default_rng(4).normal(
+            scale=0.8, size=(300, 1, transformer.side, transformer.side))
+        assert_columns_identical(
+            transformer.inverse(samples),
+            transformer.inverse(samples, vectorized=False))
+
+    def test_state_round_trip(self, table):
+        transformer = MatrixTransformer().fit(table)
+        samples = np.random.default_rng(4).normal(
+            scale=0.8, size=(80, 1, transformer.side, transformer.side))
+        restored = transformer_from_state(transformer.to_state())
+        assert restored._compiled is not None
+        assert_columns_identical(transformer.inverse(samples),
+                                 restored.inverse(samples))
+
+
+class TestCompiledInverseInternals:
+    def test_argmax_padding_never_wins(self):
+        """Padded duplicate columns must not steal the argmax from the
+        real first occurrence (tie-breaking contract)."""
+        transformer = RecordTransformer(
+            categorical_encoding="onehot", numerical_normalization="simple",
+            rng=np.random.default_rng(1))
+        table = make_mixed_table(n=100, seed=0)
+        transformer.fit(table)
+        width = transformer.output_dim
+        # All-equal scores: argmax must pick each block's first column.
+        samples = np.zeros((5, width))
+        decoded = transformer.inverse(samples)
+        reference = transformer.inverse(samples, vectorized=False)
+        assert_columns_identical(decoded, reference)
+
+    def test_unknown_kind_rejected(self, table):
+        transformer = RecordTransformer(
+            rng=np.random.default_rng(1)).fit(table)
+
+        class Weird:
+            def inverse_spec(self):
+                return {"kind": "nope"}
+
+        from repro.errors import TransformError
+        with pytest.raises(TransformError, match="unknown inverse kind"):
+            CompiledInverse(transformer.blocks[:1],
+                            {transformer.blocks[0].name: Weird()})
