@@ -1,0 +1,100 @@
+"""Relational (multi-table) synthesis: fidelity + generation throughput.
+
+Runs :class:`repro.relational.DatabaseSynthesizer` on the simulated
+customers/orders pair (``datasets.sdata_relational``) for several
+per-table method families and records, per family:
+
+* **referential integrity** — dangling FK count of the synthetic
+  database (zero by construction; recorded as an invariant check);
+* **cardinality fidelity** — TV distance between the real and
+  synthetic children-per-parent histograms, plus the mean fan-out;
+* **parent-child correlation preservation** — mean absolute difference
+  of the FK-join correlations (Hudovernik et al.'s axis);
+* **marginal fidelity** — mean per-attribute TV distance per table;
+* **rows/sec** — end-to-end generation throughput of ``sample`` over
+  all tables of the database (the multi-table Phase III number).
+
+``BENCH_relational.json`` carries the rows for cross-PR trajectories.
+
+Scale knobs: ``REPRO_BENCH_CUSTOMERS`` (default 400, parents of the
+simulated pair), ``REPRO_BENCH_EPOCHS`` / ``REPRO_BENCH_ITERS`` (neural
+training budget), ``REPRO_BENCH_DB_SCALE`` (sampled database size as a
+multiple of the training one, default 5 so the throughput number is
+measured on a meaningfully sized generation pass).
+"""
+
+import os
+import time
+
+import pytest
+
+from _harness import emit, run_once
+from repro.datasets import sdata_relational
+from repro.relational import DatabaseSynthesizer, database_fidelity_report
+from repro.report import format_table
+
+N_CUSTOMERS = int(os.environ.get("REPRO_BENCH_CUSTOMERS", "400"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "5"))
+ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "25"))
+SCALE = float(os.environ.get("REPRO_BENCH_DB_SCALE", "5"))
+
+#: Per-table method families compared (the acceptance bar is >= 2).
+METHODS = ("gan", "vae", "privbayes")
+
+
+def _run() -> str:
+    database = sdata_relational(n_customers=N_CUSTOMERS, seed=0)
+    fk = database.foreign_keys[0]
+    rows = []
+    for method in METHODS:
+        synth = DatabaseSynthesizer(
+            method=method,
+            method_kwargs=dict(epochs=EPOCHS, iterations_per_epoch=ITERS),
+            seed=0)
+        fit_start = time.perf_counter()
+        synth.fit(database)
+        fit_seconds = time.perf_counter() - fit_start
+
+        sample_start = time.perf_counter()
+        synthetic = synth.sample(scale=SCALE, seed=1)
+        sample_seconds = time.perf_counter() - sample_start
+        n_rows = sum(len(synthetic[name]) for name in synthetic.table_names)
+
+        report = database_fidelity_report(database, synthetic)
+        edge = report["foreign_keys"][0]
+        rows.append({
+            "method": method,
+            "n_rows": n_rows,
+            "fit_seconds": round(fit_seconds, 4),
+            "sample_seconds": round(sample_seconds, 4),
+            "rows_per_sec": round(n_rows / max(sample_seconds, 1e-9), 1),
+            "dangling_fks": report["dangling_references"][fk.key],
+            "cardinality_tv": round(
+                edge["cardinality"]["count_tv_distance"], 4),
+            "real_fanout_mean": round(edge["cardinality"]["real_mean"], 3),
+            "synth_fanout_mean": round(
+                edge["cardinality"]["synthetic_mean"], 3),
+            "pc_correlation_diff": round(
+                edge["correlation"]["mean_abs_difference"], 4),
+            "marginal_tv_customers": round(
+                report["tables"]["customers"]["marginal_tv_mean"], 4),
+            "marginal_tv_orders": round(
+                report["tables"]["orders"]["marginal_tv_mean"], 4),
+        })
+
+    headers = ["method", "rows/s", "dangling", "card.TV", "pc-corr diff",
+               "TV cust", "TV orders"]
+    table_rows = [[r["method"], r["rows_per_sec"], r["dangling_fks"],
+                   r["cardinality_tv"], r["pc_correlation_diff"],
+                   r["marginal_tv_customers"], r["marginal_tv_orders"]]
+                  for r in rows]
+    text = format_table(
+        headers, table_rows,
+        title=(f"Relational synthesis (customers/orders, "
+               f"{N_CUSTOMERS} parents, scale {SCALE:g})"))
+    return emit("relational", text, rows=rows)
+
+
+@pytest.mark.benchmark(group="relational")
+def test_bench_relational(benchmark):
+    run_once(benchmark, _run)

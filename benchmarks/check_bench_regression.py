@@ -1,20 +1,29 @@
 #!/usr/bin/env python
-"""CI gate: fail when the CNN train step regresses vs a committed baseline.
+"""CI gate: fail when an engine hot path regresses vs a committed baseline.
 
-Compares two ``BENCH_engine_microbench.json`` files (the committed
-baseline and a freshly measured one) on the CNN float32 train-step
-time.  Because CI hardware differs from the machine that produced the
-committed baseline, the default comparison is **relative**: the CNN
-step is normalized by the same run's MLP step, so a uniform machine
-slowdown cancels out while a conv-path regression (the thing this PR's
-fast path fixed) still trips the gate.  ``--absolute`` compares raw
-milliseconds instead, for same-machine trajectories.
+Two modes over two benchmark sidecars:
+
+* ``--mode train_step`` (default) — compares two
+  ``BENCH_engine_microbench.json`` files on the CNN float32 train-step
+  time (lower is better).
+* ``--mode sampling`` — compares two ``BENCH_sampling_throughput.json``
+  files on the streaming generation throughput (``rows_per_sec`` of the
+  ``current``/``sample`` rows, higher is better) for every method
+  present in both files.
+
+Because CI hardware differs from the machine that produced the
+committed baseline, the default comparison is **relative**: the gated
+metric is normalized by the same run's reference row (the MLP train
+step, or the ``gan-mlp`` sampling throughput), so a uniform machine
+slowdown cancels out while a path-specific regression still trips the
+gate.  ``--absolute`` compares raw numbers instead, for same-machine
+trajectories.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BASELINE.json CURRENT.json \
-        [--arch cnn] [--dtype float32] [--relative-to mlp] \
-        [--max-regression 0.20] [--absolute]
+        [--mode train_step|sampling] [--arch cnn] [--dtype float32] \
+        [--relative-to mlp] [--max-regression 0.20] [--absolute]
 
 Exit status 0 when within bounds, 1 on regression (or missing rows).
 """
@@ -25,15 +34,24 @@ import argparse
 import json
 import sys
 
+#: Reference row for machine-speed cancellation, per mode.
+_DEFAULT_REFERENCE = {"train_step": "mlp", "sampling": "gan-mlp"}
 
-def _load_rows(path: str) -> dict:
+
+def _load(path: str) -> dict:
     with open(path) as handle:
-        payload = json.load(handle)
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# train_step mode (BENCH_engine_microbench.json)
+# ----------------------------------------------------------------------
+def _microbench_rows(payload: dict) -> dict:
     return {(row["arch"], row["dtype"]): row for row in payload["rows"]}
 
 
-def _metric(rows: dict, arch: str, dtype: str, relative_to: str | None
-            ) -> float:
+def _train_step_metric(rows: dict, arch: str, dtype: str,
+                       relative_to: str | None) -> float:
     key = (arch, dtype)
     if key not in rows:
         raise KeyError(f"no ({arch}, {dtype}) row in benchmark json")
@@ -47,33 +65,13 @@ def _metric(rows: dict, arch: str, dtype: str, relative_to: str | None
     return value
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_*.json")
-    parser.add_argument("current", help="freshly measured BENCH_*.json")
-    parser.add_argument("--arch", default="cnn")
-    parser.add_argument("--dtype", default="float32")
-    parser.add_argument("--relative-to", default="mlp",
-                        help="normalize by this arch's train step "
-                             "(machine-speed cancellation)")
-    parser.add_argument("--absolute", action="store_true",
-                        help="compare raw milliseconds (same-machine runs)")
-    parser.add_argument("--max-regression", type=float, default=0.20,
-                        help="allowed fractional slowdown (default 0.20)")
-    args = parser.parse_args(argv)
-
+def _check_train_step(args) -> int:
     relative_to = None if args.absolute else args.relative_to
-    try:
-        base = _metric(_load_rows(args.baseline), args.arch, args.dtype,
-                       relative_to)
-        curr = _metric(_load_rows(args.current), args.arch, args.dtype,
-                       relative_to)
-    except (KeyError, FileNotFoundError, json.JSONDecodeError) as exc:
-        print(f"check_bench_regression: cannot compare: {exc}",
-              file=sys.stderr)
-        return 1
-
-    unit = "ms" if args.absolute else f"x {args.relative_to}"
+    base = _train_step_metric(_microbench_rows(_load(args.baseline)),
+                              args.arch, args.dtype, relative_to)
+    curr = _train_step_metric(_microbench_rows(_load(args.current)),
+                              args.arch, args.dtype, relative_to)
+    unit = "ms" if args.absolute else f"x {relative_to}"
     change = curr / base - 1.0
     print(f"{args.arch}/{args.dtype} train step: baseline {base:.4g} {unit}"
           f" -> current {curr:.4g} {unit} ({change:+.1%})")
@@ -83,6 +81,80 @@ def main(argv=None) -> int:
         return 1
     print(f"OK: within the {args.max_regression:.0%} regression budget")
     return 0
+
+
+# ----------------------------------------------------------------------
+# sampling mode (BENCH_sampling_throughput.json)
+# ----------------------------------------------------------------------
+def _sampling_rows(payload: dict) -> dict:
+    return {row["method"]: float(row["rows_per_sec"])
+            for row in payload["rows"]
+            if row.get("mode") == "current" and row.get("api") == "sample"}
+
+
+def _check_sampling(args) -> int:
+    reference = None if args.absolute else args.relative_to
+    base_rows = _sampling_rows(_load(args.baseline))
+    curr_rows = _sampling_rows(_load(args.current))
+    methods = sorted(set(base_rows) & set(curr_rows))
+    if not methods:
+        raise KeyError("no common current/sample methods in the two jsons")
+    if reference is not None and reference not in methods:
+        raise KeyError(f"no {reference!r} row for normalization")
+    failed = []
+    for method in methods:
+        base = base_rows[method]
+        curr = curr_rows[method]
+        unit = "rows/s"
+        if reference is not None:
+            if method == reference:
+                continue  # the reference normalizes to 1.0 by definition
+            base /= base_rows[reference]
+            curr /= curr_rows[reference]
+            unit = f"x {reference}"
+        change = curr / base - 1.0
+        print(f"{method} sampling throughput: baseline {base:.4g} {unit}"
+              f" -> current {curr:.4g} {unit} ({change:+.1%})")
+        # Throughput: lower-than-baseline beyond the budget fails.
+        if curr < base * (1.0 - args.max_regression):
+            failed.append(method)
+    if failed:
+        print(f"FAIL: sampling regression exceeds "
+              f"{args.max_regression:.0%} budget for: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: within the {args.max_regression:.0%} regression budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly measured BENCH_*.json")
+    parser.add_argument("--mode", choices=("train_step", "sampling"),
+                        default="train_step")
+    parser.add_argument("--arch", default="cnn")
+    parser.add_argument("--dtype", default="float32")
+    parser.add_argument("--relative-to", default=None,
+                        help="normalize by this arch/method "
+                             "(machine-speed cancellation; default: "
+                             "mlp for train_step, gan-mlp for sampling)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw numbers (same-machine runs)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args(argv)
+    if args.relative_to is None:
+        args.relative_to = _DEFAULT_REFERENCE[args.mode]
+
+    try:
+        if args.mode == "sampling":
+            return _check_sampling(args)
+        return _check_train_step(args)
+    except (KeyError, FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"check_bench_regression: cannot compare: {exc}",
+              file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -11,7 +11,10 @@ Runs the paper's full loop on the Adult stand-in dataset:
    reproducible sample from the restored model.
 
 Every method family works behind the same entry points — swap
-``method="gan"`` for ``"vae"`` or ``"privbayes"``.
+``method="gan"`` for ``"vae"`` or ``"privbayes"``.  For multi-table
+databases with foreign keys, see ``examples/relational_database.py``
+(``repro.synthesize_database`` — referential integrity by
+construction, parent-context-conditioned child generation).
 
 Engine dtype: training runs on the library's own numpy autograd engine,
 which defaults to ``float64`` (bit-for-bit reproducible trajectories).

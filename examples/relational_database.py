@@ -1,0 +1,68 @@
+"""Multi-table synthesis: a customers/orders database with foreign keys.
+
+Runs the :mod:`repro.relational` subsystem end to end on the simulated
+two-table pair (``datasets.sdata_relational``):
+
+1. build the training database — a ``customers`` table and an
+   ``orders`` table wired by ``orders.customer_id -> customers``;
+2. call ``repro.synthesize_database(db, method="gan")`` — one call
+   that fits one per-table synthesizer per node of the FK graph in
+   topological order (children trained with parent-context
+   conditioning where the family supports it, plus a per-parent
+   child-count model per FK edge), then samples a synthetic database
+   in which every foreign key resolves **by construction**;
+3. inspect the relational fidelity report: cardinality fidelity
+   (children-per-parent distribution) and parent-child correlation
+   preservation across the FK join;
+4. save the fitted database synthesizer and reload it for a
+   reproducible sample.
+
+Swap ``method="gan"`` for ``"vae"`` or ``"privbayes"`` (or mix with
+``per_table={"orders": "privbayes"}``) — referential integrity holds
+for every family; conditioning only sharpens parent-child correlations
+where supported.
+"""
+
+import pathlib
+import tempfile
+
+import repro
+from repro import datasets
+
+
+def main() -> None:
+    db = datasets.sdata_relational(n_customers=300, seed=0)
+    print(f"training database: {db}")
+    print(f"  topological order: {db.topological_order()}")
+
+    result = repro.synthesize_database(
+        db, method="gan", epochs=3, iterations_per_epoch=20,
+        seed=0, sample_seed=1)
+    synthetic = result.database
+    print(f"synthetic database: {synthetic}")
+    print(f"  dangling foreign keys: {synthetic.check_integrity()}")
+
+    edge = result.report["foreign_keys"][0]
+    print(f"fidelity along {edge['foreign_key']}:")
+    cardinality = edge["cardinality"]
+    print(f"  orders per customer: real {cardinality['real_mean']:.2f} "
+          f"vs synthetic {cardinality['synthetic_mean']:.2f} "
+          f"(count TV distance {cardinality['count_tv_distance']:.3f})")
+    print(f"  parent-child correlation drift: "
+          f"{edge['correlation']['mean_abs_difference']:.3f}")
+    for name, table_report in result.report["tables"].items():
+        print(f"  {name}: marginal TV "
+              f"{table_report['marginal_tv_mean']:.3f} "
+              f"({table_report['n_synthetic']} rows)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "db-synth"
+        result.synthesizer.save(path)
+        restored = repro.load_database_synthesizer(path)
+        again = restored.sample(scale=0.5, seed=7)
+        print(f"restored model sampled: {again} "
+              f"(dangling: {again.check_integrity()})")
+
+
+if __name__ == "__main__":
+    main()

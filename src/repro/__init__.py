@@ -37,6 +37,28 @@ Or drive the lifecycle yourself — any registered family ("gan", "vae",
     synth.save("models/adult-gan")
     same = repro.load_synthesizer("models/adult-gan")
 
+Multi-table databases (``repro.relational``): declare tables + foreign
+keys and synthesize the whole database with referential integrity by
+construction — children are generated conditioned on their synthetic
+parents' encoded rows, with per-parent child counts drawn from a
+fitted cardinality model::
+
+    db = repro.datasets.sdata_relational(n_customers=500)
+    result = repro.synthesize_database(db, method="gan", epochs=5)
+    result.database.check_integrity()   # {fk: 0} — no dangling keys
+    result.report                       # cardinality + join-correlation
+
+Explicit conditioning: the GAN family accepts per-row conditions end to
+end — ``sample(n, conditions=label_codes)`` fixes the label of every
+generated row, and ``fit(table, conditions=context_matrix)`` trains a
+context-conditional generator (the relational subsystem's child-table
+path)::
+
+    cgan = repro.make_synthesizer("gan",
+                                  config=repro.DesignConfig(conditional=True))
+    cgan.fit(train)
+    positives = cgan.sample(1000, conditions=np.ones(1000, dtype=int))
+
 Legacy entry points (``GANSynthesizer(config).fit(...)``,
 ``repro.core.run_gan_synthesis``) remain importable as thin shims.
 """
@@ -53,6 +75,8 @@ __all__ = [
     "PrivBayesSynthesizer", "datasets",
     "Synthesizer", "SynthesisResult", "synthesize", "make_synthesizer",
     "register", "available_synthesizers", "load_synthesizer",
+    "Database", "ForeignKey", "DatabaseSynthesizer",
+    "synthesize_database", "load_database_synthesizer",
     "ReproError", "SchemaError", "TransformError", "TrainingError",
     "ConfigError", "QueryError",
 ]
@@ -71,6 +95,12 @@ _LAZY = {
     "register": ("repro.api", "register"),
     "available_synthesizers": ("repro.api", "available_synthesizers"),
     "load_synthesizer": ("repro.api", "load_synthesizer"),
+    "Database": ("repro.relational", "Database"),
+    "ForeignKey": ("repro.relational", "ForeignKey"),
+    "DatabaseSynthesizer": ("repro.relational", "DatabaseSynthesizer"),
+    "synthesize_database": ("repro.api.facade", "synthesize_database"),
+    "load_database_synthesizer": ("repro.relational",
+                                  "load_database_synthesizer"),
 }
 
 

@@ -11,6 +11,9 @@ VAE, PrivBayes, future backends) and everything that consumes them
   registry;
 * :func:`synthesize` — one-call facade with validation-based model
   selection, returning a :class:`SynthesisResult`;
+* :func:`synthesize_database` — the multi-table analogue over a
+  :class:`repro.relational.Database` (FK-aware, see
+  :mod:`repro.relational`);
 * :func:`load_synthesizer` — restore any saved synthesizer by its
   recorded method name.
 """
@@ -26,12 +29,13 @@ __all__ = [
     "Synthesizer", "load_synthesizer",
     "available_synthesizers", "canonical_name", "make_synthesizer",
     "register", "resolve",
-    "SynthesisResult", "synthesize",
+    "SynthesisResult", "synthesize", "synthesize_database",
     "SnapshotScores", "score_snapshots", "select_snapshot",
 ]
 
 _LAZY = {
     "synthesize": ("repro.api.facade", "synthesize"),
+    "synthesize_database": ("repro.api.facade", "synthesize_database"),
     "SnapshotScores": ("repro.api.selection", "SnapshotScores"),
     "score_snapshots": ("repro.api.selection", "score_snapshots"),
     "select_snapshot": ("repro.api.selection", "select_snapshot"),

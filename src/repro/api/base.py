@@ -64,6 +64,10 @@ class Synthesizer:
     method: ClassVar[Optional[str]] = None
     #: Default generation chunk size when ``batch`` is not given.
     default_sample_batch: ClassVar[int] = 256
+    #: True for families that accept explicit per-row ``conditions=``
+    #: in ``fit`` / ``sample`` / ``sample_iter`` (currently the GAN
+    #: family: label codes or arbitrary context matrices).
+    supports_conditioning: ClassVar[bool] = False
 
     def __init__(self, seed: int = 0):
         self.seed = seed
@@ -84,24 +88,50 @@ class Synthesizer:
         if not self._fitted:
             raise TrainingError("synthesizer is not fitted")
 
-    def fit(self, table: Table, callbacks=None) -> "Synthesizer":
+    def _check_conditions(self, conditions, n: int, what: str):
+        """Validate an explicit per-row conditioning input of length ``n``.
+
+        Returns ``None`` untouched; otherwise coerces to an ndarray and
+        enforces the family's support and the row count, so a mismatched
+        conditions vector fails loudly instead of silently recycling.
+        """
+        if conditions is None:
+            return None
+        if not self.supports_conditioning:
+            raise ConfigError(
+                f"{type(self).__name__} does not support explicit "
+                f"conditions in {what}")
+        conditions = np.asarray(conditions)
+        if len(conditions) != n:
+            raise ValueError(
+                f"conditions must have one row per record: got "
+                f"{len(conditions)} for n={n}")
+        return conditions
+
+    def fit(self, table: Table, callbacks=None, conditions=None
+            ) -> "Synthesizer":
         """Transform ``table`` and train the generative model.
 
         ``callbacks`` is a callable or sequence of callables invoked with
         per-epoch progress records (family-specific payloads; GAN passes
-        :class:`~repro.gan.training.EpochRecord`).
+        :class:`~repro.gan.training.EpochRecord`).  ``conditions``
+        optionally supplies one conditioning row per training record
+        (families with :attr:`supports_conditioning`; the relational
+        subsystem passes parent-context matrices here).
         """
+        conditions = self._check_conditions(conditions, len(table), "fit")
         # Refitting rebuilds models, so any sampling session opened
         # before the refit is void: reset the depth counter and bump the
         # generation token so stale streams can no longer unwind it.
         self._sampling_depth = 0
         self._sampling_generation += 1
-        self._fit(table, _as_callback_list(callbacks))
+        self._fit(table, _as_callback_list(callbacks), conditions=conditions)
         self._fitted = True
         return self
 
     def sample_iter(self, n: int, batch: Optional[int] = None,
-                    seed: Optional[int] = None) -> Iterator[Table]:
+                    seed: Optional[int] = None,
+                    conditions=None) -> Iterator[Table]:
         """Stream ``n`` synthetic records as a sequence of table chunks.
 
         With ``seed`` given the stream is reproducible and independent of
@@ -109,7 +139,9 @@ class Synthesizer:
         the shared training RNG is consumed (legacy behaviour).  The
         whole stream runs inside one :meth:`_sampling_session`, so
         per-stream setup (e.g. switching models to eval mode) happens
-        once rather than per chunk.
+        once rather than per chunk.  ``conditions`` supplies one explicit
+        conditioning row per requested record (label codes or a context
+        matrix, family-dependent); chunks receive the matching slice.
         """
         self._require_fitted()
         if n < 0:
@@ -117,25 +149,34 @@ class Synthesizer:
         batch = batch if batch is not None else self.default_sample_batch
         if batch <= 0:
             raise ValueError("batch must be positive")
+        conditions = self._check_conditions(conditions, n, "sample_iter")
         rng = self._sampling_rng(seed)
         remaining = n
         with self._sampling_session():
             while remaining > 0:
                 m = min(batch, remaining)
-                yield self._sample_chunk(m, rng)
+                chunk_conditions = None
+                if conditions is not None:
+                    start = n - remaining
+                    chunk_conditions = conditions[start:start + m]
+                yield self._sample_chunk(m, rng,
+                                         conditions=chunk_conditions)
                 remaining -= m
 
     def sample(self, n: int, batch: Optional[int] = None,
-               seed: Optional[int] = None) -> Table:
+               seed: Optional[int] = None, conditions=None) -> Table:
         """Generate a synthetic table of ``n`` records.
 
         Passing ``seed`` makes repeated calls after the same ``fit``
-        return identical tables (reproducible sampling).
+        return identical tables (reproducible sampling).  ``conditions``
+        fixes the per-row conditioning inputs instead of drawing them
+        from the training marginal (see :meth:`sample_iter`).
         """
         self._require_fitted()
         if n <= 0:
             raise ValueError("n must be positive")
-        chunks = list(self.sample_iter(n, batch=batch, seed=seed))
+        chunks = list(self.sample_iter(n, batch=batch, seed=seed,
+                                       conditions=conditions))
         if len(chunks) == 1:
             return chunks[0]
         schema = chunks[0].schema
@@ -258,11 +299,18 @@ class Synthesizer:
     # ------------------------------------------------------------------
     # Subclass hooks
     # ------------------------------------------------------------------
-    def _fit(self, table: Table, callbacks: List[Callback]) -> None:
+    def _fit(self, table: Table, callbacks: List[Callback],
+             conditions=None) -> None:
         raise NotImplementedError
 
-    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
-        """Generate one chunk of ``m`` records using ``rng``."""
+    def _sample_chunk(self, m: int, rng: np.random.Generator,
+                      conditions=None) -> Table:
+        """Generate one chunk of ``m`` records using ``rng``.
+
+        ``conditions`` (families with :attr:`supports_conditioning`
+        only) holds the explicit conditioning rows for this chunk; it is
+        ``None`` when the caller wants the family's marginal draw.
+        """
         raise NotImplementedError
 
     def _sampling_session(self):

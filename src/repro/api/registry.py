@@ -25,6 +25,8 @@ _BUILTIN: Dict[str, Tuple[str, str]] = {
     "gan": ("repro.gan.synthesizer", "GANSynthesizer"),
     "vae": ("repro.vae.synthesizer", "VAESynthesizer"),
     "privbayes": ("repro.privbayes.synthesizer", "PrivBayesSynthesizer"),
+    # Multi-table: fits a Database (not a Table); see repro.relational.
+    "relational": ("repro.relational.synthesizer", "DatabaseSynthesizer"),
 }
 
 #: Convenience aliases accepted anywhere a method name is.

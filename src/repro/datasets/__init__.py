@@ -5,6 +5,7 @@ Entry points::
     datasets.load("adult", n_records=4000, seed=0)   # Table 2 stand-ins
     datasets.sdata_num(rho=0.9, skew=True)            # simulated numerical
     datasets.sdata_cat(p=0.5)                         # simulated categorical
+    datasets.sdata_relational(n_customers=400)        # two-table database
     datasets.split(table, seed=0)                     # 4:1:1 split
 """
 
@@ -17,12 +18,12 @@ import numpy as np
 from .schema import (
     Attribute, Schema, Table, CATEGORICAL, NUMERICAL, split_train_valid_test,
 )
-from .simulated import sdata_cat, sdata_num
+from .simulated import sdata_cat, sdata_num, sdata_relational
 from .real import SPECS, LOW_DIMENSIONAL, HIGH_DIMENSIONAL, generate
 
 __all__ = [
     "Attribute", "Schema", "Table", "CATEGORICAL", "NUMERICAL",
-    "split_train_valid_test", "sdata_cat", "sdata_num",
+    "split_train_valid_test", "sdata_cat", "sdata_num", "sdata_relational",
     "SPECS", "LOW_DIMENSIONAL", "HIGH_DIMENSIONAL",
     "load", "split", "available",
 ]

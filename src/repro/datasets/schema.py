@@ -199,6 +199,20 @@ class Table:
                          replace=replace)
         return self.take(idx)
 
+    def select(self, names: Sequence[str]) -> "Table":
+        """Column subset (shared column refs) preserving declaration order.
+
+        The label attribute survives only when it is among ``names``.
+        """
+        missing = [n for n in names if n not in self.columns]
+        if missing:
+            raise SchemaError(f"no column named {missing[0]!r}")
+        keep = [a for a in self.schema if a.name in set(names)]
+        label = (self.schema.label_name
+                 if self.schema.label_name in {a.name for a in keep} else None)
+        schema = Schema(tuple(keep), label_name=label)
+        return Table(schema, {a.name: self.columns[a.name] for a in keep})
+
     def drop_label(self) -> "Table":
         """Feature-only view of the table (copy of column refs)."""
         schema = self.schema.without_label()

@@ -53,6 +53,8 @@ class GANSynthesizer(Synthesizer):
         whenever validation-based snapshot selection will run.
     """
 
+    supports_conditioning = True
+
     def __init__(self, config: Optional[DesignConfig] = None,
                  epochs: int = 10, iterations_per_epoch: int = 40,
                  keep_snapshots: bool = True, seed: int = 0):
@@ -75,17 +77,26 @@ class GANSynthesizer(Synthesizer):
         self.train_result: Optional[TrainResult] = None
         self._label_freq: Optional[np.ndarray] = None
         self._n_labels = 0
+        # Conditioning spec: "none" | "label" (one-hot of the label
+        # attribute, the paper's CGAN) | "context" (arbitrary per-row
+        # float matrices, e.g. relational parent contexts).
+        self._cond_kind = "none"
+        self._cond_dim = 0
 
     # ------------------------------------------------------------------
     # Phase I + II
     # ------------------------------------------------------------------
-    def fit(self, table: Table, callbacks=None,
+    def fit(self, table: Table, callbacks=None, conditions=None,
             epoch_callback: Optional[Callable[[EpochRecord], None]] = None
             ) -> "GANSynthesizer":
         """Transform ``table`` and adversarially train the generator.
 
         ``epoch_callback`` is the legacy single-callable spelling of
         ``callbacks``; both receive per-epoch :class:`EpochRecord`\\ s.
+        ``conditions`` switches the synthesizer into *context*
+        conditioning: an ``(n, cond_dim)`` float matrix with one row per
+        training record (e.g. encoded parent rows in multi-table
+        synthesis); sampling then requires a matching matrix.
         """
         if epoch_callback is not None:
             merged = [epoch_callback]
@@ -93,16 +104,38 @@ class GANSynthesizer(Synthesizer):
                 merged = ([callbacks] if callable(callbacks)
                           else list(callbacks)) + merged
             callbacks = merged
-        return super().fit(table, callbacks=callbacks)
+        return super().fit(table, callbacks=callbacks, conditions=conditions)
 
-    def _fit(self, table: Table, callbacks) -> None:
+    def _fit(self, table: Table, callbacks, conditions=None) -> None:
         config = self.config
         label_attr = table.schema.label
-        if config.is_conditional and label_attr is None:
-            raise TrainingError("conditional synthesis requires a label")
-
-        exclude = (label_attr.name,) if (config.is_conditional
-                                         and label_attr is not None) else ()
+        if conditions is not None:
+            conditions = np.asarray(conditions, dtype=np.float64)
+            if conditions.ndim != 2 or conditions.shape[1] == 0:
+                raise TrainingError(
+                    f"conditions must be a (n, cond_dim) matrix, got "
+                    f"shape {conditions.shape}")
+            if config.matrix_form:
+                raise TrainingError(
+                    "context conditioning requires a vector-form "
+                    "generator (mlp or lstm), not the CNN pipeline")
+            if config.training != "vtrain" or config.is_conditional:
+                raise TrainingError(
+                    "context conditioning runs on unconditional vtrain "
+                    "configs (the context replaces the label condition)")
+            self._cond_kind = "context"
+            self._cond_dim = int(conditions.shape[1])
+            exclude = ()
+        elif config.is_conditional:
+            if label_attr is None:
+                raise TrainingError("conditional synthesis requires a label")
+            self._cond_kind = "label"
+            self._cond_dim = label_attr.domain_size
+            exclude = (label_attr.name,)
+        else:
+            self._cond_kind = "none"
+            self._cond_dim = 0
+            exclude = ()
         if config.matrix_form:
             self.transformer = MatrixTransformer(exclude=exclude,
                                                  side=DEFAULT_SIDE)
@@ -123,21 +156,29 @@ class GANSynthesizer(Synthesizer):
 
         self.generator, self.discriminator = self._build_models()
         trainer = make_trainer(config, self.generator, self.discriminator,
-                               self.rng)
+                               self.rng,
+                               force_conditional=self._cond_kind == "context")
         epoch_callback = None
         if callbacks:
             def epoch_callback(record, _callbacks=tuple(callbacks)):
                 for callback in _callbacks:
                     callback(record)
+        if self._cond_kind == "context":
+            # The sampler's per-row "labels" are indices into the
+            # context matrix, so minibatches gather matching rows.
+            trainer_labels = np.arange(len(data), dtype=np.int64)
+        else:
+            trainer_labels = labels
         self.train_result = trainer.train(
-            data, labels, self._n_labels, self.epochs,
+            data, trainer_labels, self._n_labels, self.epochs,
             self.iterations_per_epoch, epoch_callback=epoch_callback,
-            snapshot_epochs=None if self.keep_snapshots else ())
+            snapshot_epochs=None if self.keep_snapshots else (),
+            conditions=conditions if self._cond_kind == "context" else None)
         self._active_snapshot = len(self.train_result.epochs) - 1
 
     def _build_models(self):
         config = self.config
-        cond_dim = self._n_labels if config.is_conditional else 0
+        cond_dim = self._cond_dim
         rng = self.rng
         if config.generator == "cnn":
             generator = CNNGenerator(config.z_dim, side=self.transformer.side,
@@ -203,13 +244,18 @@ class GANSynthesizer(Synthesizer):
     def _sampling_session(self):
         return self._eval_mode_session(self.generator)
 
-    def _generate_raw(self, m: int, rng: np.random.Generator
+    def _generate_raw(self, m: int, rng: np.random.Generator,
+                      conditions: Optional[np.ndarray] = None
                       ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-        """One chunk of generator output plus sampled label conditions.
+        """One chunk of generator output plus its label conditions.
 
         Must run inside :meth:`_sampling_session` (the generator is
         assumed to be in eval mode).  Noise and conditions are drawn in
         the engine dtype, skipping a cast per chunk in float32 mode.
+        ``conditions`` fixes the conditioning inputs explicitly: label
+        codes for a label-conditional config (``None`` draws from the
+        training marginal, the legacy behaviour), or a ``(m, cond_dim)``
+        context matrix for a context-conditioned fit (required).
         """
         dtype = get_default_dtype()
         if dtype is np.float64:
@@ -219,12 +265,40 @@ class GANSynthesizer(Synthesizer):
                                            dtype=dtype))
         cond = None
         labels = None
-        if self.config.is_conditional:
-            labels = rng.choice(self._n_labels, size=m,
-                                p=self._label_freq)
+        if self._cond_kind == "label":
+            if conditions is None:
+                labels = rng.choice(self._n_labels, size=m,
+                                    p=self._label_freq)
+            else:
+                labels = np.asarray(conditions)
+                if labels.ndim != 1:
+                    raise ValueError(
+                        "label conditions must be a 1-D array of codes")
+                labels = labels.astype(np.int64)
+                if len(labels) and (labels.min() < 0
+                                    or labels.max() >= self._n_labels):
+                    raise ValueError(
+                        f"label conditions must be codes in "
+                        f"[0, {self._n_labels})")
             onehot = np.zeros((m, self._n_labels), dtype=dtype)
             onehot[np.arange(m), labels] = 1.0
             cond = Tensor(onehot)
+        elif self._cond_kind == "context":
+            if conditions is None:
+                raise ValueError(
+                    "this synthesizer was fitted with context "
+                    "conditioning; sample(n, conditions=...) must supply "
+                    "one context row per record")
+            context = np.asarray(conditions, dtype=dtype)
+            if context.shape != (m, self._cond_dim):
+                raise ValueError(
+                    f"expected context of shape ({m}, {self._cond_dim}), "
+                    f"got {context.shape}")
+            cond = Tensor(context)
+        elif conditions is not None:
+            raise ValueError(
+                "this synthesizer was fitted without conditioning; "
+                "refit with a conditional config or explicit conditions")
         with no_grad():
             raw = self.generator(z, cond).data
         return raw, labels
@@ -247,8 +321,9 @@ class GANSynthesizer(Synthesizer):
                 remaining -= m
         return np.concatenate(chunks, axis=0)
 
-    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
-        raw, labels = self._generate_raw(m, rng)
+    def _sample_chunk(self, m: int, rng: np.random.Generator,
+                      conditions=None) -> Table:
+        raw, labels = self._generate_raw(m, rng, conditions=conditions)
         extra = None
         if labels is not None:
             label_name = self.transformer.exclude[0]
@@ -268,6 +343,8 @@ class GANSynthesizer(Synthesizer):
             "n_labels": self._n_labels,
             "label_freq": (self._label_freq.tolist()
                            if self._label_freq is not None else None),
+            "cond_kind": self._cond_kind,
+            "cond_dim": self._cond_dim,
             "active_snapshot": self._active_snapshot,
         }
         # Only the active generator is persisted: it is all Phase III
@@ -281,6 +358,12 @@ class GANSynthesizer(Synthesizer):
         self._n_labels = int(state["n_labels"])
         self._label_freq = (np.asarray(state["label_freq"], dtype=np.float64)
                             if state["label_freq"] is not None else None)
+        # Saves that predate context conditioning carry no cond spec;
+        # reconstruct the label-mode spec from the config.
+        default_kind = "label" if self.config.is_conditional else "none"
+        self._cond_kind = state.get("cond_kind", default_kind)
+        default_dim = self._n_labels if self._cond_kind == "label" else 0
+        self._cond_dim = int(state.get("cond_dim", default_dim))
         self.generator, self.discriminator = self._build_models()
         self.generator.load_state_dict(unprefixed("generator", arrays))
         self._active_snapshot = state["active_snapshot"]

@@ -79,6 +79,10 @@ class BaseTrainer:
         self.rng = rng
         self._last_g_loss = 0.0
         self._last_d_loss = 0.0
+        # Optional (n, cond_dim) context matrix for arbitrary-context
+        # conditioning (relational parent contexts); when set, the
+        # per-row "labels" handed to the sampler are row indices into it.
+        self._cond_matrix: Optional[np.ndarray] = None
         # Fast-math only: run D once on [real; fake] instead of twice.
         # Unsafe when D couples rows through batch statistics (layers
         # with running-stat buffers, i.e. batch norm), because a mixed
@@ -115,7 +119,8 @@ class BaseTrainer:
     def train(self, data: np.ndarray, labels: Optional[np.ndarray],
               n_labels: int, epochs: int, iterations_per_epoch: int,
               epoch_callback: Optional[Callable[[EpochRecord], None]] = None,
-              snapshot_epochs: Optional[Iterable[int]] = None) -> TrainResult:
+              snapshot_epochs: Optional[Iterable[int]] = None,
+              conditions: Optional[np.ndarray] = None) -> TrainResult:
         """Run the epoch loop.
 
         ``snapshot_epochs`` limits which epochs deep-copy the generator
@@ -124,9 +129,21 @@ class BaseTrainer:
         always snapshotted so the trained generator can be restored and
         persisted.  Sweeps that skip the selection loop pass an empty
         collection and avoid ``epochs``x generator-sized deep copies.
+
+        ``conditions`` generalizes label conditioning to arbitrary
+        per-row context matrices: an ``(n, cond_dim)`` float array
+        aligned with ``data``; ``labels`` must then be the row indices
+        ``arange(n)`` so minibatch sampling gathers the matching rows.
         """
         if len(data) == 0:
             raise TrainingError("cannot train on an empty table")
+        if conditions is not None:
+            if labels is None or len(conditions) != len(data):
+                raise TrainingError(
+                    "context conditioning needs per-row indices as labels "
+                    "and one context row per record")
+            self._cond_matrix = np.asarray(conditions,
+                                           dtype=get_default_dtype())
         # Hold the training matrix in the engine dtype so minibatch
         # gathers and loss statistics skip a per-iteration cast (a no-op
         # in float64 parity mode, where data already is float64).
@@ -201,6 +218,9 @@ class VanillaTrainer(BaseTrainer):
             return None, None
         if label_batch is None:
             raise TrainingError("conditional training requires labels")
+        if self._cond_matrix is not None:
+            # Arbitrary-context mode: label_batch carries row indices.
+            return Tensor(self._cond_matrix[label_batch]), label_batch
         cond = Tensor(_onehot(label_batch, self.n_labels))
         return cond, label_batch
 
@@ -344,13 +364,17 @@ TRAINERS = {
 
 
 def make_trainer(config, generator: Module, discriminator: Module,
-                 rng: np.random.Generator) -> BaseTrainer:
+                 rng: np.random.Generator,
+                 force_conditional: bool = False) -> BaseTrainer:
     """Instantiate the trainer matching ``config.training``.
 
     ``vtrain`` with ``conditional=True`` resolves to CGAN-V.
+    ``force_conditional`` requests the conditional vanilla trainer even
+    when the config itself is unconditional — used by context-matrix
+    conditioning, where the condition is not a label of the table.
     """
     name = config.training
-    if name == "vtrain" and config.is_conditional:
+    if name == "vtrain" and (config.is_conditional or force_conditional):
         return ConditionalVanillaTrainer(generator, discriminator, config, rng)
     try:
         cls = TRAINERS[name]

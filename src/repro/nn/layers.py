@@ -20,7 +20,8 @@ import numpy as np
 from . import init
 from .module import Module, Parameter
 from .tensor import (
-    Tensor, _stable_sigmoid, _unbroadcast, fast_math, is_grad_enabled,
+    Tensor, _donate_mask, _mask_for_backward, _stable_sigmoid, _take_sign_mask,
+    _unbroadcast, fast_math, is_grad_enabled,
 )
 
 #: Activations :func:`fused_linear` can fuse into the affine kernel.
@@ -31,19 +32,21 @@ def _act_forward(pre: np.ndarray, activation: Optional[str],
                  slope: float = 0.2):
     """Elementwise activation shared by every fused kernel.
 
-    Returns ``(out, mask)`` where ``mask`` is the saved sign mask for
-    relu-family activations (``None`` otherwise).  The operations are
-    exactly those of the composed :class:`~repro.nn.tensor.Tensor` ops,
-    so fused nodes stay bit-identical to the op-by-op tape.
+    Returns ``(out, state)`` where ``state`` holds the pooled sign mask
+    for relu-family activations (``None`` otherwise); pass it through to
+    :func:`_act_backward`, which donates the mask back to the tape pool
+    after its single use.  The operations are exactly those of the
+    composed :class:`~repro.nn.tensor.Tensor` ops, so fused nodes stay
+    bit-identical to the op-by-op tape.
     """
     if activation is None:
         return pre, None
     if activation == "relu":
-        mask = pre > 0
-        return pre * mask, mask
+        state = [_take_sign_mask(pre)]
+        return pre * state[0], state
     if activation == "leaky_relu":
-        mask = pre > 0
-        return np.where(mask, pre, slope * pre), mask
+        state = [_take_sign_mask(pre)]
+        return np.where(state[0], pre, slope * pre), state
     if activation == "tanh":
         return np.tanh(pre), None
     if activation == "sigmoid":
@@ -52,14 +55,22 @@ def _act_forward(pre: np.ndarray, activation: Optional[str],
 
 
 def _act_backward(grad: np.ndarray, activation: Optional[str],
-                  out: np.ndarray, mask, slope: float = 0.2) -> np.ndarray:
-    """Backward of :func:`_act_forward` given its saved forward state."""
+                  out: np.ndarray, state, slope: float = 0.2) -> np.ndarray:
+    """Backward of :func:`_act_forward` given its saved forward state.
+
+    Relu-family masks come from the shared tape pool and are donated
+    back here (recomputed from ``out``'s sign on a repeated backward).
+    """
     if activation is None:
         return grad
     if activation == "relu":
-        return grad * mask
+        g = grad * _mask_for_backward(state, out)
+        _donate_mask(state)
+        return g
     if activation == "leaky_relu":
-        return np.where(mask, grad, slope * grad)
+        g = np.where(_mask_for_backward(state, out), grad, slope * grad)
+        _donate_mask(state)
+        return g
     if activation == "tanh":
         return grad * (1.0 - out ** 2)
     return grad * out * (1.0 - out)  # sigmoid
@@ -245,14 +256,15 @@ class BatchNorm1d(Module):
         normed = centered * inv_std
         gamma, beta = self.gamma, self.beta
         out = normed * gamma.data + beta.data
-        mask = None
+        state = None
         if activation == "relu":
-            mask = out > 0
-            out = out * mask
+            state = [_take_sign_mask(out)]
+            out = out * state[0]
 
         def backward(grad: np.ndarray):
-            if mask is not None:
-                grad = grad * mask
+            if state is not None:
+                grad = grad * _mask_for_backward(state, out)
+                _donate_mask(state)
             dgamma = (grad * normed).sum(axis=0)
             dbeta = grad.sum(axis=0)
             d_normed = grad * gamma.data

@@ -161,6 +161,41 @@ class ArrayPool:
             stack.append(array)
 
 
+#: Shared pool for the small per-node tape scratch (activation sign
+#: masks and friends): the forward pass takes a buffer, the backward
+#: closure donates it after its single use, so a train step stops
+#: allocating ~dozens of short-lived bool arrays (the remaining
+#: "tape allocation churn" item after the conv unfold pooling).
+_TAPE_POOL = ArrayPool(max_per_key=32)
+
+
+def _take_sign_mask(data: np.ndarray) -> np.ndarray:
+    """Pooled ``data > 0`` mask (bit-identical to the fresh allocation)."""
+    mask = _TAPE_POOL.take(data.shape, np.bool_)
+    return np.greater(data, 0, out=mask)
+
+
+def _mask_for_backward(state: list, out: np.ndarray) -> np.ndarray:
+    """The saved sign mask, or its recomputation if already donated.
+
+    ``state`` is the one-element list holding the pooled mask.  After
+    the usual single backward pass the mask has been donated; a repeated
+    backward (legal, if unused in practice) recomputes it from the
+    activation output — sign-equivalent for the relu family since both
+    ``relu`` and positive-slope ``leaky_relu`` preserve sign.
+    """
+    mask = state[0]
+    return (out > 0) if mask is None else mask
+
+
+def _donate_mask(state: list) -> None:
+    """One-shot return of a pooled mask after its backward use."""
+    mask = state[0]
+    if mask is not None:
+        state[0] = None
+        _TAPE_POOL.put(mask)
+
+
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic with a single ``exp`` evaluation.
 
@@ -557,20 +592,24 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        data = self.data * mask
+        state = [_take_sign_mask(self.data)]
+        data = self.data * state[0]
 
         def backward(grad: np.ndarray):
-            return (grad * mask,)
+            g = grad * _mask_for_backward(state, data)
+            _donate_mask(state)
+            return (g,)
 
         return Tensor._make(data, (self,), backward)
 
     def leaky_relu(self, slope: float = 0.2) -> "Tensor":
-        mask = self.data > 0
-        data = np.where(mask, self.data, slope * self.data)
+        state = [_take_sign_mask(self.data)]
+        data = np.where(state[0], self.data, slope * self.data)
 
         def backward(grad: np.ndarray):
-            return (np.where(mask, grad, slope * grad),)
+            g = np.where(_mask_for_backward(state, data), grad, slope * grad)
+            _donate_mask(state)
+            return (g,)
 
         return Tensor._make(data, (self,), backward)
 
@@ -599,11 +638,19 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Differentiable clip (straight-through outside the range)."""
-        mask = (self.data >= low) & (self.data <= high)
+        mask = _TAPE_POOL.take(self.data.shape, np.bool_)
+        np.greater_equal(self.data, low, out=mask)
+        np.logical_and(mask, self.data <= high, out=mask)
+        state = [mask]
         data = np.clip(self.data, low, high)
 
         def backward(grad: np.ndarray):
-            return (grad * mask,)
+            m = state[0]
+            if m is None:  # repeated backward: mask was already donated
+                m = (self.data >= low) & (self.data <= high)
+            g = grad * m
+            _donate_mask(state)
+            return (g,)
 
         return Tensor._make(data, (self,), backward)
 

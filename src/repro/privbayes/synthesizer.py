@@ -59,7 +59,7 @@ class PrivBayesSynthesizer(Synthesizer):
         self._table_schema = None
 
     # ------------------------------------------------------------------
-    def _fit(self, table: Table, callbacks) -> None:
+    def _fit(self, table: Table, callbacks, conditions=None) -> None:
         self._table_schema = table.schema
         data: Dict[str, np.ndarray] = {}
         nodes: List[NodeSpec] = []
@@ -106,7 +106,8 @@ class PrivBayesSynthesizer(Synthesizer):
             self.conditionals[node.name] = probs
 
     # ------------------------------------------------------------------
-    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
+    def _sample_chunk(self, m: int, rng: np.random.Generator,
+                      conditions=None) -> Table:
         order = self.network.order
         samples: Dict[str, np.ndarray] = {}
         for name in order:

@@ -1,0 +1,38 @@
+"""Multi-table (relational) database synthesis.
+
+Extends the paper's single-table framework to databases with foreign
+keys: parents are synthesized first, child tables are generated
+conditioned on encoded synthetic-parent context with per-parent child
+counts drawn from a fitted cardinality model, and FK columns are
+assigned structurally so referential integrity holds by construction.
+
+Public surface::
+
+    from repro.relational import (
+        Database, ForeignKey, DatabaseSynthesizer, ParentContextEncoder,
+        database_fidelity_report,
+    )
+"""
+
+from .schema import Database, ForeignKey
+from .context import ParentContextEncoder
+from .cardinality import (
+    CardinalityModel, EmpiricalCardinality, NegativeBinomialCardinality,
+    child_counts, make_cardinality_model,
+)
+from .synthesizer import (
+    DatabaseSynthesisResult, DatabaseSynthesizer, load_database_synthesizer,
+)
+from .metrics import (
+    cardinality_fidelity, database_fidelity_report, parent_child_correlation,
+)
+
+__all__ = [
+    "Database", "ForeignKey", "ParentContextEncoder",
+    "CardinalityModel", "EmpiricalCardinality",
+    "NegativeBinomialCardinality", "child_counts", "make_cardinality_model",
+    "DatabaseSynthesisResult", "DatabaseSynthesizer",
+    "load_database_synthesizer",
+    "cardinality_fidelity", "database_fidelity_report",
+    "parent_child_correlation",
+]

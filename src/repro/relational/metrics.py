@@ -1,0 +1,159 @@
+"""Fidelity metrics for synthetic databases.
+
+Single-table fidelity (marginals, within-table correlations) is covered
+by :mod:`repro.core.statistics`; a multi-table synthesis additionally
+has to preserve the *relational* structure.  Following the axes of
+"Benchmarking the Fidelity and Utility of Synthetic Relational Data"
+(Hudovernik et al.):
+
+* **cardinality fidelity** — the distribution of children-per-parent
+  along each FK edge (total-variation distance between count
+  histograms, plus mean/std deltas);
+* **parent-child correlation preservation** — correlations between
+  parent attributes and child attributes across the FK join, real vs
+  synthetic.
+
+:func:`database_fidelity_report` bundles these with per-table marginal
+distances into one JSON-friendly report (the shape
+``benchmarks/bench_relational.py`` records).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..core.statistics import marginal_distances
+from ..errors import SchemaError
+from .cardinality import child_counts
+from .schema import Database, ForeignKey
+
+
+def _count_histogram_tv(real_counts: np.ndarray,
+                        synth_counts: np.ndarray) -> float:
+    """Total-variation distance between two child-count histograms."""
+    width = int(max(real_counts.max(initial=0),
+                    synth_counts.max(initial=0))) + 1
+    p = np.bincount(real_counts, minlength=width) / max(len(real_counts), 1)
+    q = np.bincount(synth_counts, minlength=width) / max(len(synth_counts), 1)
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def _fk_counts(database: Database, fk: ForeignKey) -> np.ndarray:
+    return child_counts(
+        database.primary_key_values(fk.parent),
+        database[fk.child].column(fk.column).astype(np.int64))
+
+
+def cardinality_fidelity(real: Database, synthetic: Database,
+                         fk: ForeignKey) -> Dict[str, float]:
+    """Children-per-parent distribution comparison along one FK edge."""
+    real_counts = _fk_counts(real, fk)
+    synth_counts = _fk_counts(synthetic, fk)
+    return {
+        "real_mean": float(real_counts.mean()),
+        "synthetic_mean": float(synth_counts.mean())
+        if len(synth_counts) else 0.0,
+        "real_std": float(real_counts.std()),
+        "synthetic_std": float(synth_counts.std())
+        if len(synth_counts) else 0.0,
+        "count_tv_distance": _count_histogram_tv(real_counts, synth_counts),
+    }
+
+
+def _join_correlations(database: Database, fk: ForeignKey
+                       ) -> Dict[str, float]:
+    """Correlations across the FK join (plus parent-vs-count).
+
+    For every (parent numerical attribute, child numerical attribute)
+    pair, the Pearson correlation over child rows joined to their
+    parent; additionally each parent numerical attribute vs the
+    per-parent child count.  Constant columns yield 0.
+    """
+    parent = database[fk.parent]
+    child = database[fk.child]
+    parent_keys = {fk.parent_key} | {
+        f.column for f in database.parents_of(fk.parent)}
+    child_keys = {fk.column} | {
+        f.column for f in database.parents_of(fk.child)}
+    child_pk = database.primary_keys.get(fk.child)
+    if child_pk is not None:
+        child_keys.add(child_pk)
+    parent_num = [n for n in parent.schema.numerical_names()
+                  if n not in parent_keys]
+    child_num = [n for n in child.schema.numerical_names()
+                 if n not in child_keys]
+
+    parent_ids = database.primary_key_values(fk.parent)
+    order = np.argsort(parent_ids, kind="stable")
+    positions = order[np.searchsorted(
+        parent_ids[order], child.column(fk.column).astype(np.int64))]
+    counts = _fk_counts(database, fk)
+
+    def corr(x: np.ndarray, y: np.ndarray) -> float:
+        if len(x) < 2 or x.std() == 0 or y.std() == 0:
+            return 0.0
+        return float(np.corrcoef(x, y)[0, 1])
+
+    out: Dict[str, float] = {}
+    for p_name in parent_num:
+        p_col = parent.column(p_name)
+        out[f"{p_name}~count"] = corr(p_col, counts.astype(np.float64))
+        joined = p_col[positions]
+        for c_name in child_num:
+            out[f"{p_name}~{c_name}"] = corr(joined, child.column(c_name))
+    return out
+
+
+def parent_child_correlation(real: Database, synthetic: Database,
+                             fk: ForeignKey) -> Dict[str, Any]:
+    """Real-vs-synthetic FK-join correlation comparison for one edge.
+
+    Returns the per-pair real/synthetic correlations and their mean
+    absolute difference (0 = perfectly preserved).
+    """
+    real_corr = _join_correlations(real, fk)
+    synth_corr = _join_correlations(synthetic, fk)
+    pairs = sorted(real_corr)
+    diffs = [abs(real_corr[p] - synth_corr.get(p, 0.0)) for p in pairs]
+    return {
+        "pairs": {p: {"real": real_corr[p],
+                      "synthetic": synth_corr.get(p, 0.0)} for p in pairs},
+        "mean_abs_difference": float(np.mean(diffs)) if diffs else 0.0,
+    }
+
+
+def database_fidelity_report(real: Database, synthetic: Database
+                             ) -> Dict[str, Any]:
+    """Whole-database fidelity report (JSON-friendly).
+
+    Per table: mean marginal TV distance over non-key attributes.  Per
+    FK edge: cardinality fidelity and parent-child correlation
+    preservation.  Plus the synthetic side's dangling-reference counts
+    (zero by construction for :class:`DatabaseSynthesizer` output).
+    """
+    if sorted(real.table_names) != sorted(synthetic.table_names):
+        raise SchemaError("databases must share their table set")
+    tables: Dict[str, Any] = {}
+    for name in real.table_names:
+        distances = marginal_distances(real.inner_table(name),
+                                       synthetic.inner_table(name))
+        tables[name] = {
+            "n_real": len(real[name]),
+            "n_synthetic": len(synthetic[name]),
+            "marginal_tv_mean": float(np.mean(list(distances.values()))),
+            "marginal_tv": distances,
+        }
+    edges: List[Dict[str, Any]] = []
+    for fk in real.foreign_keys:
+        edges.append({
+            "foreign_key": fk.key,
+            "cardinality": cardinality_fidelity(real, synthetic, fk),
+            "correlation": parent_child_correlation(real, synthetic, fk),
+        })
+    return {
+        "tables": tables,
+        "foreign_keys": edges,
+        "dangling_references": synthetic.check_integrity(),
+    }

@@ -1,0 +1,223 @@
+"""Multi-table database schema: named tables, keys, and FK edges.
+
+The paper synthesizes one table at a time; real relational databases
+couple tables through foreign keys.  :class:`Database` is the container
+the :mod:`repro.relational` subsystem operates on: a set of named
+:class:`~repro.datasets.schema.Table`\\ s, a primary-key column per
+table, and a list of :class:`ForeignKey` edges.
+
+Key columns are *structural*: they identify rows and wire tables
+together, so synthesis never models them — the
+:class:`~repro.relational.synthesizer.DatabaseSynthesizer` strips them
+before fitting the per-table models and reassigns fresh, referentially
+valid codes on the way out.  Construction validates the structure
+(dangling table/column references, key-kind mismatches, non-numerical
+keys, duplicate primary keys, FK cycles); :meth:`Database.check_integrity`
+additionally verifies the *data* (every FK value resolves to a parent
+primary key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..datasets.schema import Schema, Table
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """One directed reference: ``child.column -> parent.parent_key``."""
+
+    child: str
+    column: str
+    parent: str
+    parent_key: str
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used by cardinality models and reports."""
+        return f"{self.child}.{self.column}->{self.parent}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"child": self.child, "column": self.column,
+                "parent": self.parent, "parent_key": self.parent_key}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "ForeignKey":
+        return cls(child=data["child"], column=data["column"],
+                   parent=data["parent"], parent_key=data["parent_key"])
+
+
+class Database:
+    """Named tables + primary keys + foreign-key edges.
+
+    Parameters
+    ----------
+    tables:
+        ``{name: Table}``; iteration order is preserved and used as the
+        tie-break for the topological table ordering.
+    primary_keys:
+        ``{table name: primary-key column}``.  Every table referenced by
+        a foreign key must declare one; standalone tables may omit it.
+    foreign_keys:
+        :class:`ForeignKey` edges.  Each must reference the parent's
+        declared primary key.
+    """
+
+    def __init__(self, tables: Mapping[str, Table],
+                 primary_keys: Mapping[str, str] = (),
+                 foreign_keys: Sequence[ForeignKey] = ()):
+        self.tables: Dict[str, Table] = dict(tables)
+        self.primary_keys: Dict[str, str] = dict(primary_keys or {})
+        self.foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table_names(self) -> List[str]:
+        return list(self.tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __getitem__(self, name: str) -> Table:
+        if name not in self.tables:
+            raise SchemaError(f"no table named {name!r}")
+        return self.tables[name]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}[{len(t)}]"
+                          for name, t in self.tables.items())
+        return f"Database({parts}, fks={len(self.foreign_keys)})"
+
+    def parents_of(self, table: str) -> List[ForeignKey]:
+        """Foreign keys leaving ``table`` (declaration order)."""
+        return [fk for fk in self.foreign_keys if fk.child == table]
+
+    def children_of(self, table: str) -> List[ForeignKey]:
+        """Foreign keys arriving at ``table`` (declaration order)."""
+        return [fk for fk in self.foreign_keys if fk.parent == table]
+
+    def key_columns(self, table: str) -> Set[str]:
+        """Structural columns of ``table``: its primary key + its FKs."""
+        keys = {fk.column for fk in self.parents_of(table)}
+        pk = self.primary_keys.get(table)
+        if pk is not None:
+            keys.add(pk)
+        return keys
+
+    def inner_table(self, name: str) -> Table:
+        """``name``'s table minus key columns — the part to synthesize."""
+        table = self[name]
+        keys = self.key_columns(name)
+        names = [a.name for a in table.schema if a.name not in keys]
+        if not names:
+            raise SchemaError(
+                f"table {name!r} has no non-key attributes to synthesize")
+        return table.select(names)
+
+    def primary_key_values(self, name: str) -> np.ndarray:
+        """The parent key column as int64 codes."""
+        pk = self.primary_keys.get(name)
+        if pk is None:
+            raise SchemaError(f"table {name!r} declares no primary key")
+        return self[name].column(pk).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural validation (run on construction)."""
+        for table, pk in self.primary_keys.items():
+            if table not in self.tables:
+                raise SchemaError(
+                    f"primary key declared for unknown table {table!r}")
+            attr = self.tables[table].schema[pk]  # raises on missing column
+            if not attr.is_numerical:
+                raise SchemaError(
+                    f"primary key {table}.{pk} must be a numerical id "
+                    f"column, got {attr.kind}")
+            values = self.tables[table].column(pk)
+            if len(np.unique(values)) != len(values):
+                raise SchemaError(
+                    f"primary key {table}.{pk} has duplicate values")
+        for fk in self.foreign_keys:
+            if fk.child not in self.tables:
+                raise SchemaError(
+                    f"foreign key references unknown child table "
+                    f"{fk.child!r}")
+            if fk.parent not in self.tables:
+                raise SchemaError(
+                    f"foreign key {fk.child}.{fk.column} references "
+                    f"unknown parent table {fk.parent!r}")
+            child_attr = self.tables[fk.child].schema[fk.column]
+            parent_attr = self.tables[fk.parent].schema[fk.parent_key]
+            if child_attr.kind != parent_attr.kind:
+                raise SchemaError(
+                    f"foreign key {fk.child}.{fk.column} ({child_attr.kind}) "
+                    f"does not match {fk.parent}.{fk.parent_key} "
+                    f"({parent_attr.kind})")
+            if not child_attr.is_numerical:
+                raise SchemaError(
+                    f"foreign key {fk.child}.{fk.column} must be a "
+                    f"numerical id column, got {child_attr.kind}")
+            if self.primary_keys.get(fk.parent) != fk.parent_key:
+                raise SchemaError(
+                    f"foreign key {fk.child}.{fk.column} must reference "
+                    f"{fk.parent}'s declared primary key, not "
+                    f"{fk.parent_key!r}")
+        self.topological_order()  # raises on cycles
+
+    def check_integrity(self) -> Dict[str, int]:
+        """Count dangling FK values per edge (all zero for valid data)."""
+        dangling: Dict[str, int] = {}
+        for fk in self.foreign_keys:
+            parent_ids = self.primary_key_values(fk.parent)
+            values = self[fk.child].column(fk.column).astype(np.int64)
+            dangling[fk.key] = int((~np.isin(values, parent_ids)).sum())
+        return dangling
+
+    def topological_order(self) -> List[str]:
+        """Table names ordered parents-first (Kahn's algorithm).
+
+        Declaration order breaks ties, so the ordering is deterministic;
+        raises :class:`~repro.errors.SchemaError` when the FK graph has
+        a cycle.
+        """
+        remaining = {name: {fk.parent for fk in self.parents_of(name)
+                            if fk.parent != name}
+                     for name in self.tables}
+        for name in remaining:
+            if name in {fk.parent for fk in self.parents_of(name)}:
+                raise SchemaError(
+                    f"foreign key cycle: table {name!r} references itself")
+        order: List[str] = []
+        placed: Set[str] = set()
+        while remaining:
+            ready = [name for name, deps in remaining.items()
+                     if deps <= placed]
+            if not ready:
+                cycle = ", ".join(sorted(remaining))
+                raise SchemaError(f"foreign key cycle among tables: {cycle}")
+            for name in ready:
+                order.append(name)
+                placed.add(name)
+                del remaining[name]
+        return order
+
+    # ------------------------------------------------------------------
+    # Persistence helpers
+    # ------------------------------------------------------------------
+    def structure_to_dict(self) -> Dict:
+        """JSON-serializable keys/edges (not the table data)."""
+        return {
+            "tables": list(self.tables),
+            "primary_keys": dict(self.primary_keys),
+            "foreign_keys": [fk.to_dict() for fk in self.foreign_keys],
+        }

@@ -59,7 +59,7 @@ class VAESynthesizer(Synthesizer):
         self.losses: List[float] = []
         self._snapshots: List[Optional[Dict[str, np.ndarray]]] = []
 
-    def _fit(self, table: Table, callbacks) -> None:
+    def _fit(self, table: Table, callbacks, conditions=None) -> None:
         self.transformer = RecordTransformer(
             categorical_encoding=self.categorical_encoding,
             numerical_normalization=self.numerical_normalization,
@@ -115,7 +115,8 @@ class VAESynthesizer(Synthesizer):
     def _sampling_session(self):
         return self._eval_mode_session(self.model)
 
-    def _sample_chunk(self, m: int, rng: np.random.Generator) -> Table:
+    def _sample_chunk(self, m: int, rng: np.random.Generator,
+                      conditions=None) -> Table:
         dtype = get_default_dtype()
         if dtype is np.float64:
             z = Tensor(rng.standard_normal((m, self.latent_dim)))

@@ -1,0 +1,68 @@
+"""Cardinality models: fitting, sampling, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.relational import (
+    CardinalityModel, EmpiricalCardinality, NegativeBinomialCardinality,
+    child_counts, make_cardinality_model,
+)
+
+
+def test_child_counts_includes_zero_children():
+    parents = np.array([10, 20, 30, 40])
+    fk = np.array([20, 20, 40, 20])
+    counts = child_counts(parents, fk)
+    assert counts.tolist() == [0, 3, 0, 1]
+
+
+def test_child_counts_unsorted_parent_ids():
+    parents = np.array([5, 1, 3])
+    fk = np.array([3, 3, 5])
+    assert child_counts(parents, fk).tolist() == [1, 0, 2]
+
+
+def test_empirical_replays_histogram():
+    counts = np.array([0, 0, 1, 1, 1, 4])
+    model = EmpiricalCardinality().fit(counts)
+    assert model.probs.tolist() == [2 / 6, 3 / 6, 0.0, 0.0, 1 / 6]
+    draws = model.sample(4000, np.random.default_rng(0))
+    assert set(np.unique(draws)) <= {0, 1, 4}
+    assert abs(draws.mean() - counts.mean()) < 0.1
+    assert abs(model.mean - counts.mean()) < 1e-12
+
+
+def test_negbin_moments():
+    rng = np.random.default_rng(1)
+    counts = rng.negative_binomial(3.0, 0.4, size=4000)
+    model = NegativeBinomialCardinality().fit(counts)
+    draws = model.sample(4000, np.random.default_rng(2))
+    assert abs(draws.mean() - counts.mean()) < 0.3
+    assert abs(model.mean - counts.mean()) < 1e-9
+
+
+def test_negbin_poisson_fallback():
+    model = NegativeBinomialCardinality().fit(np.full(50, 2))
+    assert model._poisson
+    draws = model.sample(2000, np.random.default_rng(0))
+    assert abs(draws.mean() - 2.0) < 0.2
+
+
+def test_negbin_all_zero():
+    model = NegativeBinomialCardinality().fit(np.zeros(10, dtype=np.int64))
+    assert model.sample(5, np.random.default_rng(0)).tolist() == [0] * 5
+
+
+@pytest.mark.parametrize("kind", ["empirical", "negbin"])
+def test_state_roundtrip(kind):
+    counts = np.array([0, 1, 1, 2, 5, 3])
+    model = make_cardinality_model(kind).fit(counts)
+    restored = CardinalityModel.from_state(model.to_state())
+    rng_a, rng_b = (np.random.default_rng(7) for _ in range(2))
+    assert (model.sample(100, rng_a) == restored.sample(100, rng_b)).all()
+
+
+def test_unknown_kind():
+    with pytest.raises(ConfigError, match="unknown cardinality model"):
+        make_cardinality_model("zipf")

@@ -1,0 +1,178 @@
+"""Database / ForeignKey structural validation and ordering."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import (
+    Attribute, CATEGORICAL, NUMERICAL, Schema, Table,
+)
+from repro.errors import SchemaError
+from repro.relational import Database, ForeignKey
+
+
+def _table(n, prefix, extra=()):
+    attrs = (Attribute(f"{prefix}_id", NUMERICAL, integral=True),) + extra
+    columns = {f"{prefix}_id": np.arange(n)}
+    for attr in extra:
+        columns[attr.name] = (np.zeros(n, dtype=np.int64)
+                              if attr.is_categorical else np.zeros(n))
+    return Table(Schema(attrs), columns)
+
+
+def make_pair(n_parent=4, n_child=6):
+    parent = _table(n_parent, "p",
+                    (Attribute("x", NUMERICAL),))
+    child_attrs = (
+        Attribute("c_id", NUMERICAL, integral=True),
+        Attribute("p_id", NUMERICAL, integral=True),
+        Attribute("y", NUMERICAL),
+    )
+    child = Table(Schema(child_attrs), {
+        "c_id": np.arange(n_child),
+        "p_id": np.arange(n_child) % n_parent,
+        "y": np.zeros(n_child),
+    })
+    fk = ForeignKey(child="child", column="p_id", parent="parent",
+                    parent_key="p_id")
+    return parent, child, fk
+
+
+def test_valid_database_constructs():
+    parent, child, fk = make_pair()
+    db = Database({"parent": parent, "child": child},
+                  primary_keys={"parent": "p_id", "child": "c_id"},
+                  foreign_keys=(fk,))
+    assert db.topological_order() == ["parent", "child"]
+    assert db.check_integrity() == {fk.key: 0}
+    assert db.key_columns("child") == {"c_id", "p_id"}
+    inner = db.inner_table("child")
+    assert inner.schema.names == ["y"]
+
+
+def test_dangling_child_table_reference():
+    parent, child, _ = make_pair()
+    fk = ForeignKey(child="nope", column="p_id", parent="parent",
+                    parent_key="p_id")
+    with pytest.raises(SchemaError, match="unknown child table"):
+        Database({"parent": parent, "child": child},
+                 primary_keys={"parent": "p_id"}, foreign_keys=(fk,))
+
+
+def test_dangling_parent_table_reference():
+    parent, child, _ = make_pair()
+    fk = ForeignKey(child="child", column="p_id", parent="nope",
+                    parent_key="p_id")
+    with pytest.raises(SchemaError, match="unknown parent table"):
+        Database({"parent": parent, "child": child},
+                 primary_keys={"parent": "p_id"}, foreign_keys=(fk,))
+
+
+def test_dangling_column_reference():
+    parent, child, _ = make_pair()
+    fk = ForeignKey(child="child", column="missing", parent="parent",
+                    parent_key="p_id")
+    with pytest.raises(SchemaError, match="no attribute named 'missing'"):
+        Database({"parent": parent, "child": child},
+                 primary_keys={"parent": "p_id"}, foreign_keys=(fk,))
+
+
+def test_kind_mismatch():
+    parent, _, _ = make_pair()
+    child_attrs = (
+        Attribute("c_id", NUMERICAL, integral=True),
+        Attribute("p_id", CATEGORICAL, categories=("a", "b")),
+    )
+    child = Table(Schema(child_attrs),
+                  {"c_id": np.arange(3), "p_id": np.zeros(3)})
+    fk = ForeignKey(child="child", column="p_id", parent="parent",
+                    parent_key="p_id")
+    with pytest.raises(SchemaError, match="does not match"):
+        Database({"parent": parent, "child": child},
+                 primary_keys={"parent": "p_id"}, foreign_keys=(fk,))
+
+
+def test_fk_must_reference_primary_key():
+    parent, child, _ = make_pair()
+    fk = ForeignKey(child="child", column="p_id", parent="parent",
+                    parent_key="x")
+    with pytest.raises(SchemaError, match="declared primary key"):
+        Database({"parent": parent, "child": child},
+                 primary_keys={"parent": "p_id"}, foreign_keys=(fk,))
+
+
+def test_duplicate_primary_key_values():
+    parent = Table(
+        Schema((Attribute("p_id", NUMERICAL, integral=True),
+                Attribute("x", NUMERICAL))),
+        {"p_id": np.array([0, 0, 1]), "x": np.zeros(3)})
+    with pytest.raises(SchemaError, match="duplicate values"):
+        Database({"parent": parent}, primary_keys={"parent": "p_id"})
+
+
+def test_categorical_primary_key_rejected():
+    parent = Table(
+        Schema((Attribute("p_id", CATEGORICAL, categories=("a", "b")),)),
+        {"p_id": np.array([0, 1])})
+    with pytest.raises(SchemaError, match="numerical id"):
+        Database({"parent": parent}, primary_keys={"parent": "p_id"})
+
+
+def test_cycle_detection():
+    a = Table(Schema((Attribute("a_id", NUMERICAL, integral=True),
+                      Attribute("b_ref", NUMERICAL, integral=True),
+                      Attribute("v", NUMERICAL))),
+              {"a_id": np.arange(2), "b_ref": np.arange(2),
+               "v": np.zeros(2)})
+    b = Table(Schema((Attribute("b_id", NUMERICAL, integral=True),
+                      Attribute("a_ref", NUMERICAL, integral=True),
+                      Attribute("w", NUMERICAL))),
+              {"b_id": np.arange(2), "a_ref": np.arange(2),
+               "w": np.zeros(2)})
+    fks = (ForeignKey("a", "b_ref", "b", "b_id"),
+           ForeignKey("b", "a_ref", "a", "a_id"))
+    with pytest.raises(SchemaError, match="cycle"):
+        Database({"a": a, "b": b},
+                 primary_keys={"a": "a_id", "b": "b_id"},
+                 foreign_keys=fks)
+
+
+def test_self_reference_cycle():
+    a = Table(Schema((Attribute("a_id", NUMERICAL, integral=True),
+                      Attribute("parent_ref", NUMERICAL, integral=True))),
+              {"a_id": np.arange(2), "parent_ref": np.arange(2)})
+    fk = ForeignKey("a", "parent_ref", "a", "a_id")
+    with pytest.raises(SchemaError, match="references itself"):
+        Database({"a": a}, primary_keys={"a": "a_id"}, foreign_keys=(fk,))
+
+
+def test_check_integrity_counts_dangling_values():
+    parent, child, fk = make_pair()
+    child.columns["p_id"][0] = 99  # no such parent
+    db = Database({"parent": parent, "child": child},
+                  primary_keys={"parent": "p_id", "child": "c_id"},
+                  foreign_keys=(fk,))
+    assert db.check_integrity() == {fk.key: 1}
+
+
+def test_inner_table_requires_non_key_attributes():
+    parent = _table(3, "p", (Attribute("x", NUMERICAL),))
+    child = Table(
+        Schema((Attribute("c_id", NUMERICAL, integral=True),
+                Attribute("p_id", NUMERICAL, integral=True))),
+        {"c_id": np.arange(3), "p_id": np.arange(3) % 3})
+    fk = ForeignKey("child", "p_id", "parent", "p_id")
+    db = Database({"parent": parent, "child": child},
+                  primary_keys={"parent": "p_id", "child": "c_id"},
+                  foreign_keys=(fk,))
+    with pytest.raises(SchemaError, match="no non-key attributes"):
+        db.inner_table("child")
+
+
+def test_structure_roundtrip():
+    parent, child, fk = make_pair()
+    db = Database({"parent": parent, "child": child},
+                  primary_keys={"parent": "p_id", "child": "c_id"},
+                  foreign_keys=(fk,))
+    structure = db.structure_to_dict()
+    assert structure["tables"] == ["parent", "child"]
+    assert ForeignKey.from_dict(structure["foreign_keys"][0]) == fk
