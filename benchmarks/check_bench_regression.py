@@ -10,6 +10,12 @@ Two modes over two benchmark sidecars:
   files on the streaming generation throughput (``rows_per_sec`` of the
   ``current``/``sample`` rows, higher is better) for every method
   present in both files.
+* ``--mode serving`` — compares two ``BENCH_serving.json`` files on the
+  worker-pool aggregate throughput at ``--workers`` (default 4)
+  workers, normalized by the same run's 1-worker row (the MLP-GAN
+  serving workload), i.e. the gated metric is the measured worker
+  *scaling*.  Note the scaling is also core-count-bound: compare runs
+  from machines with the same cpu budget (each json records ``cpus``).
 
 Because CI hardware differs from the machine that produced the
 committed baseline, the default comparison is **relative**: the gated
@@ -35,7 +41,8 @@ import json
 import sys
 
 #: Reference row for machine-speed cancellation, per mode.
-_DEFAULT_REFERENCE = {"train_step": "mlp", "sampling": "gan-mlp"}
+_DEFAULT_REFERENCE = {"train_step": "mlp", "sampling": "gan-mlp",
+                      "serving": "1"}
 
 
 def _load(path: str) -> dict:
@@ -127,18 +134,63 @@ def _check_sampling(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serving mode (BENCH_serving.json)
+# ----------------------------------------------------------------------
+def _serving_rows(payload: dict) -> dict:
+    return {int(row["workers"]): float(row["rows_per_sec"])
+            for row in payload["rows"]
+            if row.get("mode") == "throughput"}
+
+
+def _serving_metric(rows: dict, workers: int,
+                    relative_to) -> float:
+    if workers not in rows:
+        raise KeyError(f"no {workers}-worker throughput row in json")
+    value = rows[workers]
+    if relative_to is not None:
+        reference = int(relative_to)
+        if reference not in rows:
+            raise KeyError(f"no {reference}-worker row for normalization")
+        value /= rows[reference]
+    return value
+
+
+def _check_serving(args) -> int:
+    relative_to = None if args.absolute else args.relative_to
+    workers = args.workers
+    base = _serving_metric(_serving_rows(_load(args.baseline)),
+                           workers, relative_to)
+    curr = _serving_metric(_serving_rows(_load(args.current)),
+                           workers, relative_to)
+    unit = "rows/s" if args.absolute else f"x {relative_to}-worker"
+    change = curr / base - 1.0
+    print(f"serving throughput at {workers} workers: baseline "
+          f"{base:.4g} {unit} -> current {curr:.4g} {unit} ({change:+.1%})")
+    if curr < base * (1.0 - args.max_regression):
+        print(f"FAIL: serving regression exceeds "
+              f"{args.max_regression:.0%} budget", file=sys.stderr)
+        return 1
+    print(f"OK: within the {args.max_regression:.0%} regression budget")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_*.json")
     parser.add_argument("current", help="freshly measured BENCH_*.json")
-    parser.add_argument("--mode", choices=("train_step", "sampling"),
+    parser.add_argument("--mode",
+                        choices=("train_step", "sampling", "serving"),
                         default="train_step")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="gated worker count for --mode serving")
     parser.add_argument("--arch", default="cnn")
     parser.add_argument("--dtype", default="float32")
     parser.add_argument("--relative-to", default=None,
-                        help="normalize by this arch/method "
+                        help="normalize by this arch/method/worker-count "
                              "(machine-speed cancellation; default: "
-                             "mlp for train_step, gan-mlp for sampling)")
+                             "mlp for train_step, gan-mlp for sampling, "
+                             "the 1-worker row for serving)")
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw numbers (same-machine runs)")
     parser.add_argument("--max-regression", type=float, default=0.20,
@@ -150,6 +202,8 @@ def main(argv=None) -> int:
     try:
         if args.mode == "sampling":
             return _check_sampling(args)
+        if args.mode == "serving":
+            return _check_serving(args)
         return _check_train_step(args)
     except (KeyError, FileNotFoundError, json.JSONDecodeError) as exc:
         print(f"check_bench_regression: cannot compare: {exc}",

@@ -1,0 +1,122 @@
+"""Serving synthetic data: model store, worker pool, HTTP API.
+
+Runs the :mod:`repro.serve` stack end to end:
+
+1. fit two tiny models — a single-table GAN and a relational
+   customers/orders database — and ``save`` them into a model-store
+   directory (one subdirectory per model name);
+2. shard a reproducible ``sample`` request across a
+   :class:`~repro.serve.WorkerPool` and verify the result is
+   **bit-identical** to the plain single-process call (the
+   sharded-seed contract);
+3. start the dependency-free HTTP front end and exercise it like a
+   client would: list models, draw rows as JSON and streaming CSV,
+   sample the database, and replay a draw from the seed the service
+   reported.
+
+The same server runs from a shell::
+
+    python -m repro.serve models/ --port 8000 --workers 4
+    curl -s localhost:8000/models
+    curl -s -X POST localhost:8000/models/adult-gan/sample \\
+         -d '{"n": 1000, "seed": 7, "format": "csv"}'
+"""
+
+import json
+import pathlib
+import tempfile
+import urllib.request
+
+import numpy as np
+
+import repro
+from repro import datasets
+from repro.serve import SynthesisServer, WorkerPool
+
+
+def build_model_store(root: pathlib.Path) -> None:
+    table = datasets.load("adult", n_records=2000, seed=0)
+    synth = repro.make_synthesizer("gan", epochs=2,
+                                   iterations_per_epoch=20, seed=0)
+    synth.fit(table)
+    synth.save(root / "adult-gan")
+
+    db = datasets.sdata_relational(n_customers=200, seed=0)
+    db_synth = repro.DatabaseSynthesizer(
+        method="privbayes", method_kwargs={"epsilon": None}, seed=0)
+    db_synth.fit(db)
+    db_synth.save(root / "shop-db")
+    print(f"model store at {root}: "
+          f"{sorted(p.name for p in root.iterdir())}")
+
+
+def demo_worker_pool(root: pathlib.Path) -> None:
+    plain = repro.load_synthesizer(root / "adult-gan").sample(
+        20_000, seed=7)
+    with WorkerPool(root / "adult-gan", workers=2) as pool:
+        served = pool.sample(20_000, seed=7)
+    identical = all(np.array_equal(plain.column(c), served.column(c))
+                    for c in plain.schema.names)
+    print(f"worker pool: 20k rows via 2 workers, "
+          f"bit-identical to local sample: {identical}")
+
+
+def post(url: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return resp.status, resp.read()
+
+
+def demo_http(root: pathlib.Path) -> None:
+    with SynthesisServer(root, workers=2).start() as server:
+        print(f"HTTP server at {server.url}")
+        with urllib.request.urlopen(f"{server.url}/models") as resp:
+            models = json.loads(resp.read())["models"]
+        print(f"  GET /models -> {[m['name'] for m in models]}")
+
+        _, body = post(f"{server.url}/models/adult-gan/sample",
+                       {"n": 500, "seed": 17})
+        payload = json.loads(body)
+        print(f"  POST adult-gan/sample n=500 seed=17 -> "
+              f"{payload['n']} rows, seed {payload['seed']}, "
+              f"columns {sorted(payload['columns'])[:3]}...")
+
+        _, csv_body = post(f"{server.url}/models/adult-gan/sample",
+                           {"n": 10_000, "seed": 17, "format": "csv",
+                            "stream": True})
+        lines = csv_body.decode().strip().splitlines()
+        print(f"  streaming CSV -> {len(lines) - 1} rows "
+              f"(header: {lines[0][:48]}...)")
+
+        _, db_body = post(f"{server.url}/models/shop-db/sample",
+                          {"scale": 0.5, "seed": 3})
+        db_payload = json.loads(db_body)
+        counts = {name: t["n"]
+                  for name, t in db_payload["tables"].items()}
+        print(f"  POST shop-db/sample scale=0.5 -> {counts}")
+
+        # Unseeded requests report the seed the service assigned, so
+        # any draw can be replayed exactly.
+        _, first = post(f"{server.url}/models/adult-gan/sample",
+                        {"n": 50_000})
+        assigned = json.loads(first)["seed"]
+        _, replay = post(f"{server.url}/models/adult-gan/sample",
+                         {"n": 50_000, "seed": assigned})
+        same = (json.loads(first)["columns"]
+                == json.loads(replay)["columns"])
+        print(f"  replay with reported seed {assigned}: identical={same}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp) / "models"
+        root.mkdir()
+        build_model_store(root)
+        demo_worker_pool(root)
+        demo_http(root)
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,23 @@ path)::
     cgan.fit(train)
     positives = cgan.sample(1000, conditions=np.ones(1000, dtype=int))
 
+Serving (``repro.serve``): point the serving layer at a directory of
+saved models and synthetic data becomes an HTTP service — model store
+with LRU caching, a multiprocessing worker pool per model (seeded
+requests shard across workers **bit-identically** to the local call),
+micro-batching for small concurrent requests, streaming CSV for large
+draws::
+
+    synth.save("models/adult-gan")
+    from repro.serve import SynthesisServer, WorkerPool
+
+    with WorkerPool("models/adult-gan", workers=4) as pool:
+        table = pool.sample(1_000_000, seed=7)   # == synth.sample(...)
+
+    SynthesisServer("models/", workers=4).start()   # POST .../sample
+
+(or ``python -m repro.serve models/ --port 8000``; see README).
+
 Legacy entry points (``GANSynthesizer(config).fit(...)``,
 ``repro.core.run_gan_synthesis``) remain importable as thin shims.
 """
@@ -77,6 +94,7 @@ __all__ = [
     "register", "available_synthesizers", "load_synthesizer",
     "Database", "ForeignKey", "DatabaseSynthesizer",
     "synthesize_database", "load_database_synthesizer",
+    "serve",
     "ReproError", "SchemaError", "TransformError", "TrainingError",
     "ConfigError", "QueryError",
 ]
@@ -101,6 +119,7 @@ _LAZY = {
     "synthesize_database": ("repro.api.facade", "synthesize_database"),
     "load_database_synthesizer": ("repro.relational",
                                   "load_database_synthesizer"),
+    "serve": ("repro.serve", None),
 }
 
 

@@ -18,17 +18,19 @@ VAE, PrivBayes, future backends) and everything that consumes them
   recorded method name.
 """
 
-from .base import Synthesizer, load_synthesizer
+from .base import Synthesizer, chunk_plan, load_synthesizer
 from .registry import (
     available_synthesizers, canonical_name, make_synthesizer, register,
     resolve,
 )
 from .result import SynthesisResult
+from .seeding import derive_seed, fresh_seed, seed_sequence, substream
 
 __all__ = [
-    "Synthesizer", "load_synthesizer",
+    "Synthesizer", "load_synthesizer", "chunk_plan",
     "available_synthesizers", "canonical_name", "make_synthesizer",
     "register", "resolve",
+    "derive_seed", "fresh_seed", "seed_sequence", "substream",
     "SynthesisResult", "synthesize", "synthesize_database",
     "SnapshotScores", "score_snapshots", "select_snapshot",
 ]

@@ -23,8 +23,10 @@ from __future__ import annotations
 import contextlib
 import json
 import pathlib
+import threading
 from typing import (
-    Any, Callable, ClassVar, Dict, Iterator, List, Optional, Sequence, Union,
+    Any, Callable, ClassVar, Dict, Iterator, List, Optional, Sequence,
+    Tuple, Union,
 )
 
 import numpy as np
@@ -32,6 +34,7 @@ import numpy as np
 from ..datasets.schema import Table
 from ..errors import ConfigError, TrainingError
 from ..nn.serialization import load_state, save_state
+from .seeding import substream
 
 PathLike = Union[str, pathlib.Path]
 Callback = Callable[[Any], None]
@@ -42,6 +45,41 @@ FORMAT_VERSION = 1
 
 _META_FILE = "synthesizer.json"
 _ARRAYS_FILE = "arrays.npz"
+
+
+def _count(name: str, value, minimum: int) -> int:
+    """Validate an integer count argument, naming it in the error.
+
+    Rejects non-integers (including bools and floats) and values below
+    ``minimum`` with a :class:`ValueError` that names the offending
+    argument — the serving layer and ``sample_iter`` both route their
+    row-count / chunk-size validation through here so a bad request
+    fails at the boundary instead of as an opaque downstream error.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(
+            f"{name} must be an int, got {value!r} "
+            f"(type {type(value).__name__})")
+    if value < minimum:
+        bound = "positive" if minimum >= 1 else f"at least {minimum}"
+        raise ValueError(f"{name} must be {bound}, got {value}")
+    return int(value)
+
+
+def chunk_plan(n: int, batch: int) -> List[Tuple[int, int, int]]:
+    """The chunk decomposition of a seeded ``n``-row stream.
+
+    Returns ``[(index, offset, size), ...]`` covering rows ``[0, n)`` in
+    ``batch``-sized chunks (the last one possibly smaller).  Under the
+    sharded-seed contract this plan — not the executing process — defines
+    the random stream: chunk ``index`` is always generated from the
+    substream ``(seed, "chunk", index)``, so any subset of chunks can be
+    computed anywhere and reassembled bit-identically.
+    """
+    n = _count("n", n, minimum=0)
+    batch = _count("batch", batch, minimum=1)
+    return [(i, i * batch, min(batch, n - i * batch))
+            for i in range((n + batch - 1) // batch)]
 
 
 def _as_callback_list(callbacks) -> List[Callback]:
@@ -76,6 +114,8 @@ class Synthesizer:
         self._active_snapshot: Optional[int] = None
         self._sampling_depth = 0
         self._sampling_generation = 0
+        self._session_lock = threading.Lock()
+        self._eval_pinned = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -123,8 +163,9 @@ class Synthesizer:
         # Refitting rebuilds models, so any sampling session opened
         # before the refit is void: reset the depth counter and bump the
         # generation token so stale streams can no longer unwind it.
-        self._sampling_depth = 0
-        self._sampling_generation += 1
+        with self._session_lock:
+            self._sampling_depth = 0
+            self._sampling_generation += 1
         self._fit(table, _as_callback_list(callbacks), conditions=conditions)
         self._fitted = True
         return self
@@ -134,23 +175,34 @@ class Synthesizer:
                     conditions=None) -> Iterator[Table]:
         """Stream ``n`` synthetic records as a sequence of table chunks.
 
-        With ``seed`` given the stream is reproducible and independent of
-        the synthesizer's internal generator state; with ``seed=None``
-        the shared training RNG is consumed (legacy behaviour).  The
-        whole stream runs inside one :meth:`_sampling_session`, so
-        per-stream setup (e.g. switching models to eval mode) happens
-        once rather than per chunk.  ``conditions`` supplies one explicit
-        conditioning row per requested record (label codes or a context
-        matrix, family-dependent); chunks receive the matching slice.
+        With ``seed`` given the stream is reproducible and independent
+        of the synthesizer's internal generator state, under the
+        **sharded-seed contract**: chunk ``i`` of the :func:`chunk_plan`
+        is generated from the keyed substream ``(seed, "chunk", i)``, so
+        the stream for a given ``(n, batch, seed)`` is bit-identical no
+        matter which process — or how many :mod:`repro.serve` workers —
+        computes its chunks.  With ``seed=None`` the shared training RNG
+        is consumed sequentially (legacy behaviour).  The whole stream
+        runs inside one :meth:`_sampling_session`, so per-stream setup
+        (e.g. switching models to eval mode) happens once rather than
+        per chunk.  ``conditions`` supplies one explicit conditioning
+        row per requested record (label codes or a context matrix,
+        family-dependent); chunks receive the matching slice.
         """
         self._require_fitted()
-        if n < 0:
-            raise ValueError("n must be non-negative")
+        n = _count("n", n, minimum=0)
         batch = batch if batch is not None else self.default_sample_batch
-        if batch <= 0:
-            raise ValueError("batch must be positive")
+        batch = _count("batch", batch, minimum=1)
         conditions = self._check_conditions(conditions, n, "sample_iter")
-        rng = self._sampling_rng(seed)
+        if seed is not None:
+            return (chunk for _, chunk in self._iter_chunks(
+                chunk_plan(n, batch), seed, conditions))
+        return self._legacy_stream(n, batch, conditions)
+
+    def _legacy_stream(self, n: int, batch: int,
+                       conditions) -> Iterator[Table]:
+        """Unseeded streaming: consume the shared training RNG in order."""
+        rng = self.rng
         remaining = n
         with self._sampling_session():
             while remaining > 0:
@@ -163,6 +215,72 @@ class Synthesizer:
                                          conditions=chunk_conditions)
                 remaining -= m
 
+    def sample_chunks(self, n: int, batch: Optional[int] = None,
+                      seed: Optional[int] = None,
+                      indices: Optional[Sequence[int]] = None,
+                      conditions=None) -> Iterator[Tuple[int, Table]]:
+        """Generate selected chunks of a seeded stream as ``(index, table)``.
+
+        This is the worker-side entry point of the sharded-seed
+        contract: ``indices`` names which chunks of ``chunk_plan(n,
+        batch)`` to produce (default: all of them, making this
+        ``enumerate(sample_iter(...))``).  Each chunk's substream
+        depends only on ``(seed, index)``, so disjoint index sets
+        computed by different processes concatenate — in index order —
+        to exactly ``sample(n, batch=batch, seed=seed)``.  All requested
+        chunks run inside one sampling session.
+        """
+        self._require_fitted()
+        if seed is None:
+            raise ValueError(
+                "sample_chunks requires seed: the sharded-seed contract "
+                "keys every chunk's substream off it")
+        plan = chunk_plan(n, batch if batch is not None
+                          else self.default_sample_batch)
+        conditions = self._check_conditions(conditions, n, "sample_chunks")
+        if indices is not None:
+            for index in indices:
+                _count("chunk index", index, minimum=0)
+                if index >= len(plan):
+                    raise ValueError(
+                        f"chunk index {index} out of range: the plan for "
+                        f"n={n} has {len(plan)} chunks")
+            plan = [plan[int(index)] for index in indices]
+        return self._iter_chunks(plan, seed, conditions)
+
+    def _iter_chunks(self, plan, seed: int, conditions
+                     ) -> Iterator[Tuple[int, Table]]:
+        with self._sampling_session():
+            for index, offset, m in plan:
+                rng = substream(seed, "chunk", index)
+                chunk_conditions = None
+                if conditions is not None:
+                    chunk_conditions = conditions[offset:offset + m]
+                yield index, self._sample_chunk(m, rng,
+                                                conditions=chunk_conditions)
+
+    def spawn_sampler(self, worker_id: int = 0) -> "Synthesizer":
+        """Prepare this instance to sample inside an independent worker.
+
+        Called once per :mod:`repro.serve` worker process on its own
+        copy of the model (loaded after ``fork``/``spawn``).  It voids
+        any sampling session inherited from the parent, replaces the
+        session lock (a forked lock may be held by a thread that does
+        not exist in the child), re-derives the internal generator on a
+        worker-keyed substream so *unseeded* requests never collide
+        across workers, and pins eval mode — a serving worker only ever
+        samples, so flipping the module tree back to training mode
+        between requests is pure overhead.  Returns ``self``.
+        """
+        self._require_fitted()
+        worker_id = _count("worker_id", worker_id, minimum=0)
+        self._session_lock = threading.Lock()
+        self._sampling_depth = 0
+        self._sampling_generation += 1
+        self._eval_pinned = True
+        self.rng = substream(self.seed, "worker", worker_id)
+        return self
+
     def sample(self, n: int, batch: Optional[int] = None,
                seed: Optional[int] = None, conditions=None) -> Table:
         """Generate a synthetic table of ``n`` records.
@@ -173,8 +291,7 @@ class Synthesizer:
         from the training marginal (see :meth:`sample_iter`).
         """
         self._require_fitted()
-        if n <= 0:
-            raise ValueError("n must be positive")
+        n = _count("n", n, minimum=1)
         chunks = list(self.sample_iter(n, batch=batch, seed=seed,
                                        conditions=conditions))
         if len(chunks) == 1:
@@ -333,19 +450,24 @@ class Synthesizer:
         runs.  Depth counting keeps nested streams (e.g. snapshot
         scoring while another stream is open) in eval mode until the
         outermost one closes; the generation token voids sessions that
-        were still open when a refit replaced the model.
+        were still open when a refit replaced the model.  The depth
+        bookkeeping is lock-guarded so concurrent streams from serving
+        threads interleave safely, and :meth:`spawn_sampler` can pin
+        eval mode so worker processes skip the per-request train() walk.
         """
-        token = self._sampling_generation
-        self._sampling_depth += 1
-        if self._sampling_depth == 1:
-            module.eval()
+        with self._session_lock:
+            token = self._sampling_generation
+            self._sampling_depth += 1
+            if self._sampling_depth == 1 and module.training:
+                module.eval()
         try:
             yield
         finally:
-            if token == self._sampling_generation:
-                self._sampling_depth -= 1
-                if self._sampling_depth == 0:
-                    module.train()
+            with self._session_lock:
+                if token == self._sampling_generation:
+                    self._sampling_depth -= 1
+                    if self._sampling_depth == 0 and not self._eval_pinned:
+                        module.train()
 
     def _state(self):
         """Return ``(meta, arrays)``: a JSON-serializable dict (must

@@ -244,6 +244,19 @@ class GANSynthesizer(Synthesizer):
     def _sampling_session(self):
         return self._eval_mode_session(self.generator)
 
+    def spawn_sampler(self, worker_id: int = 0) -> "GANSynthesizer":
+        """Worker prep (see :meth:`repro.api.Synthesizer.spawn_sampler`).
+
+        Additionally drops the discriminator and the training history:
+        a sampling worker only runs the generator, and under forked
+        workers every retained snapshot would be duplicated per process
+        on first write.
+        """
+        super().spawn_sampler(worker_id)
+        self.discriminator = None
+        self.train_result = None
+        return self
+
     def _generate_raw(self, m: int, rng: np.random.Generator,
                       conditions: Optional[np.ndarray] = None
                       ) -> Tuple[np.ndarray, Optional[np.ndarray]]:

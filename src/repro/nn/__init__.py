@@ -8,7 +8,7 @@ Public surface::
 from .tensor import (
     ArrayPool, Tensor, as_tensor, concat, stack, where,
     default_dtype, fast_math, get_default_dtype, is_grad_enabled, no_grad,
-    set_default_dtype,
+    reset_worker_state, set_default_dtype,
 )
 from .module import Module, Parameter, Sequential
 from .layers import (
@@ -32,7 +32,7 @@ from .losses import (
 __all__ = [
     "ArrayPool", "Tensor", "as_tensor", "concat", "stack", "where",
     "default_dtype", "fast_math", "get_default_dtype", "is_grad_enabled",
-    "no_grad", "set_default_dtype",
+    "no_grad", "reset_worker_state", "set_default_dtype",
     "Module", "Parameter", "Sequential",
     "Linear", "BatchNorm1d", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
     "Dropout", "fused_linear", "Conv2d", "ConvTranspose2d", "BatchNorm2d",

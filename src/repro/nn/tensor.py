@@ -160,6 +160,10 @@ class ArrayPool:
         if len(stack) < self.max_per_key:
             stack.append(array)
 
+    def clear(self) -> None:
+        """Drop every cached buffer (frees the backing memory)."""
+        self._buffers.clear()
+
 
 #: Shared pool for the small per-node tape scratch (activation sign
 #: masks and friends): the forward pass takes a buffer, the backward
@@ -167,6 +171,20 @@ class ArrayPool:
 #: allocating ~dozens of short-lived bool arrays (the remaining
 #: "tape allocation churn" item after the conv unfold pooling).
 _TAPE_POOL = ArrayPool(max_per_key=32)
+
+
+def reset_worker_state() -> None:
+    """Reset process-global engine scratch state after a ``fork``.
+
+    Serving workers call this once at startup: buffers cached in the
+    shared tape pool were sized for the *parent's* workloads and, under
+    copy-on-write ``fork``, dirty them on first reuse — dropping them
+    keeps each worker's footprint proportional to its own traffic.
+    Module-owned scratch pools (e.g. conv unfold buffers) are per-model
+    instances and repopulate naturally, so only the process-global pool
+    needs resetting.
+    """
+    _TAPE_POOL.clear()
 
 
 def _take_sign_mask(data: np.ndarray) -> np.ndarray:

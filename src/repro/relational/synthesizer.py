@@ -36,8 +36,9 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..api.base import PathLike, Synthesizer, load_synthesizer
+from ..api.base import PathLike, Synthesizer, _count, load_synthesizer
 from ..api.registry import canonical_name, register, resolve
+from ..api.seeding import derive_seed, substream
 from ..datasets.schema import (
     Schema, Table, schema_from_dict, schema_to_dict,
 )
@@ -170,7 +171,6 @@ class DatabaseSynthesizer:
         self._conditioned = {}
         self._n_rows = {name: len(database[name]) for name in self._order}
 
-        seed_rng = np.random.default_rng(self.seed)
         inner_tables = {name: database.inner_table(name)
                         for name in self._order}
         # Each parent is encoded once; children referencing it (possibly
@@ -179,7 +179,9 @@ class DatabaseSynthesizer:
         for name in self._order:
             inner = inner_tables[name]
             fks = database.parents_of(name)
-            table_seed = int(seed_rng.integers(0, 2 ** 31 - 1))
+            # Keyed by table name, not drawn in fit order: adding or
+            # removing one table never perturbs another table's fit.
+            table_seed = derive_seed(self.seed, "fit", name)
             synth = self._make_table_synthesizer(name, table_seed)
 
             # Parent-first ordering guarantees every referenced encoder
@@ -239,11 +241,21 @@ class DatabaseSynthesizer:
         whole database reproducible.  ``batch`` is the per-table
         streaming chunk size (children stream through ``sample_iter``
         with per-chunk parent-context slices).
+
+        Randomness is organized as keyed substreams off one request
+        seed (``seed``, or a single draw from the shared generator when
+        unseeded): each table's generation and each FK edge's
+        cardinality / secondary-parent draws get independent streams
+        keyed by table / FK name, so adding a table to the schema never
+        perturbs another table's draw.
         """
         self._require_fitted()
         if scale <= 0:
             raise ValueError("scale must be positive")
-        rng = np.random.default_rng(seed) if seed is not None else self.rng
+        if batch is not None:
+            _count("batch", batch, minimum=1)
+        request_seed = (derive_seed(seed, "sample") if seed is not None
+                        else int(self.rng.integers(0, 2 ** 63)))
         sizes = dict(sizes or {})
 
         tables: Dict[str, Table] = {}
@@ -262,8 +274,7 @@ class DatabaseSynthesizer:
         for name in self._order:
             schema = self._schemas[name]
             fks = [fk for fk in self._foreign_keys if fk.child == name]
-            table_seed = (int(rng.integers(0, 2 ** 31 - 1))
-                          if seed is not None else None)
+            table_seed = derive_seed(request_seed, "table", name)
             synth = self._synths[name]
 
             if not fks:
@@ -277,7 +288,7 @@ class DatabaseSynthesizer:
                 primary = fks[0]
                 parent_n = len(pk_values[primary.parent])
                 counts = self._cardinality_models[primary.key].sample(
-                    parent_n, rng)
+                    parent_n, substream(request_seed, "fk", primary.key))
                 n = int(counts.sum())
                 key_columns = {
                     primary.column: np.repeat(pk_values[primary.parent],
@@ -290,7 +301,8 @@ class DatabaseSynthesizer:
                     if other_n == 0:
                         raise TrainingError(
                             f"cannot assign {fk.key}: parent table is empty")
-                    pos = rng.integers(0, other_n, size=n)
+                    pos = substream(request_seed, "fk", fk.key).integers(
+                        0, other_n, size=n)
                     positions[fk] = pos
                     key_columns[fk.column] = pk_values[fk.parent][pos]
 
@@ -336,6 +348,24 @@ class DatabaseSynthesizer:
         """``fit`` then ``sample`` in one call."""
         self.fit(database, callbacks=callbacks)
         return self.sample(scale, batch=batch, seed=seed)
+
+    def spawn_sampler(self, worker_id: int = 0) -> "DatabaseSynthesizer":
+        """Prepare this instance to sample inside an independent worker.
+
+        The database-level analogue of
+        :meth:`repro.api.Synthesizer.spawn_sampler`: every per-table
+        synthesizer is spawned (sessions voided, eval pinned) and the
+        shared generator — the root of *unseeded* ``sample`` requests —
+        is re-derived on a worker-keyed substream so forked workers
+        never replay each other's draws.  Seeded requests are unaffected
+        (their streams derive from the request seed alone).
+        """
+        self._require_fitted()
+        _count("worker_id", worker_id, minimum=0)
+        for synth in self._synths.values():
+            synth.spawn_sampler(worker_id)
+        self.rng = substream(self.seed, "worker", worker_id)
+        return self
 
     # ------------------------------------------------------------------
     # Persistence

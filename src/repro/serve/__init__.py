@@ -1,0 +1,52 @@
+"""repro.serve — multi-worker synthesis serving over saved models.
+
+The consumer-facing layer of the reproduction: load persisted
+synthesizers by name, shard ``sample`` requests across worker
+processes with bit-identical reassembly, coalesce small concurrent
+requests, and expose it all over a dependency-free HTTP API.
+
+Layers (composable bottom-up)::
+
+    ModelStore        name -> loaded model, LRU + refcounted checkout
+    WorkerPool        one model, N processes, sharded-seed sampling
+    MicroBatcher      coalesce small unseeded requests, backpressure
+    SynthesisService  store + pools + batcher, request routing
+    SynthesisServer   ThreadingHTTPServer front end
+
+Quick start::
+
+    from repro.serve import SynthesisServer, WorkerPool
+
+    # direct, deterministic, parallel:
+    with WorkerPool("models/adult-gan", workers=4) as pool:
+        table = pool.sample(1_000_000, seed=7)   # == local sample(...)
+
+    # or the whole service over HTTP:
+    with SynthesisServer("models/", workers=4).start() as server:
+        print(server.url)   # POST /models/adult-gan/sample
+
+Or from a shell: ``python -m repro.serve models/ --port 8000``.
+
+The determinism contract: ``pool.sample(n, batch=b, seed=s)`` is
+bit-identical to ``Synthesizer.sample(n, batch=b, seed=s)`` for any
+worker count — chunk ``i`` always derives its RNG from the substream
+``(s, "chunk", i)`` (see :mod:`repro.api.seeding`), so where a chunk
+runs never changes what it contains.
+"""
+
+from .batching import MicroBatcher
+from .errors import (
+    BackpressureError, ModelNotFound, PoolClosed, RequestTimeout,
+    ServingError, WorkerError,
+)
+from .http import SynthesisServer
+from .pool import WorkerPool
+from .service import SynthesisService
+from .store import ModelHandle, ModelInfo, ModelStore, load_model
+
+__all__ = [
+    "ModelStore", "ModelHandle", "ModelInfo", "load_model",
+    "WorkerPool", "MicroBatcher", "SynthesisService", "SynthesisServer",
+    "ServingError", "ModelNotFound", "BackpressureError",
+    "RequestTimeout", "WorkerError", "PoolClosed",
+]

@@ -1,0 +1,287 @@
+"""Micro-batching scheduler: coalesce small requests into one pass.
+
+Many concurrent clients asking for a few hundred rows each from the
+same model is the worst case for per-request overhead: every request
+pays the queue hop, session setup, and (per chunk) the python dispatch
+around one generator GEMM.  The :class:`MicroBatcher` sits in front of
+the worker pools and coalesces **unseeded** requests targeting the same
+model into one generator pass (one combined ``sample`` of the summed
+row counts), then splits the output back per request in arrival order.
+
+Seeded requests are never coalesced — a request that pins its seed is
+asking for an exact stream, which a shared pass cannot provide — and
+flow through individually.
+
+Flow control is explicit:
+
+* the request queue is **bounded** — a full queue rejects new requests
+  immediately with :class:`BackpressureError` (shed at the edge, don't
+  let latency grow without bound);
+* every request carries a deadline — waiting past it raises
+  :class:`RequestTimeout` for the submitter, and the scheduler drops
+  requests that expired while queued instead of running dead work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from ..api.base import _count
+from ..datasets.schema import Table
+from .errors import BackpressureError, PoolClosed, RequestTimeout
+
+#: sampler(model_name, n, seed) -> Table; provided by the service layer.
+Sampler = Callable[[str, int, Optional[int]], Table]
+
+
+def slice_rows(table: Table, start: int, stop: int) -> Table:
+    """Row-range copy of a table (used to split a coalesced pass).
+
+    Copies rather than views: a view would pin the whole coalesced
+    pass's arrays alive for as long as any single request's slice is
+    held, so one 512-row caller could retain the full 131072-row pass.
+    """
+    return Table(table.schema,
+                 {name: table.columns[name][start:stop].copy()
+                  for name in table.schema.names})
+
+
+class _Request:
+    __slots__ = ("model", "n", "seed", "deadline", "event", "result",
+                 "error", "abandoned")
+
+    def __init__(self, model: str, n: int, seed: Optional[int],
+                 deadline: float):
+        self.model = model
+        self.n = n
+        self.seed = seed
+        self.deadline = deadline
+        self.event = threading.Event()
+        self.result: Optional[Table] = None
+        self.error: Optional[BaseException] = None
+        self.abandoned = False
+
+    def finish(self, result: Optional[Table],
+               error: Optional[BaseException] = None) -> None:
+        self.result = result
+        self.error = error
+        self.event.set()
+
+
+class MicroBatcher:
+    """Bounded-queue request coalescer over a sampler callable.
+
+    Parameters
+    ----------
+    sampler:
+        ``(model_name, n, seed) -> Table``; the service layer passes the
+        worker-pool entry point here.
+    max_queue:
+        Queue bound; submissions beyond it raise
+        :class:`BackpressureError` immediately.
+    max_delay:
+        How long the scheduler holds the first request of a batch open
+        for followers (seconds).  The latency cost of coalescing.
+    max_coalesce_rows:
+        Row budget per combined pass; a batch closes early when filled.
+    timeout:
+        Default per-request deadline (seconds).
+    executor_threads:
+        Concurrent batch executions.  Passes run on an executor so a
+        long pass for one model never head-of-line blocks another
+        model's requests behind the scheduler.
+    """
+
+    def __init__(self, sampler: Sampler, *, max_queue: int = 256,
+                 max_delay: float = 0.005,
+                 max_coalesce_rows: int = 131072,
+                 timeout: float = 30.0, executor_threads: int = 4):
+        self._sampler = sampler
+        self.max_queue = _count("max_queue", max_queue, minimum=1)
+        self.max_delay = float(max_delay)
+        self.max_coalesce_rows = _count("max_coalesce_rows",
+                                        max_coalesce_rows, minimum=1)
+        self.timeout = float(timeout)
+        self._max_concurrent = _count("executor_threads",
+                                      executor_threads, minimum=1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_concurrent,
+            thread_name_prefix="repro-serve-batch")
+        self._running = 0
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.stats: Dict[str, int] = {
+            "submitted": 0, "rejected": 0, "timeouts": 0,
+            "coalesced_batches": 0, "coalesced_requests": 0,
+            "solo_requests": 0, "rows_served": 0,
+        }
+        self._scheduler = threading.Thread(
+            target=self._run, daemon=True, name="repro-serve-batcher")
+        self._scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, model: str, n: int, seed: Optional[int] = None,
+               timeout: Optional[float] = None) -> Table:
+        """Enqueue one request and block until its rows are ready.
+
+        Raises :class:`BackpressureError` immediately when the queue is
+        full and :class:`RequestTimeout` when the deadline passes
+        first; a timed-out request's late result is discarded.
+        """
+        n = _count("n", n, minimum=1)
+        timeout = self.timeout if timeout is None else float(timeout)
+        request = _Request(model, n, seed, time.monotonic() + timeout)
+        with self._cond:
+            if self._closed:
+                raise PoolClosed("micro-batcher is closed")
+            if len(self._queue) >= self.max_queue:
+                self.stats["rejected"] += 1
+                raise BackpressureError(
+                    f"request queue is full ({self.max_queue} pending); "
+                    "retry with backoff")
+            self._queue.append(request)
+            self.stats["submitted"] += 1
+            self._cond.notify_all()
+        if not request.event.wait(timeout):
+            request.abandoned = True
+            with self._cond:
+                self.stats["timeouts"] += 1
+            raise RequestTimeout(
+                f"request for {n} rows of {model!r} missed its "
+                f"{timeout:.3g}s deadline")
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            drained = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for request in drained:
+            request.finish(None, PoolClosed("micro-batcher closed"))
+        self._scheduler.join(timeout=5.0)
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Scheduler side
+    # ------------------------------------------------------------------
+    def _next_request(self) -> Optional[_Request]:
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if self._closed and not self._queue:
+                return None
+            return self._queue.popleft()
+
+    def _gather_followers(self, head: _Request) -> list:
+        """Hold the batch open up to ``max_delay`` for coalescible
+        followers: unseeded requests for the same model, within the
+        row budget.  Waits on the submission condition (woken by every
+        ``submit``) rather than polling."""
+        group = [head]
+        total = head.n
+        deadline = time.monotonic() + self.max_delay
+        with self._cond:
+            while total < self.max_coalesce_rows and not self._closed:
+                follower = None
+                for candidate in self._queue:
+                    if candidate.model == head.model \
+                            and candidate.seed is None \
+                            and total + candidate.n \
+                            <= self.max_coalesce_rows:
+                        follower = candidate
+                        break
+                if follower is not None:
+                    self._queue.remove(follower)
+                    group.append(follower)
+                    total += follower.n
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+        return group
+
+    def _run(self) -> None:
+        while True:
+            head = self._next_request()
+            if head is None:
+                return
+            now = time.monotonic()
+            if head.abandoned or now >= head.deadline:
+                head.finish(None, RequestTimeout("expired while queued"))
+                continue
+            group = ([head] if head.seed is not None
+                     else self._gather_followers(head))
+            # Execution happens off-thread so one model's slow pass
+            # cannot starve another model's queued requests — but only
+            # up to executor_threads passes at once: past that the
+            # scheduler stalls here, the bounded queue fills, and
+            # submit() starts shedding load.  Dispatching into an
+            # unbounded executor queue would silently disable
+            # backpressure.
+            with self._cond:
+                while self._running >= self._max_concurrent \
+                        and not self._closed:
+                    self._cond.wait(0.05)
+                if self._closed:
+                    head_group = group
+                    for request in head_group:
+                        request.finish(None,
+                                       PoolClosed("micro-batcher closed"))
+                    return
+                self._running += 1
+            self._executor.submit(self._run_pass, group)
+
+    def _run_pass(self, group: list) -> None:
+        try:
+            self._execute(group)
+        finally:
+            with self._cond:
+                self._running -= 1
+                self._cond.notify_all()
+
+    def _execute(self, group: list) -> None:
+        live = [r for r in group if not r.abandoned
+                and time.monotonic() < r.deadline]
+        for request in group:
+            if request not in live:
+                request.finish(None, RequestTimeout("expired while queued"))
+        if not live:
+            return
+        total = sum(r.n for r in live)
+        seed = live[0].seed if len(live) == 1 else None
+        try:
+            table = self._sampler(live[0].model, total, seed)
+        except BaseException as exc:
+            for request in live:
+                request.finish(None, exc)
+            return
+        with self._cond:
+            self.stats["rows_served"] += total
+            if len(live) > 1:
+                self.stats["coalesced_batches"] += 1
+                self.stats["coalesced_requests"] += len(live)
+            else:
+                self.stats["solo_requests"] += 1
+        offset = 0
+        for request in live:
+            request.finish(slice_rows(table, offset, offset + request.n))
+            offset += request.n

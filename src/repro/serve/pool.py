@@ -1,0 +1,566 @@
+"""Multi-process sampling worker pool with deterministic sharding.
+
+A :class:`WorkerPool` owns N worker processes, each holding its **own**
+loaded copy of one saved model (single-table synthesizer or database
+synthesizer).  Table requests are sharded by the chunk plan of the
+sharded-seed contract (:func:`repro.api.chunk_plan`): chunk ``i`` of a
+``sample(n, batch, seed)`` request is generated from the substream
+``(seed, "chunk", i)`` *wherever it runs*, so the pool's reassembled
+output is bit-identical to single-process ``sample(n, batch=batch,
+seed=seed)`` — for any worker count, including the inline ``workers=0``
+mode.  Database requests are not sharded (a database draw is a
+sequential parents-first walk); they run whole on one worker, with
+parallelism coming from concurrent requests.
+
+Workers pull chunk tasks from one shared queue (natural load
+balancing), stream each finished chunk back immediately (so
+``sample_iter`` can forward chunks to an HTTP response while later
+chunks are still being generated), and survive request-level errors —
+a failed request reports a :class:`WorkerError` to its caller and the
+worker moves on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import pathlib
+import queue as queue_module
+import threading
+import time
+import traceback
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..api.base import PathLike, _count, chunk_plan
+from ..api.seeding import fresh_seed
+from ..datasets.schema import Table
+from .errors import PoolClosed, RequestTimeout, ServingError, WorkerError
+from .store import KIND_DATABASE, KIND_TABLE, load_model, model_kind
+
+#: Handshake budget: covers the worker's model load (arrays from disk).
+DEFAULT_START_TIMEOUT = 120.0
+#: Per-request budget when the caller does not pass ``timeout=``.
+DEFAULT_REQUEST_TIMEOUT = 300.0
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap, COW model pages); fall back to spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+def _worker_main(path: str, worker_id: int, dtype_name: str,
+                 task_q, result_q) -> None:
+    """Worker process body: load once, then serve tasks until sentinel.
+
+    Runs in the child.  The engine dtype is pinned to the parent's
+    before the load so a ``spawn``-started worker decodes float32
+    models with float32 noise exactly like a forked one, and the
+    process-global tape pool inherited over ``fork`` is dropped
+    (:func:`repro.nn.reset_worker_state`) so copy-on-write pages sized
+    for the parent's training workload are not dirtied per worker.
+    """
+    try:
+        from ..nn import reset_worker_state, set_default_dtype
+
+        set_default_dtype(dtype_name)
+        reset_worker_state()
+        model = load_model(path).spawn_sampler(worker_id)
+        meta = {"method": getattr(model, "method", None),
+                "default_batch": getattr(model, "default_sample_batch",
+                                         None)}
+    except BaseException:
+        result_q.put(("boot_error", worker_id,
+                      traceback.format_exc(limit=16)))
+        return
+    result_q.put(("ready", worker_id, meta))
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        kind, req_id = task[0], task[1]
+        try:
+            if kind == "chunks":
+                _, _, n, batch, seed, indices = task
+                for index, table in model.sample_chunks(
+                        n, batch=batch, seed=seed, indices=indices):
+                    result_q.put(("chunk", req_id, index, table))
+            elif kind == "database":
+                _, _, scale, sizes, batch, seed = task
+                database = model.sample(scale, sizes=sizes, batch=batch,
+                                        seed=seed)
+                result_q.put(("chunk", req_id, 0, database))
+            else:
+                raise ValueError(f"unknown task kind {kind!r}")
+        except Exception as exc:
+            result_q.put(("error", req_id,
+                          f"{type(exc).__name__}: {exc}"))
+
+
+class _Pending:
+    """Parent-side state of one in-flight request."""
+
+    __slots__ = ("cond", "results", "expected", "error", "closed")
+
+    def __init__(self, expected: int):
+        self.cond = threading.Condition()
+        self.results: Dict[int, object] = {}
+        self.expected = expected
+        self.error: Optional[str] = None
+        self.closed = False
+
+    def deliver(self, index: int, payload) -> None:
+        with self.cond:
+            self.results[index] = payload
+            self.cond.notify_all()
+
+    def fail(self, message: str) -> None:
+        with self.cond:
+            self.error = message
+            self.cond.notify_all()
+
+    def abandon(self) -> None:
+        with self.cond:
+            self.closed = True
+            self.cond.notify_all()
+
+    def wait_index(self, index: int, deadline: Optional[float]):
+        with self.cond:
+            while True:
+                if self.error is not None:
+                    raise WorkerError(self.error)
+                if self.closed:
+                    raise PoolClosed("worker pool closed mid-request")
+                if index in self.results:
+                    # Hand over ownership: a streamed request must not
+                    # accumulate every yielded chunk here for its whole
+                    # lifetime (that would re-materialize the table the
+                    # streaming API exists to avoid).
+                    return self.results.pop(index)
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RequestTimeout(
+                            f"request timed out waiting for chunk {index} "
+                            f"({len(self.results)}/{self.expected} done)")
+                self.cond.wait(remaining)
+
+
+class WorkerPool:
+    """Sampling workers over one saved model.
+
+    Parameters
+    ----------
+    path:
+        Saved model directory (``Synthesizer.save`` or
+        ``DatabaseSynthesizer.save`` layout).
+    workers:
+        Worker process count.  ``0`` runs inline in the calling process
+        (no multiprocessing; identical output by the sharded-seed
+        contract) — useful for tests and single-core deployments.
+    request_timeout:
+        Default per-request deadline in seconds (overridable per call).
+    """
+
+    def __init__(self, path: PathLike, workers: int = 1, *,
+                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+                 start_timeout: float = DEFAULT_START_TIMEOUT,
+                 inline_model=None, on_close=None):
+        workers = _count("workers", workers, minimum=0)
+        self.path = pathlib.Path(path)
+        self.kind = model_kind(self.path)
+        if self.kind is None:
+            raise ServingError(f"no saved synthesizer at {self.path}")
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self._on_close = on_close
+        self._closed = False
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        self._inflight = 0
+        self._meta: Dict[str, object] = {}
+        self._inline_model = None
+        self._processes: List[mp.Process] = []
+        if workers == 0:
+            # Inline mode: use the caller-provided loaded model (e.g. a
+            # ModelStore checkout, whose handle release rides on_close)
+            # or load a private copy.
+            if inline_model is None:
+                inline_model = load_model(self.path)
+            self._inline_model = inline_model.spawn_sampler(0)
+            self._meta = {
+                "method": getattr(self._inline_model, "method", None),
+                "default_batch": getattr(self._inline_model,
+                                         "default_sample_batch", None)}
+            return
+        if inline_model is not None:
+            raise ServingError(
+                "inline_model is only meaningful with workers=0 "
+                "(worker processes load their own copies)")
+        from ..nn import get_default_dtype
+
+        ctx = _mp_context()
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._boot_ready: Dict[int, dict] = {}
+        self._boot_errors: List[str] = []
+        self._boot_cond = threading.Condition()
+        dtype_name = np.dtype(get_default_dtype()).name
+        for worker_id in range(workers):
+            process = ctx.Process(
+                target=_worker_main,
+                args=(str(self.path), worker_id, dtype_name,
+                      self._task_q, self._result_q),
+                daemon=True, name=f"repro-serve-{self.path.name}-{worker_id}")
+            process.start()
+            self._processes.append(process)
+        self._receiver = threading.Thread(
+            target=self._receive_loop, daemon=True,
+            name=f"repro-serve-recv-{self.path.name}")
+        self._receiver.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, daemon=True,
+            name=f"repro-serve-mon-{self.path.name}")
+        self._monitor.start()
+        self._await_boot(start_timeout)
+
+    # ------------------------------------------------------------------
+    # Startup / shutdown
+    # ------------------------------------------------------------------
+    def _await_boot(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        with self._boot_cond:
+            while (not self._boot_errors and not self._closed
+                   and len(self._boot_ready) < self.workers):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._boot_cond.wait(remaining)
+            errors = list(self._boot_errors)
+            ready = len(self._boot_ready)
+            if not errors and ready >= self.workers:
+                self._meta = dict(self._boot_ready[min(self._boot_ready)])
+                return
+        self.close()
+        if errors:
+            raise WorkerError("worker failed to start:\n"
+                              + "\n".join(errors))
+        raise RequestTimeout(
+            f"only {ready}/{self.workers} workers came up within "
+            f"{timeout:.0f}s")
+
+    def _monitor_loop(self) -> None:
+        """Detect worker-process death the queues cannot report.
+
+        A worker killed by the OS (OOM, SIGKILL) sends nothing: without
+        this watch its in-flight chunks would strand until the full
+        request timeout and the pool would silently run degraded.  On
+        an unexpected exit every pending request fails immediately with
+        a :class:`WorkerError` and the pool closes — the service layer
+        replaces closed pools on the next request.
+        """
+        while not self._closed:
+            dead = [p for p in self._processes if not p.is_alive()]
+            if dead and not self._closed:
+                detail = ", ".join(f"{p.name} exit={p.exitcode}"
+                                   for p in dead)
+                message = f"worker process died unexpectedly ({detail})"
+                with self._lock:
+                    pending = list(self._pending.values())
+                for request in pending:
+                    request.fail(message)
+                with self._boot_cond:
+                    # A worker that dies mid-load never reports: wake
+                    # _await_boot so startup fails fast, not by timeout.
+                    self._boot_errors.append(message)
+                    self._boot_cond.notify_all()
+                self.close()
+                return
+            time.sleep(0.25)
+
+    def _receive_loop(self) -> None:
+        # Polling get: the parent must NEVER write to the result queue
+        # (a worker killed mid-put leaves the queue's write lock held
+        # forever, so a parent-side wake-up sentinel could block the
+        # parent's feeder thread and hang interpreter exit); the
+        # receiver instead times out periodically and checks the
+        # closed flag.
+        while True:
+            try:
+                message = self._result_q.get(timeout=0.2)
+            except queue_module.Empty:
+                if self._closed:
+                    return
+                continue
+            except (EOFError, OSError):
+                return
+            tag = message[0]
+            if tag == "ready":
+                with self._boot_cond:
+                    self._boot_ready[message[1]] = message[2]
+                    self._boot_cond.notify_all()
+            elif tag == "boot_error":
+                with self._boot_cond:
+                    self._boot_errors.append(message[2])
+                    self._boot_cond.notify_all()
+            elif tag == "chunk":
+                _, req_id, index, payload = message
+                with self._lock:
+                    pending = self._pending.get(req_id)
+                if pending is not None:
+                    pending.deliver(index, payload)
+            elif tag == "error":
+                _, req_id, text = message
+                with self._lock:
+                    pending = self._pending.get(req_id)
+                if pending is not None:
+                    pending.fail(text)
+
+    def close(self) -> None:
+        """Stop the workers and fail any pending request."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for request in pending:
+            request.abandon()
+        if self._on_close is not None:
+            callback, self._on_close = self._on_close, None
+            callback()
+        if self._inline_model is not None:
+            self._inline_model = None
+            return
+        with self._boot_cond:  # wake any thread still in _await_boot
+            self._boot_cond.notify_all()
+        for _ in self._processes:
+            try:
+                self._task_q.put(None)
+            except (ValueError, OSError):
+                break
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        receiver = getattr(self, "_receiver", None)
+        if receiver is not None and receiver is not threading.current_thread():
+            receiver.join(timeout=5.0)
+        self._task_q.close()
+        self._result_q.close()
+        # Detach the feeder without joining it: a worker killed mid-put
+        # can leave the write lock held, and multiprocessing's atexit
+        # hook would otherwise join the (possibly stuck) feeder forever.
+        self._task_q.cancel_join_thread()
+        self._result_q.cancel_join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort; explicit close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def method(self) -> Optional[str]:
+        return self._meta.get("method")  # type: ignore[return-value]
+
+    @property
+    def default_batch(self) -> Optional[int]:
+        return self._meta.get("default_batch")  # type: ignore[return-value]
+
+    @property
+    def inflight(self) -> int:
+        """Requests executing or reserved (used for idle-pool eviction)."""
+        with self._lock:
+            return self._inflight
+
+    def retain(self) -> "WorkerPool":
+        """Pin the pool against idle eviction until :meth:`release`.
+
+        The service layer retains a pool *before* handing it to a
+        request so LRU eviction can never close it in the gap between
+        lookup and first use.  Raises :class:`PoolClosed` if the pool
+        already shut down (the caller then re-resolves).
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolClosed(f"pool for {self.path.name} is closed")
+            self._inflight += 1
+        return self
+
+    def release(self) -> None:
+        """Undo one :meth:`retain`."""
+        with self._lock:
+            self._inflight -= 1
+
+    def _begin(self, expected: int) -> Tuple[int, _Pending]:
+        with self._lock:
+            if self._closed:
+                raise PoolClosed(f"pool for {self.path.name} is closed")
+            req_id = next(self._ids)
+            pending = _Pending(expected)
+            self._pending[req_id] = pending
+            self._inflight += 1
+        return req_id, pending
+
+    def _end(self, req_id: int) -> None:
+        with self._lock:
+            self._pending.pop(req_id, None)
+            self._inflight -= 1
+
+    def _deadline(self, timeout: Optional[float]) -> Optional[float]:
+        timeout = self.request_timeout if timeout is None else timeout
+        return None if timeout is None else time.monotonic() + timeout
+
+    # ------------------------------------------------------------------
+    # Table requests (sharded)
+    # ------------------------------------------------------------------
+    def _table_plan(self, n: int, batch: Optional[int]
+                    ) -> Tuple[int, List[Tuple[int, int, int]]]:
+        if self.kind != KIND_TABLE:
+            raise ServingError(
+                f"model {self.path.name!r} is a database; use "
+                "sample_database()")
+        if batch is None:
+            batch = self._meta.get("default_batch") or 4096
+        return batch, chunk_plan(n, batch)
+
+    def sample(self, n: int, batch: Optional[int] = None,
+               seed: Optional[int] = None,
+               timeout: Optional[float] = None) -> Table:
+        """Sharded ``sample(n)``, bit-identical to the local call.
+
+        The chunk plan is strided across the workers; reassembly
+        concatenates in chunk order, so the result equals
+        ``load_model(path).sample(n, batch=batch, seed=seed)`` exactly.
+        Unseeded requests get a fresh request seed (reported by the
+        service layer) so they shard the same way.
+        """
+        chunks = list(self._iter_shards(n, batch, seed, timeout,
+                                        windowed=False))
+        if len(chunks) == 1:
+            return chunks[0]
+        schema = chunks[0].schema
+        columns = {name: np.concatenate([c.columns[name] for c in chunks])
+                   for name in schema.names}
+        return Table(schema, columns)
+
+    def sample_iter(self, n: int, batch: Optional[int] = None,
+                    seed: Optional[int] = None,
+                    timeout: Optional[float] = None) -> Iterator[Table]:
+        """Stream the sharded request's chunks in order as they land.
+
+        Streamed requests are **flow-controlled**: chunk tasks are
+        dispatched in a sliding window ahead of the consumer, so a slow
+        reader (e.g. an HTTP client on a thin pipe) bounds the chunks
+        buffered in the parent instead of letting the workers race
+        ahead and re-materialize the whole table in memory.
+        """
+        return self._iter_shards(n, batch, seed, timeout, windowed=True)
+
+    def _iter_shards(self, n: int, batch: Optional[int],
+                     seed: Optional[int], timeout: Optional[float],
+                     windowed: bool) -> Iterator[Table]:
+        n = _count("n", n, minimum=1)
+        batch, plan = self._table_plan(n, batch)
+        seed = fresh_seed() if seed is None else seed
+        if self._inline_model is not None:
+            with self._lock:
+                if self._closed:
+                    raise PoolClosed(
+                        f"pool for {self.path.name} is closed")
+            return self._iter_inline(n, batch, seed, timeout)
+        return self._stream_from_workers(n, batch, seed, plan, timeout,
+                                         windowed)
+
+    def _iter_inline(self, n, batch, seed, timeout) -> Iterator[Table]:
+        # Best-effort deadline: generation runs on the caller's thread,
+        # so the check lands between chunks (a single chunk cannot be
+        # preempted) — but a runaway request still stops at a chunk
+        # boundary instead of never.
+        deadline = self._deadline(timeout)
+        for _, chunk in self._inline_model.sample_chunks(
+                n, batch=batch, seed=seed):
+            if deadline is not None and time.monotonic() > deadline:
+                raise RequestTimeout(
+                    "inline request passed its deadline mid-stream")
+            yield chunk
+
+    def _stream_from_workers(self, n, batch, seed, plan, timeout,
+                             windowed: bool) -> Iterator[Table]:
+        deadline = self._deadline(timeout)
+        req_id, pending = self._begin(expected=len(plan))
+        try:
+            if not windowed:
+                # Bulk consumption (sample()): strided index sets —
+                # equal-size chunks mean equal work, so static striding
+                # balances without per-chunk queue traffic.
+                n_tasks = min(self.workers, len(plan)) or 1
+                for shard in range(n_tasks):
+                    indices = list(range(shard, len(plan), n_tasks))
+                    self._task_q.put(("chunks", req_id, n, batch, seed,
+                                      indices))
+                for index in range(len(plan)):
+                    yield pending.wait_index(index, deadline)
+                return
+            # Streaming: one task per chunk, dispatched a bounded
+            # window ahead of the consumer, so parent-side buffering
+            # never exceeds ~window chunks however slow the reader is.
+            window = max(2 * self.workers, 4)
+            submitted = min(window, len(plan))
+            for index in range(submitted):
+                self._task_q.put(("chunks", req_id, n, batch, seed,
+                                  [plan[index][0]]))
+            for index in range(len(plan)):
+                chunk = pending.wait_index(index, deadline)
+                if submitted < len(plan):
+                    self._task_q.put(("chunks", req_id, n, batch, seed,
+                                      [plan[submitted][0]]))
+                    submitted += 1
+                yield chunk
+        finally:
+            self._end(req_id)
+
+    # ------------------------------------------------------------------
+    # Database requests (whole-request parallelism)
+    # ------------------------------------------------------------------
+    def sample_database(self, scale: float = 1.0, *,
+                        sizes: Optional[Dict[str, int]] = None,
+                        batch: Optional[int] = None,
+                        seed: Optional[int] = None,
+                        timeout: Optional[float] = None):
+        """Run one database draw on a worker; returns a ``Database``."""
+        if self.kind != KIND_DATABASE:
+            raise ServingError(
+                f"model {self.path.name!r} is a single table; use "
+                "sample()")
+        seed = fresh_seed() if seed is None else seed
+        if self._inline_model is not None:
+            return self._inline_model.sample(scale, sizes=sizes,
+                                             batch=batch, seed=seed)
+        deadline = self._deadline(timeout)
+        req_id, pending = self._begin(expected=1)
+        try:
+            self._task_q.put(("database", req_id, scale, sizes, batch,
+                              seed))
+            return pending.wait_index(0, deadline)
+        finally:
+            self._end(req_id)

@@ -1,0 +1,365 @@
+"""The synthesis service: store + worker pools + micro-batcher.
+
+:class:`SynthesisService` is the process-level object a deployment
+holds: it resolves model names through a :class:`ModelStore`, keeps one
+:class:`WorkerPool` per actively-served model (LRU-capped, idle pools
+are shut down), routes small unseeded requests through the
+:class:`MicroBatcher`, and exposes the sampling entry points the HTTP
+front end (or an embedding application) calls.
+
+Request routing:
+
+* ``seed`` given        -> straight to the pool (deterministic path;
+  coalescing would change the stream);
+* unseeded, small ``n`` -> micro-batcher (coalesced with concurrent
+  requests for the same model);
+* unseeded, large ``n`` -> pool with a fresh request seed (sharded
+  across workers; the assigned seed is reported so the draw can be
+  replayed).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..api.base import PathLike, _count
+from ..api.seeding import fresh_seed
+from ..datasets.schema import Table
+from .batching import MicroBatcher
+from .errors import PoolClosed, ServingError
+from .pool import WorkerPool
+from .store import ModelStore
+
+#: Unseeded requests at or below this many rows go through the
+#: micro-batcher; larger ones shard across the pool directly.
+DEFAULT_COALESCE_MAX_ROWS = 4096
+
+
+class _PoolEntry:
+    """Registry slot for one model's pool; ``ready`` gates waiters
+    while the creating thread boots the pool outside the lock."""
+
+    __slots__ = ("pool", "ready", "error")
+
+    def __init__(self):
+        self.pool: Optional[WorkerPool] = None
+        self.ready = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+class SynthesisService:
+    """Serve ``sample`` requests over a directory of saved models.
+
+    Parameters
+    ----------
+    root:
+        Model-store root (one saved model per subdirectory).
+    workers:
+        Worker processes per model pool (``0`` = inline, no
+        multiprocessing).
+    pool_capacity:
+        How many models may have live worker pools at once; the LRU
+        idle pool is shut down when a new model needs one.
+    request_timeout:
+        Default per-request deadline (seconds).
+    coalesce_max_rows:
+        Routing threshold for the micro-batcher (``0`` disables
+        coalescing entirely).
+    """
+
+    def __init__(self, root: PathLike, *, workers: int = 2,
+                 store_capacity: int = 4, pool_capacity: int = 4,
+                 request_timeout: float = 60.0,
+                 coalesce_max_rows: int = DEFAULT_COALESCE_MAX_ROWS,
+                 batch_window: float = 0.005):
+        # The store's LRU cache backs inline (workers=0) pools, which
+        # borrow their loaded model through a refcounted checkout;
+        # worker-process pools load their own copies and only use the
+        # store for name resolution and metadata.
+        self.store = ModelStore(root, capacity=store_capacity)
+        self.workers = _count("workers", workers, minimum=0)
+        self.pool_capacity = _count("pool_capacity", pool_capacity,
+                                    minimum=1)
+        self.request_timeout = request_timeout
+        self.coalesce_max_rows = _count("coalesce_max_rows",
+                                        coalesce_max_rows, minimum=0)
+        self._pools: "OrderedDict[str, _PoolEntry]" = OrderedDict()
+        self._pools_lock = threading.Lock()
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._rows = 0
+        self.batcher = MicroBatcher(
+            self._batched_sample, timeout=request_timeout,
+            max_delay=batch_window)
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def _make_pool(self, name: str, path) -> WorkerPool:
+        if self.workers == 0:
+            handle = self.store.checkout(name)
+            try:
+                return WorkerPool(path, workers=0,
+                                  request_timeout=self.request_timeout,
+                                  inline_model=handle.model,
+                                  on_close=handle.release)
+            except Exception:
+                handle.release()
+                raise
+        return WorkerPool(path, workers=self.workers,
+                          request_timeout=self.request_timeout)
+
+    def _pool(self, name: str) -> WorkerPool:
+        """The (possibly new) pool for ``name``; LRU-evicts idle pools.
+
+        Booting a pool (forking workers, loading arrays) can take
+        seconds, so it happens *outside* the registry lock: one cold
+        model must never stall requests for warm models or the health
+        probes.  Concurrent requests for the same cold model share one
+        boot via the entry's ready event.
+        """
+        path = self.store.path(name)  # raises ModelNotFound early
+        with self._pools_lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            entry = self._pools.get(name)
+            usable = entry is not None and (
+                not entry.ready.is_set()
+                or (entry.error is None and not entry.pool.closed))
+            if usable:
+                self._pools.move_to_end(name)
+                is_loader = False
+            else:
+                entry = _PoolEntry()
+                self._pools[name] = entry
+                is_loader = True
+        if is_loader:
+            try:
+                pool = self._make_pool(name, path)
+            except BaseException as exc:
+                with self._pools_lock:
+                    entry.error = exc
+                    if self._pools.get(name) is entry:
+                        del self._pools[name]
+                entry.ready.set()
+                raise
+            with self._pools_lock:
+                if self._closed:
+                    # The service shut down while this pool booted; it
+                    # was never registered, so close it here.
+                    entry.error = ServingError("service is closed")
+                    self._pools.pop(name, None)
+                    surplus = []
+                else:
+                    entry.pool = pool
+                    surplus = self._pop_surplus_locked(keep=name)
+            if entry.error is not None:
+                pool.close()
+                entry.ready.set()
+                raise entry.error
+            entry.ready.set()
+            # Closing a pool joins worker processes (seconds): do it
+            # after the registry lock is released, for the same reason
+            # pool *boot* happens outside it.
+            for other in surplus:
+                other.close()
+            return pool
+        entry.ready.wait()
+        if entry.error is not None:
+            raise ServingError(
+                f"starting the pool for {name!r} failed: "
+                f"{entry.error}") from entry.error
+        return entry.pool
+
+    def _retained_pool(self, name: str) -> WorkerPool:
+        """A pool pinned against eviction; callers must ``release()``.
+
+        Retaining can race a concurrent LRU eviction closing the pool;
+        in that case the registry no longer holds it and a retry
+        resolves a fresh one.
+        """
+        for _ in range(3):
+            pool = self._pool(name)
+            try:
+                return pool.retain()
+            except PoolClosed:
+                continue
+        raise ServingError(
+            f"could not retain a pool for {name!r} (evicted repeatedly); "
+            "raise pool_capacity or reduce the number of hot models")
+
+    def _count_request(self, rows: int) -> None:
+        with self._stats_lock:
+            self._requests += 1
+            self._rows += rows
+
+    def _pop_surplus_locked(self, keep: str) -> list:
+        """Deregister surplus pools, oldest first, but never one with
+        requests in flight or still booting — they fall out later.
+        Returns the pools for the caller to close outside the lock."""
+        surplus = len(self._pools) - self.pool_capacity
+        popped = []
+        if surplus <= 0:
+            return popped
+        for candidate in list(self._pools):
+            if surplus <= 0:
+                break
+            entry = self._pools[candidate]
+            if candidate != keep and entry.ready.is_set() \
+                    and entry.error is None and entry.pool.inflight == 0:
+                del self._pools[candidate]
+                popped.append(entry.pool)
+                surplus -= 1
+        return popped
+
+    def active_pools(self) -> Dict[str, int]:
+        """``{model name: in-flight requests}`` for live pools."""
+        with self._pools_lock:
+            return {name: entry.pool.inflight
+                    for name, entry in self._pools.items()
+                    if entry.ready.is_set() and entry.error is None}
+
+    # ------------------------------------------------------------------
+    # Sampling entry points
+    # ------------------------------------------------------------------
+    def _batched_sample(self, name: str, n: int,
+                        seed: Optional[int]) -> Table:
+        """Backend the micro-batcher executes coalesced passes on."""
+        pool = self._retained_pool(name)
+        try:
+            return pool.sample(n, seed=seed)
+        finally:
+            pool.release()
+
+    def sample(self, name: str, n: int, batch: Optional[int] = None,
+               seed: Optional[int] = None,
+               timeout: Optional[float] = None,
+               coalesce: Optional[bool] = None
+               ) -> Tuple[Table, Optional[int]]:
+        """Serve one table request; returns ``(table, seed_used)``.
+
+        ``seed_used`` is the request's reproducibility token: echo of
+        the client seed, the fresh seed assigned to an uncoalesced
+        unseeded request, or ``None`` for a coalesced request (its rows
+        came out of a shared pass and have no standalone stream).
+        """
+        n = _count("n", n, minimum=1)
+        if batch is not None:
+            _count("batch", batch, minimum=1)
+        self._count_request(n)
+        if coalesce is None:
+            coalesce = (seed is None and batch is None
+                        and 0 < n <= self.coalesce_max_rows)
+        if coalesce and seed is None and batch is None:
+            return self.batcher.submit(name, n, timeout=timeout), None
+        if seed is None:
+            seed = fresh_seed()
+        pool = self._retained_pool(name)
+        try:
+            table = pool.sample(n, batch=batch, seed=seed,
+                                timeout=timeout)
+        finally:
+            pool.release()
+        return table, seed
+
+    def sample_iter(self, name: str, n: int,
+                    batch: Optional[int] = None,
+                    seed: Optional[int] = None,
+                    timeout: Optional[float] = None
+                    ) -> Tuple[Iterator[Table], int]:
+        """Streaming variant: ``(chunk iterator, seed_used)``.
+
+        Chunks arrive in order while later ones are still generating —
+        the HTTP layer forwards them as a chunked response.  The pool
+        stays retained until the iterator is exhausted or closed.
+        """
+        n = _count("n", n, minimum=1)
+        self._count_request(n)
+        if seed is None:
+            seed = fresh_seed()
+        pool = self._retained_pool(name)
+
+        def released_stream():
+            try:
+                yield from pool.sample_iter(n, batch=batch, seed=seed,
+                                            timeout=timeout)
+            finally:
+                pool.release()
+
+        return released_stream(), seed
+
+    def sample_database(self, name: str, scale: float = 1.0, *,
+                        sizes: Optional[Dict[str, int]] = None,
+                        seed: Optional[int] = None,
+                        timeout: Optional[float] = None):
+        """Serve one database request; returns ``(database, seed_used)``."""
+        self._count_request(0)
+        if seed is None:
+            seed = fresh_seed()
+        pool = self._retained_pool(name)
+        try:
+            database = pool.sample_database(
+                scale, sizes=sizes, seed=seed, timeout=timeout)
+        finally:
+            pool.release()
+        return database, seed
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def models(self) -> list:
+        """Catalogue of served models plus live-pool status."""
+        with self._pools_lock:
+            live = {name: entry.pool
+                    for name, entry in self._pools.items()
+                    if entry.ready.is_set() and entry.error is None
+                    and not entry.pool.closed}
+        entries = []
+        for info in self.store.list_models():
+            pool = live.get(info.name)
+            entries.append({
+                "name": info.name, "kind": info.kind,
+                "method": info.method,
+                "pool": None if pool is None else {
+                    "workers": pool.workers,
+                    "inflight": pool.inflight,
+                    "default_batch": pool.default_batch,
+                },
+            })
+        return entries
+
+    def healthz(self) -> Dict:
+        with self._pools_lock:
+            pools = {name: entry.pool.workers
+                     for name, entry in self._pools.items()
+                     if entry.ready.is_set() and entry.error is None
+                     and not entry.pool.closed}
+        return {
+            "status": "closed" if self._closed else "ok",
+            "models": len(self.store.list_models()),
+            "pools": pools,
+            "requests": self._requests,
+            "rows": self._rows,
+            "batcher": dict(self.batcher.stats),
+        }
+
+    def close(self) -> None:
+        with self._pools_lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._pools.values())
+            self._pools.clear()
+        self.batcher.close()
+        for entry in entries:
+            if entry.ready.is_set() and entry.error is None:
+                entry.pool.close()
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

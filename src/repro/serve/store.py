@@ -1,0 +1,272 @@
+"""Model store: persisted synthesizers by name, LRU-cached, checkout-safe.
+
+A store root is a directory of saved models, one subdirectory per
+model name::
+
+    models/
+      adult-gan/          # Synthesizer.save(...)   -> synthesizer.json
+      shop-db/            # DatabaseSynthesizer.save -> database.json
+
+:class:`ModelStore` resolves names to paths, reads each model's
+metadata without loading arrays, and lends out loaded models through
+reference-counted :class:`ModelHandle`\\ s: checkout is thread-safe,
+concurrent checkouts of the same name share one load, and LRU eviction
+only ever drops models with no handle outstanding — an in-flight
+request can never have its model evicted from under it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..api.base import _META_FILE, PathLike, load_synthesizer
+from .errors import ModelNotFound, ServingError
+
+#: Metadata file of a saved DatabaseSynthesizer directory (kept in sync
+#: with repro.relational.synthesizer; imported lazily to avoid pulling
+#: the relational stack into table-only services).
+_DB_META_FILE = "database.json"
+
+#: Model names are path components; keep them boring so a crafted name
+#: can never escape the store root.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+KIND_TABLE = "table"
+KIND_DATABASE = "database"
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """One store entry's metadata (no arrays loaded)."""
+
+    name: str
+    path: pathlib.Path
+    kind: str          # "table" | "database"
+    method: str        # registered family ("gan", ..., "relational")
+
+
+def model_kind(path: PathLike) -> Optional[str]:
+    """The persistence layout found at ``path`` (``None`` if neither)."""
+    path = pathlib.Path(path)
+    if (path / _DB_META_FILE).exists():
+        return KIND_DATABASE
+    if (path / _META_FILE).exists():
+        return KIND_TABLE
+    return None
+
+
+def load_model(path: PathLike):
+    """Load a saved model of either layout.
+
+    Returns a :class:`repro.api.Synthesizer` for single-table saves and
+    a :class:`repro.relational.DatabaseSynthesizer` for database saves.
+    Worker processes call this on their own copy of the path, so it is
+    deliberately a module function rather than a store method.
+    """
+    kind = model_kind(path)
+    if kind == KIND_DATABASE:
+        from ..relational.synthesizer import DatabaseSynthesizer
+
+        return DatabaseSynthesizer.load(path)
+    if kind == KIND_TABLE:
+        return load_synthesizer(path)
+    raise ModelNotFound(f"no saved synthesizer at {path}")
+
+
+def read_model_info(name: str, path: PathLike) -> ModelInfo:
+    """Read a saved model's metadata without loading its arrays."""
+    path = pathlib.Path(path)
+    kind = model_kind(path)
+    if kind is None:
+        raise ModelNotFound(f"no saved synthesizer at {path}")
+    meta_file = _DB_META_FILE if kind == KIND_DATABASE else _META_FILE
+    document = json.loads((path / meta_file).read_text())
+    return ModelInfo(name=name, path=path, kind=kind,
+                     method=str(document.get("method", "unknown")))
+
+
+class ModelHandle:
+    """A checked-out model; release via ``with`` or :meth:`release`."""
+
+    def __init__(self, store: "ModelStore", name: str, model):
+        self._store = store
+        self.name = name
+        self.model = model
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._store._release(self.name)
+
+    def __enter__(self) -> "ModelHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _Entry:
+    __slots__ = ("model", "refs", "ready", "error")
+
+    def __init__(self):
+        self.model = None
+        self.refs = 0
+        self.ready = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+class ModelStore:
+    """Name-addressed cache of loaded synthesizers.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one saved model per subdirectory.
+    capacity:
+        Resident-model budget.  The ``capacity+1``-th distinct checkout
+        evicts the least-recently-used model *with no outstanding
+        handles*; busy models are skipped, so the cache can transiently
+        exceed ``capacity`` under concurrent traffic rather than break
+        an in-flight request.
+    """
+
+    def __init__(self, root: PathLike, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.root = pathlib.Path(root)
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._info_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Catalogue
+    # ------------------------------------------------------------------
+    def path(self, name: str) -> pathlib.Path:
+        """Resolve ``name`` to its saved-model directory."""
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ModelNotFound(f"invalid model name {name!r}")
+        path = self.root / name
+        if model_kind(path) is None:
+            raise ModelNotFound(
+                f"no model named {name!r} under {self.root}")
+        return path
+
+    def info(self, name: str) -> ModelInfo:
+        """Metadata for one model, cached after the first read.
+
+        Saved models are immutable directories, so the kind/method
+        never change — caching keeps per-request routing (the HTTP
+        layer branches table-vs-database on every ``/sample``) off the
+        disk.
+        """
+        with self._lock:
+            cached = self._info_cache.get(name)
+        if cached is not None:
+            return cached
+        info = read_model_info(name, self.path(name))
+        with self._lock:
+            self._info_cache[name] = info
+        return info
+
+    def list_models(self) -> List[ModelInfo]:
+        """Metadata for every saved model under the root (sorted)."""
+        if not self.root.is_dir():
+            return []
+        infos = []
+        for child in sorted(self.root.iterdir()):
+            if child.is_dir() and model_kind(child) is not None:
+                infos.append(read_model_info(child.name, child))
+        return infos
+
+    def cached_models(self) -> List[str]:
+        """Names currently resident, least- to most-recently used."""
+        with self._lock:
+            return [name for name, entry in self._cache.items()
+                    if entry.ready.is_set() and entry.error is None]
+
+    # ------------------------------------------------------------------
+    # Checkout
+    # ------------------------------------------------------------------
+    def checkout(self, name: str) -> ModelHandle:
+        """Borrow the loaded model called ``name``.
+
+        Thread-safe: concurrent checkouts share one load (late arrivals
+        block until the loader finishes), and the handle's reference
+        count pins the model against LRU eviction until released.
+        """
+        path = self.path(name)
+        with self._lock:
+            entry = self._cache.get(name)
+            is_loader = entry is None
+            if is_loader:
+                entry = _Entry()
+                self._cache[name] = entry
+            else:
+                self._cache.move_to_end(name)
+            # Count the reference *before* releasing the lock so the
+            # entry is never evictable while this checkout is in flight.
+            entry.refs += 1
+        if is_loader:
+            try:
+                model = load_model(path)
+            except Exception as exc:  # surface to all waiters, then drop
+                with self._lock:
+                    entry.error = exc
+                    entry.refs -= 1
+                    self._cache.pop(name, None)
+                entry.ready.set()
+                raise
+            with self._lock:
+                entry.model = model
+                self._evict_idle_locked(keep=name)
+            entry.ready.set()
+        else:
+            entry.ready.wait()
+            if entry.error is not None:
+                with self._lock:
+                    entry.refs -= 1
+                raise ServingError(
+                    f"loading model {name!r} failed: {entry.error}"
+                ) from entry.error
+        return ModelHandle(self, name, entry.model)
+
+    def _release(self, name: str) -> None:
+        with self._lock:
+            entry = self._cache.get(name)
+            if entry is not None:
+                entry.refs -= 1
+                self._evict_idle_locked()
+
+    def _evict_idle_locked(self, keep: Optional[str] = None) -> None:
+        over = len(self._cache) - self.capacity
+        if over <= 0:
+            return
+        for name in list(self._cache):
+            if over <= 0:
+                break
+            entry = self._cache[name]
+            if name != keep and entry.refs == 0 and entry.ready.is_set():
+                del self._cache[name]
+                over -= 1
+
+    def evict(self, name: Optional[str] = None) -> None:
+        """Drop a resident model (or all idle ones) from the cache.
+
+        Models with outstanding handles are never dropped; they fall
+        out on release.
+        """
+        with self._lock:
+            names = [name] if name is not None else list(self._cache)
+            for key in names:
+                entry = self._cache.get(key)
+                if entry is not None and entry.refs == 0 \
+                        and entry.ready.is_set():
+                    del self._cache[key]

@@ -115,6 +115,18 @@ class VAESynthesizer(Synthesizer):
     def _sampling_session(self):
         return self._eval_mode_session(self.model)
 
+    def spawn_sampler(self, worker_id: int = 0) -> "VAESynthesizer":
+        """Worker prep (see :meth:`repro.api.Synthesizer.spawn_sampler`).
+
+        Additionally drops per-epoch snapshots and the loss history —
+        decoding from the prior needs neither, and snapshots are the
+        dominant per-worker memory cost after a fork.
+        """
+        super().spawn_sampler(worker_id)
+        self._snapshots = []
+        self.losses = []
+        return self
+
     def _sample_chunk(self, m: int, rng: np.random.Generator,
                       conditions=None) -> Table:
         dtype = get_default_dtype()

@@ -1,0 +1,186 @@
+"""Seed substreams, the sharded-seed contract, and count validation."""
+
+import numpy as np
+import pytest
+
+from repro.api import chunk_plan, derive_seed, fresh_seed, make_synthesizer
+from repro.api.seeding import seed_sequence, substream
+
+from tests.conftest import make_mixed_table
+
+
+def assert_tables_equal(a, b):
+    assert a.schema.names == b.schema.names
+    for name in a.schema.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+# ----------------------------------------------------------------------
+# Substream derivation
+# ----------------------------------------------------------------------
+class TestSubstreams:
+    def test_same_key_same_stream(self):
+        a = substream(7, "chunk", 3).standard_normal(8)
+        b = substream(7, "chunk", 3).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tags_differ(self):
+        draws = {tags: substream(7, *tags).standard_normal(4).tobytes()
+                 for tags in [("chunk", 0), ("chunk", 1), ("table", 0),
+                              ("chunk", "0"), ("worker", 0)]}
+        assert len(set(draws.values())) == len(draws)
+
+    def test_different_seeds_differ(self):
+        a = substream(0, "chunk", 0).standard_normal(4)
+        b = substream(1, "chunk", 0).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_derive_seed_deterministic_and_bounded(self):
+        values = [derive_seed(3, "table", name)
+                  for name in ("customers", "orders", "customers")]
+        assert values[0] == values[2]
+        assert values[0] != values[1]
+        assert all(0 <= v < 2 ** 63 for v in values)
+
+    def test_seed_validation(self):
+        for bad in (-1, 1.5, "7", True, None):
+            with pytest.raises(ValueError, match="seed"):
+                seed_sequence(bad, "x")
+
+    def test_fresh_seed_varies(self):
+        seeds = {fresh_seed() for _ in range(8)}
+        assert len(seeds) > 1
+        assert all(0 <= s < 2 ** 63 for s in seeds)
+
+
+# ----------------------------------------------------------------------
+# Chunk plans + argument validation (the "name the argument" contract)
+# ----------------------------------------------------------------------
+class TestChunkPlan:
+    def test_plan_covers_rows(self):
+        plan = chunk_plan(10, 4)
+        assert plan == [(0, 0, 4), (1, 4, 4), (2, 8, 2)]
+        assert chunk_plan(0, 4) == []
+        assert chunk_plan(4, 4) == [(0, 0, 4)]
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "16", None, True])
+    def test_bad_batch_names_argument(self, bad):
+        with pytest.raises(ValueError, match="batch"):
+            chunk_plan(10, bad)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "10", True])
+    def test_bad_n_names_argument(self, bad):
+        with pytest.raises(ValueError, match="n must"):
+            chunk_plan(bad, 4)
+
+
+@pytest.fixture(scope="module")
+def fitted_pb():
+    table = make_mixed_table(n=180, seed=2)
+    return make_synthesizer("privbayes", epsilon=None, seed=0).fit(table)
+
+
+class TestSampleArgValidation:
+    @pytest.mark.parametrize("bad", [0, -2, 3.5, "64", True])
+    def test_sample_iter_bad_batch(self, fitted_pb, bad):
+        with pytest.raises(ValueError, match="batch"):
+            fitted_pb.sample_iter(10, batch=bad)
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, "10"])
+    def test_sample_iter_bad_n(self, fitted_pb, bad):
+        with pytest.raises(ValueError, match="n must"):
+            fitted_pb.sample_iter(bad)
+
+    def test_sample_zero_rows_rejected(self, fitted_pb):
+        with pytest.raises(ValueError, match="n must be positive"):
+            fitted_pb.sample(0)
+
+    def test_errors_are_eager_not_lazy(self, fitted_pb):
+        # sample_iter validates before the generator starts: the bad
+        # argument surfaces at the call, not at first iteration.
+        with pytest.raises(ValueError, match="batch"):
+            fitted_pb.sample_iter(10, batch=0)
+
+
+# ----------------------------------------------------------------------
+# The sharded-seed contract
+# ----------------------------------------------------------------------
+class TestSampleChunks:
+    def test_chunks_match_full_sample(self, fitted_pb):
+        full = fitted_pb.sample(50, batch=16, seed=9)
+        parts = dict(fitted_pb.sample_chunks(50, batch=16, seed=9))
+        assert sorted(parts) == [0, 1, 2, 3]
+        out = parts[0]
+        for index in (1, 2, 3):
+            out = out.concat_rows(parts[index])
+        assert_tables_equal(out, full)
+
+    def test_disjoint_shards_reassemble(self, fitted_pb):
+        full = fitted_pb.sample(40, batch=8, seed=4)
+        even = dict(fitted_pb.sample_chunks(40, batch=8, seed=4,
+                                            indices=[0, 2, 4]))
+        odd = dict(fitted_pb.sample_chunks(40, batch=8, seed=4,
+                                           indices=[3, 1]))
+        merged = {**even, **odd}
+        out = merged[0]
+        for index in range(1, 5):
+            out = out.concat_rows(merged[index])
+        assert_tables_equal(out, full)
+
+    def test_chunk_independent_of_other_chunks(self, fitted_pb):
+        solo = dict(fitted_pb.sample_chunks(40, batch=8, seed=4,
+                                            indices=[2]))[2]
+        in_full = dict(fitted_pb.sample_chunks(40, batch=8, seed=4))[2]
+        assert_tables_equal(solo, in_full)
+
+    def test_requires_seed(self, fitted_pb):
+        with pytest.raises(ValueError, match="seed"):
+            fitted_pb.sample_chunks(10, batch=4)
+
+    def test_index_out_of_range(self, fitted_pb):
+        with pytest.raises(ValueError, match="chunk index"):
+            list(fitted_pb.sample_chunks(10, batch=4, seed=1, indices=[9]))
+
+    def test_gan_chunks_match_full_sample(self):
+        table = make_mixed_table(n=160, seed=5)
+        synth = make_synthesizer("gan", seed=0, epochs=1,
+                                 iterations_per_epoch=3).fit(table)
+        full = synth.sample(60, batch=20, seed=11)
+        parts = dict(synth.sample_chunks(60, batch=20, seed=11))
+        out = parts[0].concat_rows(parts[1]).concat_rows(parts[2])
+        assert_tables_equal(out, full)
+
+
+# ----------------------------------------------------------------------
+# spawn_sampler (worker prep)
+# ----------------------------------------------------------------------
+class TestSpawnSampler:
+    def test_pins_eval_and_keeps_determinism(self, tmp_path):
+        table = make_mixed_table(n=160, seed=5)
+        synth = make_synthesizer("gan", seed=0, epochs=1,
+                                 iterations_per_epoch=3).fit(table)
+        reference = synth.sample(30, batch=16, seed=2)
+        synth.save(tmp_path / "m")
+
+        from repro.api import load_synthesizer
+
+        worker = load_synthesizer(tmp_path / "m").spawn_sampler(0)
+        assert worker.discriminator is None  # sampling-only worker
+        assert_tables_equal(worker.sample(30, batch=16, seed=2), reference)
+        # Eval stays pinned between requests: no train() flip happened.
+        assert not worker.generator.training
+
+    def test_unseeded_streams_disjoint_across_workers(self, tmp_path):
+        table = make_mixed_table(n=160, seed=5)
+        synth = make_synthesizer("privbayes", epsilon=None, seed=0)
+        synth.fit(table)
+        synth.save(tmp_path / "pb")
+
+        from repro.api import load_synthesizer
+
+        w0 = load_synthesizer(tmp_path / "pb").spawn_sampler(0)
+        w1 = load_synthesizer(tmp_path / "pb").spawn_sampler(1)
+        a = w0.sample(40)
+        b = w1.sample(40)
+        assert any(not np.array_equal(a.column(c), b.column(c))
+                   for c in a.schema.names)

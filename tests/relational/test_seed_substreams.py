@@ -1,0 +1,88 @@
+"""Regression: per-table / per-FK seed substreams (schema stability).
+
+Before the substream fix, the database synthesizer drew per-table seeds
+and per-FK assignments sequentially from one generator, so *adding a
+table* to the schema shifted every later table's stream — the synthetic
+``orders`` table changed because an unrelated ``stores`` table joined
+the database.  Streams are now keyed by table / FK name, making each
+table's draw invariant to the rest of the schema.
+"""
+
+import numpy as np
+
+from repro.datasets import simulated
+from repro.datasets.schema import (
+    Attribute, CATEGORICAL, NUMERICAL, Schema, Table,
+)
+from repro.relational import Database
+from repro.relational.synthesizer import DatabaseSynthesizer
+
+PB = dict(method="privbayes", method_kwargs={"epsilon": None})
+
+
+def assert_tables_equal(a, b):
+    assert a.schema.names == b.schema.names
+    for name in a.schema.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+def with_extra_table(database: Database) -> Database:
+    """The same database plus one unrelated ``stores`` table."""
+    rng = np.random.default_rng(99)
+    n = 30
+    schema = Schema(attributes=(
+        Attribute("store_id", NUMERICAL, integral=True),
+        Attribute("size", NUMERICAL),
+        Attribute("tier", CATEGORICAL, categories=("s", "m", "l")),
+    ))
+    stores = Table(schema, {
+        "store_id": np.arange(n),
+        "size": rng.normal(100.0, 20.0, n),
+        "tier": rng.integers(0, 3, n),
+    })
+    return Database({**database.tables, "stores": stores},
+                    primary_keys={**database.primary_keys,
+                                  "stores": "store_id"},
+                    foreign_keys=database.foreign_keys)
+
+
+def test_adding_a_table_never_perturbs_another_tables_draw():
+    database = simulated.sdata_relational(n_customers=40, seed=0)
+    bigger = with_extra_table(database)
+
+    small = DatabaseSynthesizer(seed=0, **PB).fit(database)
+    large = DatabaseSynthesizer(seed=0, **PB).fit(bigger)
+
+    a = small.sample(1.0, seed=11)
+    b = large.sample(1.0, seed=11)
+    for name in ("customers", "orders"):
+        assert_tables_equal(a[name], b[name])
+    assert "stores" in b.table_names
+
+
+def test_seeded_database_draw_reproducible():
+    database = simulated.sdata_relational(n_customers=40, seed=0)
+    synth = DatabaseSynthesizer(seed=0, **PB).fit(database)
+    a = synth.sample(1.0, seed=5)
+    b = synth.sample(1.0, seed=5)
+    for name in a.table_names:
+        assert_tables_equal(a[name], b[name])
+    c = synth.sample(1.0, seed=6)
+    assert any(
+        len(a[name]) != len(c[name])
+        or any(not np.array_equal(a[name].column(col), c[name].column(col))
+               for col in a[name].schema.names)
+        for name in a.table_names)
+
+
+def test_fk_substreams_keyed_not_sequential():
+    """The cardinality draw for one FK must not depend on how many
+    other draws preceded it: equal-seed draws of the same edge agree
+    even when the order of table generation work differs (sizes
+    override changes the root row count but not the fan-out stream)."""
+    database = simulated.sdata_relational(n_customers=40, seed=0)
+    synth = DatabaseSynthesizer(seed=0, **PB).fit(database)
+    a = synth.sample(1.0, seed=3)
+    b = synth.sample(1.0, sizes={"customers": len(a["customers"])},
+                     seed=3)
+    assert_tables_equal(a["orders"], b["orders"])

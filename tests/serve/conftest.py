@@ -1,0 +1,29 @@
+"""Shared fixtures: a session-scoped store of tiny saved models."""
+
+import pytest
+
+from repro.api import make_synthesizer
+from repro.datasets import simulated
+from repro.relational.synthesizer import DatabaseSynthesizer
+
+from tests.conftest import make_mixed_table
+
+TINY_FIT = dict(epochs=1, iterations_per_epoch=3)
+
+
+@pytest.fixture(scope="session")
+def model_root(tmp_path_factory):
+    """A model-store root with one model per family plus a database."""
+    root = tmp_path_factory.mktemp("models")
+    table = make_mixed_table(n=160, seed=3)
+    make_synthesizer("gan", seed=0, **TINY_FIT).fit(table).save(
+        root / "adult-gan")
+    make_synthesizer("vae", seed=0, **TINY_FIT).fit(table).save(
+        root / "adult-vae")
+    make_synthesizer("privbayes", epsilon=None, seed=0).fit(table).save(
+        root / "adult-pb")
+    database = simulated.sdata_relational(n_customers=50, seed=0)
+    DatabaseSynthesizer(method="privbayes",
+                        method_kwargs={"epsilon": None},
+                        seed=0).fit(database).save(root / "shop-db")
+    return root

@@ -1,0 +1,257 @@
+"""Micro-batching: coalescing, splitting, backpressure, deadlines."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import Attribute, NUMERICAL, Schema, Table
+from repro.serve import BackpressureError, MicroBatcher, RequestTimeout
+from repro.serve.batching import slice_rows
+
+SCHEMA = Schema((Attribute("v", NUMERICAL),))
+
+
+def make_sampler(log, block=None):
+    """A fake pool: returns rows numbered by call so splits are
+    traceable back to the pass that produced them."""
+
+    def sampler(model, n, seed):
+        if block is not None:
+            block.wait()
+        log.append((model, n, seed))
+        call = len(log)
+        return Table(SCHEMA, {"v": np.arange(n) + 1000.0 * call})
+
+    return sampler
+
+
+def test_slice_rows():
+    table = Table(SCHEMA, {"v": np.arange(10.0)})
+    part = slice_rows(table, 3, 7)
+    np.testing.assert_array_equal(part.column("v"), [3.0, 4.0, 5.0, 6.0])
+
+
+def test_concurrent_unseeded_requests_coalesce():
+    log = []
+    with MicroBatcher(make_sampler(log), max_delay=0.08) as batcher:
+        results = {}
+
+        def submit(key, n):
+            results[key] = batcher.submit("m", n)
+
+        threads = [threading.Thread(target=submit, args=(i, 10 + i))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # One generator pass served all three requests...
+        assert len(log) == 1
+        assert log[0][1] == 10 + 11 + 12
+        # ...and each got exactly its own row count back.
+        assert sorted(len(results[i].column("v")) for i in range(3)) \
+            == [10, 11, 12]
+        assert batcher.stats["coalesced_batches"] == 1
+        assert batcher.stats["coalesced_requests"] == 3
+
+
+def test_split_preserves_request_boundaries():
+    log = []
+    with MicroBatcher(make_sampler(log), max_delay=0.08) as batcher:
+        results = []
+        barrier = threading.Barrier(2)
+
+        def submit(n):
+            barrier.wait()
+            results.append(batcher.submit("m", n))
+
+        threads = [threading.Thread(target=submit, args=(n,))
+                   for n in (5, 7)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if len(log) == 1:  # both coalesced into one pass of 12 rows
+            total = np.concatenate([t.column("v") for t in results])
+            assert sorted(total % 1000) == sorted(range(12))
+
+
+def test_seeded_requests_never_coalesce():
+    log = []
+    with MicroBatcher(make_sampler(log), max_delay=0.08) as batcher:
+        done = []
+
+        def submit(seed):
+            done.append(batcher.submit("m", 8, seed=seed))
+
+        threads = [threading.Thread(target=submit, args=(seed,))
+                   for seed in (11, 22)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 2
+        assert sorted(call[2] for call in log) == [11, 22]
+
+
+def test_different_models_not_mixed():
+    log = []
+    with MicroBatcher(make_sampler(log), max_delay=0.08) as batcher:
+        results = {}
+
+        def submit(model):
+            results[model] = batcher.submit(model, 6)
+
+        threads = [threading.Thread(target=submit, args=(m,))
+                   for m in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 2
+        assert sorted(call[0] for call in log) == ["a", "b"]
+
+
+def _wait_until(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            return False
+        time.sleep(0.005)
+    return True
+
+
+def test_backpressure_rejects_immediately():
+    release = threading.Event()
+    log = []
+    # One execution slot: request A occupies it, the scheduler stalls
+    # holding B (waiting for the slot), C fills the bounded queue —
+    # staged with explicit waits so every request deterministically
+    # reaches its position before the next is submitted.
+    batcher = MicroBatcher(make_sampler(log, block=release),
+                           max_queue=1, max_delay=0.0,
+                           executor_threads=1)
+    workers = []
+
+    def submit_async(seed):
+        worker = threading.Thread(
+            target=lambda: batcher.submit("m", 4, seed=seed,
+                                          timeout=10.0))
+        worker.start()
+        workers.append(worker)
+
+    try:
+        submit_async(1)  # A: popped and executing (blocked in sampler)
+        assert _wait_until(lambda: batcher._running == 1
+                           and not batcher._queue)
+        submit_async(2)  # B: popped, scheduler stuck in the slot-wait
+        assert _wait_until(lambda: batcher.stats["submitted"] == 2
+                           and not batcher._queue)
+        submit_async(3)  # C: stays queued — the queue is now at bound
+        assert _wait_until(lambda: len(batcher._queue) == 1)
+        start = time.monotonic()
+        with pytest.raises(BackpressureError, match="queue is full"):
+            batcher.submit("m", 4, timeout=10.0)
+        assert time.monotonic() - start < 1.0  # immediate, not after wait
+        assert batcher.stats["rejected"] == 1
+    finally:
+        release.set()
+        for worker in workers:
+            worker.join(timeout=10.0)
+        batcher.close()
+
+
+def test_slow_model_does_not_block_other_models():
+    """A long pass for one model must not head-of-line block another
+    model's requests (passes run on the executor, not the scheduler)."""
+    release = threading.Event()
+    log = []
+
+    def sampler(model, n, seed):
+        if model == "slow":
+            release.wait()
+        log.append((model, n, seed))
+        return Table(SCHEMA, {"v": np.arange(n) * 1.0})
+
+    batcher = MicroBatcher(sampler, max_delay=0.0, executor_threads=2)
+    try:
+        slow = threading.Thread(
+            target=lambda: batcher.submit("slow", 4, seed=1, timeout=10.0))
+        slow.start()
+        time.sleep(0.05)  # let the slow pass occupy its executor slot
+        start = time.monotonic()
+        table = batcher.submit("fast", 4, timeout=5.0)
+        assert time.monotonic() - start < 2.0
+        assert len(table.column("v")) == 4
+    finally:
+        release.set()
+        slow.join(timeout=5.0)
+        batcher.close()
+
+
+def test_deadline_raises_timeout():
+    release = threading.Event()
+    log = []
+    batcher = MicroBatcher(make_sampler(log, block=release),
+                           max_delay=0.0)
+    try:
+        with pytest.raises(RequestTimeout, match="deadline"):
+            batcher.submit("m", 4, seed=1, timeout=0.05)
+        assert batcher.stats["timeouts"] == 1
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_expired_queued_requests_are_dropped():
+    release = threading.Event()
+    log = []
+    batcher = MicroBatcher(make_sampler(log, block=release),
+                           max_delay=0.0)
+    errors = []
+
+    def expiring():
+        try:
+            batcher.submit("m", 4, seed=2, timeout=0.05)
+        except RequestTimeout as exc:
+            errors.append(exc)
+
+    try:
+        blocker = threading.Thread(
+            target=lambda: batcher.submit("m", 4, seed=1, timeout=5.0))
+        blocker.start()
+        time.sleep(0.02)
+        expirer = threading.Thread(target=expiring)
+        expirer.start()
+        expirer.join(timeout=2.0)
+        assert errors  # the queued request timed out...
+        release.set()
+        blocker.join(timeout=5.0)
+        time.sleep(0.05)
+        # ...and was not executed after expiring.
+        assert len(log) <= 2
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_close_fails_pending():
+    from repro.serve import PoolClosed
+
+    release = threading.Event()
+    batcher = MicroBatcher(make_sampler([], block=release), max_delay=0.0)
+    with pytest.raises(PoolClosed):
+        batcher.close()
+        batcher.submit("m", 4)
+    release.set()
+
+
+def test_validation_names_argument():
+    batcher = MicroBatcher(make_sampler([]))
+    try:
+        with pytest.raises(ValueError, match="n must"):
+            batcher.submit("m", 0)
+    finally:
+        batcher.close()

@@ -1,0 +1,190 @@
+"""Worker pool: concurrent sampling determinism + failure modes.
+
+The acceptance contract (satellite): the same ``(model, n, seed)``
+through 1 worker, 4 workers, and plain single-process ``sample()``
+produces identical tables — for every method family and for a
+relational database.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingError, WorkerError, WorkerPool, load_model
+
+TABLE_MODELS = ("adult-gan", "adult-vae", "adult-pb")
+
+
+def assert_tables_equal(a, b):
+    assert a.schema.names == b.schema.names
+    for name in a.schema.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+def assert_databases_equal(a, b):
+    assert set(a.table_names) == set(b.table_names)
+    for name in a.table_names:
+        assert_tables_equal(a[name], b[name])
+
+
+@pytest.mark.parametrize("model", TABLE_MODELS)
+def test_worker_counts_bit_identical(model_root, model):
+    """1 worker == 4 workers == plain sample(), bit for bit."""
+    path = model_root / model
+    plain = load_model(path).sample(90, batch=16, seed=5)
+    for workers in (1, 4):
+        with WorkerPool(path, workers=workers) as pool:
+            assert_tables_equal(pool.sample(90, batch=16, seed=5), plain)
+
+
+def test_inline_pool_bit_identical(model_root):
+    path = model_root / "adult-pb"
+    plain = load_model(path).sample(70, batch=32, seed=8)
+    with WorkerPool(path, workers=0) as pool:
+        assert_tables_equal(pool.sample(70, batch=32, seed=8), plain)
+
+
+def test_default_batch_matches_local_default(model_root):
+    """No explicit batch: the pool uses the model's own default chunk
+    size, so the unbatched call is covered by the contract too."""
+    path = model_root / "adult-pb"
+    plain = load_model(path).sample(50, seed=3)
+    with WorkerPool(path, workers=2) as pool:
+        assert pool.default_batch == load_model(path).default_sample_batch
+        assert_tables_equal(pool.sample(50, seed=3), plain)
+
+
+def test_database_pool_bit_identical(model_root):
+    """Database serving: a pooled draw equals the local draw."""
+    path = model_root / "shop-db"
+    plain = load_model(path).sample(1.0, seed=7)
+    for workers in (0, 2):
+        with WorkerPool(path, workers=workers) as pool:
+            served = pool.sample_database(1.0, seed=7)
+            assert_databases_equal(served, plain)
+            assert all(v == 0 for v in served.check_integrity().values())
+
+
+def test_sample_iter_streams_in_order(model_root):
+    path = model_root / "adult-pb"
+    plain = load_model(path).sample(64, batch=16, seed=2)
+    with WorkerPool(path, workers=2) as pool:
+        chunks = list(pool.sample_iter(64, batch=16, seed=2))
+        assert [len(c) for c in chunks] == [16, 16, 16, 16]
+        out = chunks[0]
+        for chunk in chunks[1:]:
+            out = out.concat_rows(chunk)
+        assert_tables_equal(out, plain)
+
+
+def test_streaming_flow_control_bounds_buffering(model_root):
+    """A slow sample_iter consumer must not let workers race ahead and
+    buffer the whole table in the parent: dispatch is windowed."""
+    import time as _time
+
+    path = model_root / "adult-pb"
+    with WorkerPool(path, workers=1) as pool:
+        stream = pool.sample_iter(160, batch=8, seed=2)  # 20 chunks
+        chunks = [next(stream)]
+        _time.sleep(0.5)  # plenty of time to race ahead, were it allowed
+        with pool._lock:
+            pending = list(pool._pending.values())
+        assert len(pending) == 1
+        # window = max(2*workers, 4) = 4 outstanding chunks, not 19.
+        assert len(pending[0].results) <= 6
+        chunks.extend(stream)
+        assert sum(len(c) for c in chunks) == 160
+        plain = load_model(path).sample(160, batch=8, seed=2)
+        out = chunks[0]
+        for chunk in chunks[1:]:
+            out = out.concat_rows(chunk)
+        assert_tables_equal(out, plain)
+
+
+def test_concurrent_requests_one_pool(model_root):
+    """Several threads hammering one pool each get their exact table."""
+    import threading
+
+    path = model_root / "adult-pb"
+    expected = {seed: load_model(path).sample(40, batch=8, seed=seed)
+                for seed in (1, 2, 3, 4)}
+    results = {}
+    with WorkerPool(path, workers=2) as pool:
+        def run(seed):
+            results[seed] = pool.sample(40, batch=8, seed=seed)
+
+        threads = [threading.Thread(target=run, args=(seed,))
+                   for seed in expected]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    for seed, table in expected.items():
+        assert_tables_equal(results[seed], table)
+
+
+class TestValidationAndErrors:
+    def test_bad_counts_name_the_argument(self, model_root):
+        with WorkerPool(model_root / "adult-pb", workers=0) as pool:
+            with pytest.raises(ValueError, match="n must"):
+                pool.sample(0)
+            with pytest.raises(ValueError, match="batch"):
+                pool.sample(10, batch=0)
+            with pytest.raises(ValueError, match="batch"):
+                pool.sample(10, batch=2.5)
+
+    def test_kind_mismatch(self, model_root):
+        with WorkerPool(model_root / "adult-pb", workers=0) as pool:
+            with pytest.raises(ServingError, match="single table"):
+                pool.sample_database(1.0)
+        with WorkerPool(model_root / "shop-db", workers=0) as pool:
+            with pytest.raises(ServingError, match="database"):
+                pool.sample(10)
+
+    def test_missing_model_dir(self, tmp_path):
+        with pytest.raises(ServingError, match="no saved synthesizer"):
+            WorkerPool(tmp_path / "missing", workers=0)
+
+    def test_boot_failure_surfaces(self, tmp_path, model_root):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(model_root / "adult-pb", broken)
+        (broken / "arrays.npz").unlink()
+        with pytest.raises(WorkerError, match="failed to start"):
+            WorkerPool(broken, workers=1, start_timeout=30.0)
+
+    def test_pending_releases_chunks_on_handover(self):
+        """Streamed chunks leave the pending buffer as they are
+        yielded, so a long stream never re-materializes in the parent."""
+        from repro.serve.pool import _Pending
+
+        pending = _Pending(expected=2)
+        pending.deliver(0, "chunk-0")
+        assert pending.wait_index(0, None) == "chunk-0"
+        assert 0 not in pending.results
+
+    def test_worker_death_fails_pending_fast(self, model_root):
+        """An OS-killed worker must fail requests promptly (monitor),
+        not strand them until the request timeout."""
+        import time as _time
+
+        pool = WorkerPool(model_root / "adult-pb", workers=1,
+                          request_timeout=60.0)
+        try:
+            for process in pool._processes:
+                process.terminate()
+            start = _time.monotonic()
+            with pytest.raises((WorkerError, Exception)):
+                pool.sample(50, batch=8, seed=1)
+            assert _time.monotonic() - start < 10.0
+            assert pool.closed
+        finally:
+            pool.close()
+
+    def test_closed_pool_rejects(self, model_root):
+        pool = WorkerPool(model_root / "adult-pb", workers=1)
+        pool.close()
+        from repro.serve import PoolClosed
+
+        with pytest.raises(PoolClosed):
+            pool.sample(10, seed=1)
