@@ -1,0 +1,145 @@
+"""Streaming synthesis benchmark: ingest, hot refresh, steady state.
+
+Measures the :mod:`repro.stream` + hot-refresh stack on the PrivBayes
+seed workload (the count-exact streaming family):
+
+* **ingest** — rows/s of ``fit_stream`` over chunked input vs the
+  one-shot ``fit`` of the same table.  The streamed fit is verified
+  **bit-identical** to the one-shot fit (count-exactness is an
+  acceptance criterion, not a hope); the gated metric is the
+  stream/one-shot throughput *ratio*, which cancels machine speed.
+* **refresh** — latency of ``SynthesisService.publish`` (fit on the
+  grown data + write version + atomic ``ACTIVE`` swap + pool boot)
+  across three successive refreshes, with a request served between
+  each pair to exercise the drain path.
+* **steady state** — marginal fidelity of the served model against the
+  accumulated real data after each refresh, so drift across refreshes
+  shows up as a trajectory rather than a single number.
+
+``BENCH_streaming.json`` feeds ``check_bench_regression.py --mode
+streaming``, which gates on the ingest ratio.
+
+Scale knobs: ``REPRO_BENCH_STREAM_ROWS`` (default 20000),
+``REPRO_BENCH_STREAM_CHUNK`` (default 4096),
+``REPRO_BENCH_STREAM_REFRESHES`` (default 3).
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from _harness import emit, run_once
+from bench_engine_microbench import _bench_table
+from repro.api import make_synthesizer
+from repro.core.statistics import fidelity_summary
+from repro.report import format_table
+from repro.serve import SynthesisService
+
+N_ROWS = int(os.environ.get("REPRO_BENCH_STREAM_ROWS", "20000"))
+CHUNK_ROWS = int(os.environ.get("REPRO_BENCH_STREAM_CHUNK", "4096"))
+N_REFRESHES = int(os.environ.get("REPRO_BENCH_STREAM_REFRESHES", "3"))
+
+_SEED = 3
+
+
+def _timed(fn, repeats: int = 2) -> float:
+    """Best-of-``repeats`` wall clock (same policy as the other benches)."""
+    elapsed = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return elapsed
+
+
+def _assert_identical(a, b) -> bool:
+    for name, probs in a.conditionals.items():
+        np.testing.assert_array_equal(b.conditionals[name], probs)
+    return True
+
+
+def _ingest_rows(table) -> list:
+    one_shot = make_synthesizer("privbayes", epsilon=None, seed=_SEED)
+    fit_elapsed = _timed(lambda: one_shot.fit(table))
+
+    streamed = make_synthesizer("privbayes", epsilon=None, seed=_SEED)
+    stream_elapsed = _timed(
+        lambda: streamed.fit_stream(table, chunk_rows=CHUNK_ROWS))
+    identical = _assert_identical(one_shot, streamed)
+
+    rows = []
+    for path, elapsed in (("fit", fit_elapsed), ("stream", stream_elapsed)):
+        rows.append({"mode": "ingest", "path": path, "n_rows": N_ROWS,
+                     "chunk_rows": CHUNK_ROWS if path == "stream" else None,
+                     "seconds": round(elapsed, 4),
+                     "rows_per_sec": round(N_ROWS / elapsed, 1),
+                     "bit_identical": identical})
+    rows.append({"mode": "ingest", "path": "ratio",
+                 "stream_vs_fit": round(fit_elapsed / stream_elapsed, 3)})
+    return rows
+
+
+def _refresh_rows(table) -> list:
+    """Publish N successive refreshes on growing data; time each swap."""
+    rows = []
+    per_refresh = max(len(table) // (N_REFRESHES + 1), 1)
+    with tempfile.TemporaryDirectory() as tmp:
+        with SynthesisService(os.path.join(tmp, "models"),
+                              workers=0) as service:
+            for refresh in range(N_REFRESHES + 1):
+                seen = table.take(
+                    np.arange(min((refresh + 1) * per_refresh, len(table))))
+                synth = make_synthesizer("privbayes", epsilon=None,
+                                         seed=_SEED)
+                synth.fit_stream(seen, chunk_rows=CHUNK_ROWS)
+                start = time.perf_counter()
+                version = service.publish("stream-pb", synth)
+                publish_seconds = time.perf_counter() - start
+                served, _ = service.sample("stream-pb", 2000, seed=7)
+                fidelity = fidelity_summary(seen, served)
+                rows.append({
+                    "mode": "refresh", "refresh": refresh,
+                    "version": version, "rows_seen": len(seen),
+                    "publish_ms": round(publish_seconds * 1e3, 2),
+                    "mean_marginal_tv": round(
+                        fidelity["mean_marginal_tv"], 4),
+                    "max_marginal_tv": round(
+                        fidelity["max_marginal_tv"], 4),
+                })
+            assert service.healthz()["draining"] == 0
+    return rows
+
+
+def test_streaming(benchmark):
+    def run():
+        table = _bench_table(n=N_ROWS)
+        rows = _ingest_rows(table)
+        rows.extend(_refresh_rows(table))
+        rows.append({"mode": "meta", "cpus": os.cpu_count(),
+                     "method": "privbayes", "chunk_rows": CHUNK_ROWS})
+
+        headers = ["mode", "path/refresh", "rows", "rows/sec",
+                   "publish ms", "mean tv", "identical"]
+        table_rows = [[r["mode"],
+                       r.get("path", r.get("refresh", "")),
+                       r.get("n_rows", r.get("rows_seen", "")),
+                       r.get("rows_per_sec", ""),
+                       r.get("publish_ms", ""),
+                       r.get("mean_marginal_tv", ""),
+                       r.get("bit_identical", r.get("stream_vs_fit", ""))]
+                      for r in rows if r["mode"] != "meta"]
+        text = format_table(
+            headers, table_rows,
+            title=f"Streaming benchmark — fit_stream({N_ROWS} rows, "
+                  f"chunks of {CHUNK_ROWS}) + {N_REFRESHES} hot refreshes "
+                  f"({os.cpu_count()} cpus)")
+        return emit("streaming", text, rows=rows)
+
+    run_once(benchmark, run)
+
+
+if __name__ == "__main__":  # manual runs without pytest-benchmark
+    pytest.main([__file__, "-q"])

@@ -16,6 +16,11 @@ Two modes over two benchmark sidecars:
   serving workload), i.e. the gated metric is the measured worker
   *scaling*.  Note the scaling is also core-count-bound: compare runs
   from machines with the same cpu budget (each json records ``cpus``).
+* ``--mode streaming`` — compares two ``BENCH_streaming.json`` files on
+  the ``fit_stream`` ingest throughput normalized by the same run's
+  one-shot ``fit`` throughput (the gated metric is the stream/fit
+  *ratio*, higher is better).  Also hard-fails either file whose
+  streamed fit was not bit-identical to the one-shot fit.
 
 Because CI hardware differs from the machine that produced the
 committed baseline, the default comparison is **relative**: the gated
@@ -42,7 +47,7 @@ import sys
 
 #: Reference row for machine-speed cancellation, per mode.
 _DEFAULT_REFERENCE = {"train_step": "mlp", "sampling": "gan-mlp",
-                      "serving": "1"}
+                      "serving": "1", "streaming": "fit"}
 
 
 def _load(path: str) -> dict:
@@ -175,12 +180,56 @@ def _check_serving(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# streaming mode (BENCH_streaming.json)
+# ----------------------------------------------------------------------
+def _streaming_rows(payload: dict) -> dict:
+    rows = {row["path"]: row for row in payload["rows"]
+            if row.get("mode") == "ingest" and "rows_per_sec" in row}
+    for path, row in rows.items():
+        if not row.get("bit_identical", False):
+            raise KeyError(f"{path!r} ingest row is not bit-identical to "
+                           "the one-shot fit: correctness, not speed")
+    return {path: float(row["rows_per_sec"]) for path, row in rows.items()}
+
+
+def _streaming_metric(rows: dict, relative_to) -> float:
+    if "stream" not in rows:
+        raise KeyError("no stream ingest row in json")
+    value = rows["stream"]
+    if relative_to is not None:
+        if relative_to not in rows:
+            raise KeyError(f"no {relative_to!r} ingest row for "
+                           "normalization")
+        value /= rows[relative_to]
+    return value
+
+
+def _check_streaming(args) -> int:
+    relative_to = None if args.absolute else args.relative_to
+    base = _streaming_metric(_streaming_rows(_load(args.baseline)),
+                             relative_to)
+    curr = _streaming_metric(_streaming_rows(_load(args.current)),
+                             relative_to)
+    unit = "rows/s" if args.absolute else f"x one-shot {relative_to}"
+    change = curr / base - 1.0
+    print(f"fit_stream ingest throughput: baseline {base:.4g} {unit}"
+          f" -> current {curr:.4g} {unit} ({change:+.1%})")
+    if curr < base * (1.0 - args.max_regression):
+        print(f"FAIL: streaming regression exceeds "
+              f"{args.max_regression:.0%} budget", file=sys.stderr)
+        return 1
+    print(f"OK: within the {args.max_regression:.0%} regression budget")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_*.json")
     parser.add_argument("current", help="freshly measured BENCH_*.json")
     parser.add_argument("--mode",
-                        choices=("train_step", "sampling", "serving"),
+                        choices=("train_step", "sampling", "serving",
+                                 "streaming"),
                         default="train_step")
     parser.add_argument("--workers", type=int, default=4,
                         help="gated worker count for --mode serving")
@@ -190,7 +239,8 @@ def main(argv=None) -> int:
                         help="normalize by this arch/method/worker-count "
                              "(machine-speed cancellation; default: "
                              "mlp for train_step, gan-mlp for sampling, "
-                             "the 1-worker row for serving)")
+                             "the 1-worker row for serving, the one-shot "
+                             "fit row for streaming)")
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw numbers (same-machine runs)")
     parser.add_argument("--max-regression", type=float, default=0.20,
@@ -204,6 +254,8 @@ def main(argv=None) -> int:
             return _check_sampling(args)
         if args.mode == "serving":
             return _check_serving(args)
+        if args.mode == "streaming":
+            return _check_streaming(args)
         return _check_train_step(args)
     except (KeyError, FileNotFoundError, json.JSONDecodeError) as exc:
         print(f"check_bench_regression: cannot compare: {exc}",

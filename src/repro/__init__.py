@@ -76,6 +76,29 @@ draws::
 
 (or ``python -m repro.serve models/ --port 8000``; see README).
 
+Streaming & refresh (``repro.stream``): when the training table does
+not fit in memory — or keeps growing — fit out-of-core from a chunked
+source and hot-refresh a served model without dropping a request::
+
+    # out-of-core: chunks stream from disk, never resident at once.
+    synth = repro.fit_stream("data/orders.csv", method="privbayes",
+                             epsilon=0.8, budget=3.2, seed=0)
+    synth.partial_fit(new_rows)      # online: fold in fresh rows
+    synth.sample(10_000, seed=1)     # lazily re-finalizes first
+
+    # hot refresh: publish a new version; in-flight requests drain
+    # on the old one, new requests get the new one.
+    service = repro.serve.SynthesisService("models/")
+    service.publish("orders-pb", synth)   # -> "v0002"
+
+PrivBayes streams *bit-identically* (its count statistics are
+additive): ``fit_stream`` over chunks equals the one-shot ``fit`` of
+the concatenated table, noise draws included.  The neural families
+stream through a seeded replay reservoir with bounded memory.  Every
+PrivBayes release spends its ``epsilon`` against a cumulative
+per-instance ledger, so ``budget=`` caps total privacy loss across
+refreshes (``synth.privacy_spent()`` reports it).
+
 Legacy entry points (``GANSynthesizer(config).fit(...)``,
 ``repro.core.run_gan_synthesis``) remain importable as thin shims.
 """
@@ -85,7 +108,7 @@ from .errors import (
     QueryError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DesignConfig", "GANSynthesizer", "VAESynthesizer",
@@ -94,7 +117,7 @@ __all__ = [
     "register", "available_synthesizers", "load_synthesizer",
     "Database", "ForeignKey", "DatabaseSynthesizer",
     "synthesize_database", "load_database_synthesizer",
-    "serve",
+    "serve", "stream", "fit_stream",
     "ReproError", "SchemaError", "TransformError", "TrainingError",
     "ConfigError", "QueryError",
 ]
@@ -120,6 +143,8 @@ _LAZY = {
     "load_database_synthesizer": ("repro.relational",
                                   "load_database_synthesizer"),
     "serve": ("repro.serve", None),
+    "stream": ("repro.stream", None),
+    "fit_stream": ("repro.api.facade", "fit_stream"),
 }
 
 

@@ -11,6 +11,9 @@ VAE, PrivBayes, future backends) and everything that consumes them
   registry;
 * :func:`synthesize` — one-call facade with validation-based model
   selection, returning a :class:`SynthesisResult`;
+* :func:`fit_stream` — the out-of-core counterpart: fit a family
+  chunk-by-chunk from a CSV / table-iterator source (see
+  :mod:`repro.stream`);
 * :func:`synthesize_database` — the multi-table analogue over a
   :class:`repro.relational.Database` (FK-aware, see
   :mod:`repro.relational`);
@@ -31,13 +34,14 @@ __all__ = [
     "available_synthesizers", "canonical_name", "make_synthesizer",
     "register", "resolve",
     "derive_seed", "fresh_seed", "seed_sequence", "substream",
-    "SynthesisResult", "synthesize", "synthesize_database",
+    "SynthesisResult", "synthesize", "synthesize_database", "fit_stream",
     "SnapshotScores", "score_snapshots", "select_snapshot",
 ]
 
 _LAZY = {
     "synthesize": ("repro.api.facade", "synthesize"),
     "synthesize_database": ("repro.api.facade", "synthesize_database"),
+    "fit_stream": ("repro.api.facade", "fit_stream"),
     "SnapshotScores": ("repro.api.selection", "SnapshotScores"),
     "score_snapshots": ("repro.api.selection", "score_snapshots"),
     "select_snapshot": ("repro.api.selection", "select_snapshot"),

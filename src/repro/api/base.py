@@ -4,6 +4,9 @@ Every synthesis method family — GAN design points, the VAE baseline,
 PrivBayes — implements the same contract:
 
 * ``fit(table, callbacks=...)``     Phase I + II (transform, train);
+* ``partial_fit(chunk)`` / ``fit_stream(source)``  streaming / online
+  fitting for families with ``supports_partial_fit`` (out-of-core
+  ingestion; the model refreshes lazily on the next sample);
 * ``sample(n, batch=..., seed=...)``  Phase III, optionally reproducible;
 * ``sample_iter(n, ...)``           streaming generation in table chunks;
 * ``fit_sample(table, ...)``        the two phases in one call;
@@ -32,7 +35,7 @@ from typing import (
 import numpy as np
 
 from ..datasets.schema import Table
-from ..errors import ConfigError, TrainingError
+from ..errors import ConfigError, StreamError, TrainingError
 from ..nn.serialization import load_state, save_state
 from .seeding import substream
 
@@ -106,6 +109,12 @@ class Synthesizer:
     #: in ``fit`` / ``sample`` / ``sample_iter`` (currently the GAN
     #: family: label codes or arbitrary context matrices).
     supports_conditioning: ClassVar[bool] = False
+    #: True for families implementing the streaming hooks
+    #: (``partial_fit`` / ``finalize_stream`` / ``fit_stream``).
+    supports_partial_fit: ClassVar[bool] = False
+    #: Default ingestion chunk size when ``fit_stream`` is not given
+    #: ``chunk_rows``.
+    default_stream_chunk: ClassVar[int] = 4096
 
     def __init__(self, seed: int = 0):
         self.seed = seed
@@ -116,6 +125,9 @@ class Synthesizer:
         self._sampling_generation = 0
         self._session_lock = threading.Lock()
         self._eval_pinned = False
+        self._stream_dirty = False
+        self._stream_rows = 0
+        self._stream_chunks = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -125,6 +137,11 @@ class Synthesizer:
         return self._fitted
 
     def _require_fitted(self) -> None:
+        # A dirty stream (chunks ingested since the last finalize) is
+        # sealed lazily: the first sample after a burst of partial_fit
+        # calls performs the hot refresh implicitly.
+        if self._stream_dirty:
+            self.finalize_stream()
         if not self._fitted:
             raise TrainingError("synthesizer is not fitted")
 
@@ -160,15 +177,133 @@ class Synthesizer:
         subsystem passes parent-context matrices here).
         """
         conditions = self._check_conditions(conditions, len(table), "fit")
-        # Refitting rebuilds models, so any sampling session opened
-        # before the refit is void: reset the depth counter and bump the
-        # generation token so stale streams can no longer unwind it.
-        with self._session_lock:
-            self._sampling_depth = 0
-            self._sampling_generation += 1
+        self._begin_clean_fit()
         self._fit(table, _as_callback_list(callbacks), conditions=conditions)
         self._fitted = True
         return self
+
+    def _begin_clean_fit(self) -> None:
+        """Shared preamble of ``fit`` and ``fit_stream``.
+
+        Refitting rebuilds models, so any sampling session opened
+        before the refit is void: reset the depth counter and bump the
+        generation token so stale streams can no longer unwind it.
+        Pending stream state is discarded and the family's
+        :meth:`_reset_fit_state` hook clears per-fit derived state
+        (discretizers, label frequencies, ...) so a re-fit never reuses
+        statistics from the previous table — the clean-refit contract.
+        """
+        with self._session_lock:
+            self._sampling_depth = 0
+            self._sampling_generation += 1
+        self._stream_dirty = False
+        self._stream_rows = 0
+        self._stream_chunks = 0
+        self._reset_fit_state()
+
+    # ------------------------------------------------------------------
+    # Streaming / online fitting
+    # ------------------------------------------------------------------
+    def partial_fit(self, table: Table) -> "Synthesizer":
+        """Absorb one table chunk of an ongoing stream.
+
+        Only families with :attr:`supports_partial_fit` implement this.
+        Ingestion is cheap (counts, running statistics, reservoir
+        updates); the model itself is re-estimated by
+        :meth:`finalize_stream` — which the next ``sample`` triggers
+        automatically, so ``partial_fit`` + ``sample`` behaves as a hot
+        refresh.
+        """
+        if not self.supports_partial_fit:
+            raise ConfigError(
+                f"{type(self).__name__} does not support partial_fit")
+        if len(table) == 0:
+            return self
+        # The refreshed model invalidates open sampling sessions just
+        # like a refit does.
+        with self._session_lock:
+            self._sampling_depth = 0
+            self._sampling_generation += 1
+        self._partial_fit(table)
+        self._stream_dirty = True
+        self._stream_rows += len(table)
+        self._stream_chunks += 1
+        return self
+
+    def finalize_stream(self) -> "Synthesizer":
+        """Re-estimate the model from everything ingested so far.
+
+        No-op when no chunks are pending.  On failure (e.g. a
+        :class:`~repro.errors.PrivacyBudgetError` from an exhausted DP
+        budget) the pending state is kept dirty, so retrying — or the
+        next implicit finalize — raises again instead of silently
+        sampling a half-updated model.
+        """
+        if not self._stream_dirty:
+            if not self._fitted and self._stream_chunks == 0:
+                raise TrainingError(
+                    "no stream chunks ingested: call partial_fit or "
+                    "fit_stream first")
+            return self
+        with self._session_lock:
+            self._sampling_depth = 0
+            self._sampling_generation += 1
+        self._stream_dirty = False
+        try:
+            self._finalize_partial()
+        except Exception:
+            self._stream_dirty = True
+            raise
+        self._fitted = True
+        return self
+
+    def fit_stream(self, source, chunk_rows: Optional[int] = None,
+                   schema=None, callbacks=None) -> "Synthesizer":
+        """Fit out-of-core: ingest ``source`` chunk by chunk, then finalize.
+
+        ``source`` is anything :func:`repro.stream.ingest.as_chunk_source`
+        accepts — a :class:`Table`, a CSV path, an iterable of table
+        chunks, or a zero-argument callable returning one.  Re-iterable
+        sources additionally run the family's :meth:`_stream_prepass`
+        (e.g. PrivBayes fixes global discretization ranges first, which
+        is what makes ``fit_stream`` over k chunks reproduce the
+        one-shot ``fit`` exactly).  ``callbacks`` receive one
+        ``{"stage": "ingest", ...}`` record per chunk.
+        """
+        from ..stream.ingest import as_chunk_source
+
+        if not self.supports_partial_fit:
+            raise ConfigError(
+                f"{type(self).__name__} does not support fit_stream")
+        chunk_rows = chunk_rows if chunk_rows is not None \
+            else self.default_stream_chunk
+        chunk_source = as_chunk_source(source, chunk_rows=chunk_rows,
+                                       schema=schema)
+        callbacks = _as_callback_list(callbacks)
+        self._begin_clean_fit()
+        if chunk_source.reiterable:
+            self._stream_prepass(chunk_source)
+        for chunk in chunk_source.chunks():
+            self.partial_fit(chunk)
+            for callback in callbacks:
+                callback({"stage": "ingest", "chunk": self._stream_chunks - 1,
+                          "rows": len(chunk),
+                          "total_rows": self._stream_rows})
+        if self._stream_chunks == 0:
+            raise StreamError("stream source produced no chunks")
+        return self.finalize_stream()
+
+    @property
+    def stream_rows(self) -> int:
+        """Rows ingested through the streaming path since the last reset."""
+        return self._stream_rows
+
+    def privacy_spent(self) -> Optional[float]:
+        """Cumulative DP epsilon spent across fits and stream refreshes.
+
+        ``None`` for families without differential-privacy accounting.
+        """
+        return None
 
     def sample_iter(self, n: int, batch: Optional[int] = None,
                     seed: Optional[int] = None,
@@ -429,6 +564,40 @@ class Synthesizer:
         ``None`` when the caller wants the family's marginal draw.
         """
         raise NotImplementedError
+
+    def _partial_fit(self, table: Table) -> None:
+        """Ingest one non-empty stream chunk (statistics only).
+
+        Families with :attr:`supports_partial_fit` accumulate whatever
+        their :meth:`_finalize_partial` needs — additive counts,
+        running transformer statistics, reservoir rows.  Must not
+        consume ``self.rng`` on the count-exact families, so a streamed
+        fit replays the one-shot RNG sequence bit-for-bit.
+        """
+        raise NotImplementedError
+
+    def _finalize_partial(self) -> None:
+        """Re-estimate the model from the accumulated stream state."""
+        raise NotImplementedError
+
+    def _stream_prepass(self, chunk_source) -> None:
+        """Optional pre-ingestion pass over a re-iterable chunk source.
+
+        Runs before the first :meth:`_partial_fit` when the source can
+        be traversed twice; families use it for global statistics that
+        must be fixed up front (e.g. discretization ranges).  Default:
+        no-op.
+        """
+
+    def _reset_fit_state(self) -> None:
+        """Clear per-fit derived state before a clean refit.
+
+        Called by ``fit`` and ``fit_stream`` before any data is seen.
+        Families override this to drop state their ``_fit`` does not
+        unconditionally rebuild (fitted discretizers, label
+        frequencies, stream accumulators); lifetime records such as a
+        privacy ledger deliberately survive.  Default: no-op.
+        """
 
     def _sampling_session(self):
         """Context manager held open across one ``sample_iter`` stream.

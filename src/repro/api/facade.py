@@ -159,6 +159,58 @@ def synthesize(table: Table, method: str = "gan", *,
                            curves=curves, provenance=provenance)
 
 
+def fit_stream(source, method: str = "privbayes", *,
+               chunk_rows: Optional[int] = None,
+               schema=None,
+               seed: int = 0,
+               callbacks=None,
+               **kwargs) -> Synthesizer:
+    """Fit a synthesizer out-of-core from a chunked source.
+
+    The streaming counterpart of :func:`synthesize`'s fitting step:
+    constructs a registered family by name and ingests ``source``
+    chunk by chunk through its ``partial_fit`` path, so the training
+    table never has to be resident at once.
+
+    Parameters
+    ----------
+    source:
+        Anything :func:`repro.stream.as_chunk_source` accepts: a CSV
+        path, a :class:`~repro.datasets.schema.Table`, an iterable of
+        tables, or a zero-argument callable returning one.
+    method:
+        Registered family with ``supports_partial_fit``.  Defaults to
+        ``"privbayes"``, whose streamed fit is *bit-identical* to the
+        one-shot fit of the concatenated chunks; ``"gan"``/``"vae"``
+        stream through a seeded replay reservoir instead (bounded
+        memory, approximate).
+    chunk_rows:
+        Rows per ingested chunk where the source allows re-chunking
+        (defaults to the family's ``default_stream_chunk``).
+    schema:
+        Optional explicit schema for CSV sources (otherwise inferred
+        from a leading sample).
+    seed, kwargs:
+        Forwarded to the family constructor when accepted (e.g.
+        ``epsilon=0.8, budget=3.2`` for PrivBayes, ``reservoir_rows``
+        for the neural families).
+    callbacks:
+        Per-chunk progress callbacks: each receives
+        ``{"stage": "ingest", "chunk": i, "rows": m, "total_rows": t}``.
+
+    Returns the fitted synthesizer — call ``sample`` / ``save`` on it,
+    or hand it straight to ``ModelStore.publish`` for a hot refresh.
+    """
+    method = canonical_name(method)
+    klass = resolve(method)
+    init_kwargs = _constructor_kwargs(
+        klass, dict(kwargs),
+        {"seed": seed, "keep_snapshots": False})
+    synthesizer: Synthesizer = make_synthesizer(method, **init_kwargs)
+    return synthesizer.fit_stream(source, chunk_rows=chunk_rows,
+                                  schema=schema, callbacks=callbacks)
+
+
 def synthesize_database(database, method: str = "gan", *,
                         per_table: Optional[Dict[str, str]] = None,
                         cardinality: str = "empirical",

@@ -27,3 +27,11 @@ class ConfigError(ReproError):
 
 class QueryError(ReproError):
     """An AQP query is malformed or references unknown columns."""
+
+
+class StreamError(ReproError):
+    """A streaming ingestion source or chunk sequence is invalid."""
+
+
+class PrivacyBudgetError(ReproError):
+    """A differential-privacy budget cap would be exceeded."""

@@ -22,9 +22,10 @@ import numpy as np
 
 from ..api.base import Synthesizer, prefixed, unprefixed
 from ..api.registry import register
+from ..api.seeding import substream
 from ..core.design_space import DesignConfig
 from ..datasets.schema import Table
-from ..errors import TrainingError
+from ..errors import ConfigError, TrainingError
 from ..nn import Module, Tensor, get_default_dtype, no_grad
 from ..transform import MatrixTransformer, RecordTransformer
 from ..transform.record import transformer_from_state
@@ -54,10 +55,15 @@ class GANSynthesizer(Synthesizer):
     """
 
     supports_conditioning = True
+    #: Streaming via a seeded replay reservoir: ``partial_fit`` buffers
+    #: a bounded uniform row sample plus running transformer statistics;
+    #: finalize retrains on the reservoir (bounded drift, not exact).
+    supports_partial_fit = True
 
     def __init__(self, config: Optional[DesignConfig] = None,
                  epochs: int = 10, iterations_per_epoch: int = 40,
-                 keep_snapshots: bool = True, seed: int = 0):
+                 keep_snapshots: bool = True, seed: int = 0,
+                 reservoir_rows: int = 8192):
         super().__init__(seed=seed)
         config = config if config is not None else DesignConfig()
         # Streaming chunk size: large enough that per-chunk python
@@ -82,6 +88,9 @@ class GANSynthesizer(Synthesizer):
         # float matrices, e.g. relational parent contexts).
         self._cond_kind = "none"
         self._cond_dim = 0
+        self.reservoir_rows = int(reservoir_rows)
+        self._reservoir = None
+        self._stream_transformer = None
 
     # ------------------------------------------------------------------
     # Phase I + II
@@ -147,9 +156,22 @@ class GANSynthesizer(Synthesizer):
                 exclude=exclude, rng=self.rng)
         self.transformer.fit(table)
         data = self.transformer.transform(table)
+        if self._cond_kind == "none":
+            # Seed the streaming state with the training rows (on
+            # dedicated substreams, so the fit trajectory itself stays
+            # bit-identical): a later partial_fit continues from this
+            # table instead of forgetting it.
+            self._seed_stream_state(table)
+        self._train_transformed(table, data, callbacks, conditions)
 
+    def _train_transformed(self, table: Table, data: np.ndarray,
+                           callbacks, conditions=None) -> None:
+        """Phase II on an already-transformed table (fit + stream refresh)."""
+        config = self.config
+        label_attr = table.schema.label
         labels = table.label_codes if label_attr is not None else None
         self._n_labels = label_attr.domain_size if label_attr else 0
+        self._label_freq = None
         if labels is not None:
             counts = np.bincount(labels, minlength=self._n_labels)
             self._label_freq = counts / counts.sum()
@@ -215,6 +237,61 @@ class GANSynthesizer(Synthesizer):
         else:
             raise TrainingError(f"unknown discriminator {disc_kind!r}")
         return generator, discriminator
+
+    # ------------------------------------------------------------------
+    # Streaming (seeded replay reservoir + incremental transformer)
+    # ------------------------------------------------------------------
+    def _reset_fit_state(self) -> None:
+        # Clean-refit contract: conditioning spec, label marginal, and
+        # stream buffers from a previous fit never leak into this one.
+        self.transformer = None
+        self.train_result = None
+        self._label_freq = None
+        self._n_labels = 0
+        self._cond_kind = "none"
+        self._cond_dim = 0
+        self._reservoir = None
+        self._stream_transformer = None
+
+    def _make_stream_transformer(self):
+        if self.config.matrix_form:
+            return MatrixTransformer(side=DEFAULT_SIDE)
+        return RecordTransformer(
+            categorical_encoding=self.config.categorical_encoding,
+            numerical_normalization=self.config.numerical_normalization,
+            gmm_components=self.config.gmm_components,
+            rng=substream(self.seed, "stream", "transform"))
+
+    def _seed_stream_state(self, table: Table) -> None:
+        from ..stream.reservoir import TableReservoir
+
+        if self._reservoir is None:
+            self._reservoir = TableReservoir(
+                self.reservoir_rows,
+                rng=substream(self.seed, "stream", "reservoir"))
+            self._stream_transformer = self._make_stream_transformer()
+        self._reservoir.add(table)
+        self._stream_transformer.partial_fit(table)
+
+    def _partial_fit(self, table: Table) -> None:
+        if self.config.is_conditional or self._cond_kind != "none":
+            raise ConfigError(
+                "streaming is only supported for unconditional GAN "
+                "configs (no label / context conditioning)")
+        self._seed_stream_state(table)
+
+    def _finalize_partial(self) -> None:
+        if self._reservoir is None or len(self._reservoir) == 0:
+            raise TrainingError("no stream chunks ingested")
+        # The incremental transformer holds running statistics over
+        # *every* row seen (global ranges, grow-only vocabularies); the
+        # reservoir holds a bounded uniform row sample.  Retraining on
+        # the reservoir under the finalized transformer bounds memory
+        # while keeping the encoding consistent with the full stream.
+        table = self._reservoir.table()
+        self.transformer = self._stream_transformer.finalize()
+        data = self.transformer.transform(table)
+        self._train_transformed(table, data, [])
 
     # ------------------------------------------------------------------
     # Snapshots (model selection, paper §6.2)
@@ -351,7 +428,8 @@ class GANSynthesizer(Synthesizer):
             "params": {"config": asdict(self.config), "epochs": self.epochs,
                        "iterations_per_epoch": self.iterations_per_epoch,
                        "keep_snapshots": self.keep_snapshots,
-                       "seed": self.seed},
+                       "seed": self.seed,
+                       "reservoir_rows": self.reservoir_rows},
             "transformer": self.transformer.to_state(),
             "n_labels": self._n_labels,
             "label_freq": (self._label_freq.tolist()

@@ -1,9 +1,11 @@
-"""Privacy evaluation: hitting rate, DCR, and a DP accountant."""
+"""Privacy evaluation: hitting rate, DCR, a DP accountant, and budgets."""
 
 from .metrics import distance_to_closest_record, hitting_rate
 from .accountant import epsilon_for, rdp_subsampled_gaussian, sigma_for_epsilon
+from .budget import PrivacyLedger
 
 __all__ = [
     "hitting_rate", "distance_to_closest_record",
     "epsilon_for", "rdp_subsampled_gaussian", "sigma_for_epsilon",
+    "PrivacyLedger",
 ]

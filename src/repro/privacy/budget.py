@@ -1,0 +1,78 @@
+"""Cumulative differential-privacy budget tracking across refreshes.
+
+A streaming synthesizer re-estimates its model every ``finalize`` —
+each release consumes a fresh slice of privacy budget over overlapping
+data, so by sequential composition the stream's total cost is the *sum*
+of per-release epsilons.  :class:`PrivacyLedger` records every spend
+(with a note naming the refresh), reports the cumulative epsilon, and —
+when constructed with a ``budget`` cap — refuses a spend that would
+exceed it *before* any noised statistics are computed, raising
+:class:`~repro.errors.PrivacyBudgetError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import PrivacyBudgetError
+
+#: Absolute slack so a budget spent in k equal slices of eps/k is not
+#: rejected on the k-th slice by float rounding.
+_EPSILON_SLACK = 1e-9
+
+
+class PrivacyLedger:
+    """Append-only record of epsilon spends under an optional cap."""
+
+    def __init__(self, budget: Optional[float] = None):
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self.budget = float(budget) if budget is not None else None
+        self._events: List[Tuple[float, str]] = []
+
+    @property
+    def spent(self) -> float:
+        """Cumulative epsilon across all recorded spends."""
+        return float(sum(eps for eps, _ in self._events))
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Budget left under the cap (``None`` when uncapped)."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - self.spent)
+
+    @property
+    def events(self) -> List[Tuple[float, str]]:
+        return list(self._events)
+
+    def check(self, epsilon: float) -> None:
+        """Raise if spending ``epsilon`` now would exceed the cap."""
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        if self.budget is not None \
+                and self.spent + epsilon > self.budget + _EPSILON_SLACK:
+            raise PrivacyBudgetError(
+                f"spending epsilon={epsilon:g} would exceed the privacy "
+                f"budget: {self.spent:g} of {self.budget:g} already "
+                f"spent over {len(self._events)} release(s)")
+
+    def spend(self, epsilon: float, note: str = "") -> float:
+        """Record a release; returns the new cumulative epsilon."""
+        self.check(epsilon)
+        self._events.append((float(epsilon), note))
+        return self.spent
+
+    def to_state(self) -> dict:
+        """JSON-serializable ledger (synthesizer persistence)."""
+        return {"budget": self.budget,
+                "events": [{"epsilon": eps, "note": note}
+                           for eps, note in self._events]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PrivacyLedger":
+        ledger = cls(budget=state.get("budget"))
+        for event in state.get("events", []):
+            ledger._events.append((float(event["epsilon"]),
+                                   str(event.get("note", ""))))
+        return ledger

@@ -1,0 +1,111 @@
+"""Additive joint-count accumulation for streaming PrivBayes.
+
+PrivBayes needs two kinds of statistics: mutual information between a
+node and each candidate parent set (structure learning) and the joint
+counts of a node with its chosen parents (conditional estimation).
+Both are functions of low-order marginal *contingency tables* — and
+contingency tables are additive over row chunks.  The accumulator
+therefore maintains one integer count table per attribute subset of
+size at most ``degree + 1``; ingesting a chunk is a handful of
+``bincount`` calls and no RNG is consumed, so all noise draws can be
+deferred to finalize and a streamed fit replays the one-shot RNG
+sequence exactly.
+
+Bit-exactness: count cells are exact integers (so float conversion is
+lossless), and a table stored over the canonically sorted subset is
+rearranged to any requested axis order by ``transpose`` + C-order
+``reshape`` — which reproduces :func:`repro.privbayes.network.
+joint_encode`'s mixed-radix layout (first column most significant)
+byte for byte.  Mutual information is then computed by the exact same
+arithmetic as the data path (see :func:`mi_from_count_matrix`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StreamError
+from .network import NodeSpec, mi_from_count_matrix
+
+#: Cap on the summed cell count of all subset tables; beyond this the
+#: low-order-marginal representation stops being "bounded memory".
+DEFAULT_MAX_CELLS = 1 << 23
+
+
+class JointCountAccumulator:
+    """All joint count tables of attribute subsets of size <= k + 1."""
+
+    def __init__(self, nodes: Sequence[NodeSpec], degree: int,
+                 max_cells: int = DEFAULT_MAX_CELLS):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.nodes = list(nodes)
+        self.degree = int(degree)
+        self._domains = {node.name: int(node.domain) for node in self.nodes}
+        self._tables: Dict[Tuple[str, ...], np.ndarray] = {}
+        self.n_rows = 0
+        names = sorted(self._domains)
+        order = min(self.degree + 1, len(names))
+        total = 0
+        for size in range(1, order + 1):
+            for subset in combinations(names, size):
+                cells = 1
+                for name in subset:
+                    cells *= self._domains[name]
+                total += cells
+                if total > max_cells:
+                    raise StreamError(
+                        f"joint count tables for degree={degree} over "
+                        f"{len(names)} attributes exceed {max_cells} "
+                        f"cells; lower degree/n_bins or use one-shot "
+                        f"fit()")
+                self._tables[subset] = np.zeros(cells, dtype=np.int64)
+
+    def update(self, data: Dict[str, np.ndarray]) -> None:
+        """Add one chunk of discretized columns to every subset table."""
+        lengths = {len(column) for column in data.values()}
+        if len(lengths) != 1:
+            raise StreamError("chunk columns have mismatched lengths")
+        m = lengths.pop()
+        if m == 0:
+            return
+        for subset, table in self._tables.items():
+            code = np.zeros(m, dtype=np.int64)
+            for name in subset:
+                code = code * self._domains[name] + data[name]
+            table += np.bincount(code, minlength=len(table))
+        self.n_rows += m
+
+    def table(self, names: Sequence[str]) -> np.ndarray:
+        """Integer count table with axes in the requested name order."""
+        key = tuple(sorted(names))
+        if key not in self._tables:
+            raise KeyError(f"no count table for subset {key}")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute in subset {names}")
+        shape = tuple(self._domains[name] for name in key)
+        table = self._tables[key].reshape(shape)
+        perm = [key.index(name) for name in names]
+        return table.transpose(perm)
+
+    def mutual_information(self, x_name: str,
+                           parent_names: Sequence[str]) -> float:
+        """MI(x; joint(parents)) — bit-identical to the data path."""
+        counts = self.table([x_name, *parent_names])
+        matrix = counts.reshape(self._domains[x_name], -1)
+        return mi_from_count_matrix(np.ascontiguousarray(
+            matrix, dtype=np.float64), self.n_rows)
+
+    def conditional_counts(self, x_name: str,
+                           parent_names: Sequence[str]) -> np.ndarray:
+        """Float count matrix ``(joint(parents) domain, x domain)``.
+
+        The exact matrix ``np.add.at`` builds in the one-shot fit from
+        ``(joint_encode(parents), x)`` pairs.
+        """
+        counts = self.table([*parent_names, x_name])
+        matrix = counts.reshape(-1, self._domains[x_name])
+        return np.ascontiguousarray(matrix, dtype=np.float64)

@@ -34,6 +34,19 @@ class EquiWidthDiscretizer:
             self.high = self.low + 1.0
         return self
 
+    def fit_range(self, low: float, high: float) -> "EquiWidthDiscretizer":
+        """Fit from known global bounds (the streaming pre-pass path).
+
+        Applies the same degenerate-range bump as :meth:`fit`, so a
+        pre-pass supplying a column's true min/max yields bins identical
+        to fitting on the full column.
+        """
+        self.low = float(low)
+        self.high = float(high)
+        if self.high <= self.low:
+            self.high = self.low + 1.0
+        return self
+
     @property
     def width(self) -> float:
         return (self.high - self.low) / self.n_bins

@@ -35,7 +35,22 @@ def mutual_information(x: np.ndarray, y: np.ndarray, x_domain: int,
         return 0.0
     joint = np.zeros((x_domain, y_domain))
     np.add.at(joint, (x, y), 1.0)
-    joint /= n
+    return mi_from_count_matrix(joint, n)
+
+
+def mi_from_count_matrix(joint: np.ndarray, n: int) -> float:
+    """Mutual information of a 2-D contingency table of ``n`` rows.
+
+    Shared by the data path (:func:`mutual_information`) and the
+    streaming count path (:class:`repro.privbayes.counts.
+    JointCountAccumulator`): identical count matrices produce an
+    identical float, which is what keeps the exponential mechanism's
+    probabilities — and hence the streamed structure's RNG sequence —
+    bit-equal to a one-shot fit.
+    """
+    if n == 0:
+        return 0.0
+    joint = joint / n
     px = joint.sum(axis=1)
     py = joint.sum(axis=0)
     outer = px[:, None] * py[None, :]
@@ -106,20 +121,32 @@ class BayesianNetwork:
                            for name, pars in state["parents"].items()})
 
 
-def learn_structure(data: Dict[str, np.ndarray], nodes: List[NodeSpec],
+def learn_structure(data: Optional[Dict[str, np.ndarray]],
+                    nodes: List[NodeSpec],
                     degree: int = 2, epsilon: Optional[float] = None,
                     rng: Optional[np.random.Generator] = None,
-                    max_parent_sets: int = 64) -> BayesianNetwork:
+                    max_parent_sets: int = 64,
+                    counts=None) -> BayesianNetwork:
     """Greedy (noisy-)MI structure learning.
 
     Parameters
     ----------
+    data:
+        Discretized columns; may be ``None`` when ``counts`` is given.
     epsilon:
         Structure half of the privacy budget; ``None`` disables noise
         (non-private greedy MI).
     degree:
         Maximum number of parents per attribute (PB's ``k``).
+    counts:
+        A :class:`repro.privbayes.counts.JointCountAccumulator` holding
+        the low-order joint counts — the streaming path.  MI scores
+        computed from it are bit-identical to the data path, and the
+        RNG is consumed in exactly the same sequence, so a streamed fit
+        learns the same structure as a one-shot fit over the same rows.
     """
+    if data is None and counts is None:
+        raise ValueError("learn_structure needs either data or counts")
     rng = rng if rng is not None else np.random.default_rng()
     remaining = list(nodes)
     # Root: the attribute with the largest domain entropy proxy (or, under
@@ -131,7 +158,10 @@ def learn_structure(data: Dict[str, np.ndarray], nodes: List[NodeSpec],
     placed = [remaining.pop(root_index)]
     parents: Dict[str, List[str]] = {placed[0].name: []}
 
-    n_rows = len(next(iter(data.values()))) if data else 0
+    if counts is not None:
+        n_rows = counts.n_rows
+    else:
+        n_rows = len(next(iter(data.values()))) if data else 0
     n_choices = max(len(nodes) - 1, 1)
     eps_per_choice = (epsilon / n_choices) if epsilon else None
 
@@ -140,11 +170,15 @@ def learn_structure(data: Dict[str, np.ndarray], nodes: List[NodeSpec],
         for node in remaining:
             parent_sets = _parent_sets(placed, degree, max_parent_sets, rng)
             for pset in parent_sets:
-                joint, joint_domain = joint_encode(
-                    [data[p.name] for p in pset],
-                    [p.domain for p in pset])
-                mi = mutual_information(data[node.name], joint,
-                                        node.domain, joint_domain)
+                if counts is not None:
+                    mi = counts.mutual_information(
+                        node.name, [p.name for p in pset])
+                else:
+                    joint, joint_domain = joint_encode(
+                        [data[p.name] for p in pset],
+                        [p.domain for p in pset])
+                    mi = mutual_information(data[node.name], joint,
+                                            node.domain, joint_domain)
                 candidates.append((node, pset, mi))
         if eps_per_choice is None:
             best = max(candidates, key=lambda c: c[2])

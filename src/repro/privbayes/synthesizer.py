@@ -20,6 +20,9 @@ import numpy as np
 from ..api.base import Synthesizer
 from ..api.registry import register
 from ..datasets.schema import Table, schema_from_dict, schema_to_dict
+from ..errors import TrainingError
+from ..privacy.budget import PrivacyLedger
+from .counts import JointCountAccumulator
 from .discretize import EquiWidthDiscretizer
 from .network import (
     BayesianNetwork, NodeSpec, joint_encode, learn_structure,
@@ -38,14 +41,25 @@ class PrivBayesSynthesizer(Synthesizer):
         Maximum parents per attribute (PB's ``k``).
     n_bins:
         Equi-width bins per numerical attribute.
+    budget:
+        Optional cap on the *cumulative* epsilon this instance may
+        spend over its lifetime — every fit and every streaming refresh
+        re-spends ``epsilon`` (sequential composition), and a spend
+        that would exceed the cap raises
+        :class:`~repro.errors.PrivacyBudgetError` before any noised
+        statistic is computed.
     """
 
     #: Ancestral sampling is vectorized per column, so generation chunks
     #: can be much larger than the neural families'.
     default_sample_batch = 4096
+    #: Streaming: counts are additive, so ``fit_stream`` over chunks of
+    #: a table reproduces the one-shot ``fit`` bit-exactly.
+    supports_partial_fit = True
 
     def __init__(self, epsilon: Optional[float] = 0.8, degree: int = 2,
-                 n_bins: int = 16, seed: int = 0, max_parent_sets: int = 64):
+                 n_bins: int = 16, seed: int = 0, max_parent_sets: int = 64,
+                 budget: Optional[float] = None):
         if epsilon is not None and epsilon <= 0:
             raise ValueError("epsilon must be positive (or None)")
         super().__init__(seed=seed)
@@ -57,9 +71,14 @@ class PrivBayesSynthesizer(Synthesizer):
         self.conditionals: Dict[str, np.ndarray] = {}
         self._discretizers: Dict[str, EquiWidthDiscretizer] = {}
         self._table_schema = None
+        self._ledger = PrivacyLedger(budget=budget)
+        self._accumulator: Optional[JointCountAccumulator] = None
+        self._stream_ranges: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     def _fit(self, table: Table, callbacks, conditions=None) -> None:
+        if self.epsilon is not None:
+            self._ledger.check(self.epsilon)
         self._table_schema = table.schema
         data: Dict[str, np.ndarray] = {}
         nodes: List[NodeSpec] = []
@@ -74,36 +93,136 @@ class PrivBayesSynthesizer(Synthesizer):
             else:
                 data[attr.name] = col
                 nodes.append(NodeSpec(attr.name, attr.domain_size))
+        self._estimate(nodes, len(table), data=data)
 
+    def _estimate(self, nodes: List[NodeSpec], n: int,
+                  data: Optional[Dict[str, np.ndarray]] = None,
+                  counts: Optional[JointCountAccumulator] = None) -> None:
+        """Learn structure + conditionals from data or accumulated counts.
+
+        The two sources are interchangeable bit-for-bit: MI scores and
+        count matrices from a :class:`JointCountAccumulator` equal the
+        ones computed from the discretized columns, and the RNG is
+        consumed in the same order (structure draws, then one Laplace
+        matrix per node in original node order).
+        """
         eps_structure = self.epsilon / 2 if self.epsilon else None
         eps_params = self.epsilon / 2 if self.epsilon else None
         self.network = learn_structure(
             data, nodes, degree=self.degree, epsilon=eps_structure,
-            rng=self.rng, max_parent_sets=self.max_parent_sets)
+            rng=self.rng, max_parent_sets=self.max_parent_sets,
+            counts=counts)
 
-        n = len(table)
         d = len(nodes)
         self.conditionals = {}
         for node in self.network.nodes:
             parent_names = self.network.parents[node.name]
-            parent_nodes = [self.network.node(p) for p in parent_names]
-            joint, joint_domain = joint_encode(
-                [data[p.name] for p in parent_nodes],
-                [p.domain for p in parent_nodes], n_rows=n)
-            counts = np.zeros((joint_domain, node.domain))
-            np.add.at(counts, (joint, data[node.name]), 1.0)
+            if counts is not None:
+                cond = counts.conditional_counts(node.name, parent_names)
+            else:
+                parent_nodes = [self.network.node(p) for p in parent_names]
+                joint, joint_domain = joint_encode(
+                    [data[p.name] for p in parent_nodes],
+                    [p.domain for p in parent_nodes], n_rows=n)
+                cond = np.zeros((joint_domain, node.domain))
+                np.add.at(cond, (joint, data[node.name]), 1.0)
             if eps_params:
                 # Laplace scale 2d/(n eps) per PB's parameter estimation.
                 scale = 2.0 * d / (n * eps_params)
-                counts = counts + self.rng.laplace(
-                    0.0, scale * n, size=counts.shape)
-                counts = np.maximum(counts, 0.0)
+                cond = cond + self.rng.laplace(
+                    0.0, scale * n, size=cond.shape)
+                cond = np.maximum(cond, 0.0)
             # Normalize rows; empty rows fall back to uniform.
-            row_sums = counts.sum(axis=1, keepdims=True)
-            uniform = np.full_like(counts, 1.0 / node.domain)
-            probs = np.where(row_sums > 0, counts / np.maximum(row_sums, 1e-12),
+            row_sums = cond.sum(axis=1, keepdims=True)
+            uniform = np.full_like(cond, 1.0 / node.domain)
+            probs = np.where(row_sums > 0, cond / np.maximum(row_sums, 1e-12),
                              uniform)
             self.conditionals[node.name] = probs
+        if self.epsilon is not None:
+            self._ledger.spend(self.epsilon, note=f"release@{n}rows")
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def _reset_fit_state(self) -> None:
+        # Clean-refit contract: nothing learned from a previous table
+        # survives (the ledger does — it accounts for the instance's
+        # lifetime privacy loss, not one fit's).
+        self.network = None
+        self.conditionals = {}
+        self._discretizers = {}
+        self._table_schema = None
+        self._accumulator = None
+        self._stream_ranges = {}
+
+    def _stream_prepass(self, chunk_source) -> None:
+        """Global numeric ranges, so streamed bins equal one-shot bins."""
+        lows: Dict[str, float] = {}
+        highs: Dict[str, float] = {}
+        for chunk in chunk_source.chunks():
+            for attr in chunk.schema:
+                if not attr.is_numerical:
+                    continue
+                col = chunk.column(attr.name)
+                if len(col) == 0:
+                    continue
+                low, high = float(col.min()), float(col.max())
+                lows[attr.name] = min(low, lows.get(attr.name, low))
+                highs[attr.name] = max(high, highs.get(attr.name, high))
+        self._stream_ranges = {name: (lows[name], highs[name])
+                               for name in lows}
+
+    def _partial_fit(self, table: Table) -> None:
+        if self._accumulator is None:
+            self._table_schema = table.schema
+            nodes: List[NodeSpec] = []
+            for attr in table.schema:
+                if attr.is_numerical:
+                    disc = EquiWidthDiscretizer(self.n_bins,
+                                                integral=attr.integral)
+                    if attr.name in self._stream_ranges:
+                        disc.fit_range(*self._stream_ranges[attr.name])
+                    else:
+                        # No pre-pass (single-shot source): bins are
+                        # fixed from the first chunk's range.
+                        disc.fit(table.column(attr.name))
+                    self._discretizers[attr.name] = disc
+                    nodes.append(NodeSpec(attr.name, disc.n_bins))
+                else:
+                    nodes.append(NodeSpec(attr.name, attr.domain_size))
+            self._accumulator = JointCountAccumulator(nodes, self.degree)
+        elif table.schema != self._table_schema:
+            # Count tables are sized by the first chunk's domains, so
+            # PrivBayes streaming needs a fixed schema: supply the full
+            # schema (e.g. via fit_stream(schema=...)) up front.
+            raise TrainingError(
+                "stream chunk schema does not match the first chunk's; "
+                "PrivBayes streaming requires a fixed schema")
+        data = {}
+        for attr in self._table_schema:
+            col = table.column(attr.name)
+            if attr.is_numerical:
+                data[attr.name] = self._discretizers[attr.name].transform(col)
+            else:
+                data[attr.name] = col
+        self._accumulator.update(data)
+
+    def _finalize_partial(self) -> None:
+        acc = self._accumulator
+        if acc is None or acc.n_rows == 0:
+            raise TrainingError("no stream chunks ingested")
+        if self.epsilon is not None:
+            # Enforce the cap before drawing any noise: an exhausted
+            # budget must not leak even a partially-noised release.
+            self._ledger.check(self.epsilon)
+        self._estimate(acc.nodes, acc.n_rows, counts=acc)
+
+    def privacy_spent(self) -> Optional[float]:
+        return self._ledger.spent
+
+    @property
+    def privacy_ledger(self) -> PrivacyLedger:
+        return self._ledger
 
     # ------------------------------------------------------------------
     def _sample_chunk(self, m: int, rng: np.random.Generator,
@@ -144,11 +263,13 @@ class PrivBayesSynthesizer(Synthesizer):
         meta = {
             "params": {"epsilon": self.epsilon, "degree": self.degree,
                        "n_bins": self.n_bins, "seed": self.seed,
-                       "max_parent_sets": self.max_parent_sets},
+                       "max_parent_sets": self.max_parent_sets,
+                       "budget": self._ledger.budget},
             "schema": schema_to_dict(self._table_schema),
             "network": self.network.to_state(),
             "discretizers": {name: disc.to_state()
                              for name, disc in self._discretizers.items()},
+            "ledger": self._ledger.to_state(),
         }
         arrays = {f"conditional::{name}": probs
                   for name, probs in self.conditionals.items()}
@@ -160,6 +281,8 @@ class PrivBayesSynthesizer(Synthesizer):
         self._discretizers = {
             name: EquiWidthDiscretizer.from_state(sub)
             for name, sub in state["discretizers"].items()}
+        if "ledger" in state:
+            self._ledger = PrivacyLedger.from_state(state["ledger"])
         tag = "conditional::"
         self.conditionals = {key[len(tag):]: value
                              for key, value in arrays.items()

@@ -7,11 +7,17 @@ requests, and expose it all over a dependency-free HTTP API.
 
 Layers (composable bottom-up)::
 
-    ModelStore        name -> loaded model, LRU + refcounted checkout
+    ModelStore        name -> loaded model, versioned, LRU + refcounted
     WorkerPool        one model, N processes, sharded-seed sampling
     MicroBatcher      coalesce small unseeded requests, backpressure
     SynthesisService  store + pools + batcher, request routing
     SynthesisServer   ThreadingHTTPServer front end
+
+Hot refresh: ``service.publish(name, synthesizer_or_dir)`` writes an
+immutable new version directory, swaps the model's ``ACTIVE`` pointer
+atomically, and boots a fresh pool on the new version — requests in
+flight on the old version drain untouched (seeded streams stay
+bit-identical end to end), and the old pool is closed once idle.
 
 Quick start::
 

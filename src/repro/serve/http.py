@@ -7,6 +7,10 @@ connection, no third-party web stack.  Endpoints:
     Liveness + counters (JSON).
 ``GET /models``
     The model catalogue with live-pool status (JSON).
+``GET /models/{name}``
+    One model's detail: active version, published versions, pool
+    status, and the array manifest of the active version (shapes and
+    dtypes read lazily from the saved headers).
 ``POST /models/{name}/sample``
     Synthesize rows.  JSON body for a **table** model::
 
@@ -48,6 +52,7 @@ from .service import SynthesisService
 from .store import KIND_DATABASE
 
 _SAMPLE_ROUTE = re.compile(r"^/models/([A-Za-z0-9][A-Za-z0-9._-]*)/sample$")
+_MODEL_ROUTE = re.compile(r"^/models/([A-Za-z0-9][A-Za-z0-9._-]*)$")
 
 #: CSV responses for at least this many rows stream chunked by default.
 DEFAULT_STREAM_THRESHOLD = 50_000
@@ -165,6 +170,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.healthz())
             elif self.path == "/models":
                 self._send_json(200, {"models": self.service.models()})
+            elif _MODEL_ROUTE.match(self.path):
+                name = _MODEL_ROUTE.match(self.path).group(1)
+                self._send_json(200, self.service.model_info(name))
             else:
                 self._send_json(404, {"error": "NotFound",
                                       "detail": f"no route {self.path}"})

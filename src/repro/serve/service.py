@@ -39,14 +39,20 @@ DEFAULT_COALESCE_MAX_ROWS = 4096
 
 class _PoolEntry:
     """Registry slot for one model's pool; ``ready`` gates waiters
-    while the creating thread boots the pool outside the lock."""
+    while the creating thread boots the pool outside the lock.
 
-    __slots__ = ("pool", "ready", "error")
+    ``path`` records the saved-model directory the pool was booted on.
+    A publish swaps the store's ``ACTIVE`` pointer, so a path mismatch
+    is how the service detects that a registered pool serves a stale
+    version and must be retired."""
 
-    def __init__(self):
+    __slots__ = ("pool", "ready", "error", "path")
+
+    def __init__(self, path=None):
         self.pool: Optional[WorkerPool] = None
         self.ready = threading.Event()
         self.error: Optional[BaseException] = None
+        self.path = path
 
 
 class SynthesisService:
@@ -86,6 +92,9 @@ class SynthesisService:
         self.coalesce_max_rows = _count("coalesce_max_rows",
                                         coalesce_max_rows, minimum=0)
         self._pools: "OrderedDict[str, _PoolEntry]" = OrderedDict()
+        # Pools retired by a publish but still serving in-flight
+        # requests on the old version; reaped once they drain.
+        self._draining: list = []
         self._pools_lock = threading.Lock()
         self._closed = False
         self._stats_lock = threading.Lock()
@@ -129,13 +138,24 @@ class SynthesisService:
             usable = entry is not None and (
                 not entry.ready.is_set()
                 or (entry.error is None and not entry.pool.closed))
+            if usable and entry.path != path:
+                # A publish swapped ACTIVE since this pool booted:
+                # retire it to the draining list (in-flight requests
+                # finish on the old version) and boot a fresh pool on
+                # the new one.
+                self._draining.append(entry)
+                del self._pools[name]
+                usable = False
             if usable:
                 self._pools.move_to_end(name)
                 is_loader = False
             else:
-                entry = _PoolEntry()
+                entry = _PoolEntry(path)
                 self._pools[name] = entry
                 is_loader = True
+            drained = self._reap_drained_locked()
+        for old in drained:
+            old.close()
         if is_loader:
             try:
                 pool = self._make_pool(name, path)
@@ -214,6 +234,46 @@ class SynthesisService:
                 popped.append(entry.pool)
                 surplus -= 1
         return popped
+
+    def _reap_drained_locked(self) -> list:
+        """Pop retired pools that have finished draining.
+
+        Returns the pools for the caller to close outside the lock
+        (closing joins worker processes).  Pools still booting or with
+        requests in flight stay on the draining list; they are checked
+        again on the next registry operation.
+        """
+        ready, keep = [], []
+        for entry in self._draining:
+            if not entry.ready.is_set():
+                keep.append(entry)
+            elif entry.error is not None or entry.pool is None:
+                continue
+            elif entry.pool.closed:
+                continue
+            elif entry.pool.inflight == 0:
+                ready.append(entry.pool)
+            else:
+                keep.append(entry)
+        self._draining = keep
+        return ready
+
+    def publish(self, name: str, source) -> str:
+        """Release a new version of ``name`` and hot-swap its pool.
+
+        ``source`` is a fitted synthesizer (anything with ``save``) or
+        a directory containing a saved model.  Returns the new version
+        string.  The swap is seamless: requests in flight when the
+        publish lands finish on the old version's pool — a seeded
+        streaming response stays bit-identical end to end — while every
+        request arriving afterwards is served from a pool booted on the
+        new version.  The old pool is closed once it drains.
+        """
+        version = self.store.publish(name, source)
+        # Boot the new pool eagerly (this also retires the stale one)
+        # so the first request after a refresh skips the fork latency.
+        self._pool(name)
+        return version
 
     def active_pools(self) -> Dict[str, int]:
         """``{model name: in-flight requests}`` for live pools."""
@@ -322,7 +382,7 @@ class SynthesisService:
             pool = live.get(info.name)
             entries.append({
                 "name": info.name, "kind": info.kind,
-                "method": info.method,
+                "method": info.method, "version": info.version,
                 "pool": None if pool is None else {
                     "workers": pool.workers,
                     "inflight": pool.inflight,
@@ -331,16 +391,46 @@ class SynthesisService:
             })
         return entries
 
+    def model_info(self, name: str) -> Dict:
+        """Detail view of one model: versions, active pool, arrays.
+
+        ``arrays`` comes from the store's lazy manifest — shapes and
+        dtypes are read from the saved ``.npy`` headers without
+        faulting in any parameter data.
+        """
+        info = self.store.info(name)
+        with self._pools_lock:
+            entry = self._pools.get(name)
+            pool = None
+            if entry is not None and entry.ready.is_set() \
+                    and entry.error is None and not entry.pool.closed:
+                pool = {"workers": entry.pool.workers,
+                        "inflight": entry.pool.inflight,
+                        "default_batch": entry.pool.default_batch}
+            draining = len(self._draining)
+        return {
+            "name": info.name, "kind": info.kind, "method": info.method,
+            "version": info.version,
+            "versions": self.store.versions(name),
+            "pool": pool, "draining": draining,
+            "arrays": self.store.metadata(name),
+        }
+
     def healthz(self) -> Dict:
         with self._pools_lock:
             pools = {name: entry.pool.workers
                      for name, entry in self._pools.items()
                      if entry.ready.is_set() and entry.error is None
                      and not entry.pool.closed}
+            drained = self._reap_drained_locked()
+            draining = len(self._draining)
+        for old in drained:
+            old.close()
         return {
             "status": "closed" if self._closed else "ok",
             "models": len(self.store.list_models()),
             "pools": pools,
+            "draining": draining,
             "requests": self._requests,
             "rows": self._rows,
             "batcher": dict(self.batcher.stats),
@@ -351,11 +441,13 @@ class SynthesisService:
             if self._closed:
                 return
             self._closed = True
-            entries = list(self._pools.values())
+            entries = list(self._pools.values()) + self._draining
             self._pools.clear()
+            self._draining = []
         self.batcher.close()
         for entry in entries:
-            if entry.ready.is_set() and entry.error is None:
+            if entry.ready.is_set() and entry.error is None \
+                    and entry.pool is not None:
                 entry.pool.close()
 
     def __enter__(self) -> "SynthesisService":

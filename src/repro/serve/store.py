@@ -1,31 +1,45 @@
-"""Model store: persisted synthesizers by name, LRU-cached, checkout-safe.
+"""Model store: persisted synthesizers by name, versioned, LRU-cached.
 
 A store root is a directory of saved models, one subdirectory per
-model name::
+model name.  A model directory is either a bare save (legacy layout)
+or a *versioned* directory of immutable releases with an ``ACTIVE``
+pointer file naming the one being served::
 
     models/
-      adult-gan/          # Synthesizer.save(...)   -> synthesizer.json
-      shop-db/            # DatabaseSynthesizer.save -> database.json
+      adult-gan/          # legacy: Synthesizer.save(...) directly
+      adult-pb/
+        v0001/            # one immutable release per publish
+        v0002/
+        ACTIVE            # contains "v0002"
 
-:class:`ModelStore` resolves names to paths, reads each model's
-metadata without loading arrays, and lends out loaded models through
-reference-counted :class:`ModelHandle`\\ s: checkout is thread-safe,
-concurrent checkouts of the same name share one load, and LRU eviction
-only ever drops models with no handle outstanding — an in-flight
-request can never have its model evicted from under it.
+:class:`ModelStore` resolves names through the ``ACTIVE`` pointer,
+reads metadata without loading arrays, and lends out loaded models
+through reference-counted :class:`ModelHandle`\\ s: checkout is
+thread-safe, concurrent checkouts of the same name share one load, and
+LRU eviction only ever drops models with no handle outstanding — an
+in-flight request can never have its model evicted from under it.
+
+:meth:`ModelStore.publish` is the hot-refresh primitive: it writes a
+new version directory, swaps ``ACTIVE`` atomically (``os.replace``),
+and detaches the cached old version.  Handles checked out before the
+swap keep draining on the old model object — their reference counts
+live on the detached cache entry, not the name — while every checkout
+after the swap loads the new version.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import re
+import shutil
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from ..api.base import _META_FILE, PathLike, load_synthesizer
+from ..api.base import _ARRAYS_FILE, _META_FILE, PathLike, load_synthesizer
 from .errors import ModelNotFound, ServingError
 
 #: Metadata file of a saved DatabaseSynthesizer directory (kept in sync
@@ -36,6 +50,10 @@ _DB_META_FILE = "database.json"
 #: Model names are path components; keep them boring so a crafted name
 #: can never escape the store root.
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Version directories created by :meth:`ModelStore.publish`.
+_VERSION_RE = re.compile(r"^v\d{4,}$")
+_ACTIVE_FILE = "ACTIVE"
 
 KIND_TABLE = "table"
 KIND_DATABASE = "database"
@@ -49,6 +67,7 @@ class ModelInfo:
     path: pathlib.Path
     kind: str          # "table" | "database"
     method: str        # registered family ("gan", ..., "relational")
+    version: Optional[str] = None   # active version; None for legacy saves
 
 
 def model_kind(path: PathLike) -> Optional[str]:
@@ -79,7 +98,8 @@ def load_model(path: PathLike):
     raise ModelNotFound(f"no saved synthesizer at {path}")
 
 
-def read_model_info(name: str, path: PathLike) -> ModelInfo:
+def read_model_info(name: str, path: PathLike,
+                    version: Optional[str] = None) -> ModelInfo:
     """Read a saved model's metadata without loading its arrays."""
     path = pathlib.Path(path)
     kind = model_kind(path)
@@ -88,22 +108,29 @@ def read_model_info(name: str, path: PathLike) -> ModelInfo:
     meta_file = _DB_META_FILE if kind == KIND_DATABASE else _META_FILE
     document = json.loads((path / meta_file).read_text())
     return ModelInfo(name=name, path=path, kind=kind,
-                     method=str(document.get("method", "unknown")))
+                     method=str(document.get("method", "unknown")),
+                     version=version)
 
 
 class ModelHandle:
     """A checked-out model; release via ``with`` or :meth:`release`."""
 
-    def __init__(self, store: "ModelStore", name: str, model):
+    def __init__(self, store: "ModelStore", name: str, model, entry):
         self._store = store
         self.name = name
         self.model = model
+        self._entry = entry
         self._released = False
 
     def release(self) -> None:
         if not self._released:
             self._released = True
-            self._store._release(self.name)
+            # The handle releases the entry it checked out — which may
+            # have been detached from the cache by a publish since.
+            # Keying the release by name alone would decrement whatever
+            # *newer* version now sits under the name, corrupting both
+            # counts.
+            self._store._release(self.name, self._entry)
 
     def __enter__(self) -> "ModelHandle":
         return self
@@ -149,29 +176,67 @@ class ModelStore:
     # ------------------------------------------------------------------
     # Catalogue
     # ------------------------------------------------------------------
-    def path(self, name: str) -> pathlib.Path:
-        """Resolve ``name`` to its saved-model directory."""
+    def _check_name(self, name: str) -> str:
         if not isinstance(name, str) or not _NAME_RE.match(name):
             raise ModelNotFound(f"invalid model name {name!r}")
-        path = self.root / name
-        if model_kind(path) is None:
+        return name
+
+    def _resolve(self, name: str):
+        """``(saved-model path, active version)`` for ``name``.
+
+        A versioned directory resolves through its ``ACTIVE`` pointer;
+        a bare save resolves to the model directory itself with version
+        ``None``.
+        """
+        self._check_name(name)
+        model_dir = self.root / name
+        active = model_dir / _ACTIVE_FILE
+        if active.is_file():
+            version = active.read_text().strip()
+            path = model_dir / version
+            if not _VERSION_RE.match(version) or model_kind(path) is None:
+                raise ServingError(
+                    f"model {name!r} has a dangling ACTIVE pointer "
+                    f"{version!r}")
+            return path, version
+        if model_kind(model_dir) is not None:
+            return model_dir, None
+        raise ModelNotFound(f"no model named {name!r} under {self.root}")
+
+    def path(self, name: str) -> pathlib.Path:
+        """Resolve ``name`` to its active saved-model directory."""
+        return self._resolve(name)[0]
+
+    def active_version(self, name: str) -> Optional[str]:
+        """The version currently served (``None`` for legacy saves)."""
+        return self._resolve(name)[1]
+
+    def versions(self, name: str) -> List[str]:
+        """All published versions of ``name``, oldest first."""
+        self._check_name(name)
+        model_dir = self.root / name
+        if not model_dir.is_dir():
             raise ModelNotFound(
                 f"no model named {name!r} under {self.root}")
-        return path
+        return sorted(child.name for child in model_dir.iterdir()
+                      if child.is_dir() and _VERSION_RE.match(child.name)
+                      and model_kind(child) is not None)
 
     def info(self, name: str) -> ModelInfo:
-        """Metadata for one model, cached after the first read.
+        """Metadata for one model, cached until the next publish.
 
-        Saved models are immutable directories, so the kind/method
-        never change — caching keeps per-request routing (the HTTP
-        layer branches table-vs-database on every ``/sample``) off the
-        disk.
+        A version directory is immutable once published, so the
+        kind/method/version never change under a cached entry —
+        caching keeps per-request routing (the HTTP layer branches
+        table-vs-database on every ``/sample``) off the disk.
+        :meth:`publish` invalidates the entry when it swaps ``ACTIVE``.
         """
         with self._lock:
             cached = self._info_cache.get(name)
         if cached is not None:
             return cached
-        info = read_model_info(name, self.path(name))
+        path, version = self._resolve(name)
+        info = read_model_info(name, path, version=version)
         with self._lock:
             self._info_cache[name] = info
         return info
@@ -182,15 +247,90 @@ class ModelStore:
             return []
         infos = []
         for child in sorted(self.root.iterdir()):
-            if child.is_dir() and model_kind(child) is not None:
-                infos.append(read_model_info(child.name, child))
+            if not child.is_dir():
+                continue
+            try:
+                path, version = self._resolve(child.name)
+            except (ModelNotFound, ServingError):
+                continue
+            infos.append(read_model_info(child.name, path, version=version))
         return infos
+
+    def metadata(self, name: str) -> Dict[str, Dict[str, object]]:
+        """Array shapes/dtypes of the active version, without data I/O.
+
+        Streams only ``.npy`` headers out of the saved arrays (see
+        :func:`repro.nn.serialization.state_manifest`), so listing a
+        multi-gigabyte model version faults in no array pages.
+        """
+        from ..nn.serialization import state_manifest
+
+        path = self.path(name)
+        arrays = path / _ARRAYS_FILE
+        if not arrays.exists():
+            return {}
+        return state_manifest(arrays)
 
     def cached_models(self) -> List[str]:
         """Names currently resident, least- to most-recently used."""
         with self._lock:
             return [name for name, entry in self._cache.items()
                     if entry.ready.is_set() and entry.error is None]
+
+    # ------------------------------------------------------------------
+    # Publish (hot refresh)
+    # ------------------------------------------------------------------
+    def publish(self, name: str, source) -> str:
+        """Release a new version of ``name`` and make it active.
+
+        ``source`` is either a directory containing a saved model or a
+        live object with a ``save(path)`` method (a fitted
+        synthesizer).  The new version directory is written first; only
+        then is the ``ACTIVE`` pointer replaced atomically
+        (``os.replace``), so a crash mid-publish leaves the old version
+        serving.  Returns the new version string.
+
+        In-flight checkouts of the old version are unaffected: the old
+        cache entry is detached, its outstanding handles drain on their
+        own reference counts, and the object is garbage-collected when
+        the last one releases.
+        """
+        self._check_name(name)
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            existing = [int(child.name[1:]) for child in model_dir.iterdir()
+                        if child.is_dir() and _VERSION_RE.match(child.name)]
+            version = f"v{max(existing, default=0) + 1:04d}"
+            target = model_dir / version
+            # Claim the directory under the lock so concurrent
+            # publishers of the same name pick distinct versions.
+            target.mkdir()
+        try:
+            if hasattr(source, "save"):
+                source.save(target)
+            else:
+                source_dir = pathlib.Path(source)
+                if model_kind(source_dir) is None:
+                    raise ServingError(
+                        f"{source_dir} does not contain a saved model")
+                shutil.copytree(source_dir, target, dirs_exist_ok=True)
+            if model_kind(target) is None:
+                raise ServingError(
+                    f"publishing {name!r} produced no saved model in "
+                    f"{target}")
+        except Exception:
+            shutil.rmtree(target, ignore_errors=True)
+            raise
+        tmp = model_dir / f".{_ACTIVE_FILE}.tmp"
+        tmp.write_text(version)
+        os.replace(tmp, model_dir / _ACTIVE_FILE)
+        with self._lock:
+            self._info_cache.pop(name, None)
+            # Detach the old version's entry: outstanding handles keep
+            # it (and their refcounts) alive; new checkouts re-load.
+            self._cache.pop(name, None)
+        return version
 
     # ------------------------------------------------------------------
     # Checkout
@@ -221,7 +361,8 @@ class ModelStore:
                 with self._lock:
                     entry.error = exc
                     entry.refs -= 1
-                    self._cache.pop(name, None)
+                    if self._cache.get(name) is entry:
+                        self._cache.pop(name)
                 entry.ready.set()
                 raise
             with self._lock:
@@ -236,13 +377,15 @@ class ModelStore:
                 raise ServingError(
                     f"loading model {name!r} failed: {entry.error}"
                 ) from entry.error
-        return ModelHandle(self, name, entry.model)
+        return ModelHandle(self, name, entry.model, entry)
 
-    def _release(self, name: str) -> None:
+    def _release(self, name: str, entry: _Entry) -> None:
         with self._lock:
-            entry = self._cache.get(name)
-            if entry is not None:
-                entry.refs -= 1
+            entry.refs -= 1
+            # Detached entries (replaced by a publish) are not in the
+            # cache anymore; they simply garbage-collect when the last
+            # handle lets go.
+            if self._cache.get(name) is entry:
                 self._evict_idle_locked()
 
     def _evict_idle_locked(self, keep: Optional[str] = None) -> None:

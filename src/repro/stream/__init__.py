@@ -1,0 +1,34 @@
+"""repro.stream — streaming / online synthesis support.
+
+The subsystem behind ``Synthesizer.partial_fit`` and ``fit_stream``:
+
+* :mod:`repro.stream.reservoir` — seeded bounded-memory reservoir
+  sampling (the GAN/VAE replay buffer and the GMM refit buffer);
+* :mod:`repro.stream.ingest` — chunk sources (in-memory tables, CSV
+  files, iterators) for out-of-core ingestion.
+
+Quick start::
+
+    import repro
+
+    synth = repro.fit_stream("big.csv", method="privbayes",
+                             chunk_rows=50_000, epsilon=0.8)
+    synth.partial_fit(new_chunk)      # data keeps arriving
+    synth.sample(1000)                # lazily refreshes, then samples
+    synth.privacy_spent()             # cumulative epsilon over refreshes
+"""
+
+from .ingest import (
+    CallableChunkSource, ChunkSource, CsvChunkSource, DEFAULT_CHUNK_ROWS,
+    IteratorChunkSource, TableChunkSource, as_chunk_source,
+    infer_csv_schema, table_chunks,
+)
+from .reservoir import Reservoir, TableReservoir, reservoir_plan, widen_schema
+
+__all__ = [
+    "CallableChunkSource", "ChunkSource", "CsvChunkSource",
+    "IteratorChunkSource",
+    "TableChunkSource", "DEFAULT_CHUNK_ROWS", "as_chunk_source",
+    "infer_csv_schema", "table_chunks",
+    "Reservoir", "TableReservoir", "reservoir_plan", "widen_schema",
+]

@@ -1,0 +1,263 @@
+"""Out-of-core ingestion: chunk sources for ``fit_stream``.
+
+A *chunk source* yields :class:`~repro.datasets.schema.Table` chunks of
+a (possibly larger-than-RAM) dataset.  ``Synthesizer.fit_stream``
+accepts anything :func:`as_chunk_source` understands:
+
+* a :class:`Table` — sliced into ``chunk_rows``-sized chunks (the
+  convenience case; equivalence tests lean on it);
+* a CSV path — read incrementally with the stdlib ``csv`` module, one
+  chunk materialized at a time (the out-of-core case).  The schema is
+  inferred in a streaming pre-pass unless supplied;
+* a zero-argument callable returning an iterable of chunks — the
+  re-iterable generic source (families that want a range pre-pass, like
+  PrivBayes' discretizer, can traverse it twice);
+* any iterable of ``Table`` chunks — single-shot (no pre-pass).
+
+Re-iterable sources (``.reiterable``) let count-exact families run a
+cheap statistics pre-pass (global numeric ranges) before ingesting, so
+``fit_stream`` over k chunks reproduces the one-shot ``fit`` exactly;
+one-shot iterables skip the pre-pass and fix bins on the first chunk.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.schema import (
+    Attribute, CATEGORICAL, NUMERICAL, Schema, Table,
+)
+from ..errors import StreamError
+
+#: Default rows per chunk when the caller does not pass ``chunk_rows``.
+DEFAULT_CHUNK_ROWS = 4096
+
+
+class ChunkSource:
+    """Iterable-of-chunks protocol ``fit_stream`` consumes."""
+
+    #: True when :meth:`chunks` can be called more than once and yields
+    #: the same chunk sequence each time (enables statistics pre-passes).
+    reiterable: bool = False
+
+    def chunks(self) -> Iterator[Table]:
+        raise NotImplementedError
+
+
+class TableChunkSource(ChunkSource):
+    """Slice an in-memory table into fixed-size chunks (re-iterable)."""
+
+    reiterable = True
+
+    def __init__(self, table: Table, chunk_rows: int):
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        if len(table) == 0:
+            raise StreamError("cannot stream an empty table")
+        self.table = table
+        self.chunk_rows = int(chunk_rows)
+
+    def chunks(self) -> Iterator[Table]:
+        n = len(self.table)
+        for start in range(0, n, self.chunk_rows):
+            stop = min(start + self.chunk_rows, n)
+            yield self.table.take(np.arange(start, stop))
+
+
+class IteratorChunkSource(ChunkSource):
+    """Wrap a one-shot iterable of table chunks (not re-iterable)."""
+
+    reiterable = False
+
+    def __init__(self, iterable: Iterable[Table]):
+        self._iterator = iter(iterable)
+        self._consumed = False
+
+    def chunks(self) -> Iterator[Table]:
+        if self._consumed:
+            raise StreamError(
+                "this chunk source is single-shot and was already "
+                "consumed; pass a callable returning a fresh iterable "
+                "for a re-iterable source")
+        self._consumed = True
+        for chunk in self._iterator:
+            if not isinstance(chunk, Table):
+                raise StreamError(
+                    f"chunk sources must yield Table chunks, got "
+                    f"{type(chunk).__name__}")
+            yield chunk
+
+
+class CallableChunkSource(ChunkSource):
+    """A zero-argument factory of chunk iterables (re-iterable)."""
+
+    reiterable = True
+
+    def __init__(self, factory: Callable[[], Iterable[Table]]):
+        self._factory = factory
+
+    def chunks(self) -> Iterator[Table]:
+        for chunk in self._factory():
+            if not isinstance(chunk, Table):
+                raise StreamError(
+                    f"chunk sources must yield Table chunks, got "
+                    f"{type(chunk).__name__}")
+            yield chunk
+
+
+# ----------------------------------------------------------------------
+# CSV ingestion
+# ----------------------------------------------------------------------
+def _read_header(path: pathlib.Path) -> Sequence[str]:
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            return next(reader)
+        except StopIteration:
+            raise StreamError(f"{path} is empty")
+
+
+def infer_csv_schema(path, label: Optional[str] = None,
+                     integral_tolerance: float = 0.0) -> Schema:
+    """Infer a table schema from a CSV file in one streaming pass.
+
+    A column is numerical when every value parses as a float (integral
+    when all values are whole numbers); otherwise it is categorical
+    with the sorted distinct labels as its vocabulary.  Only per-column
+    summaries (a set of labels / two flags) are held in memory, so the
+    pass is out-of-core like the ingestion itself.
+    """
+    path = pathlib.Path(path)
+    header = _read_header(path)
+    numeric = {name: True for name in header}
+    integral = {name: True for name in header}
+    labels: Dict[str, set] = {name: set() for name in header}
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        next(reader)
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise StreamError(
+                    f"{path}: row with {len(row)} fields, header has "
+                    f"{len(header)}")
+            for name, value in zip(header, row):
+                if numeric[name]:
+                    try:
+                        parsed = float(value)
+                        if integral[name] and parsed != int(parsed):
+                            integral[name] = False
+                        continue
+                    except ValueError:
+                        numeric[name] = False
+                labels[name].add(value)
+    attributes = []
+    for name in header:
+        if numeric[name]:
+            attributes.append(Attribute(name, NUMERICAL,
+                                        integral=integral[name]))
+        else:
+            if not labels[name]:
+                raise StreamError(f"{path}: column {name!r} has no rows")
+            attributes.append(Attribute(name, CATEGORICAL,
+                                        categories=tuple(sorted(labels[name]))))
+    return Schema(tuple(attributes), label_name=label)
+
+
+class CsvChunkSource(ChunkSource):
+    """Stream a CSV file as table chunks without materializing it.
+
+    ``schema`` is inferred (one extra pass over the file) when not
+    given.  Values outside an explicitly supplied categorical
+    vocabulary raise :class:`StreamError` — silent growth would
+    invalidate the caller's declared domain.
+    """
+
+    reiterable = True
+
+    def __init__(self, path, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 schema: Optional[Schema] = None,
+                 label: Optional[str] = None):
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        self.path = pathlib.Path(path)
+        if not self.path.exists():
+            raise StreamError(f"no CSV file at {self.path}")
+        self.chunk_rows = int(chunk_rows)
+        self.schema = schema if schema is not None \
+            else infer_csv_schema(self.path, label=label)
+        self._codes = {
+            attr.name: {cat: code
+                        for code, cat in enumerate(attr.categories)}
+            for attr in self.schema if attr.is_categorical}
+
+    def _make_chunk(self, header: Sequence[str],
+                    rows: list) -> Table:
+        columns: Dict[str, np.ndarray] = {}
+        index = {name: i for i, name in enumerate(header)}
+        for attr in self.schema:
+            if attr.name not in index:
+                raise StreamError(
+                    f"{self.path}: schema column {attr.name!r} missing "
+                    f"from CSV header")
+            i = index[attr.name]
+            raw = [row[i] for row in rows]
+            if attr.is_numerical:
+                columns[attr.name] = np.asarray(raw, dtype=np.float64)
+            else:
+                codes = self._codes[attr.name]
+                try:
+                    columns[attr.name] = np.asarray(
+                        [codes[value] for value in raw], dtype=np.int64)
+                except KeyError as exc:
+                    raise StreamError(
+                        f"{self.path}: value {exc.args[0]!r} of column "
+                        f"{attr.name!r} is outside the declared "
+                        f"categories") from None
+        return Table(self.schema, columns)
+
+    def chunks(self) -> Iterator[Table]:
+        with open(self.path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            rows: list = []
+            for row in reader:
+                if not row:
+                    continue
+                rows.append(row)
+                if len(rows) >= self.chunk_rows:
+                    yield self._make_chunk(header, rows)
+                    rows = []
+            if rows:
+                yield self._make_chunk(header, rows)
+
+
+def table_chunks(table: Table, chunk_rows: int = DEFAULT_CHUNK_ROWS
+                 ) -> Iterator[Table]:
+    """Convenience generator over an in-memory table's chunks."""
+    return TableChunkSource(table, chunk_rows).chunks()
+
+
+def as_chunk_source(source, chunk_rows: Optional[int] = None,
+                    schema: Optional[Schema] = None) -> ChunkSource:
+    """Coerce any supported ``fit_stream`` source into a ChunkSource."""
+    chunk_rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
+    if isinstance(source, ChunkSource):
+        return source
+    if isinstance(source, Table):
+        return TableChunkSource(source, chunk_rows)
+    if isinstance(source, (str, pathlib.Path)):
+        return CsvChunkSource(source, chunk_rows, schema=schema)
+    if callable(source):
+        return CallableChunkSource(source)
+    if isinstance(source, Iterable):
+        return IteratorChunkSource(source)
+    raise StreamError(
+        f"cannot stream from {type(source).__name__}: pass a Table, a "
+        f"CSV path, an iterable of Table chunks, or a callable "
+        f"returning one")

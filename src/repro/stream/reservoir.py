@@ -1,0 +1,179 @@
+"""Seeded reservoir sampling: bounded-memory uniform samples of a stream.
+
+The streaming subsystem's replay buffer.  A reservoir of capacity ``k``
+holds, after any number of :meth:`add` calls, a uniform random sample of
+the rows seen so far — the classical Algorithm R invariant — while
+using memory proportional to ``k`` only.  Two concrete buffers share
+one vectorized acceptance plan:
+
+* :class:`Reservoir` — a flat value buffer (used by the GMM
+  normalizer's reservoir-refit path);
+* :class:`TableReservoir` — aligned per-column buffers over
+  :class:`~repro.datasets.schema.Table` chunks (the GAN/VAE replay
+  buffer; one plan is applied to every column so rows stay intact).
+
+Both are seeded: given the same generator seed and the same chunk
+sequence the retained sample is bit-identical, which is what makes
+``fit_stream`` on the neural families reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.schema import Schema, Table
+from ..errors import StreamError
+
+
+def reservoir_plan(n_seen: int, m: int, capacity: int,
+                   rng: np.random.Generator
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Which of ``m`` incoming items land where in a ``capacity`` buffer.
+
+    Returns ``(positions, slots)``: item ``positions[i]`` of the chunk
+    is written to buffer slot ``slots[i]``.  Implements Algorithm R
+    vectorized over the chunk: the first ``capacity - n_seen`` items
+    fill empty slots; item number ``t`` (0-based over the whole stream)
+    is then accepted with probability ``capacity / (t + 1)`` into a
+    uniformly random slot.  Duplicate slots within one chunk resolve
+    last-wins under numpy fancy assignment, matching the sequential
+    algorithm.
+    """
+    fill = max(0, min(capacity - n_seen, m))
+    fill_positions = np.arange(fill, dtype=np.intp)
+    fill_slots = n_seen + fill_positions
+    rest = m - fill
+    if rest == 0:
+        return fill_positions, fill_slots
+    t = n_seen + fill + np.arange(rest, dtype=np.int64)
+    accept = rng.random(rest) * (t + 1) < capacity
+    accepted = np.flatnonzero(accept) + fill
+    slots = rng.integers(0, capacity, size=len(accepted))
+    return (np.concatenate([fill_positions, accepted.astype(np.intp)]),
+            np.concatenate([fill_slots, slots.astype(np.intp)]))
+
+
+class Reservoir:
+    """Bounded uniform sample of a stream of scalar values."""
+
+    def __init__(self, capacity: int,
+                 rng: Optional[np.random.Generator] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.n_seen = 0
+        self._buffer: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return min(self.n_seen, self.capacity)
+
+    def add(self, values: np.ndarray) -> "Reservoir":
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("Reservoir holds 1-D value streams")
+        if self._buffer is None:
+            self._buffer = np.empty(self.capacity, dtype=values.dtype)
+        positions, slots = reservoir_plan(self.n_seen, len(values),
+                                          self.capacity, self.rng)
+        self._buffer[slots] = values[positions]
+        self.n_seen += len(values)
+        return self
+
+    def values(self) -> np.ndarray:
+        """The retained sample (a copy, in slot order)."""
+        if self._buffer is None:
+            return np.empty(0)
+        return self._buffer[:len(self)].copy()
+
+    def to_state(self) -> dict:
+        return {"capacity": self.capacity, "n_seen": self.n_seen,
+                "values": self.values().tolist()}
+
+
+class TableReservoir:
+    """Bounded uniform row sample over a stream of table chunks.
+
+    One :func:`reservoir_plan` per chunk is applied to every column, so
+    buffered rows stay aligned.  The schema is taken from the first
+    chunk and widened in place when later chunks arrive with grown
+    categorical domains (the grow-only vocab contract of streaming
+    ingestion); conflicting names or kinds raise :class:`StreamError`.
+    """
+
+    def __init__(self, capacity: int,
+                 rng: Optional[np.random.Generator] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.n_seen = 0
+        self.schema: Optional[Schema] = None
+        self._columns: Dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return min(self.n_seen, self.capacity)
+
+    def add(self, table: Table) -> "TableReservoir":
+        if self.schema is None:
+            self.schema = table.schema
+            self._columns = {
+                name: np.empty(self.capacity,
+                               dtype=table.column(name).dtype)
+                for name in table.schema.names}
+        else:
+            self.schema = widen_schema(self.schema, table.schema)
+        positions, slots = reservoir_plan(self.n_seen, len(table),
+                                          self.capacity, self.rng)
+        for name, buffer in self._columns.items():
+            buffer[slots] = table.column(name)[positions]
+        self.n_seen += len(table)
+        return self
+
+    def table(self) -> Table:
+        """The retained rows as a table under the widest schema seen."""
+        if self.schema is None:
+            raise StreamError("reservoir is empty: no chunks added")
+        k = len(self)
+        return Table(self.schema, {name: buffer[:k].copy()
+                                   for name, buffer in self._columns.items()})
+
+
+def widen_schema(current: Schema, incoming: Schema) -> Schema:
+    """Merge two stream-chunk schemas under the grow-only contract.
+
+    Attribute names, kinds, and order must match; categorical category
+    lists may only *extend* the ones already seen (new codes append).
+    Returns whichever schema dominates — usually one of the inputs
+    unchanged, so repeated calls on a fixed schema are free.
+    """
+    if current.names != incoming.names:
+        raise StreamError(
+            f"stream chunk schema mismatch: expected columns "
+            f"{current.names}, got {incoming.names}")
+    merged = []
+    changed = False
+    for old, new in zip(current.attributes, incoming.attributes):
+        if old.kind != new.kind or old.integral != new.integral:
+            raise StreamError(
+                f"stream chunk changed the type of attribute "
+                f"{old.name!r}")
+        if old.is_categorical and old.categories != new.categories:
+            longer, shorter = ((new, old)
+                              if len(new.categories) >= len(old.categories)
+                              else (old, new))
+            if longer.categories[:len(shorter.categories)] \
+                    != shorter.categories:
+                raise StreamError(
+                    f"stream chunk renamed categories of {old.name!r}; "
+                    f"categorical vocabularies may only grow")
+            if longer is new:
+                changed = True
+            merged.append(longer)
+        else:
+            merged.append(old)
+    if not changed:
+        return current
+    return Schema(tuple(merged), label_name=current.label_name)

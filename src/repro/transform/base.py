@@ -32,7 +32,36 @@ class AttributeTransformer:
     #: persistence key; set by concrete subclasses
     state_kind: str = ""
 
+    #: True when :meth:`partial_fit` accumulates useful statistics; the
+    #: base-class fallback buffers nothing and simply refits at finalize.
+    supports_partial_fit: bool = False
+
     def fit(self, values: np.ndarray) -> "AttributeTransformer":
+        raise NotImplementedError
+
+    def partial_fit(self, values: np.ndarray) -> "AttributeTransformer":
+        """Absorb one chunk of the attribute's stream.
+
+        Streaming transformers keep running statistics (moments, ranges,
+        grow-only vocabularies, reservoirs) here; :meth:`finalize_partial`
+        turns them into a fitted state.  The default implementation
+        refits on the chunk alone — correct only for stateless encoders,
+        so concrete streaming transformers must override it.
+        """
+        return self.fit(values)
+
+    def finalize_partial(self) -> "AttributeTransformer":
+        """Seal accumulated chunk statistics into a fitted state."""
+        return self
+
+    def reset(self) -> "AttributeTransformer":
+        """Drop all fitted and accumulated state (the refit escape hatch).
+
+        After ``reset`` the transformer behaves as freshly constructed:
+        the next ``fit``/``partial_fit`` starts from nothing.  Streaming
+        callers use this when a domain change (renamed categories,
+        shifted distribution) makes grow-only accumulation wrong.
+        """
         raise NotImplementedError
 
     def to_state(self) -> dict:

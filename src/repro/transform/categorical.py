@@ -21,6 +21,8 @@ class OrdinalEncoder(AttributeTransformer):
     discrete_block = False
     state_kind = "ordinal"
 
+    supports_partial_fit = True
+
     def __init__(self):
         self.domain_size: int | None = None
 
@@ -29,6 +31,25 @@ class OrdinalEncoder(AttributeTransformer):
         if values.size == 0:
             raise TransformError("cannot fit encoder on empty column")
         self.domain_size = int(values.max()) + 1
+        return self
+
+    def partial_fit(self, values: np.ndarray) -> "OrdinalEncoder":
+        """Grow the domain to cover the chunk (codes never shrink)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return self
+        seen = int(values.max()) + 1
+        self.domain_size = seen if self.domain_size is None \
+            else max(self.domain_size, seen)
+        return self
+
+    def finalize_partial(self) -> "OrdinalEncoder":
+        if self.domain_size is None:
+            raise TransformError("cannot fit encoder on empty column")
+        return self
+
+    def reset(self) -> "OrdinalEncoder":
+        self.domain_size = None
         return self
 
     def to_state(self) -> dict:
@@ -87,6 +108,8 @@ class OneHotEncoder(AttributeTransformer):
     discrete_block = True
     state_kind = "onehot"
 
+    supports_partial_fit = True
+
     def __init__(self):
         self.domain_size: int | None = None
         self.width = 0
@@ -97,6 +120,27 @@ class OneHotEncoder(AttributeTransformer):
             raise TransformError("cannot fit encoder on empty column")
         self.domain_size = int(values.max()) + 1
         self.width = self.domain_size
+        return self
+
+    def partial_fit(self, values: np.ndarray) -> "OneHotEncoder":
+        """Grow the one-hot width to cover the chunk (grow-only vocab)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return self
+        seen = int(values.max()) + 1
+        self.domain_size = seen if self.domain_size is None \
+            else max(self.domain_size, seen)
+        self.width = self.domain_size
+        return self
+
+    def finalize_partial(self) -> "OneHotEncoder":
+        if self.domain_size is None:
+            raise TransformError("cannot fit encoder on empty column")
+        return self
+
+    def reset(self) -> "OneHotEncoder":
+        self.domain_size = None
+        self.width = 0
         return self
 
     def to_state(self) -> dict:

@@ -25,18 +25,64 @@ class SimpleNormalizer(AttributeTransformer):
     discrete_block = False
     state_kind = "simple"
 
+    supports_partial_fit = True
+
     def __init__(self, integral: bool = False):
         self.integral = integral
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.n_seen = 0
+        self._mean = 0.0
+        self._m2 = 0.0
 
     def fit(self, values: np.ndarray) -> "SimpleNormalizer":
+        self.reset()
+        return self.partial_fit(values).finalize_partial()
+
+    def partial_fit(self, values: np.ndarray) -> "SimpleNormalizer":
+        """Fold a chunk into the running range and moments.
+
+        Min/max are associative, so chunked fitting matches a one-shot
+        ``fit`` on the concatenated column exactly; the mean/variance
+        use Welford's merge and are exposed via :meth:`moments`.
+        """
         values = np.asarray(values, dtype=np.float64)
         if values.size == 0:
-            raise TransformError("cannot fit normalizer on empty column")
-        self.min = float(values.min())
-        self.max = float(values.max())
+            return self
+        low, high = float(values.min()), float(values.max())
+        self.min = low if self.min is None else min(self.min, low)
+        self.max = high if self.max is None else max(self.max, high)
+        m = int(values.size)
+        mean = float(values.mean())
+        m2 = float(((values - mean) ** 2).sum())
+        if self.n_seen == 0:
+            self._mean, self._m2 = mean, m2
+        else:
+            delta = mean - self._mean
+            total = self.n_seen + m
+            self._mean += delta * m / total
+            self._m2 += m2 + delta * delta * self.n_seen * m / total
+        self.n_seen += m
         return self
+
+    def finalize_partial(self) -> "SimpleNormalizer":
+        if self.min is None:
+            raise TransformError("cannot fit normalizer on empty column")
+        return self
+
+    def reset(self) -> "SimpleNormalizer":
+        self.min = None
+        self.max = None
+        self.n_seen = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        return self
+
+    def moments(self) -> tuple:
+        """Running ``(mean, variance)`` over everything seen so far."""
+        if self.n_seen == 0:
+            raise TransformError("normalizer is not fitted")
+        return self._mean, self._m2 / self.n_seen
 
     def _range(self) -> float:
         if self.min is None:
@@ -87,13 +133,22 @@ class GMMNormalizer(AttributeTransformer):
     discrete_block = True
     state_kind = "gmm"
 
+    supports_partial_fit = True
+
+    #: Default value-reservoir capacity for the streaming refit path.
+    DEFAULT_RESERVOIR = 4096
+
     def __init__(self, n_components: int = 5, integral: bool = False,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 reservoir_size: int = DEFAULT_RESERVOIR):
         self.integral = integral
         self.n_components = n_components
         self.rng = rng if rng is not None else np.random.default_rng()
         self.gmm: Optional[GaussianMixture1D] = None
         self.width = 1 + n_components
+        self.reservoir_size = int(reservoir_size)
+        self._initial_components = n_components
+        self._reservoir = None
 
     def fit(self, values: np.ndarray) -> "GMMNormalizer":
         values = np.asarray(values, dtype=np.float64)
@@ -104,6 +159,37 @@ class GMMNormalizer(AttributeTransformer):
         # The GMM may collapse to fewer components on low-cardinality data.
         self.n_components = self.gmm.n_components
         self.width = 1 + self.n_components
+        return self
+
+    def partial_fit(self, values: np.ndarray) -> "GMMNormalizer":
+        """Buffer a bounded uniform sample of the stream for refitting.
+
+        EM over a mixture is not mergeable chunk-by-chunk, so the
+        streaming path keeps a seeded reservoir of raw values and
+        :meth:`finalize_partial` refits the mixture on it — bounded
+        memory, approximate (bounded-drift) statistics.
+        """
+        from ..stream.reservoir import Reservoir
+
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return self
+        if self._reservoir is None:
+            self._reservoir = Reservoir(self.reservoir_size, rng=self.rng)
+        self._reservoir.add(values)
+        return self
+
+    def finalize_partial(self) -> "GMMNormalizer":
+        if self._reservoir is None:
+            raise TransformError("cannot fit normalizer on empty column")
+        self.n_components = self._initial_components
+        return self.fit(self._reservoir.values())
+
+    def reset(self) -> "GMMNormalizer":
+        self.gmm = None
+        self.n_components = self._initial_components
+        self.width = 1 + self.n_components
+        self._reservoir = None
         return self
 
     def transform(self, values: np.ndarray) -> np.ndarray:

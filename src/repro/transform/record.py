@@ -266,6 +266,72 @@ class RecordTransformer:
         self._compiled = CompiledInverse(self.blocks, self.transformers)
         return self
 
+    def partial_fit(self, table: Table) -> "RecordTransformer":
+        """Absorb one stream chunk into per-attribute running statistics.
+
+        The first chunk establishes the schema and constructs the
+        per-attribute transformers; later chunks widen the schema under
+        the grow-only contract (see
+        :func:`repro.stream.reservoir.widen_schema`) and update each
+        transformer's running statistics.  The block layout and
+        compiled inverse are only valid after :meth:`finalize`.
+        """
+        from ..stream.reservoir import widen_schema
+
+        if self.schema is None or not self.transformers:
+            self.schema = table.schema
+            self.transformers = {}
+            for attr in table.schema:
+                if attr.name in self.exclude:
+                    continue
+                if attr.is_categorical:
+                    transformer = _make_categorical(self.categorical_encoding)
+                else:
+                    transformer = _make_numerical(
+                        self.numerical_normalization, attr.integral,
+                        self.gmm_components, self.rng)
+                self.transformers[attr.name] = transformer
+        else:
+            self.schema = widen_schema(self.schema, table.schema)
+        for name, transformer in self.transformers.items():
+            transformer.partial_fit(table.column(name))
+        # Layout is stale until finalize(): block widths may still grow.
+        self.blocks = []
+        self.output_dim = 0
+        self._compiled = None
+        return self
+
+    def finalize(self) -> "RecordTransformer":
+        """Seal running statistics and rebuild the block layout."""
+        if self.schema is None or not self.transformers:
+            raise TransformError("no chunks were partially fitted")
+        self.blocks = []
+        offset = 0
+        for attr in self.schema:
+            if attr.name in self.exclude:
+                continue
+            transformer = self.transformers[attr.name]
+            transformer.finalize_partial()
+            self.blocks.append(BlockSpec(
+                name=attr.name, start=offset, width=transformer.width,
+                head=transformer.head,
+                discrete_block=transformer.discrete_block))
+            offset += transformer.width
+        self.output_dim = offset
+        if self.output_dim == 0:
+            raise TransformError("no attributes to transform")
+        self._compiled = CompiledInverse(self.blocks, self.transformers)
+        return self
+
+    def reset(self) -> "RecordTransformer":
+        """Drop all fitted and accumulated state (refit escape hatch)."""
+        self.schema = None
+        self.transformers = {}
+        self.blocks = []
+        self.output_dim = 0
+        self._compiled = None
+        return self
+
     def transform(self, table: Table) -> np.ndarray:
         if self.schema is None:
             raise TransformError("transformer is not fitted")
@@ -414,6 +480,61 @@ class MatrixTransformer:
                           head=self.transformers[name].head,
                           discrete_block=False)
                 for i, name in enumerate(self.attribute_names)]
+
+    def partial_fit(self, table: Table) -> "MatrixTransformer":
+        """Absorb one stream chunk (same contract as RecordTransformer)."""
+        from ..stream.reservoir import widen_schema
+
+        if self.schema is None or not self.transformers:
+            self.schema = table.schema
+            self.transformers = {}
+            for attr in table.schema:
+                if attr.name in self.exclude:
+                    continue
+                if attr.is_categorical:
+                    transformer = TanhOrdinalEncoder()
+                else:
+                    transformer = SimpleNormalizer(integral=attr.integral)
+                self.transformers[attr.name] = transformer
+        else:
+            self.schema = widen_schema(self.schema, table.schema)
+        for name, transformer in self.transformers.items():
+            transformer.partial_fit(table.column(name))
+        self._compiled = None
+        return self
+
+    def finalize(self) -> "MatrixTransformer":
+        """Seal running statistics and fix the matrix layout."""
+        if self.schema is None or not self.transformers:
+            raise TransformError("no chunks were partially fitted")
+        count = 0
+        for name in self.attribute_names:
+            self.transformers[name].finalize_partial()
+            count += 1
+        if count == 0:
+            raise TransformError("no attributes to transform")
+        self.n_attributes = count
+        minimal = int(math.ceil(math.sqrt(count)))
+        if self.requested_side is not None:
+            if self.requested_side < minimal:
+                raise TransformError(
+                    f"side {self.requested_side} too small for "
+                    f"{count} attributes (need >= {minimal})")
+            self.side = self.requested_side
+        else:
+            self.side = minimal
+        self._compiled = CompiledInverse(self._cell_blocks(),
+                                         self.transformers)
+        return self
+
+    def reset(self) -> "MatrixTransformer":
+        """Drop all fitted and accumulated state (refit escape hatch)."""
+        self.schema = None
+        self.transformers = {}
+        self.side = 0
+        self.n_attributes = 0
+        self._compiled = None
+        return self
 
     def transform(self, table: Table) -> np.ndarray:
         """Encode into shape ``(n, 1, side, side)``."""

@@ -8,6 +8,7 @@ import numpy as np
 
 from ..api.base import Synthesizer, prefixed, unprefixed
 from ..api.registry import register
+from ..api.seeding import substream
 from ..datasets.schema import Table
 from ..errors import TrainingError
 from ..nn import Adam, Tensor, get_default_dtype, no_grad
@@ -33,6 +34,8 @@ class VAESynthesizer(Synthesizer):
     """
 
     default_sample_batch = 4096
+    #: Streaming via a seeded replay reservoir, like the GAN family.
+    supports_partial_fit = True
 
     def __init__(self, latent_dim: int = 32, hidden_dim: int = 128,
                  epochs: int = 10, iterations_per_epoch: int = 40,
@@ -41,7 +44,7 @@ class VAESynthesizer(Synthesizer):
                  categorical_encoding: str = "onehot",
                  numerical_normalization: str = "gmm",
                  gmm_components: int = 5, keep_snapshots: bool = True,
-                 seed: int = 0):
+                 seed: int = 0, reservoir_rows: int = 8192):
         super().__init__(seed=seed)
         self.latent_dim = latent_dim
         self.hidden_dim = hidden_dim
@@ -58,6 +61,9 @@ class VAESynthesizer(Synthesizer):
         self.transformer: Optional[RecordTransformer] = None
         self.losses: List[float] = []
         self._snapshots: List[Optional[Dict[str, np.ndarray]]] = []
+        self.reservoir_rows = int(reservoir_rows)
+        self._reservoir = None
+        self._stream_transformer = None
 
     def _fit(self, table: Table, callbacks, conditions=None) -> None:
         self.transformer = RecordTransformer(
@@ -66,6 +72,14 @@ class VAESynthesizer(Synthesizer):
             gmm_components=self.gmm_components, rng=self.rng)
         self.transformer.fit(table)
         data = self.transformer.transform(table)
+        # Seed the streaming state (dedicated substreams: the training
+        # trajectory below stays bit-identical) so a later partial_fit
+        # continues from this table instead of forgetting it.
+        self._seed_stream_state(table)
+        self._train_transformed(data, callbacks)
+
+    def _train_transformed(self, data: np.ndarray, callbacks) -> None:
+        """Train the VAE on an already-transformed table."""
         blocks = self.transformer.blocks
         self.model = VAEModel(blocks, latent_dim=self.latent_dim,
                               hidden_dim=self.hidden_dim, rng=self.rng)
@@ -92,6 +106,45 @@ class VAESynthesizer(Synthesizer):
             for callback in callbacks:
                 callback({"epoch": epoch, "loss": self.losses[-1]})
         self._active_snapshot = len(self._snapshots) - 1
+
+    # ------------------------------------------------------------------
+    # Streaming (seeded replay reservoir + incremental transformer)
+    # ------------------------------------------------------------------
+    def _reset_fit_state(self) -> None:
+        # Clean-refit contract: no transformer, loss history, or stream
+        # buffer from a previous fit survives into this one.
+        self.transformer = None
+        self.model = None
+        self.losses = []
+        self._snapshots = []
+        self._reservoir = None
+        self._stream_transformer = None
+
+    def _seed_stream_state(self, table: Table) -> None:
+        from ..stream.reservoir import TableReservoir
+
+        if self._reservoir is None:
+            self._reservoir = TableReservoir(
+                self.reservoir_rows,
+                rng=substream(self.seed, "stream", "reservoir"))
+            self._stream_transformer = RecordTransformer(
+                categorical_encoding=self.categorical_encoding,
+                numerical_normalization=self.numerical_normalization,
+                gmm_components=self.gmm_components,
+                rng=substream(self.seed, "stream", "transform"))
+        self._reservoir.add(table)
+        self._stream_transformer.partial_fit(table)
+
+    def _partial_fit(self, table: Table) -> None:
+        self._seed_stream_state(table)
+
+    def _finalize_partial(self) -> None:
+        if self._reservoir is None or len(self._reservoir) == 0:
+            raise TrainingError("no stream chunks ingested")
+        table = self._reservoir.table()
+        self.transformer = self._stream_transformer.finalize()
+        data = self.transformer.transform(table)
+        self._train_transformed(data, [])
 
     # ------------------------------------------------------------------
     # Snapshots (validation-based epoch selection, paper §6.2)
@@ -165,6 +218,7 @@ class VAESynthesizer(Synthesizer):
                 "gmm_components": self.gmm_components,
                 "keep_snapshots": self.keep_snapshots,
                 "seed": self.seed,
+                "reservoir_rows": self.reservoir_rows,
             },
             "transformer": self.transformer.to_state(),
             "active_snapshot": self._active_snapshot,

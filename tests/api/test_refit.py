@@ -1,0 +1,74 @@
+"""Clean-refit contract: re-fitting never reuses stale state."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets.schema import Attribute, CATEGORICAL, NUMERICAL, Schema, Table
+
+from tests.conftest import make_mixed_table
+
+TINY_FIT = dict(epochs=1, iterations_per_epoch=3)
+
+
+def other_table(n=120, seed=42):
+    """A table with a different schema than make_mixed_table's."""
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        attributes=(
+            Attribute("height", NUMERICAL),
+            Attribute("group", CATEGORICAL, categories=("g0", "g1")),
+        ))
+    return Table(schema, {"height": rng.normal(170.0, 9.0, n),
+                          "group": rng.integers(0, 2, n)})
+
+
+@pytest.mark.parametrize("method,kwargs", [
+    ("privbayes", {"epsilon": None}),
+    ("gan", TINY_FIT),
+    ("vae", TINY_FIT),
+])
+class TestRefitAcrossSchemas:
+    def test_refit_samples_the_new_schema_only(self, method, kwargs):
+        synth = repro.make_synthesizer(method, seed=0, **kwargs)
+        synth.fit(make_mixed_table(n=150, seed=0))
+        synth.fit(other_table())
+        out = synth.sample(25, seed=1)
+        assert out.schema.names == ["height", "group"]
+        assert out.column("group").max() < 2
+
+    def test_refit_after_streaming_discards_stream_state(self, method,
+                                                         kwargs):
+        synth = repro.make_synthesizer(method, seed=0, **kwargs)
+        synth.partial_fit(make_mixed_table(n=60, seed=0))
+        # A clean fit abandons the pending stream entirely.
+        synth.fit(other_table())
+        assert synth.stream_rows == 0
+        assert synth.sample(10, seed=2).schema.names == ["height", "group"]
+
+
+class TestFamilySpecificState:
+    def test_privbayes_drops_old_discretizers(self):
+        synth = repro.make_synthesizer("privbayes", epsilon=None, seed=0)
+        synth.fit(make_mixed_table(n=100, seed=0))
+        assert "age" in synth._discretizers
+        synth.fit(other_table())
+        assert set(synth._discretizers) == {"height"}
+        assert {n.name for n in synth.network.nodes} == {"height", "group"}
+
+    def test_gan_drops_old_label_frequencies(self):
+        synth = repro.make_synthesizer("gan", seed=0, **TINY_FIT)
+        synth.fit(make_mixed_table(n=100, seed=0))  # labeled table
+        synth.fit(other_table())                    # unlabeled table
+        assert synth._label_freq is None
+
+    def test_neural_families_drop_old_reservoirs(self):
+        for method in ("gan", "vae"):
+            synth = repro.make_synthesizer(method, seed=0, **TINY_FIT)
+            synth.fit(make_mixed_table(n=100, seed=0))
+            assert synth._reservoir is not None
+            first_seen = synth._reservoir.n_seen
+            synth.fit(other_table(n=70))
+            # Re-seeded from scratch on the new table, not accumulated.
+            assert synth._reservoir.n_seen == 70
+            assert first_seen == 100

@@ -5,7 +5,7 @@ import pytest
 
 from repro.nn import Linear, Sequential, ReLU, Tensor
 from repro.nn.serialization import (
-    load_module, load_state, save_module, save_state,
+    load_module, load_state, save_module, save_state, state_manifest,
 )
 
 
@@ -41,6 +41,52 @@ def test_module_round_trip_restores_behaviour(tmp_path, model, rng):
 def test_load_missing_file_raises(tmp_path):
     with pytest.raises(FileNotFoundError):
         load_state(tmp_path / "missing.npz")
+
+
+class TestLazyLoading:
+    """``mmap_mode="r"``: views into the archive instead of copies."""
+
+    def test_mmap_values_equal_eager_values(self, tmp_path, model):
+        path = tmp_path / "weights"
+        save_state(path, model.state_dict())
+        eager = load_state(path)
+        lazy = load_state(path, mmap_mode="r")
+        assert set(lazy) == set(eager)
+        for name in eager:
+            np.testing.assert_array_equal(lazy[name], eager[name])
+            assert isinstance(lazy[name], np.memmap)
+
+    def test_mmap_handles_dtypes_orders_and_empties(self, tmp_path):
+        state = {
+            "f32": np.arange(12, dtype=np.float32).reshape(3, 4),
+            "fortran": np.asfortranarray(
+                np.arange(6, dtype=np.float64).reshape(2, 3)),
+            "ints": np.arange(5, dtype=np.int64),
+            "empty": np.empty((0, 7)),
+        }
+        save_state(tmp_path / "mixed", state)
+        lazy = load_state(tmp_path / "mixed", mmap_mode="r")
+        for name, value in state.items():
+            np.testing.assert_array_equal(lazy[name], value)
+            assert lazy[name].dtype == value.dtype
+            assert lazy[name].shape == value.shape
+
+    def test_unknown_mmap_mode_rejected(self, tmp_path, model):
+        save_state(tmp_path / "w", model.state_dict())
+        with pytest.raises(ValueError):
+            load_state(tmp_path / "w", mmap_mode="r+")
+
+    def test_manifest_reports_shapes_without_loading(self, tmp_path,
+                                                     model):
+        path = tmp_path / "weights"
+        state = model.state_dict()
+        save_state(path, state)
+        manifest = state_manifest(path)
+        assert set(manifest) == set(state)
+        for name, value in state.items():
+            assert manifest[name]["shape"] == value.shape
+            assert manifest[name]["dtype"] == str(value.dtype)
+            assert manifest[name]["nbytes"] == value.nbytes
 
 
 def test_synthesizer_generator_round_trip(tmp_path):

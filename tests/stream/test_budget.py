@@ -1,0 +1,107 @@
+"""Cumulative privacy accounting across fits and streaming refreshes."""
+
+import pytest
+
+import repro
+from repro.errors import PrivacyBudgetError
+from repro.privacy import PrivacyLedger
+
+from tests.conftest import make_mixed_table
+
+
+class TestLedger:
+    def test_accumulates_and_reports(self):
+        ledger = PrivacyLedger(budget=2.0)
+        assert ledger.spent == 0.0
+        assert ledger.remaining == 2.0
+        ledger.spend(0.8, note="first")
+        ledger.spend(0.8, note="second")
+        assert ledger.spent == pytest.approx(1.6)
+        assert ledger.remaining == pytest.approx(0.4)
+        assert [note for _, note in ledger.events] == ["first", "second"]
+
+    def test_check_raises_before_overspend(self):
+        ledger = PrivacyLedger(budget=1.0)
+        ledger.spend(0.8)
+        with pytest.raises(PrivacyBudgetError):
+            ledger.check(0.8)
+
+    def test_exact_budget_is_allowed(self):
+        ledger = PrivacyLedger(budget=1.6)
+        ledger.spend(0.8)
+        ledger.check(0.8)  # floating-point slack: exactly on budget
+
+    def test_unbounded_without_budget(self):
+        ledger = PrivacyLedger()
+        ledger.spend(100.0)
+        ledger.check(100.0)
+        assert ledger.remaining is None
+
+    def test_state_round_trip(self):
+        ledger = PrivacyLedger(budget=3.0)
+        ledger.spend(0.5, note="a")
+        clone = PrivacyLedger.from_state(ledger.to_state())
+        assert clone.budget == 3.0
+        assert clone.spent == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            PrivacyLedger(budget=0.0)
+
+
+class TestPrivBayesAccounting:
+    def test_spend_accumulates_across_refreshes(self):
+        table = make_mixed_table(n=200, seed=0)
+        synth = repro.make_synthesizer("privbayes", epsilon=0.5, seed=0)
+        synth.fit(table)
+        assert synth.privacy_spent() == pytest.approx(0.5)
+        synth.partial_fit(make_mixed_table(n=50, seed=1))
+        synth.finalize_stream()
+        assert synth.privacy_spent() == pytest.approx(1.0)
+        assert len(synth.privacy_ledger.events) == 2
+
+    def test_budget_cap_stops_the_refresh(self):
+        table = make_mixed_table(n=200, seed=0)
+        synth = repro.make_synthesizer("privbayes", epsilon=0.8,
+                                       budget=1.0, seed=0)
+        synth.fit(table)
+        synth.partial_fit(make_mixed_table(n=50, seed=1))
+        with pytest.raises(PrivacyBudgetError):
+            synth.finalize_stream()
+        # Retrying without new budget raises again — the failed
+        # refresh must not silently serve a half-updated model.
+        with pytest.raises(PrivacyBudgetError):
+            synth.sample(10, seed=1)
+
+    def test_budget_check_precedes_one_shot_fit(self):
+        table = make_mixed_table(n=100, seed=0)
+        synth = repro.make_synthesizer("privbayes", epsilon=0.8,
+                                       budget=1.0, seed=0)
+        synth.fit(table)
+        with pytest.raises(PrivacyBudgetError):
+            synth.fit(table)
+
+    def test_epsilon_none_spends_nothing(self):
+        table = make_mixed_table(n=100, seed=0)
+        synth = repro.make_synthesizer("privbayes", epsilon=None, seed=0)
+        synth.fit(table)
+        synth.partial_fit(table)
+        synth.finalize_stream()
+        assert synth.privacy_spent() == 0.0
+
+    def test_ledger_survives_persistence(self, tmp_path):
+        table = make_mixed_table(n=150, seed=0)
+        synth = repro.make_synthesizer("privbayes", epsilon=0.6,
+                                       budget=1.0, seed=0)
+        synth.fit(table)
+        synth.save(tmp_path / "pb")
+        loaded = repro.load_synthesizer(tmp_path / "pb")
+        assert loaded.privacy_spent() == pytest.approx(0.6)
+        assert loaded.privacy_ledger.budget == 1.0
+        # The restored instance keeps enforcing the cap.
+        with pytest.raises(PrivacyBudgetError):
+            loaded.fit(table)
+
+    def test_base_families_report_none(self):
+        synth = repro.make_synthesizer("gan", seed=0)
+        assert synth.privacy_spent() is None

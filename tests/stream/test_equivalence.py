@@ -1,0 +1,157 @@
+"""Streaming-vs-one-shot: PrivBayes exact, neural families bounded."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError, StreamError, TrainingError
+from repro.stream import table_chunks
+
+from tests.conftest import make_mixed_table
+
+TINY_FIT = dict(epochs=1, iterations_per_epoch=3)
+
+
+def tables_equal(a, b):
+    assert a.schema == b.schema
+    for name in a.schema.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+class TestPrivBayesExact:
+    """PB counts are additive: streamed fit == one-shot fit, bit for bit."""
+
+    @pytest.mark.parametrize("epsilon", [None, 0.8])
+    def test_fit_stream_matches_fit(self, epsilon):
+        table = make_mixed_table(n=400, seed=0)
+        one_shot = repro.make_synthesizer("privbayes", epsilon=epsilon,
+                                          seed=3).fit(table)
+        streamed = repro.make_synthesizer("privbayes", epsilon=epsilon,
+                                          seed=3)
+        streamed.fit_stream(table, chunk_rows=97)
+
+        assert streamed.network.parents == one_shot.network.parents
+        for name, probs in one_shot.conditionals.items():
+            np.testing.assert_array_equal(streamed.conditionals[name], probs)
+        tables_equal(streamed.sample(50, seed=11),
+                     one_shot.sample(50, seed=11))
+
+    def test_chunking_does_not_matter(self):
+        table = make_mixed_table(n=300, seed=1)
+        reference = repro.make_synthesizer("privbayes", epsilon=0.4, seed=5)
+        reference.fit_stream(table, chunk_rows=300)
+        other = repro.make_synthesizer("privbayes", epsilon=0.4, seed=5)
+        other.fit_stream(table, chunk_rows=17)
+        for name, probs in reference.conditionals.items():
+            np.testing.assert_array_equal(other.conditionals[name], probs)
+
+    def test_schema_must_stay_fixed(self):
+        table = make_mixed_table(n=60, seed=2)
+        synth = repro.make_synthesizer("privbayes", epsilon=None, seed=0)
+        synth.partial_fit(table)
+        with pytest.raises(TrainingError):
+            synth.partial_fit(table.select(["age", "job"]))
+
+
+class TestStreamLifecycle:
+    def test_callbacks_see_every_chunk(self):
+        table = make_mixed_table(n=100, seed=3)
+        records = []
+        synth = repro.make_synthesizer("privbayes", epsilon=None, seed=0)
+        synth.fit_stream(table, chunk_rows=30, callbacks=records.append)
+        assert [r["chunk"] for r in records] == [0, 1, 2, 3]
+        assert records[-1]["total_rows"] == 100
+        assert synth.stream_rows == 100
+
+    def test_partial_fit_then_sample_lazily_finalizes(self):
+        table = make_mixed_table(n=120, seed=4)
+        synth = repro.make_synthesizer("privbayes", epsilon=None, seed=0)
+        for chunk in table_chunks(table, 40):
+            synth.partial_fit(chunk)
+        # No explicit finalize_stream: sampling triggers the refresh.
+        assert len(synth.sample(20, seed=1)) == 20
+        assert synth.stream_rows == 120
+
+    def test_empty_source_raises(self):
+        synth = repro.make_synthesizer("privbayes", epsilon=None, seed=0)
+        with pytest.raises(StreamError):
+            synth.fit_stream(iter([]))
+
+    def test_unsupported_family_raises(self):
+        from repro.api import Synthesizer
+
+        class NoStream(Synthesizer):
+            def _fit(self, table, callbacks, conditions=None):
+                pass
+
+            def _sample_chunk(self, m, rng, conditions=None):
+                raise NotImplementedError
+
+        assert not NoStream.supports_partial_fit
+        with pytest.raises(ConfigError):
+            NoStream().partial_fit(make_mixed_table(n=10))
+        with pytest.raises(ConfigError):
+            NoStream().fit_stream(make_mixed_table(n=10))
+
+    def test_facade_fit_stream(self):
+        table = make_mixed_table(n=150, seed=5)
+        synth = repro.fit_stream(table, method="privbayes", epsilon=None,
+                                 chunk_rows=50, seed=2)
+        direct = repro.make_synthesizer("privbayes", epsilon=None, seed=2)
+        direct.fit_stream(table, chunk_rows=50)
+        tables_equal(synth.sample(30, seed=9), direct.sample(30, seed=9))
+
+    def test_csv_fit_stream_matches_table_fit_stream(self, tmp_path):
+        from tests.stream.test_ingest import write_csv
+
+        table = make_mixed_table(n=90, seed=6)
+        path = tmp_path / "train.csv"
+        write_csv(path, table)
+        from_csv = repro.fit_stream(str(path), method="privbayes",
+                                    epsilon=None, chunk_rows=40, seed=1,
+                                    schema=table.schema)
+        from_table = repro.fit_stream(table, method="privbayes",
+                                      epsilon=None, chunk_rows=40, seed=1)
+        tables_equal(from_csv.sample(25, seed=3),
+                     from_table.sample(25, seed=3))
+
+
+class TestNeuralReservoirStreaming:
+    @pytest.mark.parametrize("method", ["gan", "vae"])
+    def test_fit_stream_produces_a_working_model(self, method):
+        table = make_mixed_table(n=200, seed=0)
+        synth = repro.fit_stream(table, method=method, chunk_rows=80,
+                                 seed=0, **TINY_FIT)
+        assert synth.stream_rows == 200
+        out = synth.sample(40, seed=7)
+        assert len(out) == 40
+        assert out.schema.names == table.schema.names
+
+    @pytest.mark.parametrize("method", ["gan", "vae"])
+    def test_one_shot_fit_is_unchanged_by_streaming_support(self, method):
+        # Same seed, same table: fit must stay deterministic — the
+        # stream state is seeded off dedicated substreams and must not
+        # perturb the training trajectory.
+        table = make_mixed_table(n=150, seed=1)
+        a = repro.make_synthesizer(method, seed=4, **TINY_FIT).fit(table)
+        b = repro.make_synthesizer(method, seed=4, **TINY_FIT).fit(table)
+        tables_equal(a.sample(30, seed=2), b.sample(30, seed=2))
+
+    def test_fit_then_partial_fit_continues_from_the_base_table(self):
+        table = make_mixed_table(n=160, seed=2)
+        update = make_mixed_table(n=40, seed=9)
+        synth = repro.make_synthesizer("gan", seed=0, **TINY_FIT).fit(table)
+        synth.partial_fit(update)
+        assert synth.stream_rows == 40
+        assert len(synth._reservoir) == 200  # base rows + update rows
+        assert len(synth.sample(20, seed=5)) == 20
+
+    def test_conditional_gan_rejects_streaming(self):
+        from repro.core.design_space import DesignConfig
+
+        table = make_mixed_table(n=80, seed=3)
+        synth = repro.make_synthesizer(
+            "gan", config=DesignConfig(conditional=True), seed=0,
+            **TINY_FIT).fit(table)
+        with pytest.raises(ConfigError):
+            synth.partial_fit(table)

@@ -1,0 +1,119 @@
+"""Seeded reservoir sampling: bounds, determinism, row alignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import Reservoir, TableReservoir, reservoir_plan
+from repro.stream.reservoir import widen_schema
+
+from tests.conftest import make_mixed_table
+
+
+class TestPlan:
+    def test_fill_phase_keeps_everything_in_order(self):
+        rng = np.random.default_rng(0)
+        positions, slots = reservoir_plan(3, 4, 10, rng)
+        np.testing.assert_array_equal(positions, [0, 1, 2, 3])
+        np.testing.assert_array_equal(slots, [3, 4, 5, 6])
+
+    def test_slots_stay_in_range(self):
+        rng = np.random.default_rng(1)
+        for n_seen in (0, 5, 50, 500):
+            positions, slots = reservoir_plan(n_seen, 64, 32, rng)
+            assert positions.size == slots.size
+            assert slots.size == 0 or slots.max() < 32
+            assert positions.size == 0 or positions.max() < 64
+
+
+class TestReservoir:
+    def test_under_capacity_retains_all_in_order(self):
+        res = Reservoir(100, rng=np.random.default_rng(0))
+        res.add(np.arange(30.0)).add(np.arange(30.0, 50.0))
+        assert len(res) == 50
+        np.testing.assert_array_equal(res.values(), np.arange(50.0))
+
+    def test_bounded_and_subset_of_stream(self):
+        res = Reservoir(40, rng=np.random.default_rng(2))
+        stream = np.arange(1000.0)
+        for start in range(0, 1000, 170):
+            res.add(stream[start:start + 170])
+        assert len(res) == 40
+        assert res.n_seen == 1000
+        assert np.isin(res.values(), stream).all()
+
+    def test_seeded_determinism(self):
+        def run(seed):
+            res = Reservoir(16, rng=np.random.default_rng(seed))
+            for start in range(0, 400, 90):
+                res.add(np.arange(float(start), float(start + 90)))
+            return res.values()
+
+        np.testing.assert_array_equal(run(7), run(7))
+        assert not np.array_equal(run(7), run(8))
+
+    def test_roughly_uniform_over_the_stream(self):
+        # Every stream item should be retained with probability k/n;
+        # averaged over trials the late half appears about as often as
+        # the early half.
+        hits = np.zeros(200)
+        for trial in range(60):
+            res = Reservoir(20, rng=np.random.default_rng(trial))
+            res.add(np.arange(200.0))
+            hits[res.values().astype(int)] += 1
+        early, late = hits[:100].mean(), hits[100:].mean()
+        assert 0.5 < early / late < 2.0
+
+    def test_rejects_matrices(self):
+        with pytest.raises(ValueError):
+            Reservoir(4).add(np.zeros((2, 2)))
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Reservoir(0)
+
+
+class TestTableReservoir:
+    def test_rows_stay_aligned(self):
+        # age is a deterministic function of the row id here; if the
+        # plan were applied per column independently the pairing would
+        # break.
+        n = 500
+        ids = np.arange(n, dtype=np.int64)
+        table = make_mixed_table(n=n, seed=0)
+        table = type(table)(table.schema, dict(table.columns,
+                                               age=ids.astype(float),
+                                               income=ids * 2.0))
+        res = TableReservoir(64, rng=np.random.default_rng(3))
+        for start in range(0, n, 120):
+            res.add(table.take(np.arange(start, min(start + 120, n))))
+        kept = res.table()
+        np.testing.assert_array_equal(kept.column("income"),
+                                      kept.column("age") * 2.0)
+
+    def test_empty_reservoir_raises(self):
+        with pytest.raises(StreamError):
+            TableReservoir(8).table()
+
+    def test_schema_widens_grow_only(self):
+        table = make_mixed_table(n=50, seed=1)
+        grown_schema = widen_schema(
+            table.schema,
+            type(table.schema)(
+                tuple(attr if attr.name != "city" else
+                      type(attr)("city", attr.kind,
+                                 categories=attr.categories + ("e",))
+                      for attr in table.schema.attributes),
+                label_name=table.schema.label_name))
+        assert grown_schema["city"].categories[-1] == "e"
+
+    def test_widen_rejects_renames(self):
+        table = make_mixed_table(n=10, seed=1)
+        renamed = type(table.schema)(
+            tuple(attr if attr.name != "city" else
+                  type(attr)("city", attr.kind,
+                             categories=("x",) + attr.categories[1:])
+                  for attr in table.schema.attributes),
+            label_name=table.schema.label_name)
+        with pytest.raises(StreamError):
+            widen_schema(table.schema, renamed)

@@ -1,0 +1,130 @@
+"""Incremental transformers: partial_fit chains equal one-shot fits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.transform import (
+    GMMNormalizer, OneHotEncoder, OrdinalEncoder, RecordTransformer,
+    SimpleNormalizer,
+)
+
+from tests.conftest import make_mixed_table
+
+
+class TestSimpleNormalizer:
+    def test_partial_chain_equals_one_shot(self, rng):
+        values = rng.normal(3.0, 2.0, 500)
+        one_shot = SimpleNormalizer().fit(values)
+        partial = SimpleNormalizer()
+        for start in range(0, 500, 130):
+            partial.partial_fit(values[start:start + 130])
+        partial.finalize_partial()
+        assert partial.min == one_shot.min
+        assert partial.max == one_shot.max
+        np.testing.assert_allclose(partial.transform(values),
+                                   one_shot.transform(values))
+
+    def test_welford_moments_match_numpy(self, rng):
+        values = rng.normal(-1.0, 4.0, 300)
+        norm = SimpleNormalizer()
+        for start in range(0, 300, 71):
+            norm.partial_fit(values[start:start + 71])
+        mean, var = norm.moments()
+        assert mean == pytest.approx(values.mean())
+        assert var == pytest.approx(values.var())
+
+    def test_finalize_without_data_raises(self):
+        with pytest.raises(TransformError):
+            SimpleNormalizer().finalize_partial()
+
+    def test_fit_still_rejects_empty(self):
+        with pytest.raises(TransformError):
+            SimpleNormalizer().fit(np.empty(0))
+
+
+class TestCategoricalGrowOnly:
+    def test_ordinal_domain_grows(self):
+        enc = OrdinalEncoder()
+        enc.partial_fit(np.array([0, 1, 2]))
+        enc.partial_fit(np.array([0, 4]))  # new category appears
+        enc.finalize_partial()
+        assert enc.domain_size == 5
+        enc.partial_fit(np.array([1]))  # smaller chunk cannot shrink it
+        assert enc.domain_size == 5
+
+    def test_onehot_width_tracks_domain(self):
+        enc = OneHotEncoder()
+        enc.partial_fit(np.array([0, 1]))
+        enc.partial_fit(np.array([3]))
+        enc.finalize_partial()
+        assert enc.domain_size == 4
+        assert enc.width == 4
+        assert enc.transform(np.array([3])).shape == (1, 4)
+
+    def test_finalize_without_data_raises(self):
+        with pytest.raises(TransformError):
+            OrdinalEncoder().finalize_partial()
+
+
+class TestGMMReservoir:
+    def test_under_capacity_stream_equals_fit(self, rng):
+        # While the stream fits in the reservoir the retained sample is
+        # the stream itself (in order), so the refit is identical.
+        values = rng.normal(0.0, 1.0, 400)
+        one_shot = GMMNormalizer(n_components=3,
+                                 rng=np.random.default_rng(0)).fit(values)
+        streamed = GMMNormalizer(n_components=3,
+                                 rng=np.random.default_rng(0))
+        for start in range(0, 400, 90):
+            streamed.partial_fit(values[start:start + 90])
+        streamed.finalize_partial()
+        np.testing.assert_allclose(streamed.transform(values),
+                                   one_shot.transform(values))
+
+    def test_long_stream_stays_bounded_and_usable(self, rng):
+        streamed = GMMNormalizer(n_components=2, reservoir_size=256,
+                                 rng=np.random.default_rng(1))
+        for _ in range(20):
+            streamed.partial_fit(rng.normal(5.0, 2.0, 500))
+        streamed.finalize_partial()
+        assert len(streamed._reservoir) == 256
+        out = streamed.transform(rng.normal(5.0, 2.0, 50))
+        assert np.isfinite(out).all()
+
+
+class TestRecordTransformer:
+    def test_partial_chain_equals_one_shot(self):
+        table = make_mixed_table(n=240, seed=0)
+        one_shot = RecordTransformer(
+            categorical_encoding="onehot",
+            numerical_normalization="simple",
+            rng=np.random.default_rng(0))
+        one_shot.fit(table)
+        partial = RecordTransformer(
+            categorical_encoding="onehot",
+            numerical_normalization="simple",
+            rng=np.random.default_rng(0))
+        for start in range(0, 240, 70):
+            idx = np.arange(start, min(start + 70, 240))
+            partial.partial_fit(table.take(idx))
+        partial.finalize()
+        assert partial.output_dim == one_shot.output_dim
+        np.testing.assert_allclose(partial.transform(table),
+                                   one_shot.transform(table))
+
+    def test_finalize_without_chunks_raises(self):
+        with pytest.raises(TransformError):
+            RecordTransformer().finalize()
+
+    def test_reset_allows_reuse(self):
+        table = make_mixed_table(n=60, seed=1)
+        transformer = RecordTransformer(
+            numerical_normalization="simple",
+            rng=np.random.default_rng(0))
+        transformer.partial_fit(table)
+        transformer.finalize()
+        transformer.reset()
+        transformer.partial_fit(table)
+        transformer.finalize()
+        assert transformer.transform(table).shape[0] == 60
