@@ -99,14 +99,31 @@ PrivBayes release spends its ``epsilon`` against a cumulative
 per-instance ledger, so ``budget=`` caps total privacy loss across
 refreshes (``synth.privacy_spent()`` reports it).
 
+Correctness tooling (``repro.check``): a project lint enforces the
+determinism / pool / fork-safety contracts statically
+(``python -m repro.check.lint src/``), and ``REPRO_SANITIZE=1`` turns
+on the runtime sanitizers — NaN/Inf tape checking, ArrayPool
+leak/double-donation detection, lock-order recording over the serving
+stack, and a guard that raises on any hidden global-RNG draw inside
+seeded sampling.  See the README's "Correctness tooling" section.
+
 Legacy entry points (``GANSynthesizer(config).fit(...)``,
 ``repro.core.run_gan_synthesis``) remain importable as thin shims.
 """
+
+import os as _os
 
 from .errors import (
     ReproError, SchemaError, TransformError, TrainingError, ConfigError,
     QueryError,
 )
+
+if _os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0"):
+    # Enabled at import so every lock, pool, and tape node constructed
+    # afterwards is covered (lock roles are chosen at creation time).
+    from .check.sanitize import enable_sanitizers as _enable_sanitizers
+
+    _enable_sanitizers()
 
 __version__ = "1.2.0"
 

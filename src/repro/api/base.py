@@ -34,6 +34,8 @@ from typing import (
 
 import numpy as np
 
+from ..check.lockorder import make_lock
+from ..check.sanitize import deterministic_scope
 from ..datasets.schema import Table
 from ..errors import ConfigError, StreamError, TrainingError
 from ..nn.serialization import load_state, save_state
@@ -123,7 +125,7 @@ class Synthesizer:
         self._active_snapshot: Optional[int] = None
         self._sampling_depth = 0
         self._sampling_generation = 0
-        self._session_lock = threading.Lock()
+        self._session_lock = make_lock("synthesizer.session")
         self._eval_pinned = False
         self._stream_dirty = False
         self._stream_rows = 0
@@ -284,14 +286,19 @@ class Synthesizer:
         if chunk_source.reiterable:
             self._stream_prepass(chunk_source)
         for chunk in chunk_source.chunks():
-            self.partial_fit(chunk)
+            # Guarded per chunk (chunk *reading* happens outside, in the
+            # for statement): streamed fits must draw only from their
+            # seeded generators to reproduce the one-shot fit exactly.
+            with deterministic_scope():
+                self.partial_fit(chunk)
             for callback in callbacks:
                 callback({"stage": "ingest", "chunk": self._stream_chunks - 1,
                           "rows": len(chunk),
                           "total_rows": self._stream_rows})
         if self._stream_chunks == 0:
             raise StreamError("stream source produced no chunks")
-        return self.finalize_stream()
+        with deterministic_scope():
+            return self.finalize_stream()
 
     @property
     def stream_rows(self) -> int:
@@ -346,8 +353,12 @@ class Synthesizer:
                 if conditions is not None:
                     start = n - remaining
                     chunk_conditions = conditions[start:start + m]
-                yield self._sample_chunk(m, rng,
-                                         conditions=chunk_conditions)
+                # Unseeded draws come from self.rng (the documented
+                # default), never from NumPy's hidden global state.
+                with deterministic_scope():
+                    chunk = self._sample_chunk(
+                        m, rng, conditions=chunk_conditions)
+                yield chunk
                 remaining -= m
 
     def sample_chunks(self, n: int, batch: Optional[int] = None,
@@ -391,8 +402,13 @@ class Synthesizer:
                 chunk_conditions = None
                 if conditions is not None:
                     chunk_conditions = conditions[offset:offset + m]
-                yield index, self._sample_chunk(m, rng,
-                                                conditions=chunk_conditions)
+                # The guard covers one chunk at a time (not consumer
+                # code between yields): any hidden np.random global-state
+                # draw inside _sample_chunk breaks bit-identity.
+                with deterministic_scope():
+                    chunk = self._sample_chunk(
+                        m, rng, conditions=chunk_conditions)
+                yield index, chunk
 
     def spawn_sampler(self, worker_id: int = 0) -> "Synthesizer":
         """Prepare this instance to sample inside an independent worker.
@@ -409,7 +425,7 @@ class Synthesizer:
         """
         self._require_fitted()
         worker_id = _count("worker_id", worker_id, minimum=0)
-        self._session_lock = threading.Lock()
+        self._session_lock = make_lock("synthesizer.session")
         self._sampling_depth = 0
         self._sampling_generation += 1
         self._eval_pinned = True

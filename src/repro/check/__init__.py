@@ -1,0 +1,45 @@
+"""`repro.check` — invariant lint and runtime sanitizers.
+
+Two-layer correctness tooling for the contracts the test suite cannot
+exhaustively cover by example:
+
+* **Static lint** (:mod:`repro.check.lint`) — run
+  ``python -m repro.check.lint src/``.  AST-based, project-specific
+  rules: RC001 determinism (no global-state RNG / wall-clock in library
+  code), RC002 fork-safety (lock-holding classes crossing into serve
+  workers must be reset-aware and refuse naive pickling), RC003 pool
+  discipline (every ``ArrayPool.take`` paired with a donate on all
+  paths), RC004 dtype discipline (no hard-coded float dtypes in hot
+  paths — route through ``get_default_dtype()``), RC005 error
+  discipline (validation raises name the offending argument).
+* **Runtime sanitizers** (:mod:`repro.check.sanitize`) — opt-in via
+  ``REPRO_SANITIZE=1`` or :func:`sanitized`: NaN/Inf tape checking,
+  ArrayPool leak/double-donation detection, lock-order recording over
+  the serving stack, and a :func:`deterministic_guard` that turns the
+  sharded-seed bit-identity contract into an executable assertion.
+
+See the README's "Correctness tooling" section for a walkthrough.
+"""
+
+from __future__ import annotations
+
+from .errors import (
+    CheckError, LockOrderError, NonDeterminismError, PoolDisciplineError,
+    PoolLeakError, TapeCorruptionError,
+)
+from .lockorder import (
+    lock_graph_edges, make_condition, make_lock, reset_lock_graph,
+)
+from .sanitize import (
+    deterministic_guard, deterministic_scope, disable_sanitizers,
+    enable_sanitizers, pool_leak_scope, sanitized, sanitizers_enabled,
+)
+
+__all__ = [
+    "CheckError", "TapeCorruptionError", "PoolDisciplineError",
+    "PoolLeakError", "LockOrderError", "NonDeterminismError",
+    "enable_sanitizers", "disable_sanitizers", "sanitizers_enabled",
+    "sanitized", "deterministic_guard", "deterministic_scope",
+    "pool_leak_scope",
+    "make_lock", "make_condition", "reset_lock_graph", "lock_graph_edges",
+]

@@ -1,0 +1,49 @@
+"""Error types raised by the :mod:`repro.check` correctness tooling.
+
+All runtime-sanitizer failures derive from :class:`CheckError` so test
+harnesses can catch the whole family; each subclass corresponds to one
+sanitizer (tape numerics, pool discipline, lock ordering, determinism).
+"""
+
+from __future__ import annotations
+
+
+class CheckError(RuntimeError):
+    """Base class for every runtime-sanitizer failure."""
+
+
+class TapeCorruptionError(CheckError):
+    """A tape node produced (or received) a non-finite value.
+
+    Raised by the NaN/Inf tape sanitizer with the node's op name, the
+    corruption counts, and the input shapes — the first corrupted node,
+    not the downstream symptom.
+    """
+
+
+class PoolDisciplineError(CheckError):
+    """An :class:`~repro.nn.tensor.ArrayPool` buffer broke its lifetime
+    contract: donated twice, or a foreign buffer was returned."""
+
+
+class PoolLeakError(PoolDisciplineError):
+    """Buffers taken inside a :func:`repro.check.pool_leak_scope` were
+    never donated back by the time the scope closed."""
+
+
+class LockOrderError(CheckError):
+    """Two lock roles were acquired in inconsistent orders.
+
+    Raised by the lock-order recorder the moment an acquisition would
+    close a cycle in the role-level acquisition graph — a deadlock that
+    may never fire under test timing but can in production.
+    """
+
+
+class NonDeterminismError(CheckError):
+    """Global-state NumPy RNG was consumed inside a deterministic scope.
+
+    Seeded sampling/fitting must draw exclusively from its keyed
+    substream generators (:mod:`repro.api.seeding`); one hidden
+    ``np.random.*`` draw silently breaks the bit-identity contract.
+    """

@@ -1,0 +1,208 @@
+"""Lock-order recording — a lightweight race/deadlock detector.
+
+The serving stack takes several locks per request (model store cache,
+service pool registry, worker-pool pending table, synthesizer session
+lock).  A deadlock needs two threads to acquire two of them in opposite
+orders — a bug that survives test suites because the fatal interleaving
+almost never fires under test timing.  The recorder makes the *ordering
+contract* itself the thing under test:
+
+* every lock is created through :func:`make_lock` / :func:`make_condition`
+  with a **role name** (``"store.cache"``, ``"pool.pending"``, ...);
+* with sanitizers enabled, each acquisition records edges
+  ``held-role -> acquired-role`` into a process-global graph;
+* an acquisition that would close a cycle raises
+  :class:`~repro.check.errors.LockOrderError` immediately — on the first
+  inconsistent ordering, not on the eventual deadlock.
+
+With sanitizers disabled (the default), :func:`make_lock` returns a
+plain ``threading.Lock`` and :func:`make_condition` a plain
+``threading.Condition`` — zero overhead in production.  Enable before
+constructing the objects whose locks you want recorded (the choice is
+made at lock-creation time), e.g. via ``REPRO_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from .errors import LockOrderError
+
+__all__ = [
+    "make_lock", "make_condition", "reset_lock_graph", "lock_graph_edges",
+]
+
+# Role-level acquisition graph: edge a -> b means "b was acquired while
+# a was held".  Guarded by its own meta-lock; the meta-lock is never
+# held while acquiring a recorded lock, so it cannot deadlock with them.
+_graph_lock = threading.Lock()
+_edges: Dict[str, Set[str]] = {}
+_held = threading.local()
+
+
+def _held_stack() -> List[Tuple[str, int]]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def reset_lock_graph() -> None:
+    """Drop every recorded acquisition edge (test isolation)."""
+    with _graph_lock:
+        _edges.clear()
+
+
+def lock_graph_edges() -> Dict[str, Set[str]]:
+    """A snapshot of the recorded role-level acquisition graph."""
+    with _graph_lock:
+        return {a: set(bs) for a, bs in _edges.items()}
+
+
+def _find_path(start: str, goal: str) -> Optional[List[str]]:
+    """A path ``start -> ... -> goal`` in the edge graph, if one exists.
+
+    Caller holds ``_graph_lock``.
+    """
+    stack = [(start, [start])]
+    seen = {start}
+    while stack:
+        node, path = stack.pop()
+        for nxt in _edges.get(node, ()):
+            if nxt == goal:
+                return path + [goal]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, path + [nxt]))
+    return None
+
+
+def _record_edges(acquiring: str) -> None:
+    """Record ``held -> acquiring`` edges; raise on an order inversion."""
+    held = [name for name, _ in _held_stack() if name != acquiring]
+    if not held:
+        return
+    with _graph_lock:
+        for holder in held:
+            if acquiring in _edges.get(holder, ()):
+                continue
+            reverse = _find_path(acquiring, holder)
+            if reverse is not None:
+                raise LockOrderError(
+                    f"lock-order inversion: acquiring {acquiring!r} while "
+                    f"holding {holder!r}, but the opposite order "
+                    f"{' -> '.join(reverse)} -> {acquiring} was already "
+                    f"observed; pick one global order for these lock roles")
+            _edges.setdefault(holder, set()).add(acquiring)
+
+
+class _RecordingLock:
+    """A ``threading.Lock``/``RLock`` proxy that records acquisitions.
+
+    The wrapped primitive provides the actual mutual exclusion; the
+    proxy only maintains the per-thread held stack and the role graph.
+    Non-blocking probes (``acquire(False)``) skip recording — they are
+    how ``threading.Condition`` tests ownership, not real acquisitions.
+    """
+
+    __slots__ = ("name", "_inner", "_reentrant")
+
+    def __getstate__(self):
+        raise TypeError(f"lock role {self.name!r} is not picklable: "
+                        f"locks never cross a fork/pickle boundary")
+
+    def __init__(self, name: str, reentrant: bool = False):
+        self.name = name
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            if not self._reentrant:
+                for _, lock_id in _held_stack():
+                    if lock_id == id(self):
+                        raise LockOrderError(
+                            f"re-acquisition of non-reentrant lock "
+                            f"{self.name!r} by the same thread (guaranteed "
+                            f"deadlock)")
+            _record_edges(self.name)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _held_stack().append((self.name, id(self)))
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] == id(self):
+                del stack[i]
+                break
+        self._inner.release()
+
+    __enter__ = acquire
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # ------------------------------------------------------------------
+    # threading.Condition protocol (wait() fully releases the lock and
+    # re-acquires it afterwards; ownership tests must not probe-acquire).
+    # ------------------------------------------------------------------
+    def _is_owned(self) -> bool:
+        if self._reentrant:
+            return self._inner._is_owned()
+        return any(lock_id == id(self) for _, lock_id in _held_stack())
+
+    def _release_save(self):
+        # wait() releases *all* recursion levels; drop every held entry.
+        stack = _held_stack()
+        dropped = 0
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] == id(self):
+                del stack[i]
+                dropped += 1
+        if self._reentrant:
+            return (self._inner._release_save(), dropped)
+        self._inner.release()
+        return (None, dropped)
+
+    def _acquire_restore(self, state) -> None:
+        inner_state, dropped = state
+        _record_edges(self.name)
+        if self._reentrant:
+            self._inner._acquire_restore(inner_state)
+        else:
+            self._inner.acquire()
+        _held_stack().extend([(self.name, id(self))] * max(dropped, 1))
+
+
+def make_lock(name: str):
+    """A mutex for lock role ``name``.
+
+    Plain ``threading.Lock`` normally; a recording proxy when sanitizers
+    are enabled.  ``name`` identifies the *role* (e.g. ``"store.cache"``),
+    shared by every instance playing it — lock-order discipline is a
+    property of roles, not objects.
+    """
+    from .sanitize import sanitizers_enabled
+
+    if sanitizers_enabled():
+        return _RecordingLock(name)
+    return threading.Lock()
+
+
+def make_condition(name: str):
+    """A condition variable whose underlying lock plays role ``name``.
+
+    Matches ``threading.Condition()`` semantics (reentrant lock) with
+    acquisition recording when sanitizers are enabled.
+    """
+    from .sanitize import sanitizers_enabled
+
+    if sanitizers_enabled():
+        return threading.Condition(_RecordingLock(name, reentrant=True))
+    return threading.Condition()

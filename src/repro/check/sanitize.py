@@ -1,0 +1,358 @@
+"""Runtime sanitizers for the engine's correctness contracts.
+
+Four opt-in checkers turn the library's implicit invariants into
+executable assertions (enable with ``REPRO_SANITIZE=1`` in the
+environment, or :func:`enable_sanitizers` / the :func:`sanitized`
+context manager in code):
+
+* **NaN/Inf tape sanitizer** — every tape node's output and every
+  gradient flowing through the backward pass is checked for non-finite
+  values; the *first* corrupted node is reported with its op name,
+  corruption counts, and input shapes, instead of a NaN surfacing three
+  layers downstream.  Scope is deliberately the autograd tape only:
+  report-layer statistics (:mod:`repro.core.statistics` and friends)
+  run on plain ndarrays outside the tape, so their documented
+  degenerate-case NaN handling stays non-fatal (they warn — see
+  :class:`repro.core.statistics.DegenerateColumnWarning`).
+* **ArrayPool tracker** — enforces the buffer-donation lifetime
+  contract of :class:`repro.nn.tensor.ArrayPool`: donating a buffer
+  twice or returning a buffer the pool never handed out raises
+  immediately; :func:`pool_leak_scope` additionally asserts that every
+  buffer taken inside the scope was donated back by its end.
+* **lock-order recorder** — see :mod:`repro.check.lockorder`.
+* **deterministic guard** — :func:`deterministic_guard` patches the
+  global-state ``np.random.*`` draw functions to raise, making the
+  sharded-seed bit-identity contract executable; the seeded sampling
+  and streaming-fit paths of :class:`repro.api.Synthesizer` enter it
+  automatically while sanitizers are enabled.
+
+The sanitizers are test/debug tooling: they patch process-global state
+(``Tensor._make``, ``np.random``) and add per-op checks, so they are not
+meant to stay on in production serving.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import weakref
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import (
+    NonDeterminismError, PoolDisciplineError, PoolLeakError,
+    TapeCorruptionError,
+)
+
+__all__ = [
+    "enable_sanitizers", "disable_sanitizers", "sanitizers_enabled",
+    "sanitized", "deterministic_guard", "deterministic_scope",
+    "pool_leak_scope",
+]
+
+_enabled = False
+_saved_make = None
+_saved_propagate = None
+
+
+def sanitizers_enabled() -> bool:
+    """True while the runtime sanitizers are installed."""
+    return _enabled
+
+
+# ----------------------------------------------------------------------
+# NaN/Inf tape sanitizer
+# ----------------------------------------------------------------------
+def _op_name(backward) -> str:
+    """Human-readable op name from a backward closure's qualname.
+
+    Tape nodes wire a closure named ``backward`` defined inside the op
+    (``Tensor.relu.<locals>.backward`` → ``Tensor.relu``).
+    """
+    qualname = getattr(backward, "__qualname__", None) or "<unknown-op>"
+    return qualname.split(".<locals>")[0]
+
+
+def _check_finite(array: np.ndarray, what: str, op: str,
+                  shapes: List[Tuple[int, ...]]) -> None:
+    if array.dtype.kind != "f":
+        return
+    if np.isfinite(array).all():
+        return
+    nan = int(np.isnan(array).sum())
+    inf = int(np.isinf(array).sum())
+    raise TapeCorruptionError(
+        f"non-finite {what} at tape node {op!r}: {nan} NaN / {inf} Inf "
+        f"in array of shape {array.shape}; input shapes {shapes}")
+
+
+def _install_tape_checks() -> None:
+    global _saved_make, _saved_propagate
+    from ..nn.tensor import Tensor
+
+    # Class-attribute access unwraps the staticmethod to the plain
+    # function, which is exactly what we want to save and wrap.
+    _saved_make = Tensor._make
+    _saved_propagate = Tensor._propagate
+    original_make = _saved_make
+    original_propagate = _saved_propagate
+
+    def checking_make(data, parents, backward):
+        node = original_make(data, parents, backward)
+        _check_finite(node.data, "output", _op_name(backward),
+                      [tuple(p.data.shape) for p in parents])
+        return node
+
+    def checking_propagate(self, grad, grads):
+        _check_finite(grad, "incoming gradient", _op_name(self._backward),
+                      [tuple(p.data.shape) for p in self._parents])
+        original_propagate(self, grad, grads)
+
+    Tensor._make = staticmethod(checking_make)
+    Tensor._propagate = checking_propagate
+
+
+def _uninstall_tape_checks() -> None:
+    global _saved_make, _saved_propagate
+    if _saved_make is None:
+        return
+    from ..nn.tensor import Tensor
+
+    Tensor._make = staticmethod(_saved_make)
+    Tensor._propagate = _saved_propagate
+    _saved_make = None
+    _saved_propagate = None
+
+
+# ----------------------------------------------------------------------
+# ArrayPool lifetime tracker
+# ----------------------------------------------------------------------
+class _PoolTracker:
+    """Tracks every live pool buffer as ``outstanding`` or ``pooled``.
+
+    Keyed by buffer identity; entries hold a weak reference so a buffer
+    dropped by the pool (stack full) or a never-donated tape scratch is
+    forgotten when garbage collected rather than poisoning id reuse.
+    """
+
+    def __getstate__(self):
+        raise TypeError("_PoolTracker is not picklable: it tracks "
+                        "process-local buffer identities under a lock")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # id(buffer) -> [pool_id, state, seq, shape, dtype, weakref]
+        self._entries: Dict[int, list] = {}
+        self._seq = 0
+
+    def _forget(self, buffer_id: int) -> None:
+        with self._lock:
+            self._entries.pop(buffer_id, None)
+
+    def on_take(self, pool, array: np.ndarray) -> None:
+        buffer_id = id(array)
+        ref = weakref.ref(array, lambda _r, bid=buffer_id: self._forget(bid))
+        with self._lock:
+            self._seq += 1
+            self._entries[buffer_id] = [
+                id(pool), "outstanding", self._seq, array.shape,
+                array.dtype, ref]
+
+    def on_put(self, pool, array: np.ndarray) -> None:
+        with self._lock:
+            entry = self._entries.get(id(array))
+            if entry is None or entry[0] != id(pool):
+                raise PoolDisciplineError(
+                    f"foreign buffer returned to ArrayPool: array of shape "
+                    f"{array.shape} ({array.dtype}) was never taken from "
+                    f"this pool")
+            if entry[1] == "pooled":
+                raise PoolDisciplineError(
+                    f"double donation to ArrayPool: buffer of shape "
+                    f"{array.shape} ({array.dtype}) was already returned "
+                    f"and not re-taken since")
+            entry[1] = "pooled"
+
+    def on_clear(self, pool) -> None:
+        with self._lock:
+            stale = [bid for bid, entry in self._entries.items()
+                     if entry[0] == id(pool)]
+            for bid in stale:
+                del self._entries[bid]
+
+    def mark(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def outstanding_since(self, mark: int,
+                          pools: Optional[Tuple] = None) -> List[str]:
+        pool_ids = None if not pools else {id(p) for p in pools}
+        with self._lock:
+            return [
+                f"shape {entry[3]} ({entry[4]})"
+                for entry in self._entries.values()
+                if entry[1] == "outstanding" and entry[2] > mark
+                and (pool_ids is None or entry[0] in pool_ids)]
+
+
+def _install_pool_tracker() -> None:
+    from ..nn.tensor import ArrayPool
+
+    ArrayPool._tracker = _PoolTracker()
+
+
+def _uninstall_pool_tracker() -> None:
+    from ..nn.tensor import ArrayPool
+
+    ArrayPool._tracker = None
+
+
+@contextlib.contextmanager
+def pool_leak_scope(*pools) -> Iterator[None]:
+    """Assert pool take/donate balance across the scope.
+
+    Every :meth:`ArrayPool.take` performed inside the scope (restricted
+    to ``pools`` if given, else all pools) must have been donated back
+    by the time the scope exits, or :class:`PoolLeakError` is raised
+    listing the leaked buffers.  Use around a train step (forward +
+    backward + optimizer) or a sampling chunk, where lifetimes are
+    expected to balance.  Installs a temporary tracker when sanitizers
+    are not already enabled.
+    """
+    from ..nn.tensor import ArrayPool
+
+    temporary = ArrayPool._tracker is None
+    if temporary:
+        _install_pool_tracker()
+    tracker = ArrayPool._tracker
+    mark = tracker.mark()
+    try:
+        yield
+        leaks = tracker.outstanding_since(mark, pools)
+        if leaks:
+            raise PoolLeakError(
+                f"{len(leaks)} pool buffer(s) taken inside the scope were "
+                f"never donated back: {', '.join(leaks[:8])}"
+                + ("..." if len(leaks) > 8 else ""))
+    finally:
+        if temporary:
+            _uninstall_pool_tracker()
+
+
+# ----------------------------------------------------------------------
+# Deterministic guard
+# ----------------------------------------------------------------------
+#: Global-state draw/mutation functions on ``np.random``.  Seeded
+#: constructors (``default_rng``, ``SeedSequence``, ``Generator``,
+#: bit generators) are deliberately absent — they are the sanctioned API.
+_GLOBAL_RNG_FUNCTIONS = (
+    "seed", "random", "ranf", "sample", "random_sample", "rand", "randn",
+    "randint", "random_integers", "bytes", "choice", "shuffle",
+    "permutation", "uniform", "normal", "standard_normal",
+    "standard_cauchy", "standard_exponential", "standard_gamma", "beta",
+    "binomial", "poisson", "exponential", "gamma", "geometric", "laplace",
+    "logistic", "lognormal", "gumbel", "dirichlet", "multinomial",
+    "multivariate_normal", "vonmises", "chisquare", "triangular",
+    "noncentral_chisquare", "negative_binomial", "hypergeometric",
+    "logseries", "pareto", "power", "rayleigh", "wald", "weibull", "zipf",
+    "f", "get_state", "set_state",
+)
+
+_guard_lock = threading.Lock()
+_guard_depth = 0
+_guard_saved: Dict[str, object] = {}
+
+
+def _make_raiser(name: str):
+    def raiser(*args, **kwargs):
+        raise NonDeterminismError(
+            f"np.random.{name}() called inside a deterministic scope: "
+            f"seeded sampling/fitting must draw only from its keyed "
+            f"substream generators (repro.api.seeding.substream), never "
+            f"from NumPy's hidden global RNG state")
+    raiser.__name__ = f"_forbidden_{name}"
+    return raiser
+
+
+@contextlib.contextmanager
+def deterministic_guard() -> Iterator[None]:
+    """Raise on any global-state ``np.random`` draw inside the block.
+
+    Reentrant and thread-refcounted: the patch is installed on first
+    entry and removed when the last concurrent scope exits.  Note the
+    patch is process-global — while *any* thread is inside a guard, all
+    threads see the raising stubs (acceptable for the sanitized test
+    runs this is built for).
+    """
+    global _guard_depth
+    with _guard_lock:
+        _guard_depth += 1
+        if _guard_depth == 1:
+            for name in _GLOBAL_RNG_FUNCTIONS:
+                if hasattr(np.random, name):
+                    _guard_saved[name] = getattr(np.random, name)
+                    setattr(np.random, name, _make_raiser(name))
+    try:
+        yield
+    finally:
+        with _guard_lock:
+            _guard_depth -= 1
+            if _guard_depth == 0:
+                for name, fn in _guard_saved.items():
+                    setattr(np.random, name, fn)
+                _guard_saved.clear()
+
+
+def deterministic_scope():
+    """The guard when sanitizers are enabled, else a no-op context.
+
+    Hook point for the seeded sampling / streaming-fit paths: zero
+    overhead in normal runs, an executable bit-identity assertion under
+    ``REPRO_SANITIZE=1``.
+    """
+    if _enabled:
+        return deterministic_guard()
+    return contextlib.nullcontext()
+
+
+# ----------------------------------------------------------------------
+# Master switch
+# ----------------------------------------------------------------------
+def enable_sanitizers() -> None:
+    """Install every runtime sanitizer (idempotent).
+
+    Lock-order recording applies to locks created *after* this call
+    (roles are chosen at lock construction via
+    :func:`repro.check.lockorder.make_lock`), so enable before building
+    stores/services/pools — ``REPRO_SANITIZE=1`` does this at import.
+    """
+    global _enabled
+    if _enabled:
+        return
+    _install_tape_checks()
+    _install_pool_tracker()
+    _enabled = True
+
+
+def disable_sanitizers() -> None:
+    """Remove every runtime sanitizer installed by :func:`enable_sanitizers`."""
+    global _enabled
+    if not _enabled:
+        return
+    _uninstall_tape_checks()
+    _uninstall_pool_tracker()
+    _enabled = False
+
+
+@contextlib.contextmanager
+def sanitized() -> Iterator[None]:
+    """Scope-enable the sanitizers (no-op if already enabled)."""
+    if _enabled:
+        yield
+        return
+    enable_sanitizers()
+    try:
+        yield
+    finally:
+        disable_sanitizers()

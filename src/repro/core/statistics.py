@@ -13,12 +13,19 @@ highlights:
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..datasets.schema import Table
 from ..errors import SchemaError
+
+
+class DegenerateColumnWarning(UserWarning):
+    """A numerical column has zero variance, so its correlations are
+    undefined; the report treats them as 0.0 (uncorrelated) and says so
+    instead of silently coercing NaNs."""
 
 
 def _check_schemas(real: Table, synthetic: Table) -> None:
@@ -56,19 +63,37 @@ def correlation_difference(real: Table, synthetic: Table) -> float:
     """Mean |corr_real - corr_synth| over numerical attribute pairs.
 
     Returns 0.0 when the schema has fewer than two numerical attributes.
+
+    Degenerate case: a zero-variance column has no defined Pearson
+    correlation with anything (``np.corrcoef`` yields NaN rows).  Those
+    entries are *defined* here as 0.0 — a constant column carries no
+    linear association — and a :class:`DegenerateColumnWarning` names
+    the offending columns, so a synthesizer that collapses a column to
+    a constant is visible in the report instead of silently scoring as
+    a perfect-correlation match.  These NaNs live in the report layer
+    (plain ndarrays, never on the autograd tape), so the runtime NaN
+    sanitizer deliberately does not fire on them.
     """
     _check_schemas(real, synthetic)
     names = real.schema.numerical_names()
     if len(names) < 2:
         return 0.0
 
-    def corr(table: Table) -> np.ndarray:
+    def corr(table: Table, label: str) -> np.ndarray:
         mat = np.vstack([table.column(n) for n in names])
+        degenerate = [name for name, row in zip(names, mat)
+                      if np.ptp(row) == 0.0]
+        if degenerate:
+            warnings.warn(
+                f"zero-variance column(s) {degenerate} in the {label} "
+                f"table: their correlations are undefined and reported "
+                f"as 0.0", DegenerateColumnWarning, stacklevel=3)
         with np.errstate(invalid="ignore"):
             c = np.corrcoef(mat)
+        # Only the degenerate rows/columns can be NaN; define them as 0.
         return np.nan_to_num(c)
 
-    diff = np.abs(corr(real) - corr(synthetic))
+    diff = np.abs(corr(real, "real") - corr(synthetic, "synthetic"))
     upper = diff[np.triu_indices(len(names), k=1)]
     return float(upper.mean())
 

@@ -245,7 +245,8 @@ def split_train_valid_test(table: Table, rng: np.random.Generator,
                            ) -> Tuple[Table, Table, Table]:
     """Random 4:1:1 split, as in the paper's evaluation framework (§6.2)."""
     if len(ratios) != 3:
-        raise ValueError("need exactly three ratio terms")
+        raise ValueError(
+            f"ratios must have exactly three terms, got {len(ratios)}")
     total = float(sum(ratios))
     n = len(table)
     perm = rng.permutation(n)

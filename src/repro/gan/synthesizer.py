@@ -119,7 +119,7 @@ class GANSynthesizer(Synthesizer):
         config = self.config
         label_attr = table.schema.label
         if conditions is not None:
-            conditions = np.asarray(conditions, dtype=np.float64)
+            conditions = np.asarray(conditions, dtype=get_default_dtype())
             if conditions.ndim != 2 or conditions.shape[1] == 0:
                 raise TrainingError(
                     f"conditions must be a (n, cond_dim) matrix, got "

@@ -68,7 +68,8 @@ class KMeans:
     def fit(self, X: np.ndarray) -> "KMeans":
         X = np.asarray(X, dtype=np.float64)
         if len(X) < self.n_clusters:
-            raise ValueError("fewer samples than clusters")
+            raise ValueError(f"X has {len(X)} samples, fewer than "
+                             f"n_clusters={self.n_clusters}")
         best = None
         for _ in range(self.n_init):
             centers, assign, inertia = self._lloyd(X, self._init_centers(X))

@@ -60,7 +60,7 @@ class DecisionTreeClassifier:
         if len(X) != len(y):
             raise ValueError("X and y length mismatch")
         if len(X) == 0:
-            raise ValueError("cannot fit on empty data")
+            raise ValueError("X is empty; cannot fit on zero samples")
         if sample_weight is None:
             sample_weight = np.ones(len(y))
         else:

@@ -40,7 +40,10 @@ from numpy.lib.stride_tricks import sliding_window_view
 from . import init
 from .layers import _act_backward, _act_forward, _bn_input_grad
 from .module import Module, Parameter
-from .tensor import ArrayPool, Tensor, fast_math, is_grad_enabled
+from .tensor import (
+    ArrayPool, Tensor, _donate_mask, _donate_scratch, fast_math,
+    is_grad_enabled,
+)
 
 
 def _conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -307,6 +310,7 @@ def conv2d_bn_act(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         parents.append(bias)
     if bn is not None:
         parents.extend((bn.gamma, bn.beta))
+    cols_state = [cols]
 
     def backward(grad: np.ndarray):
         g2d = _to_channel_cols(grad)
@@ -327,22 +331,30 @@ def conv2d_bn_act(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             grad_cols = d_pre @ wmat
             gx = _col2im_gemm(grad_cols, x.data.shape, kh, kw, stride,
                               padding, oh, ow)
-        gw = (d_pre.T @ cols).reshape(weight.data.shape) \
-            if weight.requires_grad else None
+        gw = None
+        if weight.requires_grad:
+            cols_local = cols_state[0]
+            if cols_local is None:
+                # Repeated backward: the pool reclaimed the columns after
+                # the first pass; recompute privately.
+                cols_local, _, _ = _im2col_gemm(x.data, kh, kw, stride,
+                                                padding, None)
+            gw = (d_pre.T @ cols_local).reshape(weight.data.shape)
         grads = [gx, gw]
         if bias is not None:
             grads.append(d_pre.sum(axis=0) if bias.requires_grad else None)
         if bn is not None:
             grads.extend((dgamma.reshape(bn.gamma.data.shape),
                           dbeta.reshape(bn.beta.data.shape)))
-        if pool is not None:
-            pool.put(cols)
+        _donate_scratch(cols_state, pool)
         return tuple(grads)
 
     node = Tensor._make(out, tuple(parents), backward)
-    if pool is not None and not node.requires_grad:
-        # No backward closure will run; the columns are dead already.
-        pool.put(cols)
+    if node._backward is None:
+        # No backward closure will run; scratch and mask are dead.
+        _donate_scratch(cols_state, pool)
+        if mask is not None:
+            _donate_mask(mask)
     return node
 
 
@@ -393,6 +405,7 @@ def conv_transpose2d_bn_act(x: Tensor, weight: Tensor,
         parents.append(bias)
     if bn is not None:
         parents.extend((bn.gamma, bn.beta))
+    xg_state = [xg]
 
     def backward(grad: np.ndarray):
         d_out = _act_backward(grad, activation, out, mask, slope)
@@ -412,8 +425,14 @@ def conv_transpose2d_bn_act(x: Tensor, weight: Tensor,
         grad_cols, _, _ = _im2col_gemm(d_pre, kh, kw, stride, padding, pool)
         gx = _from_channel_cols(grad_cols @ wmat.T, n, h, w) \
             if x.requires_grad else None
-        gw = (xg.T @ grad_cols).reshape(weight.data.shape) \
-            if weight.requires_grad else None
+        gw = None
+        if weight.requires_grad:
+            xg_local = xg_state[0]
+            if xg_local is None:
+                # Repeated backward: the pool reclaimed the input columns
+                # after the first pass; recompute privately.
+                xg_local = _to_channel_cols(x.data, None)
+            gw = (xg_local.T @ grad_cols).reshape(weight.data.shape)
         grads = [gx, gw]
         if bias is not None:
             grads.append(d_pre.sum(axis=axes) if bias.requires_grad
@@ -422,13 +441,15 @@ def conv_transpose2d_bn_act(x: Tensor, weight: Tensor,
             grads.extend((dgamma, dbeta))
         if pool is not None:
             pool.put(grad_cols)
-            pool.put(xg)
+        _donate_scratch(xg_state, pool)
         return tuple(grads)
 
     node = Tensor._make(out, tuple(parents), backward)
-    if pool is not None and not node.requires_grad:
-        # No backward closure will run; the input columns are dead.
-        pool.put(xg)
+    if node._backward is None:
+        # No backward closure will run; scratch and mask are dead.
+        _donate_scratch(xg_state, pool)
+        if mask is not None:
+            _donate_mask(mask)
     return node
 
 
@@ -502,22 +523,28 @@ class Conv2d(Module):
         out = out.reshape(n, self.out_channels, oh, ow)
 
         parents = (x, weight) if bias is None else (x, weight, bias)
+        cols_state = [cols]
 
         def backward(grad: np.ndarray):
             gmat = grad.reshape(n, self.out_channels, oh * ow)
-            grad_w = np.einsum("nol,nkl->ok", gmat, cols).reshape(
+            cols_local = cols_state[0]
+            if cols_local is None:
+                # Repeated backward: the pool reclaimed the columns after
+                # the first pass; recompute privately.
+                cols_local, _, _ = _im2col(x.data, k, k, s, p, None)
+            grad_w = np.einsum("nol,nkl->ok", gmat, cols_local).reshape(
                 weight.data.shape)
             grad_cols = np.einsum("ok,nol->nkl", wmat, gmat)
             grad_x = _col2im(grad_cols, (n, c, h, w), k, k, s, p, oh, ow)
-            pool.put(cols)
+            _donate_scratch(cols_state, pool)
             if bias is None:
                 return (grad_x, grad_w)
             grad_b = gmat.sum(axis=(0, 2))
             return (grad_x, grad_w, grad_b)
 
         node = Tensor._make(out, parents, backward)
-        if not node.requires_grad:
-            pool.put(cols)
+        if node._backward is None:
+            _donate_scratch(cols_state, pool)
         return node
 
 
@@ -667,4 +694,7 @@ class BatchNorm2d(Module):
                 dx = d_normed * inv_std
             return (dx, dgamma, dbeta)
 
-        return Tensor._make(out, (x, gamma, beta), backward)
+        node = Tensor._make(out, (x, gamma, beta), backward)
+        if node._backward is None and mask is not None:
+            _donate_mask(mask)  # no-grad path: backward never runs
+        return node

@@ -144,7 +144,10 @@ def fused_linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         return (gx, gw, gb)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._make(out, parents, backward)
+    node = Tensor._make(out, parents, backward)
+    if node._backward is None and mask is not None:
+        _donate_mask(mask)  # no-grad path: backward never runs
+    return node
 
 
 class Linear(Module):
@@ -232,7 +235,10 @@ class BatchNorm1d(Module):
             dbeta = grad.sum(axis=0)
             return (grad * (gamma.data * inv), dgamma, dbeta)
 
-        return Tensor._make(out, (x, gamma, beta), backward)
+        node = Tensor._make(out, (x, gamma, beta), backward)
+        if node._backward is None and mask is not None:
+            _donate_mask(mask)  # no-grad path: backward never runs
+        return node
 
     def _forward_fused(self, x: Tensor,
                        activation: Optional[str] = None) -> Tensor:
@@ -271,7 +277,10 @@ class BatchNorm1d(Module):
             dx = _bn_input_grad(d_normed, normed, inv_std, inv_n)
             return (dx, dgamma, dbeta)
 
-        return Tensor._make(out, (x, gamma, beta), backward)
+        node = Tensor._make(out, (x, gamma, beta), backward)
+        if node._backward is None and state is not None:
+            _donate_mask(state)  # no-grad path: backward never runs
+        return node
 
 
 class ReLU(Module):

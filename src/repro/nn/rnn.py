@@ -239,7 +239,8 @@ class SequenceToOneLSTM(Module):
 
     def forward(self, steps: List[Tensor]) -> Tensor:
         if not steps:
-            raise ValueError("empty input sequence")
+            raise ValueError("steps is empty; forward needs at least one "
+                             "timestep")
         batch = steps[0].shape[0]
         state = self.cell.initial_state(batch)
         for x_proj in self.cell.project_steps(steps):

@@ -138,6 +138,12 @@ class ArrayPool:
 
     __slots__ = ("_buffers", "max_per_key")
 
+    #: Lifetime-tracking hook installed by ``repro.check.sanitize`` (a
+    #: class attribute, so enabling sanitizers covers every pool at
+    #: once).  ``None`` in normal runs — the checks below are a single
+    #: attribute test.
+    _tracker = None
+
     def __init__(self, max_per_key: int = 4):
         self._buffers: dict = {}
         self.max_per_key = max_per_key
@@ -145,9 +151,11 @@ class ArrayPool:
     def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """Pop a cached ``(shape, dtype)`` buffer or allocate a new one."""
         stack = self._buffers.get((tuple(shape), np.dtype(dtype)))
-        if stack:
-            return stack.pop()
-        return np.empty(shape, dtype=dtype)
+        array = stack.pop() if stack else np.empty(shape, dtype=dtype)
+        tracker = ArrayPool._tracker
+        if tracker is not None:
+            tracker.on_take(self, array)
+        return array
 
     def put(self, array: np.ndarray) -> None:
         """Return ``array`` to the pool for a later :meth:`take`.
@@ -155,6 +163,9 @@ class ArrayPool:
         The caller must not touch ``array`` afterwards — the next taker
         will overwrite it.
         """
+        tracker = ArrayPool._tracker
+        if tracker is not None:
+            tracker.on_put(self, array)
         key = (array.shape, array.dtype)
         stack = self._buffers.setdefault(key, [])
         if len(stack) < self.max_per_key:
@@ -162,6 +173,9 @@ class ArrayPool:
 
     def clear(self) -> None:
         """Drop every cached buffer (frees the backing memory)."""
+        tracker = ArrayPool._tracker
+        if tracker is not None:
+            tracker.on_clear(self)
         self._buffers.clear()
 
 
@@ -212,6 +226,21 @@ def _donate_mask(state: list) -> None:
     if mask is not None:
         state[0] = None
         _TAPE_POOL.put(mask)
+
+
+def _donate_scratch(state: list, pool: Optional["ArrayPool"]) -> None:
+    """One-shot donation of a pooled forward scratch buffer.
+
+    ``state`` is a one-element list holding the buffer, nulled on
+    donation so a repeated backward can detect that the pool reclaimed
+    the scratch and recompute it privately instead of reading (or
+    re-donating) a buffer a later ``take`` may already own.  No-op
+    without a pool: a privately allocated buffer stays valid for
+    repeated backwards and needs no return.
+    """
+    if pool is not None and state[0] is not None:
+        pool.put(state[0])
+        state[0] = None
 
 
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
@@ -618,7 +647,10 @@ class Tensor:
             _donate_mask(state)
             return (g,)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if out._backward is None:  # no-grad path: backward never runs
+            _donate_mask(state)
+        return out
 
     def leaky_relu(self, slope: float = 0.2) -> "Tensor":
         state = [_take_sign_mask(self.data)]
@@ -629,7 +661,10 @@ class Tensor:
             _donate_mask(state)
             return (g,)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if out._backward is None:  # no-grad path: backward never runs
+            _donate_mask(state)
+        return out
 
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
@@ -670,7 +705,10 @@ class Tensor:
             _donate_mask(state)
             return (g,)
 
-        return Tensor._make(data, (self,), backward)
+        out = Tensor._make(data, (self,), backward)
+        if out._backward is None:  # no-grad path: backward never runs
+            _donate_mask(state)
+        return out
 
 
 def _ensure_tensor(value: ArrayLike) -> Tensor:

@@ -28,7 +28,7 @@ def rdp_subsampled_gaussian(q: float, sigma: float, alpha: int) -> float:
     exp(k(k-1)/(2 sigma^2)) )``.
     """
     if not 0.0 <= q <= 1.0:
-        raise ValueError("sampling rate must be in [0, 1]")
+        raise ValueError(f"sampling rate q={q} must be in [0, 1]")
     if sigma <= 0:
         raise ValueError("sigma must be positive")
     if alpha < 2:
@@ -71,9 +71,10 @@ def sigma_for_epsilon(target_epsilon: float, q: float, steps: int,
                       high: float = 200.0, tol: float = 1e-3) -> float:
     """Smallest noise multiplier achieving ``target_epsilon`` (bisection)."""
     if target_epsilon <= 0:
-        raise ValueError("target epsilon must be positive")
+        raise ValueError(f"target_epsilon={target_epsilon} must be positive")
     if epsilon_for(high, q, steps, delta) > target_epsilon:
-        raise ValueError("target epsilon unreachable even with max noise")
+        raise ValueError(f"target_epsilon={target_epsilon} unreachable "
+                         f"even at the maximum noise high={high}")
     while high - low > tol:
         mid = 0.5 * (low + high)
         if epsilon_for(mid, q, steps, delta) > target_epsilon:

@@ -27,7 +27,8 @@ class EquiWidthDiscretizer:
     def fit(self, values: np.ndarray) -> "EquiWidthDiscretizer":
         values = np.asarray(values, dtype=np.float64)
         if values.size == 0:
-            raise ValueError("cannot fit on empty column")
+            raise ValueError("values is empty; cannot fit on an empty "
+                             "column")
         self.low = float(values.min())
         self.high = float(values.max())
         if self.high <= self.low:

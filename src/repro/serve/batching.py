@@ -31,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
 from ..api.base import _count
+from ..check.lockorder import make_condition
 from ..datasets.schema import Table
 from .errors import BackpressureError, PoolClosed, RequestTimeout
 
@@ -96,6 +97,12 @@ class MicroBatcher:
         model's requests behind the scheduler.
     """
 
+    def __getstate__(self):
+        raise TypeError(
+            "MicroBatcher is not picklable: it holds its queue "
+            "condition, scheduler thread, and executor; build one per "
+            "process")
+
     def __init__(self, sampler: Sampler, *, max_queue: int = 256,
                  max_delay: float = 0.005,
                  max_coalesce_rows: int = 131072,
@@ -113,7 +120,7 @@ class MicroBatcher:
             thread_name_prefix="repro-serve-batch")
         self._running = 0
         self._queue: deque = deque()
-        self._cond = threading.Condition()
+        self._cond = make_condition("batcher.queue")
         self._closed = False
         self.stats: Dict[str, int] = {
             "submitted": 0, "rejected": 0, "timeouts": 0,

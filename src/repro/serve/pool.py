@@ -35,6 +35,7 @@ import numpy as np
 
 from ..api.base import PathLike, _count, chunk_plan
 from ..api.seeding import fresh_seed
+from ..check.lockorder import make_condition, make_lock
 from ..datasets.schema import Table
 from .errors import PoolClosed, RequestTimeout, ServingError, WorkerError
 from .store import KIND_DATABASE, KIND_TABLE, load_model, model_kind
@@ -104,8 +105,13 @@ class _Pending:
 
     __slots__ = ("cond", "results", "expected", "error", "closed")
 
+    def __getstate__(self):
+        raise TypeError(
+            "_Pending is not picklable: it holds the result condition "
+            "of an in-flight request; only payloads cross processes")
+
     def __init__(self, expected: int):
-        self.cond = threading.Condition()
+        self.cond = make_condition("pool.result")
         self.results: Dict[int, object] = {}
         self.expected = expected
         self.error: Optional[str] = None
@@ -165,6 +171,12 @@ class WorkerPool:
         Default per-request deadline in seconds (overridable per call).
     """
 
+    def __getstate__(self):
+        raise TypeError(
+            "WorkerPool is not picklable: it owns worker processes, "
+            "queues, and locks; workers re-load the model from its "
+            "saved path instead")
+
     def __init__(self, path: PathLike, workers: int = 1, *,
                  request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
                  start_timeout: float = DEFAULT_START_TIMEOUT,
@@ -179,7 +191,7 @@ class WorkerPool:
         self._on_close = on_close
         self._closed = False
         self._ids = itertools.count()
-        self._lock = threading.Lock()
+        self._lock = make_lock("pool.pending")
         self._pending: Dict[int, _Pending] = {}
         self._inflight = 0
         self._meta: Dict[str, object] = {}
@@ -208,7 +220,7 @@ class WorkerPool:
         self._result_q = ctx.Queue()
         self._boot_ready: Dict[int, dict] = {}
         self._boot_errors: List[str] = []
-        self._boot_cond = threading.Condition()
+        self._boot_cond = make_condition("pool.boot")
         dtype_name = np.dtype(get_default_dtype()).name
         for worker_id in range(workers):
             process = ctx.Process(

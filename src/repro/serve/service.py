@@ -26,6 +26,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from ..api.base import PathLike, _count
 from ..api.seeding import fresh_seed
+from ..check.lockorder import make_lock
 from ..datasets.schema import Table
 from .batching import MicroBatcher
 from .errors import PoolClosed, ServingError
@@ -75,6 +76,12 @@ class SynthesisService:
         coalescing entirely).
     """
 
+    def __getstate__(self):
+        raise TypeError(
+            "SynthesisService is not picklable: it holds pool/stats "
+            "locks and live worker pools; each process must build its "
+            "own service over the shared store root")
+
     def __init__(self, root: PathLike, *, workers: int = 2,
                  store_capacity: int = 4, pool_capacity: int = 4,
                  request_timeout: float = 60.0,
@@ -95,9 +102,9 @@ class SynthesisService:
         # Pools retired by a publish but still serving in-flight
         # requests on the old version; reaped once they drain.
         self._draining: list = []
-        self._pools_lock = threading.Lock()
+        self._pools_lock = make_lock("service.pools")
         self._closed = False
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("service.stats")
         self._requests = 0
         self._rows = 0
         self.batcher = MicroBatcher(

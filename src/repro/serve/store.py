@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..api.base import _ARRAYS_FILE, _META_FILE, PathLike, load_synthesizer
+from ..check.lockorder import make_lock
 from .errors import ModelNotFound, ServingError
 
 #: Metadata file of a saved DatabaseSynthesizer directory (kept in sync
@@ -169,9 +170,15 @@ class ModelStore:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.root = pathlib.Path(root)
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("store.cache")
         self._cache: "OrderedDict[str, _Entry]" = OrderedDict()
         self._info_cache: dict = {}
+
+    def __getstate__(self):
+        raise TypeError(
+            "ModelStore is not picklable: it holds a cache lock and "
+            "checkout refcounts that cannot cross a fork/pickle "
+            "boundary; each process must open its own store")
 
     # ------------------------------------------------------------------
     # Catalogue

@@ -73,7 +73,8 @@ class Reservoir:
     def add(self, values: np.ndarray) -> "Reservoir":
         values = np.asarray(values)
         if values.ndim != 1:
-            raise ValueError("Reservoir holds 1-D value streams")
+            raise ValueError(f"values must be 1-D, got {values.ndim}-D; "
+                             f"Reservoir holds scalar value streams")
         if self._buffer is None:
             self._buffer = np.empty(self.capacity, dtype=values.dtype)
         positions, slots = reservoir_plan(self.n_seen, len(values),

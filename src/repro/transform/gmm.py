@@ -37,7 +37,8 @@ class GaussianMixture1D:
             rng: Optional[np.random.Generator] = None) -> "GaussianMixture1D":
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.size == 0:
-            raise ValueError("cannot fit GMM on empty data")
+            raise ValueError("values is empty; cannot fit GMM on empty "
+                             "data")
         rng = rng if rng is not None else np.random.default_rng()
         k = min(self.n_components, max(1, np.unique(values).size))
         self.n_components = k

@@ -1,0 +1,131 @@
+"""Deterministic guard: hidden global-RNG draws fail seeded paths."""
+
+import numpy as np
+import pytest
+
+from repro.api import Synthesizer
+from repro.check import (
+    NonDeterminismError, deterministic_guard, deterministic_scope,
+    disable_sanitizers, sanitized, sanitizers_enabled,
+)
+from repro.datasets.schema import Table
+
+from tests.conftest import make_mixed_table
+
+_PRESET = sanitizers_enabled()
+skip_when_preset = pytest.mark.skipif(
+    _PRESET, reason="asserts the sanitizers-off default behaviour")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    if not _PRESET:
+        disable_sanitizers()
+
+
+def test_global_draw_raises_inside_guard():
+    with deterministic_guard():
+        with pytest.raises(NonDeterminismError) as err:
+            np.random.rand(3)
+    assert "np.random.rand" in str(err.value)
+
+
+def test_seeding_the_global_rng_also_raises():
+    with deterministic_guard():
+        with pytest.raises(NonDeterminismError):
+            np.random.seed(0)
+
+
+def test_seeded_generators_are_sanctioned():
+    with deterministic_guard():
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal(4)
+    assert values.shape == (4,)
+
+
+def test_guard_restores_numpy_on_exit():
+    original = np.random.rand
+    with deterministic_guard():
+        assert np.random.rand is not original
+    assert np.random.rand is original
+    assert np.random.rand(2).shape == (2,)
+
+
+def test_guard_is_reentrant():
+    with deterministic_guard():
+        with deterministic_guard():
+            with pytest.raises(NonDeterminismError):
+                np.random.normal()
+        # still guarded until the outermost scope exits
+        with pytest.raises(NonDeterminismError):
+            np.random.normal()
+    assert np.isfinite(np.random.normal())
+
+
+@skip_when_preset
+def test_scope_is_noop_when_sanitizers_disabled():
+    with deterministic_scope():
+        assert np.random.rand(1).shape == (1,)
+
+
+class _Resampler(Synthesizer):
+    """Toy family: samples rows of the fitted table via the given rng."""
+
+    method = "resampler-test"
+
+    def _fit(self, table, callbacks, conditions=None):
+        self._table = table
+
+    def _sample_chunk(self, m, rng, conditions=None):
+        idx = rng.integers(0, len(self._table), m)
+        return Table(self._table.schema,
+                     {name: self._table.column(name)[idx]
+                      for name in self._table.schema.names})
+
+    def _state(self):
+        return {}, {}
+
+    def _load_state(self, state, arrays):
+        raise NotImplementedError
+
+
+class _LeakyResampler(_Resampler):
+    """Planted violation: draws from NumPy's hidden global state."""
+
+    method = "leaky-resampler-test"
+
+    def _sample_chunk(self, m, rng, conditions=None):
+        np.random.rand(m)  # repro-check: disable=RC001 -- planted on purpose
+        return super()._sample_chunk(m, rng, conditions=conditions)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_mixed_table(n=120, seed=9)
+
+
+def test_clean_family_samples_under_sanitizers(table):
+    synth = _Resampler(seed=0).fit(table)
+    with sanitized():
+        a = synth.sample(30, seed=4)
+        b = synth.sample(30, seed=4)
+    for name in table.schema.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name))
+
+
+def test_planted_global_draw_fails_seeded_sample(table):
+    synth = _LeakyResampler(seed=0).fit(table)
+    if not sanitizers_enabled():
+        # Undetected without sanitizers — exactly the bug class at stake.
+        assert len(synth.sample(10, seed=3)) == 10
+    with sanitized():
+        with pytest.raises(NonDeterminismError):
+            synth.sample(10, seed=3)
+
+
+def test_planted_global_draw_fails_unseeded_stream(table):
+    synth = _LeakyResampler(seed=0).fit(table)
+    with sanitized():
+        with pytest.raises(NonDeterminismError):
+            list(synth.sample_iter(10, batch=5))

@@ -1,0 +1,139 @@
+"""Lock-order recording: inversions raise on first inconsistency."""
+
+import threading
+
+import pytest
+
+from repro.check import (
+    LockOrderError, disable_sanitizers, lock_graph_edges, reset_lock_graph,
+    sanitized, sanitizers_enabled,
+)
+from repro.check.lockorder import make_condition, make_lock
+
+_PRESET = sanitizers_enabled()
+skip_when_preset = pytest.mark.skipif(
+    _PRESET, reason="asserts the sanitizers-off default behaviour")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    reset_lock_graph()
+    yield
+    reset_lock_graph()
+    if not _PRESET:
+        disable_sanitizers()
+
+
+@skip_when_preset
+def test_disabled_returns_plain_primitives():
+    lock = make_lock("plain")
+    assert isinstance(lock, type(threading.Lock()))
+    cond = make_condition("plain.cond")
+    assert isinstance(cond, threading.Condition)
+
+
+def test_consistent_order_is_fine():
+    with sanitized():
+        a, b = make_lock("order.a"), make_lock("order.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert "order.b" in lock_graph_edges()["order.a"]
+
+
+def test_inversion_raises_with_the_recorded_path():
+    with sanitized():
+        a, b = make_lock("inv.a"), make_lock("inv.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError) as err:
+                with a:
+                    pass
+    message = str(err.value)
+    assert "inv.a" in message and "inv.b" in message
+    assert "inversion" in message
+
+
+def test_transitive_inversion_detected():
+    with sanitized():
+        a, b, c = (make_lock("tri.a"), make_lock("tri.b"),
+                   make_lock("tri.c"))
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with pytest.raises(LockOrderError):
+                with a:  # closes the cycle a -> b -> c -> a
+                    pass
+
+
+def test_same_thread_reacquisition_raises():
+    with sanitized():
+        a = make_lock("re.a")
+        with a:
+            with pytest.raises(LockOrderError) as err:
+                a.acquire()
+    assert "guaranteed deadlock" in str(err.value)
+
+
+def test_reset_forgets_recorded_edges():
+    with sanitized():
+        a, b = make_lock("reset.a"), make_lock("reset.b")
+        with a:
+            with b:
+                pass
+        reset_lock_graph()
+        with b:
+            with a:  # no longer an inversion after reset
+                pass
+        assert "reset.a" in lock_graph_edges()["reset.b"]
+
+
+def test_locks_are_not_picklable_under_recording():
+    import pickle
+
+    with sanitized():
+        lock = make_lock("pickle.a")
+        with pytest.raises(TypeError):
+            pickle.dumps(lock)
+
+
+def test_condition_wait_notify_across_threads():
+    with sanitized():
+        cond = make_condition("cv.queue")
+        ready = []
+
+        def producer():
+            with cond:
+                ready.append(1)
+                cond.notify_all()
+
+        with cond:
+            worker = threading.Thread(target=producer)
+            worker.start()
+            ok = cond.wait_for(lambda: ready, timeout=5.0)
+        worker.join(timeout=5.0)
+        assert ok and ready == [1]
+
+
+def test_serve_stack_lock_roles_are_acyclic():
+    """Smoke: nested use of the serve-layer lock roles records cleanly.
+
+    The full serve stack runs under these recorders in the sanitized CI
+    job (``REPRO_SANITIZE=1`` over ``tests/serve``); this asserts the
+    role-graph machinery itself handles the serve nesting order.
+    """
+    with sanitized():
+        outer = make_lock("service.pools")
+        inner = make_lock("store.cache")
+        with outer:
+            with inner:
+                pass
+        edges = lock_graph_edges()
+        assert "store.cache" in edges["service.pools"]

@@ -1,0 +1,84 @@
+"""NaN/Inf tape sanitizer: the first corrupted node is reported."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    TapeCorruptionError, disable_sanitizers, sanitized, sanitizers_enabled,
+)
+from repro.nn.tensor import Tensor
+
+
+#: True when the whole run is sanitized (REPRO_SANITIZE=1 CI job);
+#: tests asserting the sanitizers-off default skip there.
+_PRESET = sanitizers_enabled()
+skip_when_preset = pytest.mark.skipif(
+    _PRESET, reason="asserts the sanitizers-off default behaviour")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    if not _PRESET:
+        disable_sanitizers()
+
+
+def test_forward_nan_raises_at_the_producing_node():
+    with sanitized():
+        with np.errstate(invalid="ignore"):
+            with pytest.raises(TapeCorruptionError) as err:
+                Tensor(np.array([-1.0])).log()
+    message = str(err.value)
+    assert "Tensor.log" in message
+    assert "NaN" in message
+    assert "output" in message
+
+
+def test_forward_inf_raises():
+    with sanitized():
+        with np.errstate(divide="ignore"):
+            with pytest.raises(TapeCorruptionError) as err:
+                Tensor(np.array([0.0])).log()
+    assert "Inf" in str(err.value)
+
+
+def test_backward_nan_gradient_raises():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = x.log()
+    with sanitized():
+        with pytest.raises(TapeCorruptionError) as err:
+            y.backward(np.array([np.nan]))
+    assert "incoming gradient" in str(err.value)
+
+
+@skip_when_preset
+def test_disabled_by_default_nan_flows_through():
+    assert not sanitizers_enabled()
+    with np.errstate(invalid="ignore"):
+        out = Tensor(np.array([-1.0])).log()
+    assert np.isnan(out.data).all()
+
+
+def test_finite_computation_unaffected():
+    with sanitized():
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        loss = (x * x).sum()
+        loss.backward()
+    np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+
+def test_integer_and_bool_arrays_are_ignored():
+    with sanitized():
+        a = Tensor(np.array([1.0, -1.0]))
+        mask = a.data > 0  # plain ndarray; only tape nodes are checked
+        out = a.relu()
+    assert mask.dtype == np.bool_
+    assert np.isfinite(out.data).all()
+
+
+@skip_when_preset
+def test_uninstall_restores_original_make():
+    original = Tensor._make
+    with sanitized():
+        assert Tensor._make is not original
+    assert Tensor._make is original

@@ -62,6 +62,37 @@ class TestCorrelationDifference:
         cats = sdata_cat(n_records=100, seed=0)
         assert correlation_difference(cats, cats) == 0.0
 
+    def test_zero_variance_column_warns_and_is_defined(self, numeric_table):
+        # A synthesizer that collapses "x" to a constant: its correlation
+        # is undefined, *defined* as 0.0, and warned about by name.
+        from repro.core.statistics import DegenerateColumnWarning
+
+        cols = {k: v.copy() for k, v in numeric_table.columns.items()}
+        cols["x"] = np.full_like(cols["x"], 3.5)
+        collapsed = Table(numeric_table.schema, cols)
+        with pytest.warns(DegenerateColumnWarning, match="'x'.*synthetic"):
+            diff = correlation_difference(numeric_table, collapsed)
+        # |corr_real(x, y)| - 0, finite by definition.
+        assert np.isfinite(diff)
+        assert diff >= 0.0
+
+    def test_zero_variance_everywhere_scores_zero_not_nan(self, numeric_table):
+        from repro.core.statistics import DegenerateColumnWarning
+
+        cols = {k: np.full_like(v, 1.0) if v.dtype.kind == "f" else v.copy()
+                for k, v in numeric_table.columns.items()}
+        flat = Table(numeric_table.schema, cols)
+        with pytest.warns(DegenerateColumnWarning):
+            diff = correlation_difference(flat, flat)
+        assert diff == pytest.approx(0.0)
+
+    def test_healthy_tables_do_not_warn(self, table):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            correlation_difference(table, shuffled(table))
+
 
 class TestCramersV:
     def test_perfect_association(self, rng):
