@@ -36,6 +36,7 @@ import pytest
 
 from _harness import emit, run_once
 from bench_engine_microbench import _bench_table
+from repro.check import pool_leak_scope
 from repro.core.design_space import DesignConfig
 from repro.gan.synthesizer import GANSynthesizer
 from repro.report import format_table
@@ -154,14 +155,20 @@ def test_serving_throughput(benchmark):
             batch = synth.default_sample_batch
             # Single-process reference: the number worker scaling is
             # measured against, and the bit-identity anchor.
-            reference = synth.sample(N_ROWS, batch=batch, seed=_SEED)
-            ref_elapsed = _timed(lambda: synth.sample(N_ROWS, batch=batch,
-                                                      seed=_SEED))
-            rows = [{"mode": "reference", "workers": 0, "n_rows": N_ROWS,
-                     "seconds": round(ref_elapsed, 4),
-                     "rows_per_sec": round(N_ROWS / ref_elapsed, 1)}]
-            rows.extend(_throughput_rows(model_dir, reference, batch))
-            rows.extend(_latency_rows(model_dir, batch))
+            # The leak scope turns the benchmark into a lifetime check
+            # too: every ArrayPool.take performed by the parent-side
+            # sampling paths must be donated back by the time the
+            # measurement loop finishes, or the bench fails.
+            with pool_leak_scope():
+                reference = synth.sample(N_ROWS, batch=batch, seed=_SEED)
+                ref_elapsed = _timed(
+                    lambda: synth.sample(N_ROWS, batch=batch, seed=_SEED))
+                rows = [{"mode": "reference", "workers": 0,
+                         "n_rows": N_ROWS,
+                         "seconds": round(ref_elapsed, 4),
+                         "rows_per_sec": round(N_ROWS / ref_elapsed, 1)}]
+                rows.extend(_throughput_rows(model_dir, reference, batch))
+                rows.extend(_latency_rows(model_dir, batch))
             rows.append({"mode": "meta", "cpus": os.cpu_count(),
                          "batch": batch, "method": "gan-mlp"})
 

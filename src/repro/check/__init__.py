@@ -11,7 +11,9 @@ exhaustively cover by example:
   discipline (every ``ArrayPool.take`` paired with a donate on all
   paths), RC004 dtype discipline (no hard-coded float dtypes in hot
   paths — route through ``get_default_dtype()``), RC005 error
-  discipline (validation raises name the offending argument).
+  discipline (validation raises name the offending argument), RC006
+  silent-failure discipline (broad ``except`` in the serving layer must
+  re-raise or record the failure to pool state).
 * **Runtime sanitizers** (:mod:`repro.check.sanitize`) — opt-in via
   ``REPRO_SANITIZE=1`` or :func:`sanitized`: NaN/Inf tape checking,
   ArrayPool leak/double-donation detection, lock-order recording over

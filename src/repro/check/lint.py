@@ -34,6 +34,12 @@ that generic linters cannot see:
   ``ValueError``/``TypeError`` guarded by a test on a parameter) must
   name the offending argument in its message, either literally or by
   formatting a parameter into it.
+* **RC006 silent-failure discipline** — in the serving layer
+  (``serve/``), a broad ``except`` (bare, ``Exception``, or
+  ``BaseException``) whose body neither re-raises, nor calls anything,
+  nor records state is a swallowed failure: supervision code that eats
+  an exception with ``pass`` turns a worker crash into an undiagnosable
+  hang.  Handlers in ``__del__`` are exempt (interpreter teardown).
 
 Findings print as ``path:line: RCnnn in scope: message (hint)``.
 Suppression, in ratchet order of preference: fix the code; add an
@@ -125,6 +131,12 @@ _RC004_HOT_FRAGMENTS = ("/nn/", "/gan/", "/stream/", "/api/", "/serve/")
 
 _RC005_EXC_NAMES = {"ValueError", "TypeError"}
 
+#: RC006 applies only to the serving layer: supervision code there must
+#: never eat an exception silently, or a worker crash degrades into an
+#: undiagnosable request hang.
+_RC006_FRAGMENT = "/serve/"
+_RC006_BROAD = {"Exception", "BaseException"}
+
 _HINTS = {
     "RC001": "draw from a keyed substream (repro.api.seeding.substream / "
              "np.random.default_rng(seed)) or a monotonic clock instead",
@@ -135,6 +147,8 @@ _HINTS = {
     "RC004": "route through repro.nn.get_default_dtype() so parity and "
              "fast-math modes agree",
     "RC005": "name the offending argument in the exception message",
+    "RC006": "re-raise, or record the failure to pool state/events so "
+             "supervision stays observable",
 }
 
 _PRAGMA = "# repro-check: disable="
@@ -410,6 +424,11 @@ class _ModuleLinter(ast.NodeVisitor):
             self._check_rc004(node)
         self.generic_visit(node)
 
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.profile == "library":
+            self._check_rc006(node)
+        self.generic_visit(node)
+
     # -- RC001 ---------------------------------------------------------
     def _check_rc001(self, node: ast.Call) -> None:
         resolved = _resolve(node.func, self.aliases)
@@ -570,6 +589,59 @@ class _ModuleLinter(ast.NodeVisitor):
         # benefit of the doubt when a parameter flows into it.
         return bool(_names_in(msg) & params)
 
+    # -- RC006 ---------------------------------------------------------
+    def _check_rc006(self, node: ast.ExceptHandler) -> None:
+        posix = "/" + self.path.replace(os.sep, "/")
+        if _RC006_FRAGMENT not in posix:
+            return
+        if "__del__" in self.scope_stack:
+            # Interpreter teardown: anything can fail and nothing can
+            # be recorded — swallowing is the only correct move.
+            return
+        caught = self._rc006_broad_catch(node)
+        if caught is None or self._rc006_handler_acts(node):
+            return
+        # The pragma may sit on the ``except`` line or on any statement
+        # of the (typically one-line ``pass``) handler body.
+        lines = [node.lineno] + [stmt.lineno for stmt in node.body]
+        if any(self._suppressed("RC006", line) for line in lines):
+            return
+        self.findings.append(Finding(
+            rule="RC006", path=self.path, line=node.lineno,
+            scope=self._scope(),
+            message=f"{caught} in the serving layer swallows the "
+                    f"failure silently; supervision code must re-raise "
+                    f"or record it"))
+
+    @staticmethod
+    def _rc006_broad_catch(node: ast.ExceptHandler) -> Optional[str]:
+        if node.type is None:
+            return "bare except"
+        types = node.type.elts if isinstance(node.type, ast.Tuple) \
+            else [node.type]
+        for item in types:
+            name = _last_segment(item)
+            if name in _RC006_BROAD:
+                return f"except {name}"
+        return None
+
+    @staticmethod
+    def _rc006_handler_acts(node: ast.ExceptHandler) -> bool:
+        """True when the handler does anything observable.
+
+        A re-raise, any call (logging, event recording, cleanup), or an
+        assignment (state mutation such as ``slot.dead = True``) counts;
+        a body made solely of ``pass``/``continue``/``break``/constant
+        expressions does not.
+        """
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Raise, ast.Call, ast.Assign,
+                                    ast.AugAssign, ast.AnnAssign,
+                                    ast.Return, ast.Delete)):
+                    return True
+        return False
+
 
 # ----------------------------------------------------------------------
 # Driver
@@ -658,7 +730,7 @@ def _split_by_baseline(findings: List[Finding],
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check.lint",
-        description="Project invariant lint (rules RC001-RC005).")
+        description="Project invariant lint (rules RC001-RC006).")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to lint")
     parser.add_argument("--profile", choices=("library", "scripts"),

@@ -41,10 +41,12 @@ runs never changes what it contains.
 """
 
 from .batching import MicroBatcher
+from .circuit import CircuitBreaker, RespawnBackoff
 from .errors import (
-    BackpressureError, ModelNotFound, PoolClosed, RequestTimeout,
-    ServingError, WorkerError,
+    BackpressureError, CircuitOpen, ModelNotFound, PoolClosed,
+    RequestTimeout, ServingError, WorkerError,
 )
+from .faults import FAULT_EXIT_CODE, FaultInjected, FaultPlan
 from .http import SynthesisServer
 from .pool import WorkerPool
 from .service import SynthesisService
@@ -53,6 +55,8 @@ from .store import ModelHandle, ModelInfo, ModelStore, load_model
 __all__ = [
     "ModelStore", "ModelHandle", "ModelInfo", "load_model",
     "WorkerPool", "MicroBatcher", "SynthesisService", "SynthesisServer",
+    "CircuitBreaker", "RespawnBackoff",
+    "FaultPlan", "FaultInjected", "FAULT_EXIT_CODE",
     "ServingError", "ModelNotFound", "BackpressureError",
-    "RequestTimeout", "WorkerError", "PoolClosed",
+    "RequestTimeout", "WorkerError", "PoolClosed", "CircuitOpen",
 ]

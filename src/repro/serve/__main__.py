@@ -25,6 +25,12 @@ def main(argv=None) -> int:
     parser.add_argument("--stream-threshold", type=int,
                         default=DEFAULT_STREAM_THRESHOLD,
                         help="CSV responses with n >= this stream chunked")
+    parser.add_argument("--degraded", choices=("reject", "inline"),
+                        default="reject",
+                        help="behaviour while a model's circuit is "
+                             "open: 'reject' fails fast with 503, "
+                             "'inline' serves slower in-process "
+                             "(bit-identical) until the pool heals")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request")
     args = parser.parse_args(argv)
@@ -32,7 +38,8 @@ def main(argv=None) -> int:
     server = SynthesisServer(args.root, host=args.host, port=args.port,
                              workers=args.workers,
                              stream_threshold=args.stream_threshold,
-                             verbose=args.verbose)
+                             verbose=args.verbose,
+                             degraded=args.degraded)
     print(f"serving models from {args.root!r} at {server.url} "
           f"({args.workers} workers/model; Ctrl-C to stop)")
     try:

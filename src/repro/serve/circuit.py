@@ -1,0 +1,171 @@
+"""Failure-containment primitives: respawn backoff and circuit breaker.
+
+Both are pure policy objects — no threads, no I/O — so the supervisor
+loops that consume them stay testable with a fake clock.
+
+:class:`RespawnBackoff` spaces worker respawn attempts exponentially so
+a model that crashes at boot cannot hot-loop fork+load (model loading
+is the expensive step in this system; see PAPER.md).
+
+:class:`CircuitBreaker` protects the *service* layer: when a model's
+pool keeps failing to boot or crashes repeatedly, the breaker opens and
+requests fail fast with a ``Retry-After`` hint instead of each paying
+the full boot timeout.  After the reset timeout a single half-open
+probe is admitted; success closes the circuit, failure re-opens it with
+a doubled timeout (capped).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..check.lockorder import make_lock
+
+__all__ = ["RespawnBackoff", "CircuitBreaker"]
+
+
+class RespawnBackoff:
+    """Exponential delay schedule for worker respawns.
+
+    ``delay(failures)`` is the pause before the next attempt after
+    ``failures`` consecutive failures: ``base * 2**failures`` capped at
+    ``cap``.  Stateless — the caller owns the failure counter, which it
+    resets when a respawned worker reports ready.
+    """
+
+    __slots__ = ("base", "cap")
+
+    def __init__(self, base: float = 0.25, cap: float = 15.0):
+        if base <= 0:
+            raise ValueError(f"base must be positive, got {base!r}")
+        if cap < base:
+            raise ValueError(
+                f"cap must be >= base, got cap={cap!r} base={base!r}")
+        self.base = float(base)
+        self.cap = float(cap)
+
+    def delay(self, failures: int) -> float:
+        if failures < 0:
+            raise ValueError(f"failures must be >= 0, got {failures!r}")
+        return min(self.cap, self.base * (2.0 ** failures))
+
+
+class CircuitBreaker:
+    """Per-model three-state breaker: closed → open → half-open.
+
+    * **closed** — requests flow; ``failure_threshold`` consecutive
+      failures open the circuit.
+    * **open** — :meth:`allow` returns ``False`` until ``reset_timeout``
+      elapses (the caller converts that into a fast 503 with
+      :meth:`retry_after`).
+    * **half-open** — one probe request is admitted.  Success closes the
+      circuit and resets the timeout; failure re-opens it with the
+      timeout doubled, capped at ``max_timeout``.  A probe that neither
+      succeeds nor fails within ``reset_timeout`` (caller died, request
+      hung) is considered lost and a new probe is admitted.
+
+    ``clock`` is injectable for fake-clock tests; it must be a
+    monotonic-time callable (wall clock would make open intervals jump
+    under NTP steps — RC001 applies here too).
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout: float = 5.0, max_timeout: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}")
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be positive, got {reset_timeout!r}")
+        if max_timeout < reset_timeout:
+            raise ValueError(
+                f"max_timeout must be >= reset_timeout, got "
+                f"max_timeout={max_timeout!r} reset_timeout={reset_timeout!r}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.max_timeout = float(max_timeout)
+        self._clock = clock
+        self._lock = make_lock("service.circuit")
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._timeout = float(reset_timeout)
+        self._probe_at: Optional[float] = None
+        self._open_count = 0
+
+    def __getstate__(self):
+        raise TypeError("CircuitBreaker is not picklable: it holds a "
+                        "process-local lock and clock state")
+
+    def allow(self) -> bool:
+        """Admit or reject a request; transitions open → half-open."""
+        now = self._clock()
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if now - self._opened_at < self._timeout:
+                    return False
+                self._state = "half_open"
+                self._probe_at = now
+                return True
+            # half_open: one probe in flight.  If it has been out longer
+            # than a full reset window, assume it was lost and re-probe.
+            if self._probe_at is not None and \
+                    now - self._probe_at < self.reset_timeout:
+                return False
+            self._probe_at = now
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._timeout = self.reset_timeout
+            self._probe_at = None
+
+    def record_failure(self) -> None:
+        now = self._clock()
+        with self._lock:
+            if self._state == "half_open":
+                # Failed probe: back to open with a doubled window.
+                self._timeout = min(self.max_timeout, self._timeout * 2.0)
+                self._state = "open"
+                self._opened_at = now
+                self._probe_at = None
+                self._open_count += 1
+                return
+            self._failures += 1
+            if self._state == "closed" and \
+                    self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = now
+                self._open_count += 1
+
+    def retry_after(self) -> float:
+        """Seconds until the circuit would admit a probe (0 if it would now)."""
+        now = self._clock()
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(0.0, self._timeout - (now - self._opened_at))
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def status(self) -> Dict[str, object]:
+        now = self._clock()
+        with self._lock:
+            remaining = (max(0.0, self._timeout - (now - self._opened_at))
+                         if self._state == "open" else 0.0)
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "timeout": self._timeout,
+                "retry_after": round(remaining, 3),
+                "opens": self._open_count,
+            }

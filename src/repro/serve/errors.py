@@ -39,6 +39,20 @@ class WorkerError(ServingError):
     """
 
 
+class CircuitOpen(ServingError):
+    """The model's circuit breaker is open after repeated pool
+    failures; the request is rejected fast instead of paying a boot
+    timeout (HTTP 503 with ``Retry-After``).
+
+    ``retry_after`` is the breaker's estimate, in seconds, of when a
+    half-open probe will next be admitted.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class PoolClosed(ServingError):
     """The worker pool (or service) was closed while the request was
     pending, or a request was submitted after shutdown."""

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing a *deterministic* system should itself be deterministic:
+a fault plan describes exactly which worker dies on which chunk, which
+requests get an injected exception, and where latency is added — so a
+chaos test that kills a worker mid-request can still assert the
+recovered output is **byte-identical** to an uninterrupted run.
+
+Fault injection is env-gated like ``REPRO_SANITIZE``: set
+``REPRO_FAULTS`` to a JSON plan and every worker process spawned by
+:class:`repro.serve.WorkerPool` arms it at boot (the variable is
+inherited across ``fork``/``spawn``).  Unset, the hook compiles to a
+``plan is None`` check and the serving path is untouched.
+
+Plan format::
+
+    {"seed": 0,
+     "rules": [
+       {"on": "chunk", "worker": 0, "after": 2, "action": "kill"},
+       {"on": "chunk", "chunk_index": 3, "action": "kill"},
+       {"on": "task",  "action": "delay", "seconds": 0.05},
+       {"on": "chunk", "action": "raise", "message": "injected",
+        "probability": 0.25},
+       {"on": "boot",  "incarnations": [0, 1], "action": "kill"}
+     ]}
+
+Events fired by the worker body (:func:`repro.serve.pool._worker_main`):
+
+``boot``
+    After the model loaded, before the worker reports ready.
+``task``
+    On receipt of each task (``count`` = tasks seen by this process).
+``chunk``
+    Immediately before each chunk result is sent (``index`` = the chunk
+    index about to be sent, ``-1`` for a whole-database draw;
+    ``produced`` = chunks this process already delivered).
+
+Rule match fields (all optional; absent = match any):
+
+``worker``          the worker slot id;
+``incarnations``    list of incarnation numbers (0 = original process,
+                    1 = first respawn, ...) — lets a test kill the
+                    first incarnation and let the respawn live;
+``chunk_index``     fires on the named chunk *before* it is delivered
+                    (models a poison chunk: every worker that touches
+                    it dies);
+``after``           fires when the worker has already delivered exactly
+                    this many chunks (models "kill worker k after
+                    chunk j");
+``probability``     a seeded coin per evaluation, derived from the plan
+                    seed via :func:`repro.api.seeding.derive_seed` —
+                    random-looking but bit-reproducible;
+``times``           maximum firings per worker process.
+
+Actions: ``kill`` (``os._exit`` with :data:`FAULT_EXIT_CODE` — the OS
+sees a hard death, exactly like an OOM kill), ``raise`` (raises
+:class:`FaultInjected` inside the task body, exercising the worker
+error path), ``delay`` (sleeps ``seconds``, widening race windows so
+ordering-dependent tests become deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from ..api.seeding import derive_seed
+from .errors import ServingError
+
+__all__ = [
+    "FAULT_EXIT_CODE", "FaultInjected", "FaultRule", "FaultPlan",
+    "plan_from_env", "faults_enabled",
+]
+
+#: Exit code used by ``kill`` actions so a supervisor (or a human
+#: reading ``status()``) can tell an injected death from a real one.
+FAULT_EXIT_CODE = 43
+
+_ENV_VAR = "REPRO_FAULTS"
+_EVENTS = ("boot", "task", "chunk")
+_ACTIONS = ("kill", "raise", "delay")
+#: Derived-seed draws are uniform on [0, 2**63); compare against this
+#: to turn ``probability`` into a deterministic coin.
+_PROB_BOUND = float(2 ** 63)
+
+
+class FaultInjected(ServingError):
+    """An exception planted by a fault plan's ``raise`` action.
+
+    Travels the same path as a real worker-side failure: the worker
+    reports the request as errored and keeps serving.
+    """
+
+
+class FaultRule:
+    """One compiled plan rule; see the module docstring for fields."""
+
+    __slots__ = ("index", "on", "action", "worker", "incarnations",
+                 "chunk_index", "after", "probability", "times",
+                 "seconds", "message", "_fired", "_evaluations")
+
+    def __init__(self, index: int, spec: Dict):
+        if not isinstance(spec, dict):
+            raise ServingError(
+                f"fault rule #{index} must be an object, got {spec!r}")
+        unknown = set(spec) - {"on", "action", "worker", "incarnations",
+                               "chunk_index", "after", "probability",
+                               "times", "seconds", "message"}
+        if unknown:
+            raise ServingError(
+                f"fault rule #{index} has unknown field(s) "
+                f"{sorted(unknown)}")
+        self.index = index
+        self.on = spec.get("on", "chunk")
+        if self.on not in _EVENTS:
+            raise ServingError(
+                f"fault rule #{index}: 'on' must be one of {_EVENTS}, "
+                f"got {self.on!r}")
+        self.action = spec.get("action")
+        if self.action not in _ACTIONS:
+            raise ServingError(
+                f"fault rule #{index}: 'action' must be one of "
+                f"{_ACTIONS}, got {self.action!r}")
+        self.worker = spec.get("worker")
+        incarnations = spec.get("incarnations")
+        self.incarnations = (None if incarnations is None
+                             else {int(i) for i in incarnations})
+        self.chunk_index = spec.get("chunk_index")
+        self.after = spec.get("after")
+        self.probability = spec.get("probability")
+        if self.probability is not None and \
+                not 0.0 <= float(self.probability) <= 1.0:
+            raise ServingError(
+                f"fault rule #{index}: 'probability' must be in [0, 1], "
+                f"got {self.probability!r}")
+        self.times = spec.get("times")
+        self.seconds = float(spec.get("seconds", 0.01))
+        self.message = spec.get("message",
+                                f"fault rule #{index} ({self.on})")
+        self._fired = 0
+        self._evaluations = 0
+
+    def matches(self, seed: int, event: str, worker: int,
+                incarnation: int, index: Optional[int],
+                produced: Optional[int], count: Optional[int]) -> bool:
+        if event != self.on:
+            return False
+        if self.worker is not None and worker != self.worker:
+            return False
+        if self.incarnations is not None and \
+                incarnation not in self.incarnations:
+            return False
+        if self.chunk_index is not None and index != self.chunk_index:
+            return False
+        if self.after is not None and produced != self.after:
+            return False
+        if self.times is not None and self._fired >= self.times:
+            return False
+        if self.probability is not None:
+            self._evaluations += 1
+            draw = derive_seed(seed, "fault", self.index, worker,
+                               incarnation, self._evaluations)
+            if draw / _PROB_BOUND >= float(self.probability):
+                return False
+        self._fired += 1
+        return True
+
+    def execute(self) -> None:
+        if self.action == "kill":
+            # A hard exit: no cleanup, no queue flush — the parent sees
+            # the same signal an OOM kill would produce.
+            os._exit(FAULT_EXIT_CODE)
+        if self.action == "raise":
+            raise FaultInjected(self.message)
+        time.sleep(self.seconds)
+
+
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` plan: an ordered list of rules.
+
+    Per-process state (fire counters, probability streams) lives on the
+    rules, so each worker process arms a fresh copy at boot and the
+    plan's behaviour depends only on that worker's own event history.
+    """
+
+    def __init__(self, rules: List[FaultRule], seed: int = 0):
+        self.rules = rules
+        self.seed = seed
+
+    @classmethod
+    def from_spec(cls, spec: Dict) -> "FaultPlan":
+        if not isinstance(spec, dict) or "rules" not in spec:
+            raise ServingError(
+                "REPRO_FAULTS must be a JSON object with a 'rules' list")
+        rules = [FaultRule(i, rule)
+                 for i, rule in enumerate(spec["rules"])]
+        return cls(rules, seed=int(spec.get("seed", 0)))
+
+    def fire(self, event: str, *, worker: int, incarnation: int,
+             index: Optional[int] = None, produced: Optional[int] = None,
+             count: Optional[int] = None) -> None:
+        """Evaluate every rule against one event; execute the matches."""
+        for rule in self.rules:
+            if rule.matches(self.seed, event, worker, incarnation,
+                            index, produced, count):
+                rule.execute()
+
+
+def faults_enabled() -> bool:
+    """True when ``REPRO_FAULTS`` holds a plan (gate, not a parse)."""
+    return os.environ.get(_ENV_VAR, "").strip() not in ("", "0")
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The armed :class:`FaultPlan`, or ``None`` when the gate is off.
+
+    Called once per worker process at boot; a malformed plan raises
+    :class:`ServingError` there, surfacing as a worker boot error
+    rather than a silently fault-free run.
+    """
+    raw = os.environ.get(_ENV_VAR, "").strip()
+    if raw in ("", "0"):
+        return None
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ServingError(f"REPRO_FAULTS is not valid JSON: {exc}")
+    return FaultPlan.from_spec(spec)

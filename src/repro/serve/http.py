@@ -37,6 +37,7 @@ deadline, 500 worker failure.
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -46,7 +47,8 @@ from .encoding import (
     columns_payload, csv_stream, database_payload, schema_payload,
 )
 from .errors import (
-    BackpressureError, ModelNotFound, PoolClosed, RequestTimeout,
+    BackpressureError, CircuitOpen, ModelNotFound, PoolClosed,
+    RequestTimeout,
 )
 from .service import SynthesisService
 from .store import KIND_DATABASE
@@ -72,7 +74,7 @@ class _StreamAborted(Exception):
 def _status_for(exc: Exception) -> int:
     if isinstance(exc, ModelNotFound):
         return 404
-    if isinstance(exc, BackpressureError):
+    if isinstance(exc, (BackpressureError, CircuitOpen)):
         return 503
     if isinstance(exc, RequestTimeout):
         return 504
@@ -100,23 +102,31 @@ class _Handler(BaseHTTPRequestHandler):
     # Response plumbing
     # ------------------------------------------------------------------
     def _send_bytes(self, status: int, payload: bytes,
-                    content_type: str) -> None:
+                    content_type: str,
+                    retry_after: Optional[float] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         if status == 503:
-            self.send_header("Retry-After", "1")
+            # An open circuit reports the breaker's own estimate of
+            # when a probe will be admitted; plain backpressure keeps
+            # the generic hint.
+            seconds = 1 if retry_after is None else \
+                max(1, math.ceil(retry_after))
+            self.send_header("Retry-After", str(seconds))
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   retry_after: Optional[float] = None) -> None:
         self._send_bytes(status, json.dumps(payload).encode("utf-8"),
-                         "application/json")
+                         "application/json", retry_after=retry_after)
 
     def _send_error_json(self, exc: Exception) -> None:
         status = _status_for(exc)
         self._send_json(status, {"error": type(exc).__name__,
-                                 "detail": str(exc)})
+                                 "detail": str(exc)},
+                        retry_after=getattr(exc, "retry_after", None))
 
     def _send_chunked(self, fragments, content_type: str,
                       trailer_headers=None) -> None:
@@ -284,13 +294,14 @@ class SynthesisServer:
     def __init__(self, service_or_root, host: str = "127.0.0.1",
                  port: int = 0, *, workers: int = 2,
                  stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
-                 verbose: bool = False):
+                 verbose: bool = False, degraded: str = "reject"):
         if isinstance(service_or_root, SynthesisService):
             self.service = service_or_root
             self._owns_service = False
         else:
             self.service = SynthesisService(service_or_root,
-                                            workers=workers)
+                                            workers=workers,
+                                            degraded=degraded)
             self._owns_service = True
         self._httpd = _Server((host, port), _Handler)
         self._httpd.service = self.service  # type: ignore[attr-defined]

@@ -1,4 +1,4 @@
-"""Multi-process sampling worker pool with deterministic sharding.
+"""Self-healing multi-process sampling pool with deterministic sharding.
 
 A :class:`WorkerPool` owns N worker processes, each holding its **own**
 loaded copy of one saved model (single-table synthesizer or database
@@ -12,24 +12,57 @@ mode.  Database requests are not sharded (a database draw is a
 sequential parents-first walk); they run whole on one worker, with
 parallelism coming from concurrent requests.
 
-Workers pull chunk tasks from one shared queue (natural load
-balancing), stream each finished chunk back immediately (so
-``sample_iter`` can forward chunks to an HTTP response while later
-chunks are still being generated), and survive request-level errors —
-a failed request reports a :class:`WorkerError` to its caller and the
-worker moves on.
+Transport: every worker slot gets its **own pair of pipes** (tasks
+down, results up).  A shared ``mp.Queue`` cannot survive worker death —
+a worker killed while blocked in ``get()`` leaves the queue's shared
+reader lock held forever, wedging every successor — whereas a dead
+worker's private pipes are simply drained and discarded.  The parent
+balances load by dispatching each task to the least-loaded live slot,
+records the assignment in that slot's claim ledger, and the worker acks
+the claim on its result pipe before generating.
+
+Fault tolerance (the self-healing layer):
+
+* **Chunk-level recovery.**  When a worker dies (OOM, SIGKILL,
+  segfault), its buffered results are drained, then only its
+  claimed-but-undelivered chunks are requeued to surviving workers —
+  or executed by the parent inline, as a last resort.  Re-execution
+  pulls the same ``(seed, "chunk", i)`` substream, so recovered output
+  is bit-identical to an uninterrupted run and duplicate delivery is
+  harmless.
+* **Respawn with backoff.**  Dead workers are respawned in place (new
+  incarnation, fresh pipes) under an exponential
+  :class:`repro.serve.circuit.RespawnBackoff`; repeated boot failures
+  retire the slot instead of hot-looping fork+load.
+* **Poison-chunk isolation.**  A chunk whose execution keeps killing
+  workers is retried at most ``chunk_retry_budget`` times, then fails
+  *that request* with :class:`WorkerError` — one bad request cannot
+  take the pool down.
+* **Event-driven supervision.**  Death detection blocks in
+  ``multiprocessing.connection.wait`` on process sentinels; the result
+  receiver blocks the same way on the result pipes.  An idle pool burns
+  no CPU polling.
+* **Stale-work shedding.**  When a request fails or is abandoned, its
+  id enters a small shared-memory cancellation ring; workers check it
+  at dispatch and between chunks and skip dead work instead of
+  computing chunks nobody will read.
+
+Deterministic fault injection (:mod:`repro.serve.faults`, env-gated via
+``REPRO_FAULTS``) hooks the worker body at boot/task/chunk events so
+chaos tests can script exactly these failures and assert bit-identity.
 """
 
 from __future__ import annotations
 
+import collections
 import itertools
 import multiprocessing as mp
 import pathlib
-import queue as queue_module
 import threading
 import time
 import traceback
-from typing import Dict, Iterator, List, Optional, Tuple
+from multiprocessing import connection as mp_connection
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -37,13 +70,27 @@ from ..api.base import PathLike, _count, chunk_plan
 from ..api.seeding import fresh_seed
 from ..check.lockorder import make_condition, make_lock
 from ..datasets.schema import Table
+from .circuit import RespawnBackoff
 from .errors import PoolClosed, RequestTimeout, ServingError, WorkerError
+from .faults import plan_from_env
 from .store import KIND_DATABASE, KIND_TABLE, load_model, model_kind
 
 #: Handshake budget: covers the worker's model load (arrays from disk).
 DEFAULT_START_TIMEOUT = 120.0
 #: Per-request budget when the caller does not pass ``timeout=``.
 DEFAULT_REQUEST_TIMEOUT = 300.0
+#: Chunk-retry ceiling before a request is failed as a poison chunk.
+DEFAULT_CHUNK_RETRY_BUDGET = 2
+#: Consecutive boot failures before a worker slot is retired.
+DEFAULT_MAX_BOOT_FAILURES = 3
+#: Fallback delay between a death and requeueing its claims if the
+#: receiver cannot confirm the dead worker's result pipe is drained
+#: (normally the drain signal arrives within milliseconds).
+_RECLAIM_FALLBACK = 5.0
+#: Entries in the shared-memory cancellation ring (slot 0 is the write
+#: cursor).  Sized for "recently failed" — a worker that misses an
+#: overwritten id merely wastes one chunk of work.
+_CANCEL_SLOTS = 32
 
 
 def _mp_context():
@@ -52,8 +99,20 @@ def _mp_context():
     return mp.get_context("fork" if "fork" in methods else methods[0])
 
 
-def _worker_main(path: str, worker_id: int, dtype_name: str,
-                 task_q, result_q) -> None:
+def _is_cancelled(cancel_ring, req_id: int) -> bool:
+    """Worker-side check of the shared cancellation ring.
+
+    Lock-free read: only the parent writes (under the ring's lock to
+    serialize its own threads), and the parent is never killed, so the
+    writer lock cannot be poisoned; a worker reading a torn entry at
+    worst mis-skips one cancellation check.
+    """
+    raw = cancel_ring.get_obj()
+    return req_id in list(raw)[1:]
+
+
+def _worker_main(path: str, worker_id: int, incarnation: int,
+                 dtype_name: str, task_r, result_w, cancel_ring) -> None:
     """Worker process body: load once, then serve tasks until sentinel.
 
     Runs in the child.  The engine dtype is pinned to the parent's
@@ -62,65 +121,161 @@ def _worker_main(path: str, worker_id: int, dtype_name: str,
     process-global tape pool inherited over ``fork`` is dropped
     (:func:`repro.nn.reset_worker_state`) so copy-on-write pages sized
     for the parent's training workload are not dirtied per worker.
+
+    Every message leads with this worker's slot id.  A claim ack is
+    sent *before* generation starts, so the parent's ledger of what
+    this process owes is confirmed on the same ordered pipe that later
+    carries the chunks.
     """
     try:
         from ..nn import reset_worker_state, set_default_dtype
 
         set_default_dtype(dtype_name)
         reset_worker_state()
+        plan = plan_from_env()
         model = load_model(path).spawn_sampler(worker_id)
+        if plan is not None:
+            plan.fire("boot", worker=worker_id, incarnation=incarnation)
         meta = {"method": getattr(model, "method", None),
                 "default_batch": getattr(model, "default_sample_batch",
                                          None)}
     except BaseException:
-        result_q.put(("boot_error", worker_id,
-                      traceback.format_exc(limit=16)))
+        result_w.send(("boot_error", worker_id,
+                       traceback.format_exc(limit=16)))
         return
-    result_q.put(("ready", worker_id, meta))
+    result_w.send(("ready", worker_id, meta))
+    produced = 0
+    tasks_seen = 0
     while True:
-        task = task_q.get()
+        try:
+            task = task_r.recv()
+        except EOFError:
+            return
         if task is None:
             return
         kind, req_id = task[0], task[1]
+        tasks_seen += 1
+        if _is_cancelled(cancel_ring, req_id):
+            result_w.send(("skip", worker_id, req_id))
+            continue
         try:
+            if plan is not None:
+                plan.fire("task", worker=worker_id,
+                          incarnation=incarnation, count=tasks_seen)
             if kind == "chunks":
                 _, _, n, batch, seed, indices = task
+                result_w.send(("claim", worker_id, req_id,
+                               list(indices)))
                 for index, table in model.sample_chunks(
                         n, batch=batch, seed=seed, indices=indices):
-                    result_q.put(("chunk", req_id, index, table))
+                    if _is_cancelled(cancel_ring, req_id):
+                        result_w.send(("skip", worker_id, req_id))
+                        break
+                    if plan is not None:
+                        plan.fire("chunk", worker=worker_id,
+                                  incarnation=incarnation, index=index,
+                                  produced=produced)
+                    result_w.send(("chunk", worker_id, req_id, index,
+                                   table))
+                    produced += 1
             elif kind == "database":
                 _, _, scale, sizes, batch, seed = task
+                result_w.send(("claim", worker_id, req_id, [0]))
                 database = model.sample(scale, sizes=sizes, batch=batch,
                                         seed=seed)
-                result_q.put(("chunk", req_id, 0, database))
+                if plan is not None:
+                    plan.fire("chunk", worker=worker_id,
+                              incarnation=incarnation, index=-1,
+                              produced=produced)
+                result_w.send(("chunk", worker_id, req_id, 0, database))
+                produced += 1
             else:
                 raise ValueError(f"unknown task kind {kind!r}")
         except Exception as exc:
-            result_q.put(("error", req_id,
-                          f"{type(exc).__name__}: {exc}"))
+            result_w.send(("error", worker_id, req_id,
+                           f"{type(exc).__name__}: {exc}"))
+
+
+class _WorkerSlot:
+    """Parent-side supervision state for one worker position.
+
+    The *slot* is stable across respawns; the *incarnation* counts the
+    processes that have occupied it.  ``claims`` maps request id ->
+    chunk indices dispatched to this incarnation and not yet delivered;
+    after a death (and once the result pipe is drained) they are
+    requeued elsewhere.  All mutable fields are guarded by the pool's
+    ``_lock`` except ``process``/``task_w``/``result_r`` handoffs,
+    which only the supervisor thread performs.
+    """
+
+    __slots__ = ("slot", "process", "task_w", "result_r", "incarnation",
+                 "restarts", "boot_failures", "deaths", "ready", "dead",
+                 "drained", "retired", "respawn_at", "reclaim_at",
+                 "claims", "last_exit")
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.process: Optional[mp.process.BaseProcess] = None
+        self.task_w = None
+        self.result_r = None
+        self.incarnation = 0
+        self.restarts = 0
+        self.boot_failures = 0
+        self.deaths = 0
+        self.ready = False
+        self.dead = False
+        self.drained = False
+        self.retired = False
+        self.respawn_at: Optional[float] = None
+        self.reclaim_at: Optional[float] = None
+        self.claims: Dict[int, Set[int]] = {}
+        self.last_exit: Optional[int] = None
+
+    def outstanding(self) -> int:
+        return sum(len(indices) for indices in self.claims.values())
 
 
 class _Pending:
     """Parent-side state of one in-flight request."""
 
-    __slots__ = ("cond", "results", "expected", "error", "closed")
+    __slots__ = ("cond", "results", "expected", "error", "closed",
+                 "kind", "spec", "dispatched", "delivered", "retries")
 
     def __getstate__(self):
         raise TypeError(
             "_Pending is not picklable: it holds the result condition "
             "of an in-flight request; only payloads cross processes")
 
-    def __init__(self, expected: int):
+    def __init__(self, expected: int, kind: str = "chunks",
+                 spec: tuple = ()):
         self.cond = make_condition("pool.result")
         self.results: Dict[int, object] = {}
         self.expected = expected
         self.error: Optional[str] = None
         self.closed = False
+        self.kind = kind            # "chunks" | "database"
+        self.spec = spec            # params to rebuild a task for requeue
+        self.dispatched: Set[int] = set()
+        self.delivered: Set[int] = set()
+        self.retries: Dict[int, int] = {}
+
+    def task_for(self, req_id: int, indices: List[int]) -> tuple:
+        """Rebuild the pipe task covering ``indices`` of this request."""
+        if self.kind == "chunks":
+            n, batch, seed = self.spec
+            return ("chunks", req_id, n, batch, seed, sorted(indices))
+        scale, sizes, batch, seed = self.spec
+        return ("database", req_id, scale, sizes, batch, seed)
 
     def deliver(self, index: int, payload) -> None:
         with self.cond:
             self.results[index] = payload
+            self.delivered.add(index)
             self.cond.notify_all()
+
+    def undelivered(self) -> List[int]:
+        with self.cond:
+            return sorted(self.dispatched - self.delivered)
 
     def fail(self, message: str) -> None:
         with self.cond:
@@ -151,12 +306,12 @@ class _Pending:
                     if remaining <= 0:
                         raise RequestTimeout(
                             f"request timed out waiting for chunk {index} "
-                            f"({len(self.results)}/{self.expected} done)")
+                            f"({len(self.delivered)}/{self.expected} done)")
                 self.cond.wait(remaining)
 
 
 class WorkerPool:
-    """Sampling workers over one saved model.
+    """Self-healing sampling workers over one saved model.
 
     Parameters
     ----------
@@ -169,34 +324,77 @@ class WorkerPool:
         contract) — useful for tests and single-core deployments.
     request_timeout:
         Default per-request deadline in seconds (overridable per call).
+    respawn:
+        Respawn dead workers in place (with exponential backoff).
+        ``False`` restores crash-fail supervision: any worker death
+        retires its slot.
+    max_boot_failures:
+        Consecutive boot failures (death before reporting ready) that
+        retire a slot instead of respawning again.
+    backoff:
+        :class:`repro.serve.circuit.RespawnBackoff` schedule; default
+        0.25s doubling to a 15s cap.
+    chunk_retry_budget:
+        How many times one chunk may be requeued after worker deaths
+        before its request fails with :class:`WorkerError` (poison-chunk
+        isolation).
+    inline_fallback:
+        When every slot is retired, drain in-flight requests inline in
+        the parent (bit-identical, slower) instead of failing them.
+        Either way the pool is then *crashed*: new requests raise
+        :class:`PoolClosed` and the service layer replaces the pool.
     """
 
     def __getstate__(self):
         raise TypeError(
             "WorkerPool is not picklable: it owns worker processes, "
-            "queues, and locks; workers re-load the model from its "
+            "pipes, and locks; workers re-load the model from its "
             "saved path instead")
 
     def __init__(self, path: PathLike, workers: int = 1, *,
                  request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
                  start_timeout: float = DEFAULT_START_TIMEOUT,
-                 inline_model=None, on_close=None):
+                 inline_model=None, on_close=None,
+                 respawn: bool = True,
+                 max_boot_failures: int = DEFAULT_MAX_BOOT_FAILURES,
+                 backoff: Optional[RespawnBackoff] = None,
+                 chunk_retry_budget: int = DEFAULT_CHUNK_RETRY_BUDGET,
+                 inline_fallback: bool = True):
         workers = _count("workers", workers, minimum=0)
+        max_boot_failures = _count("max_boot_failures", max_boot_failures,
+                                   minimum=1)
+        chunk_retry_budget = _count("chunk_retry_budget",
+                                    chunk_retry_budget, minimum=0)
         self.path = pathlib.Path(path)
         self.kind = model_kind(self.path)
         if self.kind is None:
             raise ServingError(f"no saved synthesizer at {self.path}")
         self.workers = workers
         self.request_timeout = request_timeout
+        self.respawn = respawn
+        self.max_boot_failures = max_boot_failures
+        self.backoff = RespawnBackoff() if backoff is None else backoff
+        self.chunk_retry_budget = chunk_retry_budget
+        self.inline_fallback = inline_fallback
         self._on_close = on_close
         self._closed = False
+        self._crashed = False
+        self._takeover = False
         self._ids = itertools.count()
         self._lock = make_lock("pool.pending")
         self._pending: Dict[int, _Pending] = {}
+        self._cancelled: Set[int] = set()
+        self._backlog: List[Tuple[int, Tuple[int, ...]]] = []
         self._inflight = 0
         self._meta: Dict[str, object] = {}
         self._inline_model = None
-        self._processes: List[mp.Process] = []
+        self._slots: List[_WorkerSlot] = []
+        self._chunk_retries = 0
+        self._stale_dropped = 0
+        self._inline_recoveries = 0
+        self._events: collections.deque = collections.deque(maxlen=16)
+        self._fallback_lock = make_lock("pool.fallback")
+        self._fallback_model = None
         if workers == 0:
             # Inline mode: use the caller-provided loaded model (e.g. a
             # ModelStore checkout, whose handle release rides on_close)
@@ -216,33 +414,61 @@ class WorkerPool:
         from ..nn import get_default_dtype
 
         ctx = _mp_context()
-        self._task_q = ctx.Queue()
-        self._result_q = ctx.Queue()
+        self._ctx = ctx
+        self._dtype_name = np.dtype(get_default_dtype()).name
+        # Slot 0 is the write cursor; entries hold recently cancelled
+        # request ids (-1 = empty).  Shared with every worker.
+        self._cancel_ring = ctx.Array("q", [0] + [-1] * _CANCEL_SLOTS)
+        # Parent-internal wake pipes for the two event loops.
+        self._swake_r, self._swake_w = ctx.Pipe(duplex=False)
+        self._rwake_r, self._rwake_w = ctx.Pipe(duplex=False)
         self._boot_ready: Dict[int, dict] = {}
         self._boot_errors: List[str] = []
         self._boot_cond = make_condition("pool.boot")
-        dtype_name = np.dtype(get_default_dtype()).name
+        self._booting = True
         for worker_id in range(workers):
-            process = ctx.Process(
-                target=_worker_main,
-                args=(str(self.path), worker_id, dtype_name,
-                      self._task_q, self._result_q),
-                daemon=True, name=f"repro-serve-{self.path.name}-{worker_id}")
-            process.start()
-            self._processes.append(process)
+            slot = _WorkerSlot(worker_id)
+            self._slots.append(slot)
+            self._spawn(slot)
         self._receiver = threading.Thread(
             target=self._receive_loop, daemon=True,
             name=f"repro-serve-recv-{self.path.name}")
         self._receiver.start()
-        self._monitor = threading.Thread(
-            target=self._monitor_loop, daemon=True,
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, daemon=True,
             name=f"repro-serve-mon-{self.path.name}")
-        self._monitor.start()
+        self._supervisor.start()
         self._await_boot(start_timeout)
 
     # ------------------------------------------------------------------
     # Startup / shutdown
     # ------------------------------------------------------------------
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        """Start a new incarnation in ``slot`` with fresh private pipes."""
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        result_r, result_w = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(str(self.path), slot.slot, slot.incarnation,
+                  self._dtype_name, task_r, result_w, self._cancel_ring),
+            daemon=True,
+            name=(f"repro-serve-{self.path.name}-{slot.slot}"
+                  f".{slot.incarnation}"))
+        process.start()
+        # Drop the parent's copies of the child ends; the child keeps
+        # its own (EOF semantics depend on the parent not holding the
+        # write end of the result pipe open forever).
+        task_r.close()
+        result_w.close()
+        with self._lock:
+            slot.process = process
+            slot.task_w = task_w
+            slot.result_r = result_r
+            slot.dead = False
+            slot.drained = False
+            slot.ready = False
+        self._wake_receiver()
+
     def _await_boot(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout
         with self._boot_cond:
@@ -256,6 +482,7 @@ class WorkerPool:
             ready = len(self._boot_ready)
             if not errors and ready >= self.workers:
                 self._meta = dict(self._boot_ready[min(self._boot_ready)])
+                self._booting = False
                 return
         self.close()
         if errors:
@@ -265,73 +492,425 @@ class WorkerPool:
             f"only {ready}/{self.workers} workers came up within "
             f"{timeout:.0f}s")
 
-    def _monitor_loop(self) -> None:
-        """Detect worker-process death the queues cannot report.
+    def _wake_supervisor(self) -> None:
+        try:
+            self._swake_w.send_bytes(b"w")
+        except (OSError, ValueError):
+            pass  # repro-check: disable=RC006 -- teardown race; supervisor exits via _closed
 
-        A worker killed by the OS (OOM, SIGKILL) sends nothing: without
-        this watch its in-flight chunks would strand until the full
-        request timeout and the pool would silently run degraded.  On
-        an unexpected exit every pending request fails immediately with
-        a :class:`WorkerError` and the pool closes — the service layer
-        replaces closed pools on the next request.
+    def _wake_receiver(self) -> None:
+        try:
+            self._rwake_w.send_bytes(b"w")
+        except (OSError, ValueError):
+            pass  # repro-check: disable=RC006 -- teardown race; receiver exits via _closed
+
+    def _record_event(self, what: str, **fields) -> None:
+        event = {"event": what, "at": round(time.monotonic(), 3)}
+        event.update(fields)
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Supervision (event-driven; replaces the old 0.25s poll loop)
+    # ------------------------------------------------------------------
+    def _supervise_loop(self) -> None:
+        """Event-driven worker supervision.
+
+        Blocks in ``multiprocessing.connection.wait`` on the live
+        process sentinels plus a wake pipe; wakes only on a worker
+        death, an explicit nudge (close, drained result pipe), or the
+        next scheduled respawn/reclaim deadline — an idle pool burns
+        no CPU.
+
+        On an unexpected death: wait for the receiver to drain the dead
+        incarnation's result pipe (so already-produced chunks are not
+        re-executed), requeue its claimed-but-undelivered chunks,
+        schedule a respawn with exponential backoff — or retire the
+        slot — and, if every slot is retired, either drain in-flight
+        requests inline (``inline_fallback``) or fail them; either way
+        the pool is then *crashed* and rejects new work.  A worker that
+        dies during initial boot fails startup fast instead (no
+        respawn), matching load-error behaviour.
         """
-        while not self._closed:
-            dead = [p for p in self._processes if not p.is_alive()]
-            if dead and not self._closed:
-                detail = ", ".join(f"{p.name} exit={p.exitcode}"
-                                   for p in dead)
-                message = f"worker process died unexpectedly ({detail})"
-                with self._lock:
-                    pending = list(self._pending.values())
-                for request in pending:
-                    request.fail(message)
-                with self._boot_cond:
-                    # A worker that dies mid-load never reports: wake
-                    # _await_boot so startup fails fast, not by timeout.
-                    self._boot_errors.append(message)
-                    self._boot_cond.notify_all()
-                self.close()
-                return
-            time.sleep(0.25)
-
-    def _receive_loop(self) -> None:
-        # Polling get: the parent must NEVER write to the result queue
-        # (a worker killed mid-put leaves the queue's write lock held
-        # forever, so a parent-side wake-up sentinel could block the
-        # parent's feeder thread and hang interpreter exit); the
-        # receiver instead times out periodically and checks the
-        # closed flag.
         while True:
-            try:
-                message = self._result_q.get(timeout=0.2)
-            except queue_module.Empty:
+            with self._lock:
                 if self._closed:
                     return
-                continue
-            except (EOFError, OSError):
-                return
-            tag = message[0]
-            if tag == "ready":
-                with self._boot_cond:
-                    self._boot_ready[message[1]] = message[2]
-                    self._boot_cond.notify_all()
-            elif tag == "boot_error":
-                with self._boot_cond:
-                    self._boot_errors.append(message[2])
-                    self._boot_cond.notify_all()
-            elif tag == "chunk":
-                _, req_id, index, payload = message
-                with self._lock:
-                    pending = self._pending.get(req_id)
-                if pending is not None:
-                    pending.deliver(index, payload)
-            elif tag == "error":
-                _, req_id, text = message
-                with self._lock:
-                    pending = self._pending.get(req_id)
-                if pending is not None:
-                    pending.fail(text)
+                waitables: List[object] = [self._swake_r]
+                for slot in self._slots:
+                    if slot.process is not None and not slot.dead:
+                        waitables.append(slot.process.sentinel)
+            ready = mp_connection.wait(waitables,
+                                       timeout=self._next_deadline())
+            if self._swake_r in ready:
+                try:
+                    while self._swake_r.poll():
+                        self._swake_r.recv_bytes()
+                except (EOFError, OSError):
+                    pass  # repro-check: disable=RC006 -- wake pipe closed by close(); loop exits via _closed
+            self._note_deaths()
+            self._run_reclaims()
+            self._run_respawns()
+            self._flush_backlog()
+            self._maybe_takeover()
 
+    def _next_deadline(self) -> Optional[float]:
+        """Seconds until the earliest scheduled respawn/reclaim, if any."""
+        with self._lock:
+            stamps = [t for slot in self._slots
+                      for t in (slot.respawn_at, slot.reclaim_at)
+                      if t is not None]
+        if not stamps:
+            return None
+        return max(0.0, min(stamps) - time.monotonic())
+
+    def _note_deaths(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            process = slot.process
+            if process is None or slot.dead or process.is_alive():
+                continue
+            process.join(timeout=0)
+            detail = f"{process.name} exit={process.exitcode}"
+            with self._lock:
+                slot.dead = True
+                slot.last_exit = process.exitcode
+                slot.reclaim_at = now + _RECLAIM_FALLBACK
+            # Let the receiver drain whatever the dead worker already
+            # sent: chunks in the pipe buffer count as delivered, not
+            # as work to redo.
+            self._wake_receiver()
+            if self._booting and not slot.ready:
+                # Fail startup fast: a worker that dies mid-load never
+                # reports, so wake _await_boot instead of timing out.
+                slot.retired = True
+                with self._boot_cond:
+                    self._boot_errors.append(
+                        f"worker process died during boot ({detail})")
+                    self._boot_cond.notify_all()
+                continue
+            if slot.ready:
+                slot.deaths += 1
+            else:
+                slot.boot_failures += 1
+            self._record_event("death", slot=slot.slot,
+                               incarnation=slot.incarnation,
+                               exitcode=process.exitcode,
+                               ready=slot.ready)
+            if not self.respawn or \
+                    slot.boot_failures >= self.max_boot_failures:
+                slot.retired = True
+                self._record_event("retired", slot=slot.slot,
+                                   boot_failures=slot.boot_failures)
+            else:
+                failures = slot.deaths + slot.boot_failures
+                slot.respawn_at = now + self.backoff.delay(
+                    max(0, failures - 1))
+
+    def _run_reclaims(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            with self._lock:
+                if not slot.dead or slot.reclaim_at is None:
+                    continue
+                if not slot.drained and now < slot.reclaim_at:
+                    continue  # receiver still draining the dead pipe
+                reclaim, slot.claims = slot.claims, {}
+                slot.reclaim_at = None
+                exitcode = slot.last_exit
+            for req_id, indices in reclaim.items():
+                self._recover(
+                    req_id, sorted(indices),
+                    detail=(f"worker {slot.slot} died "
+                            f"(exit={exitcode})"))
+
+    def _recover(self, req_id: int, indices: List[int],
+                 detail: str) -> None:
+        """Requeue claimed-but-undelivered chunks of a dead worker.
+
+        Re-execution is safe because chunk ``i`` is a pure function of
+        ``(seed, "chunk", i)`` — a recovered chunk is bit-identical to
+        the lost one, and a duplicate (the dead worker's result was
+        already in flight) is simply delivered twice with equal bytes.
+        """
+        with self._lock:
+            pending = self._pending.get(req_id)
+            if pending is None or req_id in self._cancelled:
+                return
+        with pending.cond:
+            if pending.error is not None or pending.closed:
+                return
+            todo = [i for i in indices if i not in pending.delivered]
+        if not todo:
+            return
+        over_budget = None
+        for index in todo:
+            pending.retries[index] = pending.retries.get(index, 0) + 1
+            if pending.retries[index] > self.chunk_retry_budget and \
+                    over_budget is None:
+                over_budget = index
+        with self._lock:
+            self._chunk_retries += len(todo)
+        if over_budget is not None:
+            pending.fail(
+                f"chunk {over_budget} exceeded its retry budget of "
+                f"{self.chunk_retry_budget} (poison chunk?); last "
+                f"failure: {detail}")
+            self._cancel(req_id)
+            self._record_event("poison_chunk", request=req_id,
+                               chunk=over_budget)
+            return
+        self._record_event("requeue", request=req_id, chunks=todo,
+                           detail=detail)
+        self._dispatch(req_id, pending, todo)
+
+    def _run_respawns(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            with self._lock:
+                due = (not slot.retired and slot.respawn_at is not None
+                       and now >= slot.respawn_at and slot.drained
+                       and slot.reclaim_at is None)
+            if not due:
+                continue
+            slot.respawn_at = None
+            slot.incarnation += 1
+            slot.restarts += 1
+            try:
+                self._spawn(slot)
+                self._record_event("respawn", slot=slot.slot,
+                                   incarnation=slot.incarnation)
+            except Exception as exc:
+                with self._lock:
+                    slot.dead = True
+                    slot.drained = True
+                    slot.boot_failures += 1
+                self._record_event("respawn_failed", slot=slot.slot,
+                                   detail=f"{type(exc).__name__}: {exc}")
+                if slot.boot_failures >= self.max_boot_failures:
+                    slot.retired = True
+                else:
+                    failures = slot.deaths + slot.boot_failures
+                    slot.respawn_at = now + self.backoff.delay(
+                        max(0, failures - 1))
+
+    def _flush_backlog(self) -> None:
+        """Re-dispatch tasks parked while no slot could accept work."""
+        while True:
+            with self._lock:
+                if not self._backlog:
+                    return
+                if (self._pick_slot_locked() is None
+                        and not self._takeover):
+                    return
+                req_id, indices = self._backlog.pop(0)
+                pending = self._pending.get(req_id)
+                cancelled = req_id in self._cancelled
+            if pending is None or cancelled:
+                continue
+            self._dispatch(req_id, pending, list(indices))
+
+    def _maybe_takeover(self) -> None:
+        with self._lock:
+            if self._crashed or self._closed:
+                return
+            if not all(slot.retired for slot in self._slots):
+                return
+            self._crashed = True
+            self._takeover = self.inline_fallback
+            self._backlog.clear()  # covered by the undelivered drain
+            pendings = dict(self._pending)
+        self._record_event("crashed",
+                           inline_fallback=self.inline_fallback)
+        if not self.inline_fallback:
+            for request in pendings.values():
+                request.fail("all worker slots retired and inline "
+                             "fallback is disabled")
+            return
+        # Last-resort drain: finish everything already dispatched but
+        # undelivered, inline in the parent.  Undispatched chunks of
+        # windowed streams are routed inline by _dispatch from here on.
+        for req_id, pending in pendings.items():
+            remaining = pending.undelivered()
+            if not remaining:
+                continue
+            self._run_inline_task(pending.task_for(req_id, remaining))
+
+    def _fallback(self):
+        # Caller must hold _fallback_lock.  worker_id self.workers is
+        # outside the slot range; by the sharded-seed contract the
+        # sampler identity never affects chunk content.
+        if self._fallback_model is None:
+            self._fallback_model = load_model(
+                self.path).spawn_sampler(self.workers)
+        return self._fallback_model
+
+    def _run_inline_task(self, task: tuple) -> None:
+        """Execute one task in the parent, delivering to its pending.
+
+        Serialized on ``_fallback_lock`` (supervisor drain and caller
+        threads may race here after a takeover).
+        """
+        kind, req_id = task[0], task[1]
+        with self._lock:
+            pending = self._pending.get(req_id)
+            cancelled = req_id in self._cancelled
+            self._inline_recoveries += 1
+        if pending is None or cancelled:
+            return
+        try:
+            with self._fallback_lock:
+                model = self._fallback()
+                if kind == "chunks":
+                    _, _, n, batch, seed, indices = task
+                    for index, chunk in model.sample_chunks(
+                            n, batch=batch, seed=seed, indices=indices):
+                        if self._closed:
+                            return
+                        pending.deliver(index, chunk)
+                else:
+                    _, _, scale, sizes, batch, seed = task
+                    database = model.sample(scale, sizes=sizes,
+                                            batch=batch, seed=seed)
+                    pending.deliver(0, database)
+        except Exception as exc:
+            pending.fail(f"inline recovery failed: "
+                         f"{type(exc).__name__}: {exc}")
+
+    def _cancel(self, req_id: int) -> None:
+        """Mark a request dead so queued work for it is shed everywhere.
+
+        Publishes the id to the shared ring (workers check it at task
+        dispatch and between chunks) and scrubs it from every slot's
+        claim ledger and the backlog so the supervisor stops recovering
+        it.
+        """
+        ring = getattr(self, "_cancel_ring", None)
+        if ring is not None:
+            with ring.get_lock():
+                cursor = ring[0]
+                ring[1 + (cursor % _CANCEL_SLOTS)] = req_id
+                ring[0] = cursor + 1
+        with self._lock:
+            self._cancelled.add(req_id)
+            for slot in self._slots:
+                slot.claims.pop(req_id, None)
+            self._backlog = [(rid, idx) for rid, idx in self._backlog
+                             if rid != req_id]
+
+    # ------------------------------------------------------------------
+    # Result receiver (event-driven over the per-slot result pipes)
+    # ------------------------------------------------------------------
+    def _receive_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                readers = {slot.result_r: slot for slot in self._slots
+                           if slot.result_r is not None}
+            ready = mp_connection.wait(
+                list(readers) + [self._rwake_r], timeout=1.0)
+            if self._rwake_r in ready:
+                try:
+                    while self._rwake_r.poll():
+                        self._rwake_r.recv_bytes()
+                except (EOFError, OSError):
+                    pass  # repro-check: disable=RC006 -- wake pipe closed by close(); loop exits via _closed
+            for reader, slot in readers.items():
+                if slot.dead or reader in ready:
+                    self._drain_reader(slot, reader)
+
+    def _drain_reader(self, slot: _WorkerSlot, reader) -> None:
+        """Read everything currently buffered on one result pipe.
+
+        For a dead slot this empties the pipe and marks it ``drained``
+        (the signal the supervisor waits for before requeueing the
+        slot's claims — anything the worker managed to send before
+        dying counts as delivered, not as work to redo).
+        """
+        broken = False
+        try:
+            while reader.poll():
+                self._handle_message(slot, reader.recv())
+        except (EOFError, OSError):
+            broken = True
+        except Exception as exc:
+            # A worker killed mid-send leaves a truncated pickle; the
+            # remaining pipe contents are unrecoverable, so record the
+            # fact and fall through to the drained/reclaim path, which
+            # re-executes whatever was lost.
+            broken = True
+            self._record_event("reader_corrupt", slot=slot.slot,
+                               detail=f"{type(exc).__name__}: {exc}")
+        if broken or slot.dead:
+            with self._lock:
+                if slot.result_r is reader:
+                    slot.result_r = None
+                    slot.drained = True
+            try:
+                reader.close()
+            except OSError:
+                pass  # repro-check: disable=RC006 -- double-close on teardown is harmless
+            self._wake_supervisor()
+
+    def _handle_message(self, slot: _WorkerSlot, message: tuple) -> None:
+        tag = message[0]
+        if tag == "ready":
+            _, slot_id, meta = message
+            with self._lock:
+                slot.ready = True
+                slot.boot_failures = 0
+            with self._boot_cond:
+                self._boot_ready[slot_id] = meta
+                self._boot_cond.notify_all()
+            self._wake_supervisor()  # flush any backlog onto this slot
+        elif tag == "boot_error":
+            _, slot_id, text = message
+            self._record_event("boot_error", slot=slot_id)
+            with self._boot_cond:
+                self._boot_errors.append(text)
+                self._boot_cond.notify_all()
+        elif tag == "claim":
+            # The worker's ack that it owns these chunks.  The parent
+            # staged the same entries at dispatch, so this is normally
+            # a no-op merge; it exists so the ledger is confirmed on
+            # the same ordered pipe that carries the chunks.
+            _, _, req_id, indices = message
+            with self._lock:
+                if req_id not in self._cancelled:
+                    slot.claims.setdefault(req_id, set()).update(indices)
+        elif tag == "chunk":
+            _, _, req_id, index, payload = message
+            with self._lock:
+                held = slot.claims.get(req_id)
+                if held is not None:
+                    held.discard(index)
+                    if not held:
+                        del slot.claims[req_id]
+                slot.deaths = 0  # proof of useful work
+                pending = self._pending.get(req_id)
+            if pending is not None:
+                pending.deliver(index, payload)
+        elif tag == "error":
+            _, _, req_id, text = message
+            with self._lock:
+                slot.claims.pop(req_id, None)
+                pending = self._pending.get(req_id)
+            if pending is not None:
+                pending.fail(text)
+            # Shed this request's remaining queued chunks: without
+            # this, other workers keep computing chunks nobody will
+            # ever read.
+            self._cancel(req_id)
+        elif tag == "skip":
+            _, _, req_id = message
+            with self._lock:
+                slot.claims.pop(req_id, None)
+                self._stale_dropped += 1
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop the workers and fail any pending request."""
         with self._lock:
@@ -350,26 +929,38 @@ class WorkerPool:
             return
         with self._boot_cond:  # wake any thread still in _await_boot
             self._boot_cond.notify_all()
-        for _ in self._processes:
-            try:
-                self._task_q.put(None)
-            except (ValueError, OSError):
-                break
-        for process in self._processes:
+        self._wake_supervisor()
+        self._wake_receiver()
+        for slot in self._slots:
+            if slot.task_w is not None and not slot.dead:
+                try:
+                    slot.task_w.send(None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass  # repro-check: disable=RC006 -- worker already gone; terminate below covers it
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
-        receiver = getattr(self, "_receiver", None)
-        if receiver is not None and receiver is not threading.current_thread():
-            receiver.join(timeout=5.0)
-        self._task_q.close()
-        self._result_q.close()
-        # Detach the feeder without joining it: a worker killed mid-put
-        # can leave the write lock held, and multiprocessing's atexit
-        # hook would otherwise join the (possibly stuck) feeder forever.
-        self._task_q.cancel_join_thread()
-        self._result_q.cancel_join_thread()
+        for thread_name in ("_receiver", "_supervisor"):
+            thread = getattr(self, thread_name, None)
+            if (thread is not None
+                    and thread is not threading.current_thread()):
+                thread.join(timeout=5.0)
+        for conn in itertools.chain(
+                (slot.task_w for slot in self._slots),
+                (slot.result_r for slot in self._slots),
+                (self._swake_r, self._swake_w,
+                 self._rwake_r, self._rwake_w)):
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:
+                pass  # repro-check: disable=RC006 -- double-close on teardown is harmless
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -391,6 +982,11 @@ class WorkerPool:
         return self._closed
 
     @property
+    def crashed(self) -> bool:
+        """True once every worker slot is retired (pool needs replacing)."""
+        return self._crashed
+
+    @property
     def method(self) -> Optional[str]:
         return self._meta.get("method")  # type: ignore[return-value]
 
@@ -399,10 +995,44 @@ class WorkerPool:
         return self._meta.get("default_batch")  # type: ignore[return-value]
 
     @property
+    def _processes(self) -> List[mp.process.BaseProcess]:
+        """Live process objects (compat shim for tests/diagnostics)."""
+        return [slot.process for slot in self._slots
+                if slot.process is not None]
+
+    @property
     def inflight(self) -> int:
         """Requests executing or reserved (used for idle-pool eviction)."""
         with self._lock:
             return self._inflight
+
+    def status(self) -> Dict[str, object]:
+        """Supervision snapshot for /healthz and GET /models/{name}."""
+        with self._lock:
+            slots = [{
+                "slot": slot.slot,
+                "alive": (slot.process is not None and not slot.dead
+                          and slot.process.is_alive()),
+                "ready": slot.ready,
+                "incarnation": slot.incarnation,
+                "restarts": slot.restarts,
+                "retired": slot.retired,
+                "last_exit": slot.last_exit,
+            } for slot in self._slots]
+            return {
+                "mode": "inline" if self.workers == 0 else "processes",
+                "workers": self.workers,
+                "alive": sum(1 for s in slots if s["alive"]),
+                "restarts": sum(s["restarts"] for s in slots),
+                "crashed": self._crashed,
+                "closed": self._closed,
+                "inflight": self._inflight,
+                "chunk_retries": self._chunk_retries,
+                "stale_dropped": self._stale_dropped,
+                "inline_recoveries": self._inline_recoveries,
+                "events": list(self._events),
+                "slots": slots,
+            }
 
     def retain(self) -> "WorkerPool":
         """Pin the pool against idle eviction until :meth:`release`.
@@ -410,11 +1040,13 @@ class WorkerPool:
         The service layer retains a pool *before* handing it to a
         request so LRU eviction can never close it in the gap between
         lookup and first use.  Raises :class:`PoolClosed` if the pool
-        already shut down (the caller then re-resolves).
+        already shut down or crashed (the caller then re-resolves).
         """
         with self._lock:
-            if self._closed:
-                raise PoolClosed(f"pool for {self.path.name} is closed")
+            if self._closed or self._crashed:
+                raise PoolClosed(
+                    f"pool for {self.path.name} is "
+                    f"{'closed' if self._closed else 'crashed'}")
             self._inflight += 1
         return self
 
@@ -423,20 +1055,82 @@ class WorkerPool:
         with self._lock:
             self._inflight -= 1
 
-    def _begin(self, expected: int) -> Tuple[int, _Pending]:
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _begin(self, expected: int, kind: str,
+               spec: tuple) -> Tuple[int, _Pending]:
         with self._lock:
-            if self._closed:
-                raise PoolClosed(f"pool for {self.path.name} is closed")
+            if self._closed or self._crashed:
+                raise PoolClosed(
+                    f"pool for {self.path.name} is "
+                    f"{'closed' if self._closed else 'crashed'}")
             req_id = next(self._ids)
-            pending = _Pending(expected)
+            pending = _Pending(expected, kind, spec)
             self._pending[req_id] = pending
             self._inflight += 1
         return req_id, pending
 
     def _end(self, req_id: int) -> None:
         with self._lock:
-            self._pending.pop(req_id, None)
+            pending = self._pending.pop(req_id, None)
             self._inflight -= 1
+        if pending is None:
+            return
+        with pending.cond:
+            unfinished = (pending.error is not None
+                          or len(pending.delivered) < pending.expected)
+        if unfinished and self._slots:
+            # Abandoned mid-flight (error, timeout, dropped stream):
+            # shed whatever is still queued for it.
+            self._cancel(req_id)
+        with self._lock:
+            self._cancelled.discard(req_id)
+
+    def _pick_slot_locked(self) -> Optional[_WorkerSlot]:
+        """Least-loaded ready slot (caller holds _lock).
+
+        A respawned slot only becomes eligible once it reports ready:
+        dispatching into a still-booting pipe would charge the chunk's
+        retry budget for every boot failure, misreading a crash-looping
+        *worker* as a poison *chunk*.  Work waits in the backlog
+        instead; the supervisor flushes it on the ready ack.
+        """
+        eligible = [slot for slot in self._slots
+                    if slot.task_w is not None and slot.ready
+                    and not slot.dead and not slot.retired]
+        if not eligible:
+            return None
+        return min(eligible, key=_WorkerSlot.outstanding)
+
+    def _dispatch(self, req_id: int, pending: _Pending,
+                  indices: List[int]) -> None:
+        """Route chunk indices to a worker, the backlog, or inline."""
+        task = pending.task_for(req_id, indices)
+        with self._lock:
+            pending.dispatched.update(indices)
+            if self._takeover:
+                target = "inline"
+            else:
+                slot = self._pick_slot_locked()
+                if slot is None:
+                    # Every slot is mid-respawn: park the work; the
+                    # supervisor re-dispatches as soon as a slot is
+                    # back (or the pool crashes and drains inline).
+                    self._backlog.append((req_id, tuple(indices)))
+                    return
+                slot.claims.setdefault(req_id, set()).update(indices)
+                conn = slot.task_w
+                target = "worker"
+        if target == "inline":
+            self._run_inline_task(task)
+            return
+        try:
+            conn.send(task)
+        except (OSError, ValueError, BrokenPipeError):
+            # The slot died between pick and send; its ledger entry
+            # stands, so the death path requeues these chunks.
+            self._record_event("dispatch_failed", request=req_id)
 
     def _deadline(self, timeout: Optional[float]) -> Optional[float]:
         timeout = self.request_timeout if timeout is None else timeout
@@ -519,17 +1213,17 @@ class WorkerPool:
     def _stream_from_workers(self, n, batch, seed, plan, timeout,
                              windowed: bool) -> Iterator[Table]:
         deadline = self._deadline(timeout)
-        req_id, pending = self._begin(expected=len(plan))
+        req_id, pending = self._begin(expected=len(plan), kind="chunks",
+                                      spec=(n, batch, seed))
         try:
             if not windowed:
                 # Bulk consumption (sample()): strided index sets —
                 # equal-size chunks mean equal work, so static striding
-                # balances without per-chunk queue traffic.
+                # balances without per-chunk dispatch traffic.
                 n_tasks = min(self.workers, len(plan)) or 1
                 for shard in range(n_tasks):
                     indices = list(range(shard, len(plan), n_tasks))
-                    self._task_q.put(("chunks", req_id, n, batch, seed,
-                                      indices))
+                    self._dispatch(req_id, pending, indices)
                 for index in range(len(plan)):
                     yield pending.wait_index(index, deadline)
                 return
@@ -539,13 +1233,12 @@ class WorkerPool:
             window = max(2 * self.workers, 4)
             submitted = min(window, len(plan))
             for index in range(submitted):
-                self._task_q.put(("chunks", req_id, n, batch, seed,
-                                  [plan[index][0]]))
+                self._dispatch(req_id, pending, [plan[index][0]])
             for index in range(len(plan)):
                 chunk = pending.wait_index(index, deadline)
                 if submitted < len(plan):
-                    self._task_q.put(("chunks", req_id, n, batch, seed,
-                                      [plan[submitted][0]]))
+                    self._dispatch(req_id, pending,
+                                   [plan[submitted][0]])
                     submitted += 1
                 yield chunk
         finally:
@@ -569,10 +1262,10 @@ class WorkerPool:
             return self._inline_model.sample(scale, sizes=sizes,
                                              batch=batch, seed=seed)
         deadline = self._deadline(timeout)
-        req_id, pending = self._begin(expected=1)
+        req_id, pending = self._begin(expected=1, kind="database",
+                                      spec=(scale, sizes, batch, seed))
         try:
-            self._task_q.put(("database", req_id, scale, sizes, batch,
-                              seed))
+            self._dispatch(req_id, pending, [0])
             return pending.wait_index(0, deadline)
         finally:
             self._end(req_id)

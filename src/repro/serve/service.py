@@ -16,6 +16,15 @@ Request routing:
 * unseeded, large ``n`` -> pool with a fresh request seed (sharded
   across workers; the assigned seed is reported so the draw can be
   replayed).
+
+Failure containment: each model gets a :class:`CircuitBreaker`.
+Repeated pool boot failures or pool crashes open the circuit, after
+which requests fail fast with :class:`CircuitOpen` (HTTP 503 +
+``Retry-After``) instead of each paying the boot timeout — or, with
+``degraded="inline"``, are served by a slower in-process pool while
+the worker pool heals.  A half-open probe after the reset timeout
+boots a fresh pool; success closes the circuit and retires the
+degraded fallback.
 """
 
 from __future__ import annotations
@@ -29,7 +38,8 @@ from ..api.seeding import fresh_seed
 from ..check.lockorder import make_lock
 from ..datasets.schema import Table
 from .batching import MicroBatcher
-from .errors import PoolClosed, ServingError
+from .circuit import CircuitBreaker
+from .errors import CircuitOpen, ModelNotFound, PoolClosed, ServingError
 from .pool import WorkerPool
 from .store import ModelStore
 
@@ -74,6 +84,15 @@ class SynthesisService:
     coalesce_max_rows:
         Routing threshold for the micro-batcher (``0`` disables
         coalescing entirely).
+    degraded:
+        What happens while a model's circuit is open: ``"reject"``
+        (default) fails fast with :class:`CircuitOpen`;
+        ``"inline"`` serves requests from a slower in-process pool
+        (bit-identical output — the sharded-seed contract holds at
+        ``workers=0``) until the worker pool heals.
+    circuit_factory:
+        Callable returning a fresh :class:`CircuitBreaker` per model;
+        injectable so tests can use thresholds and a fake clock.
     """
 
     def __getstate__(self):
@@ -86,7 +105,12 @@ class SynthesisService:
                  store_capacity: int = 4, pool_capacity: int = 4,
                  request_timeout: float = 60.0,
                  coalesce_max_rows: int = DEFAULT_COALESCE_MAX_ROWS,
-                 batch_window: float = 0.005):
+                 batch_window: float = 0.005,
+                 degraded: str = "reject",
+                 circuit_factory=None):
+        if degraded not in ("reject", "inline"):
+            raise ValueError(
+                f"degraded must be 'reject' or 'inline', got {degraded!r}")
         # The store's LRU cache backs inline (workers=0) pools, which
         # borrow their loaded model through a refcounted checkout;
         # worker-process pools load their own copies and only use the
@@ -98,7 +122,15 @@ class SynthesisService:
         self.request_timeout = request_timeout
         self.coalesce_max_rows = _count("coalesce_max_rows",
                                         coalesce_max_rows, minimum=0)
+        self.degraded = degraded
+        self._circuit_factory = (CircuitBreaker if circuit_factory is None
+                                 else circuit_factory)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = make_lock("service.breakers")
         self._pools: "OrderedDict[str, _PoolEntry]" = OrderedDict()
+        # Inline fallback pools serving models whose circuit is open
+        # (degraded="inline" only); retired when the circuit closes.
+        self._degraded_pools: Dict[str, _PoolEntry] = {}
         # Pools retired by a publish but still serving in-flight
         # requests on the old version; reaped once they drain.
         self._draining: list = []
@@ -142,9 +174,19 @@ class SynthesisService:
             if self._closed:
                 raise ServingError("service is closed")
             entry = self._pools.get(name)
-            usable = entry is not None and (
+            crashed = (entry is not None and entry.ready.is_set()
+                       and entry.error is None
+                       and not entry.pool.closed and entry.pool.crashed)
+            usable = entry is not None and not crashed and (
                 not entry.ready.is_set()
                 or (entry.error is None and not entry.pool.closed))
+            if crashed:
+                # Every worker slot retired (crash loop, repeated
+                # OOM...): drain any inline-fallback stragglers and
+                # boot a replacement; the breaker counts the crash so
+                # a crash-looping model opens its circuit.
+                self._draining.append(entry)
+                del self._pools[name]
             if usable and entry.path != path:
                 # A publish swapped ACTIVE since this pool booted:
                 # retire it to the draining list (in-flight requests
@@ -163,6 +205,8 @@ class SynthesisService:
             drained = self._reap_drained_locked()
         for old in drained:
             old.close()
+        if crashed:
+            self._breaker(name).record_failure()
         if is_loader:
             try:
                 pool = self._make_pool(name, path)
@@ -201,22 +245,127 @@ class SynthesisService:
                 f"{entry.error}") from entry.error
         return entry.pool
 
+    def _breaker(self, name: str) -> CircuitBreaker:
+        with self._breakers_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = self._circuit_factory()
+            return breaker
+
     def _retained_pool(self, name: str) -> WorkerPool:
         """A pool pinned against eviction; callers must ``release()``.
+
+        The single funnel every sampling entry point goes through, so
+        the circuit breaker observes every pool acquisition: boot
+        failures and crashes count against the model's circuit, a
+        rejected acquisition fails fast (or falls back to the degraded
+        inline pool), and a successful one closes the circuit again.
 
         Retaining can race a concurrent LRU eviction closing the pool;
         in that case the registry no longer holds it and a retry
         resolves a fresh one.
         """
+        breaker = self._breaker(name)
+        if not breaker.allow():
+            if self.degraded == "inline":
+                return self._degraded_pool(name).retain()
+            raise CircuitOpen(
+                f"circuit for model {name!r} is open after repeated "
+                "pool failures; retry later",
+                retry_after=breaker.retry_after())
         for _ in range(3):
-            pool = self._pool(name)
             try:
-                return pool.retain()
+                pool = self._pool(name)
+            except (ModelNotFound, ValueError, TypeError):
+                # Client-shaped errors say nothing about pool health.
+                raise
+            except BaseException:
+                breaker.record_failure()
+                raise
+            try:
+                retained = pool.retain()
             except PoolClosed:
                 continue
+            breaker.record_success()
+            self._retire_degraded(name)
+            return retained
         raise ServingError(
             f"could not retain a pool for {name!r} (evicted repeatedly); "
             "raise pool_capacity or reduce the number of hot models")
+
+    def _degraded_pool(self, name: str) -> WorkerPool:
+        """The inline (``workers=0``) fallback pool for an open circuit.
+
+        Loads the model in-process through the store's refcounted
+        checkout; output is bit-identical to the worker pool's by the
+        sharded-seed contract, just slower.  Closed via the draining
+        list once the circuit closes (:meth:`_retire_degraded`).
+        """
+        path = self.store.path(name)
+        with self._pools_lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            entry = self._degraded_pools.get(name)
+            usable = entry is not None and (
+                not entry.ready.is_set()
+                or (entry.error is None and not entry.pool.closed))
+            if usable and entry.path != path:
+                self._draining.append(entry)
+                del self._degraded_pools[name]
+                usable = False
+            if usable:
+                is_loader = False
+            else:
+                entry = _PoolEntry(path)
+                self._degraded_pools[name] = entry
+                is_loader = True
+        if not is_loader:
+            entry.ready.wait()
+            if entry.error is not None:
+                raise ServingError(
+                    f"degraded pool for {name!r} failed: "
+                    f"{entry.error}") from entry.error
+            return entry.pool
+        try:
+            handle = self.store.checkout(name)
+            try:
+                pool = WorkerPool(path, workers=0,
+                                  request_timeout=self.request_timeout,
+                                  inline_model=handle.model,
+                                  on_close=handle.release)
+            except BaseException:
+                handle.release()
+                raise
+        except BaseException as exc:
+            with self._pools_lock:
+                entry.error = exc
+                if self._degraded_pools.get(name) is entry:
+                    del self._degraded_pools[name]
+            entry.ready.set()
+            raise
+        with self._pools_lock:
+            if self._closed:
+                entry.error = ServingError("service is closed")
+                self._degraded_pools.pop(name, None)
+            else:
+                entry.pool = pool
+        if entry.error is not None:
+            pool.close()
+            entry.ready.set()
+            raise entry.error
+        entry.ready.set()
+        return pool
+
+    def _retire_degraded(self, name: str) -> None:
+        """Drop the degraded fallback once the worker pool is healthy."""
+        with self._pools_lock:
+            entry = self._degraded_pools.pop(name, None)
+            if entry is None:
+                return
+            self._draining.append(entry)
+            drained = self._reap_drained_locked()
+        for old in drained:
+            old.close()
 
     def _count_request(self, rows: int) -> None:
         with self._stats_lock:
@@ -395,8 +544,14 @@ class SynthesisService:
                     "inflight": pool.inflight,
                     "default_batch": pool.default_batch,
                 },
+                "circuit": self._circuit_state(info.name),
             })
         return entries
+
+    def _circuit_state(self, name: str) -> Optional[str]:
+        with self._breakers_lock:
+            breaker = self._breakers.get(name)
+        return None if breaker is None else breaker.state
 
     def model_info(self, name: str) -> Dict:
         """Detail view of one model: versions, active pool, arrays.
@@ -413,30 +568,42 @@ class SynthesisService:
                     and entry.error is None and not entry.pool.closed:
                 pool = {"workers": entry.pool.workers,
                         "inflight": entry.pool.inflight,
-                        "default_batch": entry.pool.default_batch}
+                        "default_batch": entry.pool.default_batch,
+                        "supervision": entry.pool.status()}
+            degraded = name in self._degraded_pools
             draining = len(self._draining)
+        with self._breakers_lock:
+            breaker = self._breakers.get(name)
         return {
             "name": info.name, "kind": info.kind, "method": info.method,
             "version": info.version,
             "versions": self.store.versions(name),
             "pool": pool, "draining": draining,
+            "circuit": None if breaker is None else breaker.status(),
+            "degraded": degraded,
             "arrays": self.store.metadata(name),
         }
 
     def healthz(self) -> Dict:
         with self._pools_lock:
-            pools = {name: entry.pool.workers
+            pools = {name: entry.pool.status()
                      for name, entry in self._pools.items()
                      if entry.ready.is_set() and entry.error is None
                      and not entry.pool.closed}
+            degraded = sorted(self._degraded_pools)
             drained = self._reap_drained_locked()
             draining = len(self._draining)
+        with self._breakers_lock:
+            circuits = {name: breaker.status()
+                        for name, breaker in self._breakers.items()}
         for old in drained:
             old.close()
         return {
             "status": "closed" if self._closed else "ok",
             "models": len(self.store.list_models()),
             "pools": pools,
+            "circuits": circuits,
+            "degraded": degraded,
             "draining": draining,
             "requests": self._requests,
             "rows": self._rows,
@@ -448,8 +615,11 @@ class SynthesisService:
             if self._closed:
                 return
             self._closed = True
-            entries = list(self._pools.values()) + self._draining
+            entries = (list(self._pools.values())
+                       + list(self._degraded_pools.values())
+                       + self._draining)
             self._pools.clear()
+            self._degraded_pools.clear()
             self._draining = []
         self.batcher.close()
         for entry in entries:

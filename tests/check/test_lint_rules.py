@@ -323,3 +323,121 @@ class TestRC005ErrorDiscipline:
                     raise ValueError("bad")  # repro-check: disable=RC005
             """)
         assert found == []
+
+
+class TestRC006SilentFailureDiscipline:
+    SERVE_PATH = "src/repro/serve/fixture.py"
+
+    def test_swallowed_broad_except_fires(self):
+        found = run("""
+            def supervise():
+                try:
+                    poke()
+                except Exception:
+                    pass
+            """, path=self.SERVE_PATH)
+        assert rules(found) == ["RC006"]
+        assert "swallows" in found[0].message
+
+    def test_bare_except_fires(self):
+        found = run("""
+            def drain(readers):
+                for reader in readers:
+                    try:
+                        reader.recv()
+                    except:
+                        continue
+            """, path=self.SERVE_PATH)
+        assert rules(found) == ["RC006"]
+        assert "bare except" in found[0].message
+
+    def test_broad_member_of_tuple_fires(self):
+        found = run("""
+            def supervise():
+                try:
+                    poke()
+                except (OSError, BaseException):
+                    pass
+            """, path=self.SERVE_PATH)
+        assert rules(found) == ["RC006"]
+
+    def test_narrow_except_passes(self):
+        found = run("""
+            def wake(pipe):
+                try:
+                    pipe.send_bytes(b"w")
+                except (OSError, ValueError):
+                    pass
+            """, path=self.SERVE_PATH)
+        assert found == []
+
+    def test_reraise_passes(self):
+        found = run("""
+            def supervise():
+                try:
+                    poke()
+                except Exception:
+                    raise
+            """, path=self.SERVE_PATH)
+        assert found == []
+
+    def test_recording_to_state_passes(self):
+        found = run("""
+            def supervise(slot):
+                try:
+                    poke()
+                except Exception as exc:
+                    slot.last_error = str(exc)
+            """, path=self.SERVE_PATH)
+        assert found == []
+
+    def test_del_scope_exempt(self):
+        found = run("""
+            class Pool:
+                def __del__(self):
+                    try:
+                        self.close()
+                    except Exception:
+                        pass
+            """, path=self.SERVE_PATH)
+        assert found == []
+
+    def test_outside_serving_layer_passes(self):
+        found = run("""
+            def tolerant():
+                try:
+                    poke()
+                except Exception:
+                    pass
+            """, path=COLD_PATH)
+        assert found == []
+
+    def test_scripts_profile_exempt(self):
+        found = run("""
+            def tolerant():
+                try:
+                    poke()
+                except Exception:
+                    pass
+            """, path=self.SERVE_PATH, profile="scripts")
+        assert found == []
+
+    def test_pragma_on_except_line_suppresses(self):
+        found = run("""
+            def supervise():
+                try:
+                    poke()
+                except Exception:  # repro-check: disable=RC006
+                    pass
+            """, path=self.SERVE_PATH)
+        assert found == []
+
+    def test_pragma_on_body_line_suppresses(self):
+        found = run("""
+            def supervise():
+                try:
+                    poke()
+                except Exception:
+                    pass  # repro-check: disable=RC006 -- best-effort wake
+            """, path=self.SERVE_PATH)
+        assert found == []

@@ -158,26 +158,52 @@ class TestValidationAndErrors:
         yielded, so a long stream never re-materializes in the parent."""
         from repro.serve.pool import _Pending
 
-        pending = _Pending(expected=2)
+        pending = _Pending(expected=2, kind="chunks", spec=(16, 8, 0))
         pending.deliver(0, "chunk-0")
         assert pending.wait_index(0, None) == "chunk-0"
         assert 0 not in pending.results
 
-    def test_worker_death_fails_pending_fast(self, model_root):
-        """An OS-killed worker must fail requests promptly (monitor),
-        not strand them until the request timeout."""
-        import time as _time
-
+    def test_worker_death_recovers_bit_identically(self, model_root):
+        """A worker killed while idle is respawned and the queued
+        request is recovered bit-identically (self-healing default)."""
+        reference = load_model(model_root / "adult-pb").sample(
+            50, batch=8, seed=1)
         pool = WorkerPool(model_root / "adult-pb", workers=1,
                           request_timeout=60.0)
         try:
             for process in pool._processes:
                 process.terminate()
+            out = pool.sample(50, batch=8, seed=1)
+            for name in reference.schema.names:
+                np.testing.assert_array_equal(out.columns[name],
+                                              reference.columns[name])
+            status = pool.status()
+            assert status["restarts"] >= 1
+            assert not pool.crashed and not pool.closed
+        finally:
+            pool.close()
+
+    def test_worker_death_without_respawn_crashes_fast(self, model_root):
+        """With respawn and inline fallback disabled, supervision is
+        crash-fail: a killed worker fails requests promptly (not at the
+        request timeout) and marks the pool crashed."""
+        import time as _time
+
+        pool = WorkerPool(model_root / "adult-pb", workers=1,
+                          request_timeout=60.0, respawn=False,
+                          inline_fallback=False)
+        try:
+            for process in pool._processes:
+                process.terminate()
             start = _time.monotonic()
-            with pytest.raises((WorkerError, Exception)):
+            with pytest.raises(ServingError):
                 pool.sample(50, batch=8, seed=1)
             assert _time.monotonic() - start < 10.0
-            assert pool.closed
+            assert pool.crashed
+            from repro.serve import PoolClosed
+
+            with pytest.raises(PoolClosed):
+                pool.sample(10, seed=1)
         finally:
             pool.close()
 
