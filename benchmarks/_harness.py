@@ -49,6 +49,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import resource
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -192,11 +193,32 @@ def emit(name: str, text: str, rows: Optional[list] = None) -> str:
     return text
 
 
+def _peak_rss_kb() -> float:
+    """Lifetime peak resident set of this process and its children, KB.
+
+    ``ru_maxrss`` is kilobytes on Linux; the OS never resets it, so
+    this is a high-water mark at write time, not a per-benchmark delta
+    — still enough to catch a benchmark that suddenly doubles memory.
+    """
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return float(max(own, children))
+
+
+def _cpu_seconds() -> float:
+    """Cumulative CPU time (user+system, children included)."""
+    t = os.times()
+    return t.user + t.system + t.children_user + t.children_system
+
+
 def _write_json(name: str, rows: Optional[list],
-                elapsed_seconds: Optional[float]) -> None:
+                elapsed_seconds: Optional[float],
+                cpu_seconds: Optional[float] = None) -> None:
     payload = {
         "name": name,
         "elapsed_seconds": elapsed_seconds,
+        "cpu_seconds": cpu_seconds,
+        "peak_rss_kb": _peak_rss_kb(),
         "engine_dtype": np.dtype(get_default_dtype()).name,
         "rows": rows,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -209,15 +231,20 @@ def run_once(benchmark, fn):
     """Register ``fn`` with pytest-benchmark as a single timed round.
 
     Reports emitted during ``fn`` get their JSON sidecars re-written
-    with the measured wall-clock once timing is available.
+    once timing is available, carrying the measured wall-clock, the
+    CPU time burned across the round (workers included), and the
+    process's peak RSS.
     """
     _PENDING_REPORTS.clear()
+    cpu_start = _cpu_seconds()
     start = time.perf_counter()
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
+    cpu = _cpu_seconds() - cpu_start
     if JSON_ENABLED:
         for name, rows in _PENDING_REPORTS:
-            _write_json(name, rows, elapsed_seconds=elapsed)
+            _write_json(name, rows, elapsed_seconds=elapsed,
+                        cpu_seconds=cpu)
     _PENDING_REPORTS.clear()
     return result
 

@@ -34,9 +34,15 @@ Usage::
 
     python benchmarks/check_bench_regression.py BASELINE.json CURRENT.json \
         [--mode train_step|sampling] [--arch cnn] [--dtype float32] \
-        [--relative-to mlp] [--max-regression 0.20] [--absolute]
+        [--relative-to mlp] [--max-regression 0.20] [--absolute] \
+        [--json-out VERDICT.json]
 
 Exit status 0 when within bounds, 1 on regression (or missing rows).
+Besides the human-readable report, every run writes a machine-readable
+verdict (mode, per-comparison ratios, threshold, status) next to the
+``current`` file as ``<current>.verdict.json`` — or wherever
+``--json-out`` points — so dashboards and CI annotations can consume
+the gate without scraping stdout.
 """
 
 from __future__ import annotations
@@ -48,6 +54,18 @@ import sys
 #: Reference row for machine-speed cancellation, per mode.
 _DEFAULT_REFERENCE = {"train_step": "mlp", "sampling": "gan-mlp",
                       "serving": "1", "streaming": "fit"}
+
+#: Per-comparison records accumulated by the checks for the verdict
+#: JSON; reset by ``main`` on every invocation.
+_COMPARISONS: list = []
+
+
+def _note(metric: str, baseline: float, current: float, unit: str,
+          change: float, ok: bool) -> None:
+    _COMPARISONS.append({
+        "metric": metric, "baseline": baseline, "current": current,
+        "unit": unit, "change": change, "ok": ok,
+    })
 
 
 def _load(path: str) -> dict:
@@ -85,9 +103,12 @@ def _check_train_step(args) -> int:
                               args.arch, args.dtype, relative_to)
     unit = "ms" if args.absolute else f"x {relative_to}"
     change = curr / base - 1.0
+    ok = curr <= base * (1.0 + args.max_regression)
+    _note(f"{args.arch}/{args.dtype} train_step", base, curr, unit,
+          change, ok)
     print(f"{args.arch}/{args.dtype} train step: baseline {base:.4g} {unit}"
           f" -> current {curr:.4g} {unit} ({change:+.1%})")
-    if curr > base * (1.0 + args.max_regression):
+    if not ok:
         print(f"FAIL: regression exceeds {args.max_regression:.0%} budget",
               file=sys.stderr)
         return 1
@@ -125,10 +146,13 @@ def _check_sampling(args) -> int:
             curr /= curr_rows[reference]
             unit = f"x {reference}"
         change = curr / base - 1.0
+        # Throughput: lower-than-baseline beyond the budget fails.
+        ok = curr >= base * (1.0 - args.max_regression)
+        _note(f"{method} sampling throughput", base, curr, unit,
+              change, ok)
         print(f"{method} sampling throughput: baseline {base:.4g} {unit}"
               f" -> current {curr:.4g} {unit} ({change:+.1%})")
-        # Throughput: lower-than-baseline beyond the budget fails.
-        if curr < base * (1.0 - args.max_regression):
+        if not ok:
             failed.append(method)
     if failed:
         print(f"FAIL: sampling regression exceeds "
@@ -170,9 +194,12 @@ def _check_serving(args) -> int:
                            workers, relative_to)
     unit = "rows/s" if args.absolute else f"x {relative_to}-worker"
     change = curr / base - 1.0
+    ok = curr >= base * (1.0 - args.max_regression)
+    _note(f"serving throughput at {workers} workers", base, curr, unit,
+          change, ok)
     print(f"serving throughput at {workers} workers: baseline "
           f"{base:.4g} {unit} -> current {curr:.4g} {unit} ({change:+.1%})")
-    if curr < base * (1.0 - args.max_regression):
+    if not ok:
         print(f"FAIL: serving regression exceeds "
               f"{args.max_regression:.0%} budget", file=sys.stderr)
         return 1
@@ -213,9 +240,11 @@ def _check_streaming(args) -> int:
                              relative_to)
     unit = "rows/s" if args.absolute else f"x one-shot {relative_to}"
     change = curr / base - 1.0
+    ok = curr >= base * (1.0 - args.max_regression)
+    _note("fit_stream ingest throughput", base, curr, unit, change, ok)
     print(f"fit_stream ingest throughput: baseline {base:.4g} {unit}"
           f" -> current {curr:.4g} {unit} ({change:+.1%})")
-    if curr < base * (1.0 - args.max_regression):
+    if not ok:
         print(f"FAIL: streaming regression exceeds "
               f"{args.max_regression:.0%} budget", file=sys.stderr)
         return 1
@@ -245,22 +274,54 @@ def main(argv=None) -> int:
                         help="compare raw numbers (same-machine runs)")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--json-out", default=None,
+                        help="where to write the machine-readable verdict "
+                             "(default: <current>.verdict.json)")
     args = parser.parse_args(argv)
     if args.relative_to is None:
         args.relative_to = _DEFAULT_REFERENCE[args.mode]
 
+    _COMPARISONS.clear()
+    error = None
     try:
         if args.mode == "sampling":
-            return _check_sampling(args)
-        if args.mode == "serving":
-            return _check_serving(args)
-        if args.mode == "streaming":
-            return _check_streaming(args)
-        return _check_train_step(args)
+            status = _check_sampling(args)
+        elif args.mode == "serving":
+            status = _check_serving(args)
+        elif args.mode == "streaming":
+            status = _check_streaming(args)
+        else:
+            status = _check_train_step(args)
     except (KeyError, FileNotFoundError, json.JSONDecodeError) as exc:
         print(f"check_bench_regression: cannot compare: {exc}",
               file=sys.stderr)
-        return 1
+        status, error = 1, f"{type(exc).__name__}: {exc}"
+    _write_verdict(args, status, error)
+    return status
+
+
+def _write_verdict(args, status: int, error) -> None:
+    verdict = {
+        "mode": args.mode,
+        "baseline": args.baseline,
+        "current": args.current,
+        "max_regression": args.max_regression,
+        "relative_to": None if args.absolute else args.relative_to,
+        "absolute": args.absolute,
+        "status": ("error" if error is not None
+                   else "ok" if status == 0 else "fail"),
+        "error": error,
+        "comparisons": list(_COMPARISONS),
+    }
+    path = args.json_out or f"{args.current}.verdict.json"
+    try:
+        with open(path, "w") as handle:
+            json.dump(verdict, handle, indent=2)
+            handle.write("\n")
+    except OSError as exc:
+        # The verdict sidecar is advisory; the exit status is the gate.
+        print(f"check_bench_regression: cannot write verdict {path}: "
+              f"{exc}", file=sys.stderr)
 
 
 if __name__ == "__main__":

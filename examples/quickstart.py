@@ -54,6 +54,14 @@ Run both after touching ``repro.nn`` or the transform layer.  The sweep
 benchmarks default to float32 fast-math; pass ``--parity`` (or set
 ``REPRO_BENCH_DTYPE=float64``) for the bit-exact mode.
 
+Observability: every layer this example exercises is instrumented via
+``repro.obs`` — a dependency-free metrics registry (scraped as
+Prometheus text from the serving stack's ``GET /metrics``), request
+traces that stitch per-chunk worker spans across processes, and opt-in
+engine profiling (``REPRO_PROFILE=1`` + ``repro.obs.profile_report()``
+for per-tape-op forward/backward time and ArrayPool hit rates).  See
+``examples/serving.py`` and the README's "Observability" section.
+
 Usage::
 
     python examples/quickstart.py

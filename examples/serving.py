@@ -17,7 +17,11 @@ Runs the :mod:`repro.serve` stack end to end:
    the dead worker's in-flight chunks are re-executed elsewhere, the
    response stays **bit-identical** (chunk ``i`` always derives its
    RNG from ``(seed, "chunk", i)``, wherever it runs), and the slot
-   respawns in the background.
+   respawns in the background;
+5. trace a pooled request end to end: each worker stamps a span per
+   chunk it computes, ships it back with the chunk, and the parent
+   stitches the cross-process breakdown — then scrape ``GET /metrics``
+   for the Prometheus view of everything the demo just did.
 
 The same server runs from a shell::
 
@@ -148,6 +152,35 @@ def demo_self_healing(root: pathlib.Path) -> None:
           f"events={events}")
 
 
+def demo_observability(root: pathlib.Path) -> None:
+    """Trace one pooled request, then scrape the metrics endpoint."""
+    from repro.obs import Trace, parse_prometheus
+
+    trace = Trace("sample", tags={"model": "adult-gan"})
+    with WorkerPool(root / "adult-gan", workers=2) as pool:
+        pool.sample(8_000, batch=1_000, seed=23, trace=trace)
+    trace.finish()
+    workers = sorted({s.tags["worker"] for s in trace.spans()
+                      if "chunk" in s.tags})
+    print(f"traced request: {len(trace.spans())} spans across "
+          f"workers {workers}")
+    print("\n".join("  " + line
+                    for line in trace.report().splitlines()))
+
+    # The HTTP front end serves the same story as Prometheus series
+    # (clients can also pass {"trace": true} in a JSON sample body to
+    # get the stitched breakdown in the response).
+    with SynthesisServer(root, workers=2).start() as server:
+        post(f"{server.url}/models/adult-gan/sample",
+             {"n": 2_000, "seed": 5})
+        with urllib.request.urlopen(f"{server.url}/metrics",
+                                    timeout=60) as resp:
+            series = parse_prometheus(resp.read().decode())
+    rows = sum(v for _, v in series["repro_serve_rows_total"])
+    print(f"  GET /metrics -> {len(series)} series, "
+          f"repro_serve_rows_total={rows:.0f}")
+
+
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         root = pathlib.Path(tmp) / "models"
@@ -156,6 +189,7 @@ def main() -> None:
         demo_worker_pool(root)
         demo_http(root)
         demo_self_healing(root)
+        demo_observability(root)
 
 
 if __name__ == "__main__":

@@ -99,6 +99,16 @@ PrivBayes release spends its ``epsilon`` against a cumulative
 per-instance ledger, so ``budget=`` caps total privacy loss across
 refreshes (``synth.privacy_spent()`` reports it).
 
+Observability (``repro.obs``): a dependency-free metrics registry
+(counters / gauges / histograms), request tracing, and a Prometheus
+``GET /metrics`` endpoint on the serving front end.  The service layer
+records into the default registry automatically; pass ``trace=`` to a
+pooled ``sample`` to get a per-chunk span breakdown (workers ship
+their spans back over the result pipes), and set ``REPRO_PROFILE=1``
+for per-tape-op forward/backward timings via
+``repro.obs.profile_report()``.  ``python -m repro.obs`` pretty-prints
+any ``/metrics`` endpoint.  See the README's "Observability" section.
+
 Correctness tooling (``repro.check``): a project lint enforces the
 determinism / pool / fork-safety contracts statically
 (``python -m repro.check.lint src/``), and ``REPRO_SANITIZE=1`` turns
@@ -125,6 +135,13 @@ if _os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0"):
 
     _enable_sanitizers()
 
+if _os.environ.get("REPRO_PROFILE", "").strip() not in ("", "0"):
+    # Same at-import pattern as the sanitizers: install the engine
+    # profiling hooks before any tape op runs.
+    from .obs.profile import enable_profiling as _enable_profiling
+
+    _enable_profiling()
+
 __version__ = "1.2.0"
 
 __all__ = [
@@ -134,7 +151,7 @@ __all__ = [
     "register", "available_synthesizers", "load_synthesizer",
     "Database", "ForeignKey", "DatabaseSynthesizer",
     "synthesize_database", "load_database_synthesizer",
-    "serve", "stream", "fit_stream",
+    "serve", "stream", "fit_stream", "obs",
     "ReproError", "SchemaError", "TransformError", "TrainingError",
     "ConfigError", "QueryError",
 ]
@@ -161,6 +178,7 @@ _LAZY = {
                                   "load_database_synthesizer"),
     "serve": ("repro.serve", None),
     "stream": ("repro.stream", None),
+    "obs": ("repro.obs", None),
     "fit_stream": ("repro.api.facade", "fit_stream"),
 }
 

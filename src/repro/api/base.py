@@ -95,6 +95,27 @@ def _as_callback_list(callbacks) -> List[Callback]:
     return [cb for cb in callbacks if cb is not None]
 
 
+_STREAM_ROWS_COUNTER = None
+
+
+def _note_stream_rows(method: Optional[str], rows: int) -> None:
+    """Count ingested rows in the process metrics registry.
+
+    Module-level and lazy on purpose: synthesizers must stay picklable
+    (worker pools ship them), so the instrument is never stored on the
+    object, and importing the api does not import ``repro.obs``.
+    """
+    global _STREAM_ROWS_COUNTER
+    if _STREAM_ROWS_COUNTER is None:
+        from ..obs.metrics import get_registry
+
+        _STREAM_ROWS_COUNTER = get_registry().counter(
+            "repro_stream_rows_ingested_total",
+            "Rows ingested through partial_fit / fit_stream.",
+            labelnames=("method",))
+    _STREAM_ROWS_COUNTER.inc(rows, method=method or "unknown")
+
+
 class Synthesizer:
     """Abstract base class for all relational data synthesizers.
 
@@ -230,6 +251,7 @@ class Synthesizer:
         self._stream_dirty = True
         self._stream_rows += len(table)
         self._stream_chunks += 1
+        _note_stream_rows(self.method, len(table))
         return self
 
     def finalize_stream(self) -> "Synthesizer":

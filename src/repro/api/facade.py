@@ -10,11 +10,11 @@ synthetic table, the fitted synthesizer, and full provenance.
 from __future__ import annotations
 
 import inspect
-import time
 from typing import Any, Dict, Optional
 
 from ..datasets.schema import Table
 from ..errors import ConfigError
+from ..obs import clock as _obs_clock
 from .base import Synthesizer
 from .registry import canonical_name, make_synthesizer, resolve
 from .result import SynthesisResult
@@ -114,7 +114,7 @@ def synthesize(table: Table, method: str = "gan", *,
         klass, explicit,
         {"seed": seed, "keep_snapshots": valid is not None})
 
-    start = time.perf_counter()
+    start = _obs_clock.perf()
     synthesizer: Synthesizer = make_synthesizer(method, **init_kwargs)
     synthesizer.fit(table, callbacks=callbacks)
 
@@ -141,7 +141,7 @@ def synthesize(table: Table, method: str = "gan", *,
     else:
         synthetic = synthesizer.sample(n_out, batch=sample_batch,
                                        seed=sample_seed)
-    elapsed = time.perf_counter() - start
+    elapsed = _obs_clock.perf() - start
 
     provenance = {
         "method": method,
@@ -255,14 +255,14 @@ def synthesize_database(database, method: str = "gan", *,
         DatabaseSynthesisResult, DatabaseSynthesizer,
     )
 
-    start = time.perf_counter()
+    start = _obs_clock.perf()
     synthesizer = DatabaseSynthesizer(
         method=method, per_table=per_table, cardinality=cardinality,
         method_kwargs=kwargs, seed=seed)
     synthesizer.fit(database, callbacks=callbacks)
     synthetic = synthesizer.sample(scale, batch=sample_batch,
                                    seed=sample_seed)
-    elapsed = time.perf_counter() - start
+    elapsed = _obs_clock.perf() - start
     fidelity = (database_fidelity_report(database, synthetic)
                 if report else None)
     provenance = {

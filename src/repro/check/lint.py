@@ -40,6 +40,13 @@ that generic linters cannot see:
   nor records state is a swallowed failure: supervision code that eats
   an exception with ``pass`` turns a worker crash into an undiagnosable
   hang.  Handlers in ``__del__`` are exempt (interpreter teardown).
+* **RC007 clock discipline** — library code must not read the raw
+  monotonic clocks (``time.monotonic`` / ``time.perf_counter`` and
+  their ``_ns`` variants) directly; route through
+  :mod:`repro.obs.clock` (``monotonic()`` / ``perf()``), whose active
+  clock is injectable, so timeout and latency logic stays testable
+  under a manual clock.  ``repro.obs`` itself is exempt — it is the
+  one sanctioned wrapper.
 
 Findings print as ``path:line: RCnnn in scope: message (hint)``.
 Suppression, in ratchet order of preference: fix the code; add an
@@ -137,6 +144,15 @@ _RC005_EXC_NAMES = {"ValueError", "TypeError"}
 _RC006_FRAGMENT = "/serve/"
 _RC006_BROAD = {"Exception", "BaseException"}
 
+#: RC007: raw monotonic reads scattered across library modules cannot
+#: be faked in tests; they must route through the injectable
+#: ``repro.obs.clock``.  The obs package itself is the wrapper.
+_RC007_TIMING = {
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+}
+_RC007_EXEMPT_FRAGMENT = "/obs/"
+
 _HINTS = {
     "RC001": "draw from a keyed substream (repro.api.seeding.substream / "
              "np.random.default_rng(seed)) or a monotonic clock instead",
@@ -149,6 +165,8 @@ _HINTS = {
     "RC005": "name the offending argument in the exception message",
     "RC006": "re-raise, or record the failure to pool state/events so "
              "supervision stays observable",
+    "RC007": "route timing through repro.obs.clock (monotonic()/perf()) "
+             "so tests can inject a clock",
 }
 
 _PRAGMA = "# repro-check: disable="
@@ -422,6 +440,7 @@ class _ModuleLinter(ast.NodeVisitor):
         self._check_rc001(node)
         if self.profile == "library":
             self._check_rc004(node)
+            self._check_rc007(node)
         self.generic_visit(node)
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -589,6 +608,18 @@ class _ModuleLinter(ast.NodeVisitor):
         # benefit of the doubt when a parameter flows into it.
         return bool(_names_in(msg) & params)
 
+    # -- RC007 ---------------------------------------------------------
+    def _check_rc007(self, node: ast.Call) -> None:
+        resolved = _resolve(node.func, self.aliases)
+        if resolved not in _RC007_TIMING:
+            return
+        posix = "/" + self.path.replace(os.sep, "/")
+        if _RC007_EXEMPT_FRAGMENT in posix:
+            return
+        self._report("RC007", node,
+                     f"raw monotonic read {resolved}() bypasses the "
+                     f"injectable repro.obs.clock")
+
     # -- RC006 ---------------------------------------------------------
     def _check_rc006(self, node: ast.ExceptHandler) -> None:
         posix = "/" + self.path.replace(os.sep, "/")
@@ -730,7 +761,7 @@ def _split_by_baseline(findings: List[Finding],
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check.lint",
-        description="Project invariant lint (rules RC001-RC006).")
+        description="Project invariant lint (rules RC001-RC007).")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to lint")
     parser.add_argument("--profile", choices=("library", "scripts"),

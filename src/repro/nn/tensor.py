@@ -144,6 +144,11 @@ class ArrayPool:
     #: attribute test.
     _tracker = None
 
+    #: Hit/miss collector installed by ``repro.obs.profile`` when
+    #: profiling is enabled (``REPRO_PROFILE=1``); same class-attribute
+    #: pattern as ``_tracker``.
+    _profiler = None
+
     def __init__(self, max_per_key: int = 4):
         self._buffers: dict = {}
         self.max_per_key = max_per_key
@@ -151,6 +156,9 @@ class ArrayPool:
     def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """Pop a cached ``(shape, dtype)`` buffer or allocate a new one."""
         stack = self._buffers.get((tuple(shape), np.dtype(dtype)))
+        profiler = ArrayPool._profiler
+        if profiler is not None:
+            profiler.on_pool(bool(stack))
         array = stack.pop() if stack else np.empty(shape, dtype=dtype)
         tracker = ArrayPool._tracker
         if tracker is not None:
@@ -166,6 +174,9 @@ class ArrayPool:
         tracker = ArrayPool._tracker
         if tracker is not None:
             tracker.on_put(self, array)
+        profiler = ArrayPool._profiler
+        if profiler is not None:
+            profiler.on_put()
         key = (array.shape, array.dtype)
         stack = self._buffers.setdefault(key, [])
         if len(stack) < self.max_per_key:
@@ -305,6 +316,11 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
 
+    #: Timing collector installed by ``repro.obs.profile`` when
+    #: profiling is enabled; ``None`` in normal runs, so the tape pays
+    #: one attribute test per node.
+    _profiler = None
+
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
@@ -331,6 +347,9 @@ class Tensor:
                     out._parents = parents
                     out._backward = backward
                     break
+        profiler = Tensor._profiler
+        if profiler is not None:
+            profiler.on_make(backward)
         return out
 
     @property
@@ -420,7 +439,13 @@ class Tensor:
     def _propagate(self, grad: np.ndarray,
                    grads: dict[int, np.ndarray]) -> None:
         """Run this node's backward fn, accumulating into ``grads``."""
-        parent_grads = self._backward(grad)
+        profiler = Tensor._profiler
+        if profiler is None:
+            parent_grads = self._backward(grad)
+        else:
+            started = profiler.backward_start()
+            parent_grads = self._backward(grad)
+            profiler.backward_end(started, self._backward)
         if not isinstance(parent_grads, tuple):
             parent_grads = (parent_grads,)
         for parent, pgrad in zip(self._parents, parent_grads):

@@ -1,0 +1,81 @@
+"""Pretty-print metrics: ``python -m repro.obs [source]``.
+
+Sources, tried in order of what the argument looks like:
+
+* no argument — the current process's default registry (mostly useful
+  under ``REPRO_PROFILE=1``, where the engine profile is appended);
+* ``http(s)://...`` — scrape a ``/metrics`` endpoint;
+* ``-`` — read exposition text from stdin;
+* anything else — a file containing exposition text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import urllib.request
+
+from .export import parse_prometheus, render_json, render_prometheus
+from .metrics import get_registry
+from .profile import profile_report, profiling_enabled
+
+
+def _read_source(source: str) -> str:
+    if source == "-":
+        return sys.stdin.read()
+    if source.startswith("http://") or source.startswith("https://"):
+        with urllib.request.urlopen(source, timeout=10.0) as response:
+            return response.read().decode("utf-8")
+    with open(source, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _pretty(text: str) -> str:
+    samples = parse_prometheus(text)
+    if not samples:
+        return "(no samples)"
+    width = max(len(name) for name in samples)
+    lines = []
+    for name in sorted(samples):
+        for labels, value in samples[name]:
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items()))
+            lines.append(f"{name:<{width}}  "
+                         f"{{{label_text}}}  {value:g}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Pretty-print repro metrics from the process "
+                    "registry, a /metrics URL, a file, or stdin (-).")
+    parser.add_argument("source", nargs="?", default=None,
+                        help="URL, file path, or '-' for stdin; omit "
+                             "for the in-process registry")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the registry snapshot as JSON "
+                             "(in-process source only)")
+    args = parser.parse_args(argv)
+
+    if args.source is None:
+        registry = get_registry()
+        if args.json:
+            print(render_json(registry.snapshot()))
+        else:
+            print(_pretty(render_prometheus(registry.snapshot())))
+        if profiling_enabled():
+            print()
+            print(profile_report())
+        return 0
+
+    if args.json:
+        print("--json applies to the in-process registry only",
+              file=sys.stderr)
+        return 2
+    print(_pretty(_read_source(args.source)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

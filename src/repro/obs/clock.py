@@ -1,0 +1,137 @@
+"""The single sanctioned clock for the whole library.
+
+RC001 bans wall-clock reads in library code (results must not depend on
+when they run) and RC007 routes every monotonic / perf-counter read
+through this module.  Centralizing time behind one injectable object
+buys two things:
+
+* **Deterministic tests.**  Install a :class:`ManualClock` with
+  :func:`use_clock` and supervision timestamps, latency histograms,
+  and trace spans become exact values instead of sleeps and slop.
+* **One audited wall-clock site.**  The only ``time.time()`` call in
+  the library lives here, explicitly marked; everything that *needs*
+  an epoch stamp (event rings, export timestamps) says so by calling
+  :func:`wall`, which the lint can see.
+
+Three reads, matching the stdlib trio:
+
+``monotonic()``  scheduling / deadlines (never jumps backwards)
+``perf()``       fine-grained durations (highest resolution)
+``wall()``       epoch seconds for human-facing timestamps only
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Optional
+
+from contextlib import contextmanager
+
+__all__ = [
+    "Clock", "SystemClock", "ManualClock",
+    "get_clock", "set_clock", "use_clock",
+    "monotonic", "perf", "wall",
+]
+
+
+class Clock:
+    """Interface: three float-returning reads."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def perf(self) -> float:
+        raise NotImplementedError
+
+    def wall(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real clocks (default)."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+    def wall(self) -> float:
+        # The library's one sanctioned wall-clock read: callers reach
+        # it only through repro.obs.clock.wall(), for timestamps that
+        # are *labels* (event rings, export headers), never inputs.
+        return time.time()  # repro-check: disable=RC001
+
+
+class ManualClock(Clock):
+    """A settable clock for tests: time moves only via :meth:`advance`.
+
+    ``monotonic`` and ``perf`` share one counter starting at ``start``;
+    ``wall`` reports ``epoch + elapsed`` so wall timestamps advance in
+    lockstep with the monotonic reads.
+    """
+
+    def __init__(self, start: float = 0.0, epoch: float = 1_700_000_000.0):
+        self._now = float(start)
+        self._start = float(start)
+        self._epoch = float(epoch)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def perf(self) -> float:
+        return self._now
+
+    def wall(self) -> float:
+        return self._epoch + (self._now - self._start)
+
+    def advance(self, seconds: float) -> "ManualClock":
+        if seconds < 0:
+            raise ValueError(
+                f"seconds must be >= 0, got {seconds!r}: a monotonic "
+                f"clock cannot move backwards")
+        self._now += seconds
+        return self
+
+
+_SYSTEM = SystemClock()
+_active: Clock = _SYSTEM
+
+
+def get_clock() -> Clock:
+    """The currently installed clock (a :class:`SystemClock` unless a
+    test swapped one in)."""
+    return _active
+
+
+def set_clock(clock: Optional[Clock]) -> None:
+    """Install ``clock`` process-wide; ``None`` restores the system clock."""
+    global _active
+    _active = _SYSTEM if clock is None else clock
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Scoped :func:`set_clock`: restores the previous clock on exit."""
+    global _active
+    previous = _active
+    _active = clock
+    try:
+        yield clock
+    finally:
+        _active = previous
+
+
+def monotonic() -> float:
+    """Monotonic seconds from the active clock (deadlines, scheduling)."""
+    return _active.monotonic()
+
+
+def perf() -> float:
+    """High-resolution seconds from the active clock (durations)."""
+    return _active.perf()
+
+
+def wall() -> float:
+    """Epoch seconds from the active clock (human-facing timestamps)."""
+    return _active.wall()

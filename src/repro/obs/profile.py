@@ -1,0 +1,191 @@
+"""Opt-in engine profiling: per-tape-op timings + ArrayPool hit rates.
+
+Off by default and literally free when off: the engine's hooks are
+class attributes (``Tensor._profiler`` / ``ArrayPool._profiler``) that
+hold ``None`` until :func:`enable_profiling` installs a collector —
+the hot path pays one attribute test, the same pattern the sanitizer
+tracker uses.  Set ``REPRO_PROFILE=1`` in the environment to enable at
+import, or call :func:`enable_profiling` directly.
+
+What is measured:
+
+* **Backward time per op** — exact: the tape walk times each node's
+  backward closure around its call.
+* **Forward time per op** — approximate by construction: ops are plain
+  functions, so the collector attributes the gap between consecutive
+  tape-node creations to the op just created (its forward compute is
+  what ran in that gap).  Gaps longer than
+  :data:`_FORWARD_GAP_CUTOFF` (Python-side stalls between steps) are
+  dropped rather than attributed.
+* **ArrayPool traffic** — take hits/misses and puts, per process.
+
+Summaries come from :func:`profile_report` (text table) or
+:func:`profile_snapshot` (plain dict, for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from . import clock as _clock
+
+__all__ = [
+    "enable_profiling", "disable_profiling", "profiling_enabled",
+    "reset_profile", "profile_report", "profile_snapshot",
+]
+
+#: Inter-op gaps above this are dead time between steps, not forward
+#: compute; attributing them would swamp the per-op numbers.
+_FORWARD_GAP_CUTOFF = 0.050
+
+
+def _op_name(backward_fn) -> str:
+    """The tape op behind a backward closure: ``matmul.<locals>.backward``
+    → ``matmul``, ``Tensor.__add__.<locals>.backward`` → ``__add__``."""
+    qualname = getattr(backward_fn, "__qualname__", "?")
+    return qualname.split(".<locals>.")[0].split(".")[-1]
+
+
+class _Profiler:
+    """The collector the engine hooks call into.
+
+    Plain dict updates without a lock: the engine is single-threaded
+    per model and profiling is a diagnostic — a rare lost count under
+    concurrent models is acceptable, a lock on every tape op is not.
+    """
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.forward_seconds: Dict[str, float] = {}
+        self.forward_calls: Dict[str, int] = {}
+        self.backward_seconds: Dict[str, float] = {}
+        self.backward_calls: Dict[str, int] = {}
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.pool_puts = 0
+        self._last_make: Optional[float] = None
+
+    # -- engine hooks (hot path) --------------------------------------
+    def on_make(self, backward_fn) -> None:
+        now = _clock.perf()
+        last = self._last_make
+        self._last_make = now
+        if last is None:
+            return
+        gap = now - last
+        if gap > _FORWARD_GAP_CUTOFF:
+            return
+        op = _op_name(backward_fn)
+        self.forward_seconds[op] = self.forward_seconds.get(op, 0.0) + gap
+        self.forward_calls[op] = self.forward_calls.get(op, 0) + 1
+
+    def backward_start(self) -> float:
+        return _clock.perf()
+
+    def backward_end(self, started: float, backward_fn) -> None:
+        op = _op_name(backward_fn)
+        took = _clock.perf() - started
+        self.backward_seconds[op] = \
+            self.backward_seconds.get(op, 0.0) + took
+        self.backward_calls[op] = self.backward_calls.get(op, 0) + 1
+
+    def on_pool(self, hit: bool) -> None:
+        if hit:
+            self.pool_hits += 1
+        else:
+            self.pool_misses += 1
+
+    def on_put(self) -> None:
+        self.pool_puts += 1
+
+
+_profiler: Optional[_Profiler] = None
+
+
+def _engine_classes():
+    # Imported lazily: repro.obs must not drag the numpy engine in for
+    # callers that only want metrics or the /metrics endpoint.
+    from ..nn.tensor import ArrayPool, Tensor
+    return Tensor, ArrayPool
+
+
+def enable_profiling() -> None:
+    """Install the collector on the engine's class-attribute hooks."""
+    global _profiler
+    if _profiler is None:
+        _profiler = _Profiler()
+    Tensor, ArrayPool = _engine_classes()
+    Tensor._profiler = _profiler
+    ArrayPool._profiler = _profiler
+
+
+def disable_profiling() -> None:
+    """Remove the hooks; collected data stays readable."""
+    Tensor, ArrayPool = _engine_classes()
+    Tensor._profiler = None
+    ArrayPool._profiler = None
+
+
+def profiling_enabled() -> bool:
+    if _profiler is None:
+        return False
+    Tensor, _ = _engine_classes()
+    return Tensor._profiler is _profiler
+
+
+def reset_profile() -> None:
+    if _profiler is not None:
+        _profiler.reset()
+
+
+def profile_snapshot() -> Dict[str, object]:
+    """The collected numbers as a plain dict (empty if never enabled)."""
+    if _profiler is None:
+        return {"ops": {}, "pool": {"hits": 0, "misses": 0, "puts": 0}}
+    ops: Dict[str, Dict[str, float]] = {}
+    names = (set(_profiler.forward_seconds) |
+             set(_profiler.backward_seconds))
+    for op in names:
+        ops[op] = {
+            "forward_seconds": _profiler.forward_seconds.get(op, 0.0),
+            "forward_calls": _profiler.forward_calls.get(op, 0),
+            "backward_seconds": _profiler.backward_seconds.get(op, 0.0),
+            "backward_calls": _profiler.backward_calls.get(op, 0),
+        }
+    return {
+        "ops": ops,
+        "pool": {"hits": _profiler.pool_hits,
+                 "misses": _profiler.pool_misses,
+                 "puts": _profiler.pool_puts},
+    }
+
+
+def profile_report() -> str:
+    """Per-op timing table plus pool hit rate, sorted by total time."""
+    snap = profile_snapshot()
+    ops = snap["ops"]
+    lines = [f"{'op':<16} {'fwd ms':>10} {'fwd n':>8} "
+             f"{'bwd ms':>10} {'bwd n':>8}"]
+    total = {"f": 0.0, "b": 0.0}
+    for op in sorted(ops, key=lambda o: -(ops[o]["forward_seconds"] +
+                                          ops[o]["backward_seconds"])):
+        cell = ops[op]
+        total["f"] += cell["forward_seconds"]
+        total["b"] += cell["backward_seconds"]
+        lines.append(
+            f"{op:<16} {cell['forward_seconds'] * 1000:>10.2f} "
+            f"{cell['forward_calls']:>8d} "
+            f"{cell['backward_seconds'] * 1000:>10.2f} "
+            f"{cell['backward_calls']:>8d}")
+    lines.append(
+        f"{'total':<16} {total['f'] * 1000:>10.2f} {'':>8} "
+        f"{total['b'] * 1000:>10.2f} {'':>8}")
+    pool = snap["pool"]
+    takes = pool["hits"] + pool["misses"]
+    rate = (100.0 * pool["hits"] / takes) if takes else 0.0
+    lines.append(
+        f"ArrayPool: {pool['hits']} hits / {pool['misses']} misses "
+        f"({rate:.1f}% hit rate), {pool['puts']} puts")
+    return "\n".join(lines)

@@ -20,6 +20,28 @@ from ..errors import PrivacyBudgetError
 #: rejected on the k-th slice by float rounding.
 _EPSILON_SLACK = 1e-9
 
+_M_REMAINING = None
+
+
+def _note_remaining(remaining: float) -> None:
+    """Publish the remaining budget of the most recent capped spend.
+
+    One process-level gauge, not per-ledger: ledgers are plain
+    picklable state and a typical streaming deployment has one capped
+    ledger; concurrently capped ledgers overwrite each other (last
+    spend wins).  Lazy so importing the privacy layer does not import
+    ``repro.obs``.
+    """
+    global _M_REMAINING
+    if _M_REMAINING is None:
+        from ..obs.metrics import get_registry
+
+        _M_REMAINING = get_registry().gauge(
+            "repro_stream_privacy_budget_remaining",
+            "Privacy budget (epsilon) left after the latest capped "
+            "spend.")
+    _M_REMAINING.set(remaining)
+
 
 class PrivacyLedger:
     """Append-only record of epsilon spends under an optional cap."""
@@ -61,6 +83,8 @@ class PrivacyLedger:
         """Record a release; returns the new cumulative epsilon."""
         self.check(epsilon)
         self._events.append((float(epsilon), note))
+        if self.budget is not None:
+            _note_remaining(self.remaining)
         return self.spent
 
     def to_state(self) -> dict:

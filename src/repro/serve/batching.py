@@ -25,7 +25,6 @@ Flow control is explicit:
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional
@@ -33,10 +32,16 @@ from typing import Callable, Dict, Optional
 from ..api.base import _count
 from ..check.lockorder import make_condition
 from ..datasets.schema import Table
+from ..obs import clock as _obs_clock
 from .errors import BackpressureError, PoolClosed, RequestTimeout
 
 #: sampler(model_name, n, seed) -> Table; provided by the service layer.
+#: When a request carries a trace the batcher calls it with an extra
+#: ``trace=`` keyword, so service-layer samplers accept one.
 Sampler = Callable[[str, int, Optional[int]], Table]
+
+#: Requests-per-pass buckets for the coalesce-size histogram.
+_COALESCE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 def slice_rows(table: Table, start: int, stop: int) -> Table:
@@ -53,10 +58,10 @@ def slice_rows(table: Table, start: int, stop: int) -> Table:
 
 class _Request:
     __slots__ = ("model", "n", "seed", "deadline", "event", "result",
-                 "error", "abandoned")
+                 "error", "abandoned", "trace")
 
     def __init__(self, model: str, n: int, seed: Optional[int],
-                 deadline: float):
+                 deadline: float, trace=None):
         self.model = model
         self.n = n
         self.seed = seed
@@ -65,6 +70,7 @@ class _Request:
         self.result: Optional[Table] = None
         self.error: Optional[BaseException] = None
         self.abandoned = False
+        self.trace = trace
 
     def finish(self, result: Optional[Table],
                error: Optional[BaseException] = None) -> None:
@@ -95,6 +101,10 @@ class MicroBatcher:
         Concurrent batch executions.  Passes run on an executor so a
         long pass for one model never head-of-line blocks another
         model's requests behind the scheduler.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  ``None`` (the
+        default) records nothing and pays nothing — the hot path
+        carries no metric calls at all.
     """
 
     def __getstate__(self):
@@ -106,8 +116,21 @@ class MicroBatcher:
     def __init__(self, sampler: Sampler, *, max_queue: int = 256,
                  max_delay: float = 0.005,
                  max_coalesce_rows: int = 131072,
-                 timeout: float = 30.0, executor_threads: int = 4):
+                 timeout: float = 30.0, executor_threads: int = 4,
+                 metrics=None):
         self._sampler = sampler
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_depth = metrics.gauge(
+                "repro_batcher_queue_depth",
+                "Requests currently queued in the micro-batcher.")
+            self._m_coalesce = metrics.histogram(
+                "repro_batcher_coalesce_size",
+                "Requests coalesced into each executed pass.",
+                buckets=_COALESCE_BUCKETS)
+            self._m_requests = metrics.counter(
+                "repro_batcher_requests_total",
+                "Batcher requests by outcome.", labelnames=("outcome",))
         self.max_queue = _count("max_queue", max_queue, minimum=1)
         self.max_delay = float(max_delay)
         self.max_coalesce_rows = _count("max_coalesce_rows",
@@ -131,35 +154,52 @@ class MicroBatcher:
             target=self._run, daemon=True, name="repro-serve-batcher")
         self._scheduler.start()
 
+    def _count_outcome(self, outcome: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._m_requests.inc(amount, outcome=outcome)
+
+    def _note_depth(self) -> None:
+        # Callers hold self._cond.
+        if self._metrics is not None:
+            self._m_depth.set(len(self._queue))
+
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
     def submit(self, model: str, n: int, seed: Optional[int] = None,
-               timeout: Optional[float] = None) -> Table:
+               timeout: Optional[float] = None, trace=None) -> Table:
         """Enqueue one request and block until its rows are ready.
 
         Raises :class:`BackpressureError` immediately when the queue is
         full and :class:`RequestTimeout` when the deadline passes
         first; a timed-out request's late result is discarded.
+
+        ``trace`` (a :class:`repro.obs.Trace`) rides along to the
+        sampler so a traced request's spans cover the coalesced pass
+        that actually served it.
         """
         n = _count("n", n, minimum=1)
         timeout = self.timeout if timeout is None else float(timeout)
-        request = _Request(model, n, seed, time.monotonic() + timeout)
+        request = _Request(model, n, seed,
+                           _obs_clock.monotonic() + timeout, trace=trace)
         with self._cond:
             if self._closed:
                 raise PoolClosed("micro-batcher is closed")
             if len(self._queue) >= self.max_queue:
                 self.stats["rejected"] += 1
+                self._count_outcome("rejected")
                 raise BackpressureError(
                     f"request queue is full ({self.max_queue} pending); "
                     "retry with backoff")
             self._queue.append(request)
             self.stats["submitted"] += 1
+            self._note_depth()
             self._cond.notify_all()
         if not request.event.wait(timeout):
             request.abandoned = True
             with self._cond:
                 self.stats["timeouts"] += 1
+            self._count_outcome("timeout")
             raise RequestTimeout(
                 f"request for {n} rows of {model!r} missed its "
                 f"{timeout:.3g}s deadline")
@@ -195,7 +235,9 @@ class MicroBatcher:
                 self._cond.wait()
             if self._closed and not self._queue:
                 return None
-            return self._queue.popleft()
+            head = self._queue.popleft()
+            self._note_depth()
+            return head
 
     def _gather_followers(self, head: _Request) -> list:
         """Hold the batch open up to ``max_delay`` for coalescible
@@ -204,7 +246,7 @@ class MicroBatcher:
         ``submit``) rather than polling."""
         group = [head]
         total = head.n
-        deadline = time.monotonic() + self.max_delay
+        deadline = _obs_clock.monotonic() + self.max_delay
         with self._cond:
             while total < self.max_coalesce_rows and not self._closed:
                 follower = None
@@ -217,10 +259,11 @@ class MicroBatcher:
                         break
                 if follower is not None:
                     self._queue.remove(follower)
+                    self._note_depth()
                     group.append(follower)
                     total += follower.n
                     continue
-                remaining = deadline - time.monotonic()
+                remaining = deadline - _obs_clock.monotonic()
                 if remaining <= 0:
                     break
                 self._cond.wait(remaining)
@@ -231,9 +274,10 @@ class MicroBatcher:
             head = self._next_request()
             if head is None:
                 return
-            now = time.monotonic()
+            now = _obs_clock.monotonic()
             if head.abandoned or now >= head.deadline:
                 head.finish(None, RequestTimeout("expired while queued"))
+                self._count_outcome("expired")
                 continue
             group = ([head] if head.seed is not None
                      else self._gather_followers(head))
@@ -267,19 +311,34 @@ class MicroBatcher:
 
     def _execute(self, group: list) -> None:
         live = [r for r in group if not r.abandoned
-                and time.monotonic() < r.deadline]
+                and _obs_clock.monotonic() < r.deadline]
+        expired = len(group) - len(live)
         for request in group:
             if request not in live:
                 request.finish(None, RequestTimeout("expired while queued"))
+        if expired:
+            self._count_outcome("expired", expired)
         if not live:
             return
         total = sum(r.n for r in live)
         seed = live[0].seed if len(live) == 1 else None
+        # Any live request's trace covers the pass (coalesced groups
+        # are unseeded, so at most the head is traced in practice).
+        trace = next((r.trace for r in live if r.trace is not None), None)
+        if self._metrics is not None:
+            self._m_coalesce.observe(len(live))
         try:
-            table = self._sampler(live[0].model, total, seed)
+            if trace is None:
+                table = self._sampler(live[0].model, total, seed)
+            else:
+                with trace.span("batch", model=live[0].model,
+                                requests=len(live), rows=total):
+                    table = self._sampler(live[0].model, total, seed,
+                                          trace=trace)
         except BaseException as exc:
             for request in live:
                 request.finish(None, exc)
+            self._count_outcome("error", len(live))
             return
         with self._cond:
             self.stats["rows_served"] += total
@@ -292,3 +351,4 @@ class MicroBatcher:
         for request in live:
             request.finish(slice_rows(table, offset, offset + request.n))
             offset += request.n
+        self._count_outcome("ok", len(live))

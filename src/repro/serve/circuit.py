@@ -17,10 +17,10 @@ a doubled timeout (capped).
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, Optional
 
 from ..check.lockorder import make_lock
+from ..obs import clock as _obs_clock
 
 __all__ = ["RespawnBackoff", "CircuitBreaker"]
 
@@ -72,7 +72,7 @@ class CircuitBreaker:
 
     def __init__(self, failure_threshold: int = 3,
                  reset_timeout: float = 5.0, max_timeout: float = 60.0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = _obs_clock.monotonic):
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold!r}")

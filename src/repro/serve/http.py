@@ -5,6 +5,10 @@ connection, no third-party web stack.  Endpoints:
 
 ``GET /healthz``
     Liveness + counters (JSON).
+``GET /metrics``
+    Prometheus text exposition of the service's metrics registry
+    (request latency histograms, pool supervision counters, batcher
+    queue depth, circuit-state gauges...).  Point a scraper here.
 ``GET /models``
     The model catalogue with live-pool status (JSON).
 ``GET /models/{name}``
@@ -27,7 +31,10 @@ connection, no third-party web stack.  Endpoints:
     ``"format": "csv"`` and ``"stream": true`` (or ``n`` past the
     server's streaming threshold) the response is sent with chunked
     transfer-encoding, one CSV fragment per generated chunk, so large
-    draws start flowing before generation finishes.
+    draws start flowing before generation finishes.  A JSON table
+    request may add ``"trace": true`` to get the request's stitched
+    span breakdown (batcher pass, pool dispatch, per-chunk worker
+    spans) back in the response under ``"trace"``.
 
 Errors map 1:1 from the serving exception hierarchy: 404 unknown model,
 400 invalid request, 503 backpressure (with ``Retry-After``), 504
@@ -43,6 +50,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from ..obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from ..obs.trace import Trace
 from .encoding import (
     columns_payload, csv_stream, database_payload, schema_payload,
 )
@@ -178,6 +187,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/healthz":
                 self._send_json(200, self.service.healthz())
+            elif self.path == "/metrics":
+                text = render_prometheus(self.service.metrics.snapshot())
+                self._send_bytes(200, text.encode("utf-8"),
+                                 PROMETHEUS_CONTENT_TYPE)
             elif self.path == "/models":
                 self._send_json(200, {"models": self.service.models()})
             elif _MODEL_ROUTE.match(self.path):
@@ -225,6 +238,10 @@ class _Handler(BaseHTTPRequestHandler):
                                and n >= threshold))
         if stream and out_format != "csv":
             raise ValueError("streaming responses require format=csv")
+        traced = bool(body.get("trace", False))
+        if traced and (stream or out_format != "json"):
+            raise ValueError(
+                "trace=true requires a non-streaming json response")
         if stream:
             chunks, used_seed = self.service.sample_iter(
                 name, n, batch=batch, seed=seed)
@@ -237,8 +254,10 @@ class _Handler(BaseHTTPRequestHandler):
                 csv_stream(_chain_first(first, iterator), first.schema),
                 "text/csv", {"X-Repro-Seed": str(used_seed)})
             return
+        trace = Trace("http.sample", tags={"model": name}) if traced \
+            else None
         table, used_seed = self.service.sample(name, n, batch=batch,
-                                               seed=seed)
+                                               seed=seed, trace=trace)
         if out_format == "csv":
             payload = (csv_stream([table], table.schema))
             data = "".join(payload).encode("utf-8")
@@ -252,11 +271,14 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(data)
             return
-        self._send_json(200, {
+        payload = {
             "model": name, "n": len(table), "seed": used_seed,
             "schema": schema_payload(table.schema),
             "columns": columns_payload(table),
-        })
+        }
+        if trace is not None:
+            payload["trace"] = trace.to_dict()
+        self._send_json(200, payload)
 
     def _serve_database(self, name: str, body: dict) -> None:
         scale = body.get("scale", 1.0)

@@ -55,11 +55,11 @@ chaos tests can script exactly these failures and assert bit-identity.
 from __future__ import annotations
 
 import collections
+import contextlib
 import itertools
 import multiprocessing as mp
 import pathlib
 import threading
-import time
 import traceback
 from multiprocessing import connection as mp_connection
 from typing import Dict, Iterator, List, Optional, Set, Tuple
@@ -70,6 +70,7 @@ from ..api.base import PathLike, _count, chunk_plan
 from ..api.seeding import fresh_seed
 from ..check.lockorder import make_condition, make_lock
 from ..datasets.schema import Table
+from ..obs import clock as _obs_clock
 from .circuit import RespawnBackoff
 from .errors import PoolClosed, RequestTimeout, ServingError, WorkerError
 from .faults import plan_from_env
@@ -83,6 +84,8 @@ DEFAULT_REQUEST_TIMEOUT = 300.0
 DEFAULT_CHUNK_RETRY_BUDGET = 2
 #: Consecutive boot failures before a worker slot is retired.
 DEFAULT_MAX_BOOT_FAILURES = 3
+#: Default supervision event-ring size (overridable via ``event_ring=``).
+DEFAULT_EVENT_RING = 16
 #: Fallback delay between a death and requeueing its claims if the
 #: receiver cannot confirm the dead worker's result pipe is drained
 #: (normally the drain signal arrives within milliseconds).
@@ -163,9 +166,10 @@ def _worker_main(path: str, worker_id: int, incarnation: int,
                 plan.fire("task", worker=worker_id,
                           incarnation=incarnation, count=tasks_seen)
             if kind == "chunks":
-                _, _, n, batch, seed, indices = task
+                _, _, n, batch, seed, indices, traced = task
                 result_w.send(("claim", worker_id, req_id,
                                list(indices)))
+                chunk_started = _obs_clock.perf()
                 for index, table in model.sample_chunks(
                         n, batch=batch, seed=seed, indices=indices):
                     if _is_cancelled(cancel_ring, req_id):
@@ -175,8 +179,20 @@ def _worker_main(path: str, worker_id: int, incarnation: int,
                         plan.fire("chunk", worker=worker_id,
                                   incarnation=incarnation, index=index,
                                   produced=produced)
+                    span = None
+                    if traced:
+                        # Plain dict, not a Span: the pipe carries data,
+                        # the parent stitches it into the request Trace.
+                        done = _obs_clock.perf()
+                        span = {"span_id": f"chunk-{index}",
+                                "name": "chunk", "start": chunk_started,
+                                "end": done,
+                                "tags": {"chunk": index,
+                                         "worker": worker_id,
+                                         "incarnation": incarnation}}
+                        chunk_started = done
                     result_w.send(("chunk", worker_id, req_id, index,
-                                   table))
+                                   table, span))
                     produced += 1
             elif kind == "database":
                 _, _, scale, sizes, batch, seed = task
@@ -187,7 +203,8 @@ def _worker_main(path: str, worker_id: int, incarnation: int,
                     plan.fire("chunk", worker=worker_id,
                               incarnation=incarnation, index=-1,
                               produced=produced)
-                result_w.send(("chunk", worker_id, req_id, 0, database))
+                result_w.send(("chunk", worker_id, req_id, 0, database,
+                               None))
                 produced += 1
             else:
                 raise ValueError(f"unknown task kind {kind!r}")
@@ -239,7 +256,8 @@ class _Pending:
     """Parent-side state of one in-flight request."""
 
     __slots__ = ("cond", "results", "expected", "error", "closed",
-                 "kind", "spec", "dispatched", "delivered", "retries")
+                 "kind", "spec", "dispatched", "delivered", "retries",
+                 "trace")
 
     def __getstate__(self):
         raise TypeError(
@@ -247,7 +265,7 @@ class _Pending:
             "of an in-flight request; only payloads cross processes")
 
     def __init__(self, expected: int, kind: str = "chunks",
-                 spec: tuple = ()):
+                 spec: tuple = (), trace=None):
         self.cond = make_condition("pool.result")
         self.results: Dict[int, object] = {}
         self.expected = expected
@@ -258,14 +276,26 @@ class _Pending:
         self.dispatched: Set[int] = set()
         self.delivered: Set[int] = set()
         self.retries: Dict[int, int] = {}
+        self.trace = trace          # repro.obs.Trace or None
 
     def task_for(self, req_id: int, indices: List[int]) -> tuple:
-        """Rebuild the pipe task covering ``indices`` of this request."""
+        """Rebuild the pipe task covering ``indices`` of this request.
+
+        The rebuilt task keeps the ``traced`` flag, so chunks
+        re-executed after a worker death ship spans exactly like the
+        first attempt (the parent stitches them as retry spans).
+        """
         if self.kind == "chunks":
             n, batch, seed = self.spec
-            return ("chunks", req_id, n, batch, seed, sorted(indices))
+            return ("chunks", req_id, n, batch, seed, sorted(indices),
+                    self.trace is not None)
         scale, sizes, batch, seed = self.spec
         return ("database", req_id, scale, sizes, batch, seed)
+
+    def stitch(self, index: int, span: Optional[dict]) -> None:
+        """Adopt a worker-shipped chunk span into the request trace."""
+        if span is not None and self.trace is not None:
+            self.trace.add(span, retry=self.retries.get(index, 0))
 
     def deliver(self, index: int, payload) -> None:
         with self.cond:
@@ -302,7 +332,7 @@ class _Pending:
                     return self.results.pop(index)
                 remaining = None
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - _obs_clock.monotonic()
                     if remaining <= 0:
                         raise RequestTimeout(
                             f"request timed out waiting for chunk {index} "
@@ -343,6 +373,14 @@ class WorkerPool:
         the parent (bit-identical, slower) instead of failing them.
         Either way the pool is then *crashed*: new requests raise
         :class:`PoolClosed` and the service layer replaces the pool.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` for supervision
+        counters (dispatches, chunk deliveries/retries, deaths,
+        respawns) and the in-flight gauge.  ``None`` (the default)
+        records nothing and adds no calls to the hot path.
+    event_ring:
+        Capacity of the supervision event ring surfaced by
+        :meth:`status` (events are stamped via :mod:`repro.obs.clock`).
     """
 
     def __getstate__(self):
@@ -359,8 +397,10 @@ class WorkerPool:
                  max_boot_failures: int = DEFAULT_MAX_BOOT_FAILURES,
                  backoff: Optional[RespawnBackoff] = None,
                  chunk_retry_budget: int = DEFAULT_CHUNK_RETRY_BUDGET,
-                 inline_fallback: bool = True):
+                 inline_fallback: bool = True,
+                 metrics=None, event_ring: int = DEFAULT_EVENT_RING):
         workers = _count("workers", workers, minimum=0)
+        event_ring = _count("event_ring", event_ring, minimum=1)
         max_boot_failures = _count("max_boot_failures", max_boot_failures,
                                    minimum=1)
         chunk_retry_budget = _count("chunk_retry_budget",
@@ -392,7 +432,43 @@ class WorkerPool:
         self._chunk_retries = 0
         self._stale_dropped = 0
         self._inline_recoveries = 0
-        self._events: collections.deque = collections.deque(maxlen=16)
+        self._events: collections.deque = collections.deque(
+            maxlen=event_ring)
+        self._metrics = metrics
+        self._model_label = self.path.name
+        if metrics is not None:
+            self._m_dispatch = metrics.counter(
+                "repro_pool_dispatch_total",
+                "Chunk tasks routed to workers/backlog/inline.",
+                labelnames=("model",))
+            self._m_chunks = metrics.counter(
+                "repro_pool_chunks_total",
+                "Chunks delivered to requests.",
+                labelnames=("model", "source"))
+            self._m_retries = metrics.counter(
+                "repro_pool_chunk_retries_total",
+                "Chunks requeued after worker deaths.",
+                labelnames=("model",))
+            self._m_deaths = metrics.counter(
+                "repro_pool_worker_deaths_total",
+                "Unexpected worker process deaths.",
+                labelnames=("model",))
+            self._m_respawns = metrics.counter(
+                "repro_pool_respawns_total",
+                "Workers respawned in place after a death.",
+                labelnames=("model",))
+            self._m_stale = metrics.counter(
+                "repro_pool_stale_dropped_total",
+                "Cancelled-request tasks skipped by workers.",
+                labelnames=("model",))
+            self._m_inline = metrics.counter(
+                "repro_pool_inline_recoveries_total",
+                "Tasks executed inline in the parent as a last resort.",
+                labelnames=("model",))
+            self._m_inflight = metrics.gauge(
+                "repro_pool_inflight",
+                "Requests executing or reserved against the pool.",
+                labelnames=("model",))
         self._fallback_lock = make_lock("pool.fallback")
         self._fallback_model = None
         if workers == 0:
@@ -470,11 +546,11 @@ class WorkerPool:
         self._wake_receiver()
 
     def _await_boot(self, timeout: float) -> None:
-        deadline = time.monotonic() + timeout
+        deadline = _obs_clock.monotonic() + timeout
         with self._boot_cond:
             while (not self._boot_errors and not self._closed
                    and len(self._boot_ready) < self.workers):
-                remaining = deadline - time.monotonic()
+                remaining = deadline - _obs_clock.monotonic()
                 if remaining <= 0:
                     break
                 self._boot_cond.wait(remaining)
@@ -505,7 +581,11 @@ class WorkerPool:
             pass  # repro-check: disable=RC006 -- teardown race; receiver exits via _closed
 
     def _record_event(self, what: str, **fields) -> None:
-        event = {"event": what, "at": round(time.monotonic(), 3)}
+        # Both stamps come from obs.clock: "at" (monotonic) orders
+        # events within the process; "wall" makes the ring diagnosable
+        # against external logs.  Under a ManualClock both are exact.
+        event = {"event": what, "at": round(_obs_clock.monotonic(), 3),
+                 "wall": round(_obs_clock.wall(), 3)}
         event.update(fields)
         with self._lock:
             self._events.append(event)
@@ -562,10 +642,10 @@ class WorkerPool:
                       if t is not None]
         if not stamps:
             return None
-        return max(0.0, min(stamps) - time.monotonic())
+        return max(0.0, min(stamps) - _obs_clock.monotonic())
 
     def _note_deaths(self) -> None:
-        now = time.monotonic()
+        now = _obs_clock.monotonic()
         for slot in self._slots:
             process = slot.process
             if process is None or slot.dead or process.is_alive():
@@ -597,6 +677,8 @@ class WorkerPool:
                                incarnation=slot.incarnation,
                                exitcode=process.exitcode,
                                ready=slot.ready)
+            if self._metrics is not None:
+                self._m_deaths.inc(model=self._model_label)
             if not self.respawn or \
                     slot.boot_failures >= self.max_boot_failures:
                 slot.retired = True
@@ -608,7 +690,7 @@ class WorkerPool:
                     max(0, failures - 1))
 
     def _run_reclaims(self) -> None:
-        now = time.monotonic()
+        now = _obs_clock.monotonic()
         for slot in self._slots:
             with self._lock:
                 if not slot.dead or slot.reclaim_at is None:
@@ -651,6 +733,8 @@ class WorkerPool:
                 over_budget = index
         with self._lock:
             self._chunk_retries += len(todo)
+        if self._metrics is not None:
+            self._m_retries.inc(len(todo), model=self._model_label)
         if over_budget is not None:
             pending.fail(
                 f"chunk {over_budget} exceeded its retry budget of "
@@ -665,7 +749,7 @@ class WorkerPool:
         self._dispatch(req_id, pending, todo)
 
     def _run_respawns(self) -> None:
-        now = time.monotonic()
+        now = _obs_clock.monotonic()
         for slot in self._slots:
             with self._lock:
                 due = (not slot.retired and slot.respawn_at is not None
@@ -680,6 +764,8 @@ class WorkerPool:
                 self._spawn(slot)
                 self._record_event("respawn", slot=slot.slot,
                                    incarnation=slot.incarnation)
+                if self._metrics is not None:
+                    self._m_respawns.inc(model=self._model_label)
             except Exception as exc:
                 with self._lock:
                     slot.dead = True
@@ -756,17 +842,32 @@ class WorkerPool:
             pending = self._pending.get(req_id)
             cancelled = req_id in self._cancelled
             self._inline_recoveries += 1
+        if self._metrics is not None:
+            self._m_inline.inc(model=self._model_label)
         if pending is None or cancelled:
             return
         try:
             with self._fallback_lock:
                 model = self._fallback()
                 if kind == "chunks":
-                    _, _, n, batch, seed, indices = task
+                    _, _, n, batch, seed, indices, traced = task
+                    chunk_started = _obs_clock.perf()
                     for index, chunk in model.sample_chunks(
                             n, batch=batch, seed=seed, indices=indices):
                         if self._closed:
                             return
+                        if traced:
+                            done = _obs_clock.perf()
+                            pending.stitch(index, {
+                                "span_id": f"chunk-{index}",
+                                "name": "chunk", "start": chunk_started,
+                                "end": done,
+                                "tags": {"chunk": index,
+                                         "worker": "inline"}})
+                            chunk_started = done
+                        if self._metrics is not None:
+                            self._m_chunks.inc(model=self._model_label,
+                                               source="inline")
                         pending.deliver(index, chunk)
                 else:
                     _, _, scale, sizes, batch, seed = task
@@ -880,7 +981,7 @@ class WorkerPool:
                 if req_id not in self._cancelled:
                     slot.claims.setdefault(req_id, set()).update(indices)
         elif tag == "chunk":
-            _, _, req_id, index, payload = message
+            _, _, req_id, index, payload, span = message
             with self._lock:
                 held = slot.claims.get(req_id)
                 if held is not None:
@@ -890,6 +991,12 @@ class WorkerPool:
                 slot.deaths = 0  # proof of useful work
                 pending = self._pending.get(req_id)
             if pending is not None:
+                # Stitch before delivering: once the chunk is visible
+                # the request thread may finish and read the trace.
+                pending.stitch(index, span)
+                if self._metrics is not None:
+                    self._m_chunks.inc(model=self._model_label,
+                                       source="worker")
                 pending.deliver(index, payload)
         elif tag == "error":
             _, _, req_id, text = message
@@ -907,6 +1014,8 @@ class WorkerPool:
             with self._lock:
                 slot.claims.pop(req_id, None)
                 self._stale_dropped += 1
+            if self._metrics is not None:
+                self._m_stale.inc(model=self._model_label)
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -1048,33 +1157,45 @@ class WorkerPool:
                     f"pool for {self.path.name} is "
                     f"{'closed' if self._closed else 'crashed'}")
             self._inflight += 1
+            inflight = self._inflight
+        self._note_inflight(inflight)
         return self
 
     def release(self) -> None:
         """Undo one :meth:`retain`."""
         with self._lock:
             self._inflight -= 1
+            inflight = self._inflight
+        self._note_inflight(inflight)
+
+    def _note_inflight(self, inflight: int) -> None:
+        if self._metrics is not None:
+            self._m_inflight.set(inflight, model=self._model_label)
 
     # ------------------------------------------------------------------
     # Request plumbing
     # ------------------------------------------------------------------
-    def _begin(self, expected: int, kind: str,
-               spec: tuple) -> Tuple[int, _Pending]:
+    def _begin(self, expected: int, kind: str, spec: tuple,
+               trace=None) -> Tuple[int, _Pending]:
         with self._lock:
             if self._closed or self._crashed:
                 raise PoolClosed(
                     f"pool for {self.path.name} is "
                     f"{'closed' if self._closed else 'crashed'}")
             req_id = next(self._ids)
-            pending = _Pending(expected, kind, spec)
+            pending = _Pending(expected, kind, spec, trace=trace)
             self._pending[req_id] = pending
             self._inflight += 1
+            inflight = self._inflight
+        self._note_inflight(inflight)
         return req_id, pending
 
     def _end(self, req_id: int) -> None:
         with self._lock:
             pending = self._pending.pop(req_id, None)
             self._inflight -= 1
+            inflight = self._inflight
+        self._note_inflight(inflight)
         if pending is None:
             return
         with pending.cond:
@@ -1107,6 +1228,8 @@ class WorkerPool:
                   indices: List[int]) -> None:
         """Route chunk indices to a worker, the backlog, or inline."""
         task = pending.task_for(req_id, indices)
+        if self._metrics is not None:
+            self._m_dispatch.inc(len(indices), model=self._model_label)
         with self._lock:
             pending.dispatched.update(indices)
             if self._takeover:
@@ -1134,7 +1257,7 @@ class WorkerPool:
 
     def _deadline(self, timeout: Optional[float]) -> Optional[float]:
         timeout = self.request_timeout if timeout is None else timeout
-        return None if timeout is None else time.monotonic() + timeout
+        return None if timeout is None else _obs_clock.monotonic() + timeout
 
     # ------------------------------------------------------------------
     # Table requests (sharded)
@@ -1151,7 +1274,7 @@ class WorkerPool:
 
     def sample(self, n: int, batch: Optional[int] = None,
                seed: Optional[int] = None,
-               timeout: Optional[float] = None) -> Table:
+               timeout: Optional[float] = None, trace=None) -> Table:
         """Sharded ``sample(n)``, bit-identical to the local call.
 
         The chunk plan is strided across the workers; reassembly
@@ -1159,9 +1282,14 @@ class WorkerPool:
         ``load_model(path).sample(n, batch=batch, seed=seed)`` exactly.
         Unseeded requests get a fresh request seed (reported by the
         service layer) so they shard the same way.
+
+        ``trace`` (a :class:`repro.obs.Trace`) collects one span per
+        chunk, timed in the worker that generated it and shipped back
+        on the result pipes; chunks re-executed after a worker death
+        appear as retry spans.
         """
         chunks = list(self._iter_shards(n, batch, seed, timeout,
-                                        windowed=False))
+                                        windowed=False, trace=trace))
         if len(chunks) == 1:
             return chunks[0]
         schema = chunks[0].schema
@@ -1171,7 +1299,8 @@ class WorkerPool:
 
     def sample_iter(self, n: int, batch: Optional[int] = None,
                     seed: Optional[int] = None,
-                    timeout: Optional[float] = None) -> Iterator[Table]:
+                    timeout: Optional[float] = None,
+                    trace=None) -> Iterator[Table]:
         """Stream the sharded request's chunks in order as they land.
 
         Streamed requests are **flow-controlled**: chunk tasks are
@@ -1180,11 +1309,12 @@ class WorkerPool:
         buffered in the parent instead of letting the workers race
         ahead and re-materialize the whole table in memory.
         """
-        return self._iter_shards(n, batch, seed, timeout, windowed=True)
+        return self._iter_shards(n, batch, seed, timeout, windowed=True,
+                                 trace=trace)
 
     def _iter_shards(self, n: int, batch: Optional[int],
                      seed: Optional[int], timeout: Optional[float],
-                     windowed: bool) -> Iterator[Table]:
+                     windowed: bool, trace=None) -> Iterator[Table]:
         n = _count("n", n, minimum=1)
         batch, plan = self._table_plan(n, batch)
         seed = fresh_seed() if seed is None else seed
@@ -1193,37 +1323,51 @@ class WorkerPool:
                 if self._closed:
                     raise PoolClosed(
                         f"pool for {self.path.name} is closed")
-            return self._iter_inline(n, batch, seed, timeout)
+            return self._iter_inline(n, batch, seed, timeout, trace)
         return self._stream_from_workers(n, batch, seed, plan, timeout,
-                                         windowed)
+                                         windowed, trace)
 
-    def _iter_inline(self, n, batch, seed, timeout) -> Iterator[Table]:
+    def _iter_inline(self, n, batch, seed, timeout,
+                     trace=None) -> Iterator[Table]:
         # Best-effort deadline: generation runs on the caller's thread,
         # so the check lands between chunks (a single chunk cannot be
         # preempted) — but a runaway request still stops at a chunk
         # boundary instead of never.
         deadline = self._deadline(timeout)
-        for _, chunk in self._inline_model.sample_chunks(
+        chunk_started = _obs_clock.perf()
+        for index, chunk in self._inline_model.sample_chunks(
                 n, batch=batch, seed=seed):
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and _obs_clock.monotonic() > deadline:
                 raise RequestTimeout(
                     "inline request passed its deadline mid-stream")
+            if trace is not None:
+                done = _obs_clock.perf()
+                trace.add({"span_id": f"chunk-{index}", "name": "chunk",
+                           "start": chunk_started, "end": done,
+                           "tags": {"chunk": index, "worker": "inline"}})
+                chunk_started = done
             yield chunk
 
     def _stream_from_workers(self, n, batch, seed, plan, timeout,
-                             windowed: bool) -> Iterator[Table]:
+                             windowed: bool,
+                             trace=None) -> Iterator[Table]:
         deadline = self._deadline(timeout)
         req_id, pending = self._begin(expected=len(plan), kind="chunks",
-                                      spec=(n, batch, seed))
+                                      spec=(n, batch, seed), trace=trace)
         try:
             if not windowed:
                 # Bulk consumption (sample()): strided index sets —
                 # equal-size chunks mean equal work, so static striding
                 # balances without per-chunk dispatch traffic.
                 n_tasks = min(self.workers, len(plan)) or 1
-                for shard in range(n_tasks):
-                    indices = list(range(shard, len(plan), n_tasks))
-                    self._dispatch(req_id, pending, indices)
+                dispatch_scope = (
+                    contextlib.nullcontext() if trace is None
+                    else trace.span("dispatch", chunks=len(plan),
+                                    tasks=n_tasks))
+                with dispatch_scope:
+                    for shard in range(n_tasks):
+                        indices = list(range(shard, len(plan), n_tasks))
+                        self._dispatch(req_id, pending, indices)
                 for index in range(len(plan)):
                     yield pending.wait_index(index, deadline)
                 return

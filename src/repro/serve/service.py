@@ -37,6 +37,8 @@ from ..api.base import PathLike, _count
 from ..api.seeding import fresh_seed
 from ..check.lockorder import make_lock
 from ..datasets.schema import Table
+from ..obs import clock as _obs_clock
+from ..obs.metrics import get_registry
 from .batching import MicroBatcher
 from .circuit import CircuitBreaker
 from .errors import CircuitOpen, ModelNotFound, PoolClosed, ServingError
@@ -93,6 +95,13 @@ class SynthesisService:
     circuit_factory:
         Callable returning a fresh :class:`CircuitBreaker` per model;
         injectable so tests can use thresholds and a fake clock.
+    metrics:
+        :class:`repro.obs.MetricsRegistry` the service records into
+        (request latency histograms, row/error counters, circuit-state
+        gauges, plus the pool and batcher series).  ``None`` (the
+        default) uses the process registry from
+        :func:`repro.obs.get_registry`, which ``GET /metrics`` renders;
+        set ``REPRO_METRICS=0`` to start that registry disabled.
     """
 
     def __getstate__(self):
@@ -107,7 +116,7 @@ class SynthesisService:
                  coalesce_max_rows: int = DEFAULT_COALESCE_MAX_ROWS,
                  batch_window: float = 0.005,
                  degraded: str = "reject",
-                 circuit_factory=None):
+                 circuit_factory=None, metrics=None):
         if degraded not in ("reject", "inline"):
             raise ValueError(
                 f"degraded must be 'reject' or 'inline', got {degraded!r}")
@@ -139,9 +148,29 @@ class SynthesisService:
         self._stats_lock = make_lock("service.stats")
         self._requests = 0
         self._rows = 0
+        self.metrics = get_registry() if metrics is None else metrics
+        self._m_requests = self.metrics.counter(
+            "repro_serve_requests_total",
+            "Requests accepted by the service.",
+            labelnames=("model", "endpoint"))
+        self._m_latency = self.metrics.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request latency, seconds.",
+            labelnames=("model", "endpoint"))
+        self._m_rows = self.metrics.counter(
+            "repro_serve_rows_total",
+            "Synthetic rows served.", labelnames=("model",))
+        self._m_errors = self.metrics.counter(
+            "repro_serve_errors_total",
+            "Failed requests by exception type.",
+            labelnames=("model", "endpoint", "error"))
+        self._m_circuit = self.metrics.gauge(
+            "repro_serve_circuit_state",
+            "Circuit state per model: 0=closed 1=half_open 2=open.",
+            labelnames=("model",))
         self.batcher = MicroBatcher(
             self._batched_sample, timeout=request_timeout,
-            max_delay=batch_window)
+            max_delay=batch_window, metrics=self.metrics)
 
     # ------------------------------------------------------------------
     # Pool management
@@ -153,12 +182,14 @@ class SynthesisService:
                 return WorkerPool(path, workers=0,
                                   request_timeout=self.request_timeout,
                                   inline_model=handle.model,
-                                  on_close=handle.release)
+                                  on_close=handle.release,
+                                  metrics=self.metrics)
             except Exception:
                 handle.release()
                 raise
         return WorkerPool(path, workers=self.workers,
-                          request_timeout=self.request_timeout)
+                          request_timeout=self.request_timeout,
+                          metrics=self.metrics)
 
     def _pool(self, name: str) -> WorkerPool:
         """The (possibly new) pool for ``name``; LRU-evicts idle pools.
@@ -206,7 +237,9 @@ class SynthesisService:
         for old in drained:
             old.close()
         if crashed:
-            self._breaker(name).record_failure()
+            breaker = self._breaker(name)
+            breaker.record_failure()
+            self._note_circuit(name, breaker)
         if is_loader:
             try:
                 pool = self._make_pool(name, path)
@@ -245,12 +278,20 @@ class SynthesisService:
                 f"{entry.error}") from entry.error
         return entry.pool
 
+    #: Circuit states as gauge values (alert on > 0).
+    _CIRCUIT_LEVELS = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
     def _breaker(self, name: str) -> CircuitBreaker:
         with self._breakers_lock:
             breaker = self._breakers.get(name)
             if breaker is None:
                 breaker = self._breakers[name] = self._circuit_factory()
+                self._m_circuit.set(0.0, model=name)
             return breaker
+
+    def _note_circuit(self, name: str, breaker: CircuitBreaker) -> None:
+        self._m_circuit.set(
+            self._CIRCUIT_LEVELS.get(breaker.state, -1.0), model=name)
 
     def _retained_pool(self, name: str) -> WorkerPool:
         """A pool pinned against eviction; callers must ``release()``.
@@ -267,6 +308,7 @@ class SynthesisService:
         """
         breaker = self._breaker(name)
         if not breaker.allow():
+            self._note_circuit(name, breaker)
             if self.degraded == "inline":
                 return self._degraded_pool(name).retain()
             raise CircuitOpen(
@@ -281,12 +323,14 @@ class SynthesisService:
                 raise
             except BaseException:
                 breaker.record_failure()
+                self._note_circuit(name, breaker)
                 raise
             try:
                 retained = pool.retain()
             except PoolClosed:
                 continue
             breaker.record_success()
+            self._note_circuit(name, breaker)
             self._retire_degraded(name)
             return retained
         raise ServingError(
@@ -332,7 +376,8 @@ class SynthesisService:
                 pool = WorkerPool(path, workers=0,
                                   request_timeout=self.request_timeout,
                                   inline_model=handle.model,
-                                  on_close=handle.release)
+                                  on_close=handle.release,
+                                  metrics=self.metrics)
             except BaseException:
                 handle.release()
                 raise
@@ -441,19 +486,19 @@ class SynthesisService:
     # ------------------------------------------------------------------
     # Sampling entry points
     # ------------------------------------------------------------------
-    def _batched_sample(self, name: str, n: int,
-                        seed: Optional[int]) -> Table:
+    def _batched_sample(self, name: str, n: int, seed: Optional[int],
+                        trace=None) -> Table:
         """Backend the micro-batcher executes coalesced passes on."""
         pool = self._retained_pool(name)
         try:
-            return pool.sample(n, seed=seed)
+            return pool.sample(n, seed=seed, trace=trace)
         finally:
             pool.release()
 
     def sample(self, name: str, n: int, batch: Optional[int] = None,
                seed: Optional[int] = None,
                timeout: Optional[float] = None,
-               coalesce: Optional[bool] = None
+               coalesce: Optional[bool] = None, trace=None
                ) -> Tuple[Table, Optional[int]]:
         """Serve one table request; returns ``(table, seed_used)``.
 
@@ -461,25 +506,44 @@ class SynthesisService:
         the client seed, the fresh seed assigned to an uncoalesced
         unseeded request, or ``None`` for a coalesced request (its rows
         came out of a shared pass and have no standalone stream).
+
+        ``trace`` (a :class:`repro.obs.Trace`) rides the request
+        through the batcher and pool; on return it holds the stitched
+        per-chunk span breakdown and is finished.
         """
         n = _count("n", n, minimum=1)
         if batch is not None:
             _count("batch", batch, minimum=1)
         self._count_request(n)
-        if coalesce is None:
-            coalesce = (seed is None and batch is None
-                        and 0 < n <= self.coalesce_max_rows)
-        if coalesce and seed is None and batch is None:
-            return self.batcher.submit(name, n, timeout=timeout), None
-        if seed is None:
-            seed = fresh_seed()
-        pool = self._retained_pool(name)
+        self._m_requests.inc(model=name, endpoint="sample")
+        started = _obs_clock.perf()
         try:
-            table = pool.sample(n, batch=batch, seed=seed,
-                                timeout=timeout)
-        finally:
-            pool.release()
-        return table, seed
+            if coalesce is None:
+                coalesce = (seed is None and batch is None
+                            and 0 < n <= self.coalesce_max_rows)
+            if coalesce and seed is None and batch is None:
+                result = (self.batcher.submit(name, n, timeout=timeout,
+                                              trace=trace), None)
+            else:
+                if seed is None:
+                    seed = fresh_seed()
+                pool = self._retained_pool(name)
+                try:
+                    table = pool.sample(n, batch=batch, seed=seed,
+                                        timeout=timeout, trace=trace)
+                finally:
+                    pool.release()
+                result = (table, seed)
+        except BaseException as exc:
+            self._m_errors.inc(model=name, endpoint="sample",
+                               error=type(exc).__name__)
+            raise
+        self._m_latency.observe(_obs_clock.perf() - started,
+                                model=name, endpoint="sample")
+        self._m_rows.inc(n, model=name)
+        if trace is not None:
+            trace.finish()
+        return result
 
     def sample_iter(self, name: str, n: int,
                     batch: Optional[int] = None,
@@ -494,14 +558,31 @@ class SynthesisService:
         """
         n = _count("n", n, minimum=1)
         self._count_request(n)
+        self._m_requests.inc(model=name, endpoint="sample_iter")
+        started = _obs_clock.perf()
         if seed is None:
             seed = fresh_seed()
-        pool = self._retained_pool(name)
+        try:
+            pool = self._retained_pool(name)
+        except BaseException as exc:
+            self._m_errors.inc(model=name, endpoint="sample_iter",
+                               error=type(exc).__name__)
+            raise
 
         def released_stream():
             try:
                 yield from pool.sample_iter(n, batch=batch, seed=seed,
                                             timeout=timeout)
+            except BaseException as exc:
+                self._m_errors.inc(model=name, endpoint="sample_iter",
+                                   error=type(exc).__name__)
+                raise
+            else:
+                # Latency covers the full stream, not just acquisition.
+                self._m_latency.observe(_obs_clock.perf() - started,
+                                        model=name,
+                                        endpoint="sample_iter")
+                self._m_rows.inc(n, model=name)
             finally:
                 pool.release()
 
@@ -513,14 +594,23 @@ class SynthesisService:
                         timeout: Optional[float] = None):
         """Serve one database request; returns ``(database, seed_used)``."""
         self._count_request(0)
+        self._m_requests.inc(model=name, endpoint="database")
+        started = _obs_clock.perf()
         if seed is None:
             seed = fresh_seed()
-        pool = self._retained_pool(name)
         try:
-            database = pool.sample_database(
-                scale, sizes=sizes, seed=seed, timeout=timeout)
-        finally:
-            pool.release()
+            pool = self._retained_pool(name)
+            try:
+                database = pool.sample_database(
+                    scale, sizes=sizes, seed=seed, timeout=timeout)
+            finally:
+                pool.release()
+        except BaseException as exc:
+            self._m_errors.inc(model=name, endpoint="database",
+                               error=type(exc).__name__)
+            raise
+        self._m_latency.observe(_obs_clock.perf() - started,
+                                model=name, endpoint="database")
         return database, seed
 
     # ------------------------------------------------------------------

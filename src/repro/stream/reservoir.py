@@ -26,6 +26,34 @@ import numpy as np
 from ..datasets.schema import Schema, Table
 from ..errors import StreamError
 
+_M_SEEN = None
+_M_REPLACED = None
+
+
+def _note_reservoir(seen: int, accepted: int) -> None:
+    """Count reservoir traffic in the process metrics registry.
+
+    Module-level and lazy: reservoirs are plain picklable state, so the
+    instruments are never stored on them, and importing this module
+    does not import ``repro.obs``.  ``accepted`` counts rows written
+    past the initial fill — the replacement traffic whose ratio to
+    ``seen`` is the reservoir's replace rate.
+    """
+    global _M_SEEN, _M_REPLACED
+    if _M_SEEN is None:
+        from ..obs.metrics import get_registry
+
+        registry = get_registry()
+        _M_SEEN = registry.counter(
+            "repro_stream_reservoir_seen_total",
+            "Rows offered to streaming reservoirs.")
+        _M_REPLACED = registry.counter(
+            "repro_stream_reservoir_replaced_total",
+            "Reservoir slots overwritten after the initial fill.")
+    _M_SEEN.inc(seen)
+    if accepted:
+        _M_REPLACED.inc(accepted)
+
 
 def reservoir_plan(n_seen: int, m: int, capacity: int,
                    rng: np.random.Generator
@@ -80,7 +108,9 @@ class Reservoir:
         positions, slots = reservoir_plan(self.n_seen, len(values),
                                           self.capacity, self.rng)
         self._buffer[slots] = values[positions]
+        fill = max(0, min(self.capacity - self.n_seen, len(values)))
         self.n_seen += len(values)
+        _note_reservoir(len(values), len(positions) - fill)
         return self
 
     def values(self) -> np.ndarray:
@@ -130,7 +160,9 @@ class TableReservoir:
                                           self.capacity, self.rng)
         for name, buffer in self._columns.items():
             buffer[slots] = table.column(name)[positions]
+        fill = max(0, min(self.capacity - self.n_seen, len(table)))
         self.n_seen += len(table)
+        _note_reservoir(len(table), len(positions) - fill)
         return self
 
     def table(self) -> Table:

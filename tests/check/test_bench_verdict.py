@@ -1,0 +1,104 @@
+"""The regression gate's machine-readable verdict sidecar.
+
+``benchmarks/check_bench_regression.py`` writes a verdict JSON next to
+the ``current`` file (or at ``--json-out``) on every run, including
+error exits — CI annotations consume it without scraping stdout.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    REPO / "benchmarks" / "check_bench_regression.py")
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+def _microbench(path, cnn_ms, mlp_ms=10.0):
+    payload = {"rows": [
+        {"arch": "cnn", "dtype": "float32", "train_step_ms": cnn_ms},
+        {"arch": "mlp", "dtype": "float32", "train_step_ms": mlp_ms},
+    ]}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _serving(path, one, four):
+    payload = {"rows": [
+        {"mode": "throughput", "workers": 1, "rows_per_sec": one},
+        {"mode": "throughput", "workers": 4, "rows_per_sec": four},
+    ]}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestVerdictSidecar:
+    def test_ok_run_writes_default_sidecar(self, tmp_path, capsys):
+        baseline = _microbench(tmp_path / "base.json", cnn_ms=20.0)
+        current = _microbench(tmp_path / "curr.json", cnn_ms=21.0)
+        assert bench_gate.main([baseline, current]) == 0
+        verdict = json.loads(
+            (tmp_path / "curr.json.verdict.json").read_text())
+        assert verdict["mode"] == "train_step"
+        assert verdict["status"] == "ok"
+        assert verdict["error"] is None
+        assert verdict["relative_to"] == "mlp"
+        assert verdict["absolute"] is False
+        (comparison,) = verdict["comparisons"]
+        assert comparison["ok"] is True
+        assert comparison["baseline"] == pytest.approx(2.0)
+        assert comparison["current"] == pytest.approx(2.1)
+        assert comparison["change"] == pytest.approx(0.05)
+
+    def test_failing_run_marks_the_comparison(self, tmp_path, capsys):
+        baseline = _microbench(tmp_path / "base.json", cnn_ms=20.0)
+        current = _microbench(tmp_path / "curr.json", cnn_ms=30.0)
+        out = tmp_path / "verdict.json"
+        assert bench_gate.main([baseline, current,
+                                "--json-out", str(out)]) == 1
+        verdict = json.loads(out.read_text())
+        assert verdict["status"] == "fail"
+        (comparison,) = verdict["comparisons"]
+        assert comparison["ok"] is False
+        assert comparison["change"] == pytest.approx(0.5)
+
+    def test_error_run_still_writes_a_verdict(self, tmp_path, capsys):
+        baseline = _microbench(tmp_path / "base.json", cnn_ms=20.0)
+        missing = str(tmp_path / "nope.json")
+        out = tmp_path / "verdict.json"
+        assert bench_gate.main([baseline, missing,
+                                "--json-out", str(out)]) == 1
+        verdict = json.loads(out.read_text())
+        assert verdict["status"] == "error"
+        assert "FileNotFoundError" in verdict["error"]
+        assert verdict["comparisons"] == []
+
+    def test_serving_mode_records_the_scaling_metric(self, tmp_path,
+                                                     capsys):
+        baseline = _serving(tmp_path / "base.json", one=100.0, four=300.0)
+        current = _serving(tmp_path / "curr.json", one=100.0, four=290.0)
+        assert bench_gate.main([baseline, str(tmp_path / "curr.json"),
+                                "--mode", "serving"]) == 0
+        verdict = json.loads(
+            (tmp_path / "curr.json.verdict.json").read_text())
+        assert verdict["mode"] == "serving"
+        assert verdict["relative_to"] == "1"
+        (comparison,) = verdict["comparisons"]
+        assert "4 workers" in comparison["metric"]
+        assert comparison["baseline"] == pytest.approx(3.0)
+        assert comparison["current"] == pytest.approx(2.9)
+
+    def test_consecutive_runs_do_not_accumulate(self, tmp_path, capsys):
+        baseline = _microbench(tmp_path / "base.json", cnn_ms=20.0)
+        current = _microbench(tmp_path / "curr.json", cnn_ms=20.0)
+        bench_gate.main([baseline, current])
+        bench_gate.main([baseline, current])
+        verdict = json.loads(
+            (tmp_path / "curr.json.verdict.json").read_text())
+        assert len(verdict["comparisons"]) == 1

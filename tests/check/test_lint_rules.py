@@ -441,3 +441,80 @@ class TestRC006SilentFailureDiscipline:
                     pass  # repro-check: disable=RC006 -- best-effort wake
             """, path=self.SERVE_PATH)
         assert found == []
+
+
+class TestRC007ClockDiscipline:
+    def test_raw_monotonic_read_fires(self):
+        found = run("""
+            import time
+
+            def elapsed(start):
+                return time.monotonic() - start
+            """)
+        assert rules(found) == ["RC007"]
+        assert "time.monotonic" in found[0].message
+        assert "repro.obs.clock" in found[0].message
+
+    def test_perf_counter_and_ns_variants_fire(self):
+        found = run("""
+            import time
+
+            def stamp():
+                return (time.perf_counter(), time.perf_counter_ns(),
+                        time.monotonic_ns())
+            """)
+        assert rules(found) == ["RC007", "RC007", "RC007"]
+
+    def test_aliased_import_fires(self):
+        found = run("""
+            from time import perf_counter as tick
+
+            def stamp():
+                return tick()
+            """)
+        assert rules(found) == ["RC007"]
+
+    def test_obs_clock_route_is_sanctioned(self):
+        found = run("""
+            from repro.obs import clock as _obs_clock
+
+            def elapsed(start):
+                return _obs_clock.monotonic() - start
+            """)
+        assert found == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        found = run("""
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+            """)
+        assert found == []
+
+    def test_obs_package_is_exempt(self):
+        found = run("""
+            import time
+
+            def monotonic():
+                return time.monotonic()
+            """, path="src/repro/obs/clock.py")
+        assert found == []
+
+    def test_pragma_suppresses(self):
+        found = run("""
+            import time
+
+            def stamp():
+                return time.monotonic()  # repro-check: disable=RC007
+            """)
+        assert found == []
+
+    def test_scripts_profile_is_exempt(self):
+        found = run("""
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """, profile="scripts")
+        assert found == []

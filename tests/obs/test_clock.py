@@ -1,0 +1,80 @@
+"""repro.obs.clock: the injectable clock abstraction."""
+
+import pytest
+
+from repro.obs import clock as obs_clock
+from repro.obs.clock import Clock, ManualClock, SystemClock
+
+
+class TestSystemClock:
+    def test_reads_are_floats_and_advance(self):
+        clock = SystemClock()
+        first = clock.perf()
+        second = clock.perf()
+        assert isinstance(first, float)
+        assert second >= first
+        assert clock.monotonic() <= clock.monotonic()
+        assert clock.wall() > 1_500_000_000  # sane epoch seconds
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Clock().monotonic()
+
+
+class TestManualClock:
+    def test_time_moves_only_via_advance(self):
+        clock = ManualClock(start=10.0)
+        assert clock.monotonic() == 10.0
+        assert clock.perf() == 10.0
+        clock.advance(2.5)
+        assert clock.monotonic() == 12.5
+        assert clock.perf() == 12.5
+
+    def test_wall_tracks_epoch_plus_elapsed(self):
+        clock = ManualClock(start=5.0, epoch=1_000.0)
+        assert clock.wall() == 1_000.0
+        clock.advance(3.0)
+        assert clock.wall() == 1_003.0
+
+    def test_advance_returns_self_for_chaining(self):
+        clock = ManualClock()
+        assert clock.advance(1.0).advance(1.0).monotonic() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match="seconds"):
+            ManualClock().advance(-0.1)
+
+
+class TestInstallation:
+    def test_default_is_system_clock(self):
+        assert isinstance(obs_clock.get_clock(), SystemClock)
+
+    def test_set_clock_and_restore(self):
+        manual = ManualClock(start=7.0)
+        obs_clock.set_clock(manual)
+        try:
+            assert obs_clock.get_clock() is manual
+            assert obs_clock.monotonic() == 7.0
+            assert obs_clock.perf() == 7.0
+            assert obs_clock.wall() == manual.wall()
+        finally:
+            obs_clock.set_clock(None)
+        assert isinstance(obs_clock.get_clock(), SystemClock)
+
+    def test_use_clock_scopes_and_restores_on_error(self):
+        manual = ManualClock(start=1.0)
+        with obs_clock.use_clock(manual) as installed:
+            assert installed is manual
+            assert obs_clock.monotonic() == 1.0
+        assert isinstance(obs_clock.get_clock(), SystemClock)
+        with pytest.raises(RuntimeError):
+            with obs_clock.use_clock(manual):
+                raise RuntimeError("boom")
+        assert isinstance(obs_clock.get_clock(), SystemClock)
+
+    def test_module_functions_follow_the_active_clock(self):
+        manual = ManualClock()
+        with obs_clock.use_clock(manual):
+            before = obs_clock.monotonic()
+            manual.advance(4.0)
+            assert obs_clock.monotonic() - before == 4.0

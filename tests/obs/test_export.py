@@ -1,0 +1,118 @@
+"""repro.obs.export: Prometheus text exposition + JSON rendering."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE, parse_prometheus, render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_map(text, name):
+    return {tuple(sorted(labels.items())): value
+            for labels, value in parse_prometheus(text)[name]}
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_help_and_type_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Things that\nhappened.").inc()
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP events_total Things that\\nhappened." in text
+        assert "# TYPE events_total counter" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rows_total", "Rows.",
+                                   labelnames=("model",))
+        nasty = 'a"b\\c\nd'
+        counter.inc(2, model=nasty)
+        text = render_prometheus(registry.snapshot())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        ((labels, value),) = parse_prometheus(text)["rows_total"]
+        assert labels == {"model": nasty}
+        assert value == 2
+
+    def test_integer_values_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "E.").inc(5)
+        text = render_prometheus(registry.snapshot())
+        assert "events_total 5\n" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_in_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", "L.",
+                                  buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.7, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        text = render_prometheus(registry.snapshot())
+        buckets = _sample_map(text, "latency_seconds_bucket")
+        assert buckets[(("le", "1"),)] == 2
+        assert buckets[(("le", "2"),)] == 3
+        assert buckets[(("le", "4"),)] == 4
+        assert buckets[(("le", "+Inf"),)] == 5
+        counts = _sample_map(text, "latency_seconds_count")
+        assert counts[()] == 5  # +Inf bucket == _count
+        sums = _sample_map(text, "latency_seconds_sum")
+        assert sums[()] == pytest.approx(105.7)
+
+    def test_histogram_labels_compose_with_le(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", "L.",
+                                  labelnames=("model",), buckets=(1.0,))
+        hist.observe(0.5, model="m")
+        text = render_prometheus(registry.snapshot())
+        buckets = parse_prometheus(text)["latency_seconds_bucket"]
+        assert ({"model": "m", "le": "1"}, 1.0) in buckets
+        assert ({"model": "m", "le": "+Inf"}, 1.0) in buckets
+
+    def test_rendering_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            counter = registry.counter("b_total", "B.",
+                                       labelnames=("x",))
+            counter.inc(1, x="2")
+            counter.inc(1, x="1")
+            registry.gauge("a_level", "A.").set(3)
+            return registry.snapshot()
+
+        assert render_prometheus(build()) == render_prometheus(build())
+
+    def test_content_type_pins_the_exposition_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestRenderJson:
+    def test_document_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("rows_total", "Rows.",
+                         labelnames=("model",)).inc(4, model="m")
+        registry.histogram("latency", "L.", buckets=(1.0,)).observe(0.5)
+        document = json.loads(render_json(registry.snapshot()))
+        assert document["rows_total"]["type"] == "counter"
+        assert document["rows_total"]["samples"] == [
+            {"labels": {"model": "m"}, "value": 4.0}]
+        hist = document["latency"]
+        assert hist["buckets"] == [1.0]
+        assert hist["samples"][0]["counts"] == [1, 0]
+        assert hist["samples"][0]["count"] == 1
+
+
+class TestParsePrometheus:
+    def test_inf_values(self):
+        parsed = parse_prometheus('x_bucket{le="+Inf"} 3\ny -Inf\n')
+        assert parsed["x_bucket"] == [({"le": "+Inf"}, 3.0)]
+        assert parsed["y"] == [({}, -math.inf)]
+
+    def test_unquoted_label_rejected(self):
+        with pytest.raises(ValueError, match="quoted"):
+            parse_prometheus("x{le=1} 3\n")

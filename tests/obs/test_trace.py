@@ -1,0 +1,128 @@
+"""repro.obs.trace: spans, stitching, retry adoption, coverage."""
+
+import pickle
+
+import pytest
+
+from repro.obs.clock import ManualClock, use_clock
+from repro.obs.trace import Span, Trace
+
+
+@pytest.fixture
+def clock():
+    manual = ManualClock()
+    with use_clock(manual):
+        yield manual
+
+
+class TestSpan:
+    def test_duration_requires_end(self):
+        span = Span("s1", "work", 1.0)
+        with pytest.raises(ValueError, match="s1"):
+            span.duration()
+        span.end = 3.5
+        assert span.duration() == 2.5
+
+    def test_dict_round_trip(self):
+        span = Span("chunk-0", "chunk", 1.0, end=2.0,
+                    parent_id="root", tags={"chunk": 0})
+        again = Span.from_dict(span.to_dict())
+        assert again.span_id == "chunk-0"
+        assert again.parent_id == "root"
+        assert again.duration() == 1.0
+        assert again.tags == {"chunk": 0}
+
+
+class TestTrace:
+    def test_root_duration_is_exact_under_manual_clock(self, clock):
+        trace = Trace("request")
+        clock.advance(1.25)
+        trace.finish()
+        assert trace.root.duration() == 1.25
+        trace.finish()  # idempotent: end is not moved
+        assert trace.root.duration() == 1.25
+
+    def test_span_context_manager_records_child(self, clock):
+        trace = Trace()
+        clock.advance(0.5)
+        with trace.span("dispatch", chunks=4):
+            clock.advance(2.0)
+        (span,) = trace.spans()
+        assert span.name == "dispatch"
+        assert span.parent_id == "root"
+        assert span.start - trace.root.start == 0.5
+        assert span.duration() == 2.0
+        assert span.tags == {"chunks": 4}
+
+    def test_span_recorded_even_when_body_raises(self, clock):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("batch"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        (span,) = trace.spans()
+        assert span.duration() == 1.0
+
+    def test_add_stitches_worker_dict(self, clock):
+        trace = Trace()
+        span = trace.add({"span_id": "chunk-0", "name": "chunk",
+                          "start": 1.0, "end": 2.0,
+                          "tags": {"chunk": 0, "worker": 1}})
+        assert span.parent_id == "root"
+        assert trace.spans()[0].span_id == "chunk-0"
+
+    def test_retry_spans_are_adopted_not_replaced(self, clock):
+        trace = Trace()
+        payload = {"span_id": "chunk-3", "name": "chunk",
+                   "start": 0.0, "end": 1.0, "tags": {"chunk": 3}}
+        trace.add(dict(payload))
+        retry = trace.add(dict(payload), retry=1)
+        assert retry.span_id == "chunk-3#r1"
+        assert retry.tags["retry"] == 1
+        assert len(trace.spans()) == 2
+        assert trace.chunk_coverage() == {3: 2}
+
+    def test_duplicate_ids_get_dup_suffix(self, clock):
+        trace = Trace()
+        payload = {"span_id": "chunk-0", "name": "chunk",
+                   "start": 0.0, "end": 1.0, "tags": {"chunk": 0}}
+        trace.add(dict(payload))
+        dup = trace.add(dict(payload))
+        assert dup.span_id == "chunk-0#dup1"
+
+    def test_spans_sorted_by_start_then_id(self, clock):
+        trace = Trace()
+        trace.add({"span_id": "b", "name": "x", "start": 2.0, "end": 3.0,
+                   "tags": {}})
+        trace.add({"span_id": "a", "name": "x", "start": 1.0, "end": 2.0,
+                   "tags": {}})
+        trace.add({"span_id": "a2", "name": "x", "start": 1.0, "end": 2.0,
+                   "tags": {}})
+        assert [s.span_id for s in trace.spans()] == ["a", "a2", "b"]
+
+    def test_chunk_coverage_ignores_non_chunk_spans(self, clock):
+        trace = Trace()
+        with trace.span("dispatch"):
+            pass
+        trace.add({"span_id": "chunk-1", "name": "chunk", "start": 0.0,
+                   "end": 1.0, "tags": {"chunk": 1}})
+        assert trace.chunk_coverage() == {1: 1}
+
+    def test_to_dict_and_report(self, clock):
+        trace = Trace("request", tags={"model": "m"})
+        with trace.span("batch", rows=64):
+            clock.advance(0.25)
+        trace.finish()
+        payload = trace.to_dict()
+        assert payload["trace_id"] == trace.trace_id
+        assert payload["root"]["tags"] == {"model": "m"}
+        assert len(payload["spans"]) == 1
+        report = trace.report()
+        assert "batch" in report and trace.trace_id in report
+
+    def test_trace_ids_are_unique(self, clock):
+        assert Trace().trace_id != Trace().trace_id
+
+    def test_not_picklable(self, clock):
+        with pytest.raises(TypeError, match="not picklable"):
+            pickle.dumps(Trace())

@@ -132,6 +132,74 @@ class TestKillMidRequest:
             assert pool.status()["restarts"] >= 1
 
 
+class TestTracedKill:
+    """Trace stitching survives a mid-request worker kill."""
+
+    def test_trace_covers_every_chunk_across_a_kill(self, model_root,
+                                                    monkeypatch):
+        """The stitched trace reconstructs one worker span per chunk
+        with or without an injected kill; the killed chunk reappears as
+        a tagged retry span, never as a gap, and the table stays
+        bit-identical."""
+        from repro.obs.trace import Trace
+
+        path = model_root / "adult-pb"
+        n, batch, seed = 96, 8, 5
+        chunk_indices = set(range(n // batch))
+
+        clean_trace = Trace("clean")
+        with WorkerPool(path, workers=2, request_timeout=60.0) as pool:
+            clean = pool.sample(n, batch=batch, seed=seed,
+                                trace=clean_trace)
+        clean_coverage = clean_trace.chunk_coverage()
+        assert set(clean_coverage) == chunk_indices
+        assert all(count == 1 for count in clean_coverage.values())
+
+        set_plan(monkeypatch, KILL_AFTER_2)
+        killed_trace = Trace("killed")
+        with WorkerPool(path, workers=2, request_timeout=60.0) as pool:
+            killed = pool.sample(n, batch=batch, seed=seed,
+                                 trace=killed_trace)
+            assert pool.status()["chunk_retries"] >= 1
+
+        assert_tables_equal(killed, clean)
+        killed_coverage = killed_trace.chunk_coverage()
+        # Same chunk set as the clean run — the kill never leaves a
+        # hole.  The killed attempt dies before its span ships, so the
+        # re-executed chunk arrives as a tagged retry span instead.
+        assert set(killed_coverage) == chunk_indices
+        retry_spans = [s for s in killed_trace.spans()
+                       if s.tags.get("retry")]
+        assert retry_spans
+        assert all("#r" in s.span_id for s in retry_spans)
+        assert {s.tags["chunk"] for s in retry_spans} <= chunk_indices
+        # Every chunk span closed and carries its executing worker.
+        for span in killed_trace.spans():
+            if "chunk" not in span.tags:
+                continue
+            assert span.duration() >= 0.0
+            assert span.tags.get("worker") in (0, 1)
+
+    def test_trace_spans_survive_inline_drain(self, model_root,
+                                              monkeypatch):
+        """When the last slot retires and the parent drains inline, the
+        inline chunks still land in the trace (tagged as inline)."""
+        from repro.obs.trace import Trace
+
+        path = model_root / "adult-pb"
+        set_plan(monkeypatch, KILL_AFTER_2)
+        trace = Trace("inline")
+        pool = WorkerPool(path, workers=1, request_timeout=60.0,
+                          respawn=False, inline_fallback=True)
+        try:
+            pool.sample(96, batch=8, seed=5, trace=trace)
+            assert pool.status()["inline_recoveries"] >= 1
+        finally:
+            pool.close()
+        coverage = trace.chunk_coverage()
+        assert set(coverage) == set(range(12))
+
+
 class TestPoisonChunk:
     def test_poison_chunk_fails_one_request_not_the_pool(
             self, model_root, monkeypatch):

@@ -214,3 +214,39 @@ class TestValidationAndErrors:
 
         with pytest.raises(PoolClosed):
             pool.sample(10, seed=1)
+
+
+class TestEventRing:
+    """Supervision event ring: configurable size, obs.clock stamps."""
+
+    def test_ring_capacity_is_configurable(self, model_root):
+        pool = WorkerPool(model_root / "adult-pb", workers=0,
+                          inline_fallback=True, event_ring=4)
+        try:
+            for i in range(10):
+                pool._record_event("probe", index=i)
+            events = pool.status()["events"]
+            assert len(events) == 4
+            assert [e["index"] for e in events] == [6, 7, 8, 9]
+        finally:
+            pool.close()
+
+    def test_ring_size_validated(self, model_root):
+        with pytest.raises(ValueError, match="event_ring"):
+            WorkerPool(model_root / "adult-pb", workers=0,
+                       inline_fallback=True, event_ring=0)
+
+    def test_events_are_stamped_via_obs_clock(self, model_root):
+        from repro.obs.clock import ManualClock, use_clock
+
+        pool = WorkerPool(model_root / "adult-pb", workers=0,
+                          inline_fallback=True)
+        try:
+            with use_clock(ManualClock(start=12.0, epoch=2_000.0)):
+                pool._record_event("probe")
+            (event,) = [e for e in pool.status()["events"]
+                        if e["event"] == "probe"]
+            assert event["at"] == 12.0
+            assert event["wall"] == 2_000.0
+        finally:
+            pool.close()
